@@ -1,0 +1,131 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. vNo-in-notification vs paper-format lookup: carrying the occurrence
+   number in the datagram (our deviation) vs reading it back from
+   ``SysPrimitiveEvent`` per notification (the paper's implied scheme).
+2. Condition placement: a WHEN condition evaluated inside the generated
+   procedure (in-server, our design) vs an agent-side rule that runs
+   the action procedure and checks the condition with a separate query.
+3. Index vs scan: the engine's equality indexes under a point-query
+   workload (the substrate-level choice the mediator's bookkeeping
+   queries sit on).
+"""
+
+import time
+
+from _helpers import agent_stack, direct_stack, print_series
+
+
+def test_ablation_vno_in_message(benchmark):
+    """Deviation 3: self-contained notifications vs per-message lookup."""
+    _server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t on stock for insert event ev as print 'x'")
+    conn.execute("insert stock values ('SEED', 1.0, 1)")
+
+    with_vno = "sharma stock insert begin sentineldb.sharma.ev 1"
+    without_vno = "sharma stock insert begin sentineldb.sharma.ev"
+
+    def clock(payload, n=500):
+        start = time.perf_counter()
+        for _ in range(n):
+            agent.notifier.on_payload(payload)
+        return (time.perf_counter() - start) / n * 1e6
+
+    fast = clock(with_vno)
+    slow = clock(without_vno)  # falls back to a SysPrimitiveEvent query
+    print_series(
+        "Ablation: occurrence number in the notification payload",
+        [
+            ("vNo carried in message (ours)", f"{fast:.1f}"),
+            ("paper format + lookup", f"{slow:.1f}"),
+            ("lookup penalty", f"{slow / fast:.2f}x"),
+        ],
+        ("scheme", "us/notification"),
+    )
+    assert slow > fast
+    benchmark(lambda: None)
+
+
+def test_ablation_condition_placement(benchmark):
+    """In-proc condition vs agent-side condition round trip."""
+    _server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t_base on stock for insert event ev as print 'b'")
+
+    # In-server: the WHEN clause compiles into the procedure.
+    conn.execute(
+        "create trigger t_inproc event ev DEFERRED "
+        "when (select count(*) from stock) < 0 "
+        "as print 'never'")
+
+    # Agent-side: a Python condition that issues its own query per firing.
+    def python_condition(_occurrence):
+        result = agent.persistent_manager.execute(
+            "sentineldb", "select count(*) from sharma.stock")
+        return result.last.scalar() < 0
+
+    agent.led.add_rule(
+        "agent_side_condition", "sentineldb.sharma.ev",
+        action=lambda occ: None, condition=python_condition,
+        coupling="DEFERRED")
+
+    def clock(n=200):
+        start = time.perf_counter()
+        for _ in range(n):
+            conn.execute("insert stock values ('X', 1.0, 1)")
+        agent.flush_deferred()
+        return (time.perf_counter() - start) / n * 1e3
+
+    combined = clock()
+    print_series(
+        "Ablation: condition placement (both active, per statement)",
+        [("in-proc + agent-side conditions", f"{combined:.3f}")],
+        ("configuration", "ms/stmt"),
+    )
+    benchmark(lambda: None)
+
+
+def test_ablation_index_vs_scan_series(benchmark):
+    """Substrate choice: equality index vs full scan at three sizes."""
+    rows = []
+    for size in (200, 800, 3200):
+        _server, conn = direct_stack()
+        for i in range(size):
+            conn.execute(f"insert stock values ('S{i}', {i}.0, {i})")
+        probe = f"select qty from stock where symbol = 'S{size // 2}'"
+
+        def clock(n=100):
+            start = time.perf_counter()
+            for _ in range(n):
+                conn.execute(probe)
+            return (time.perf_counter() - start) / n * 1e3
+
+        scan = clock()
+        conn.execute("create index ix on stock (symbol)")
+        conn.execute(probe)  # pay the one-time lazy build
+        indexed = clock()
+        rows.append((size, f"{scan:.3f}", f"{indexed:.3f}",
+                     f"{scan / indexed:.1f}x"))
+    print_series(
+        "Ablation: point query, scan vs equality index",
+        rows, ("rows", "scan ms", "index ms", "speedup"))
+    # Shape: speedup grows with table size.
+    assert float(rows[-1][3][:-1]) > float(rows[0][3][:-1])
+    benchmark(lambda: None)
+
+
+def test_indexed_point_query(benchmark):
+    _server, conn = direct_stack()
+    for i in range(2000):
+        conn.execute(f"insert stock values ('S{i}', {i}.0, {i})")
+    conn.execute("create index ix on stock (symbol)")
+    conn.execute("select qty from stock where symbol = 'S1000'")
+    benchmark(conn.execute, "select qty from stock where symbol = 'S1000'")
+
+
+def test_scanned_point_query(benchmark):
+    _server, conn = direct_stack()
+    for i in range(2000):
+        conn.execute(f"insert stock values ('S{i}', {i}.0, {i})")
+    benchmark(conn.execute, "select qty from stock where symbol = 'S1000'")

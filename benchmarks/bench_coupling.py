@@ -1,0 +1,73 @@
+"""E-EXT1: coupling-mode cost comparison (Section 6 future work built).
+
+Expected shape: IMMEDIATE pays the action inline; DEFERRED moves it to
+commit time (the triggering statement gets cheaper, the commit dearer);
+DETACHED takes it off the client path entirely at thread-spawn cost.
+"""
+
+import time
+
+from _helpers import agent_stack, print_series
+
+
+def _stack(coupling: str):
+    _server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger tp on stock for insert event ev as print 'p'")
+    conn.execute("create table log_t (n int)")
+    conn.execute(
+        f"create trigger tr event ev {coupling} as insert log_t values (1)")
+    return agent, conn
+
+
+def test_immediate_statement(benchmark):
+    _agent, conn = _stack("IMMEDIATE")
+    benchmark(conn.execute, "insert stock values ('X', 1.0, 1)")
+
+
+def test_deferred_statement_plus_commit(benchmark):
+    agent, conn = _stack("DEFERRED")
+
+    def tx():
+        conn.execute("begin tran")
+        conn.execute("insert stock values ('X', 1.0, 1)")
+        conn.execute("commit")
+
+    benchmark(tx)
+
+
+def test_detached_statement(benchmark):
+    agent, conn = _stack("DETACHED")
+
+    def fire():
+        conn.execute("insert stock values ('X', 1.0, 1)")
+
+    benchmark(fire)
+    agent.action_handler.join_detached()
+
+
+def test_coupling_comparison_series(benchmark):
+    rows = []
+    for coupling in ("IMMEDIATE", "DEFERRED", "DETACHED"):
+        agent, conn = _stack(coupling)
+        if coupling == "DEFERRED":
+            conn.execute("begin tran")
+        start = time.perf_counter()
+        for _ in range(100):
+            conn.execute("insert stock values ('X', 1.0, 1)")
+        statement_ms = (time.perf_counter() - start) / 100 * 1e3
+        commit_ms = 0.0
+        if coupling == "DEFERRED":
+            start = time.perf_counter()
+            conn.execute("commit")
+            commit_ms = (time.perf_counter() - start) * 1e3
+        agent.action_handler.join_detached()
+        executed = agent.persistent_manager.execute(
+            "sentineldb", "select count(*) from sharma.log_t").last.scalar()
+        rows.append((coupling, f"{statement_ms:.3f}", f"{commit_ms:.2f}",
+                     executed))
+    print_series(
+        "E-EXT1 coupling modes (100 triggering inserts)",
+        rows, ("coupling", "ms/stmt (client)", "commit ms", "actions run"))
+    assert all(row[3] == 100 for row in rows)
+    benchmark(lambda: None)

@@ -1,0 +1,88 @@
+"""E-FIG15: notification channel cost — in-process vs threaded vs UDP.
+
+The paper (Section 6) worries that "the communication between ECA Agent
+and SQL Server is based on the socket ... system efficiency will be
+affected".  This bench quantifies exactly that: the same notification
+stream through the synchronous in-process channel, the queued channel,
+and a real localhost UDP socket pair.
+
+Expected shape: sync < threaded < UDP per message, with UDP costing
+microseconds (the paper's design is sound at LAN scale).
+"""
+
+import time
+
+from _helpers import print_series
+
+from repro.agent import SynchronousChannel, ThreadedChannel, UdpChannel
+
+PAYLOAD = "sharma stock insert begin sentineldb.sharma.addStk 42"
+
+
+def _drive(channel, count: int, burst: int = 50) -> float:
+    """Send ``count`` messages in drained bursts.
+
+    Bursts are drained before the next begins: blasting thousands of
+    datagrams into a UDP socket faster than the listener drains them
+    overflows the kernel buffer and drops messages — a realistic
+    property of the paper's transport that the bench must pace around.
+    """
+    received = []
+    channel.attach(received.append)
+    channel.start()
+    try:
+        start = time.perf_counter()
+        sent = 0
+        while sent < count:
+            chunk = min(burst, count - sent)
+            for _ in range(chunk):
+                channel.send("127.0.0.1", getattr(channel, "port", 0), PAYLOAD)
+            sent += chunk
+            assert channel.drain(timeout=10.0)
+        elapsed = time.perf_counter() - start
+    finally:
+        channel.stop()
+    assert len(received) == count
+    return elapsed / count
+
+
+def test_synchronous_channel(benchmark):
+    channel = SynchronousChannel()
+    channel.attach(lambda payload: None)
+    benchmark(channel.send, "127.0.0.1", 0, PAYLOAD)
+
+
+def test_threaded_channel(benchmark):
+    channel = ThreadedChannel()
+    channel.attach(lambda payload: None)
+    channel.start()
+    try:
+        benchmark(channel.send, "127.0.0.1", 0, PAYLOAD)
+        channel.drain(timeout=10.0)
+    finally:
+        channel.stop()
+
+
+def test_udp_channel(benchmark):
+    channel = UdpChannel(port=0)
+    channel.attach(lambda payload: None)
+    channel.start()
+    try:
+        benchmark(channel.send, "127.0.0.1", channel.port, PAYLOAD)
+        channel.drain(timeout=10.0)
+    finally:
+        channel.stop()
+
+
+def test_channel_comparison_series(benchmark):
+    rows = []
+    for name, channel in (
+        ("sync (in-process)", SynchronousChannel()),
+        ("threaded (queue)", ThreadedChannel()),
+        ("udp (real socket)", UdpChannel(port=0)),
+    ):
+        cost = _drive(channel, 2000)
+        rows.append((name, f"{cost * 1e6:.2f}"))
+    print_series("E-FIG15 notification delivery cost", rows,
+                 ("channel", "us/message"))
+    benchmark(lambda: None)

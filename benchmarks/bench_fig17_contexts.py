@@ -1,0 +1,68 @@
+"""E-FIG17: parameter-context cost through the full stack.
+
+Runs the same insert/delete stream against the Example 2 composite in
+each of the four contexts and reports firings and per-statement cost.
+
+Expected shape: CONTINUOUS fires most (one per open initiator),
+CUMULATIVE fires least but moves the most parameter rows per firing;
+per-statement costs stay within the same order of magnitude.
+"""
+
+import time
+
+from _helpers import agent_stack, print_series
+
+from repro.workloads import StockWorkload
+
+
+def _stack(context: str):
+    _server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t_add on stock for insert event addStk as print 'a'")
+    conn.execute(
+        "create trigger t_del on stock for delete event delStk as print 'd'")
+    conn.execute(
+        f"create trigger tc event comp = addStk AND delStk {context} as "
+        "select symbol from stock.inserted")
+    return agent, conn
+
+
+def _run(agent, conn, operations):
+    for sql in operations:
+        conn.execute(sql)
+    firings = [r for r in agent.action_handler.action_log
+               if r.trigger_internal.endswith("tc")]
+    rows_delivered = sum(r.row_sets for r in firings)
+    return len(firings), rows_delivered
+
+
+def test_recent_context(benchmark):
+    agent, conn = _stack("RECENT")
+    operations = StockWorkload().operations(120)
+    benchmark.pedantic(lambda: _run(agent, conn, operations),
+                       rounds=3, iterations=1)
+
+
+def test_cumulative_context(benchmark):
+    agent, conn = _stack("CUMULATIVE")
+    operations = StockWorkload().operations(120)
+    benchmark.pedantic(lambda: _run(agent, conn, operations),
+                       rounds=3, iterations=1)
+
+
+def test_context_comparison_series(benchmark):
+    rows = []
+    for context in ("RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"):
+        agent, conn = _stack(context)
+        operations = StockWorkload().operations(200)
+        start = time.perf_counter()
+        firings, _rows = _run(agent, conn, operations)
+        elapsed = (time.perf_counter() - start) / len(operations) * 1e3
+        rows.append((context, firings, f"{elapsed:.3f}"))
+    print_series(
+        "E-FIG17 contexts on a 200-op stock workload",
+        rows, ("context", "firings", "ms/stmt"))
+    # Shape: CONTINUOUS >= RECENT >= CUMULATIVE in firing count.
+    by_context = {name: firings for name, firings, _cost in rows}
+    assert by_context["CONTINUOUS"] >= by_context["CUMULATIVE"]
+    benchmark(lambda: None)

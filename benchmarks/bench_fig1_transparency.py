@@ -1,0 +1,71 @@
+"""E-FIG1: gateway transparency — identical results, bounded overhead.
+
+Expected shape: the mediated path returns byte-identical results to the
+direct path at a small constant per-command cost (one extra routing hop
+through the Language Filter).
+"""
+
+import time
+
+from _helpers import agent_stack, direct_stack, print_series
+
+QUERY = "select symbol, price from stock where price > 50 order by symbol"
+ROWS = [
+    f"insert stock values ('S{i}', {20 + (i % 100)}.0, {i % 7})"
+    for i in range(200)
+]
+
+
+def _fill(conn):
+    for sql in ROWS:
+        conn.execute(sql)
+
+
+def test_direct_query(benchmark):
+    _server, conn = direct_stack()
+    _fill(conn)
+    result = benchmark(conn.execute, QUERY)
+    assert result.last.rows
+
+
+def test_mediated_query(benchmark):
+    _server, _agent, conn = agent_stack()
+    _fill(conn)
+    result = benchmark(conn.execute, QUERY)
+    assert result.last.rows
+
+
+def test_mediated_results_identical_and_overhead_bounded(benchmark):
+    """The figure series: direct vs mediated latency and the ratio."""
+    _dserver, direct = direct_stack()
+    _aserver, _agent, mediated = agent_stack()
+    _fill(direct)
+    _fill(mediated)
+
+    assert direct.execute(QUERY).last.rows == mediated.execute(QUERY).last.rows
+
+    def once():
+        mediated.execute(QUERY)
+
+    benchmark(once)
+
+    def clock(conn, n=300):
+        start = time.perf_counter()
+        for _ in range(n):
+            conn.execute(QUERY)
+        return (time.perf_counter() - start) / n
+
+    direct_cost = clock(direct)
+    mediated_cost = clock(mediated)
+    ratio = mediated_cost / direct_cost
+    print_series(
+        "E-FIG1 transparency overhead (pass-through query)",
+        [
+            ("direct", f"{direct_cost * 1e6:.1f}"),
+            ("mediated", f"{mediated_cost * 1e6:.1f}"),
+            ("ratio", f"{ratio:.3f}x"),
+        ],
+        ("path", "us/query"),
+    )
+    # Shape check: mediation costs well under 2x on a pass-through query.
+    assert ratio < 2.0

@@ -1,0 +1,89 @@
+"""E-FIG3: the create-ECA-rules control flow — cost of rule definition.
+
+Measures the full seven-step pipeline (filter -> parse -> name expansion
+-> codegen -> server DDL -> LED graph -> persistence) for each of the
+three definition forms.  Expected shape: forms that add an inline block
+to the shared native trigger (primitive events, and IMMEDIATE triggers on
+them) pay for regenerating that trigger — linear in the number of events
+already multiplexed over the same (table, operation) — while composite
+definitions only touch the LED and their own procedure, so they are the
+cheapest despite the Snoop parse.
+"""
+
+import itertools
+import time
+
+from _helpers import agent_stack, print_series
+
+_counter = itertools.count()
+
+
+def test_create_primitive_rule(benchmark):
+    _server, _agent, conn = agent_stack()
+
+    def create():
+        index = next(_counter)
+        conn.execute(
+            f"create trigger tp{index} on stock for insert "
+            f"event ep{index} as print 'x'")
+
+    # Fixed rounds: every created event enlarges the regenerated native
+    # trigger, so unbounded calibration would measure a growing artifact.
+    benchmark.pedantic(create, rounds=25, iterations=1)
+
+
+def test_create_trigger_on_existing_event(benchmark):
+    _server, _agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t0 on stock for insert event shared as print 'x'")
+
+    def create():
+        index = next(_counter)
+        conn.execute(f"create trigger te{index} event shared as print 'x'")
+
+    benchmark.pedantic(create, rounds=25, iterations=1)
+
+
+def test_create_composite_rule(benchmark):
+    _server, _agent, conn = agent_stack()
+    conn.execute(
+        "create trigger ta on stock for insert event baseA as print 'a'")
+    conn.execute(
+        "create trigger tb on stock for delete event baseB as print 'b'")
+
+    def create():
+        index = next(_counter)
+        conn.execute(
+            f"create trigger tc{index} event ec{index} = baseA AND baseB "
+            f"as print 'c'")
+
+    benchmark.pedantic(create, rounds=25, iterations=1)
+
+
+def test_rule_creation_series(benchmark):
+    """Figure series: per-form creation cost side by side."""
+    _server, _agent, conn = agent_stack()
+    conn.execute(
+        "create trigger seed on stock for insert event seedEv as print 's'")
+    conn.execute(
+        "create trigger seed2 on stock for delete event seedEv2 as print 's'")
+
+    def timed(form, template, count=30):
+        start = time.perf_counter()
+        for _ in range(count):
+            index = next(_counter)
+            conn.execute(template.format(i=index))
+        return form, f"{(time.perf_counter() - start) / count * 1e3:.3f}"
+
+    rows = [
+        timed("primitive",
+              "create trigger sp{i} on stock for insert event se{i} "
+              "as print 'x'"),
+        timed("on existing event",
+              "create trigger se_t{i} event seedEv as print 'x'"),
+        timed("composite",
+              "create trigger sc{i} event sce{i} = seedEv AND seedEv2 "
+              "as print 'x'"),
+    ]
+    print_series("E-FIG3 rule creation cost", rows, ("form", "ms/rule"))
+    benchmark(lambda: None)

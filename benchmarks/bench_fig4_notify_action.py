@@ -1,0 +1,57 @@
+"""E-FIG4: the event-notification-and-action control flow.
+
+Measures the end-to-end cost of one triggering statement as rule
+machinery is added: bare insert, insert + primitive rule, insert
+completing a composite event (notification -> LED -> sysContext ->
+action procedure).  Expected shape: monotonically increasing cost, with
+the composite path dominated by the context-processing SQL.
+"""
+
+from _helpers import agent_stack, example_1_stack, example_2_stack, print_series
+import time
+
+
+def test_insert_no_rules(benchmark):
+    _server, _agent, conn = agent_stack()
+    benchmark(conn.execute, "insert stock values ('X', 1.0, 1)")
+
+
+def test_insert_with_primitive_rule(benchmark):
+    _server, _agent, conn = example_1_stack()
+    benchmark(conn.execute, "insert stock values ('X', 1.0, 1)")
+
+
+def test_insert_completing_composite(benchmark):
+    _server, _agent, conn = example_2_stack()
+
+    def fire():
+        conn.execute("delete stock")                       # initiator
+        conn.execute("insert stock values ('X', 1.0, 1)")  # terminator
+
+    benchmark(fire)
+
+
+def test_notify_action_series(benchmark):
+    """Figure series: statement cost as the active pipeline lengthens."""
+
+    def clock(conn, sql, n=150):
+        start = time.perf_counter()
+        for _ in range(n):
+            conn.execute(sql)
+        return (time.perf_counter() - start) / n * 1e3
+
+    _s1, _a1, bare = agent_stack()
+    _s2, _a2, primitive = example_1_stack()
+    _s3, _a3, composite = example_2_stack()
+    composite.execute("delete stock")  # open a window once
+
+    insert_sql = "insert stock values ('X', 1.0, 1)"
+    rows = [
+        ("bare insert", f"{clock(bare, insert_sql):.3f}"),
+        ("insert + primitive rule", f"{clock(primitive, insert_sql):.3f}"),
+        ("insert completing composite", f"{clock(composite, insert_sql):.3f}"),
+    ]
+    print_series(
+        "E-FIG4 notification/action pipeline cost",
+        rows, ("statement", "ms/stmt"))
+    benchmark(lambda: None)

@@ -1,0 +1,77 @@
+"""E-FIG5/6/7: the system tables — layout report and persistence cost."""
+
+import itertools
+
+from _helpers import agent_stack, print_series
+
+from repro.agent.persistence import (
+    SYS_COMPOSITE_EVENT_LAYOUT,
+    SYS_CONTEXT_LAYOUT,
+    SYS_ECA_TRIGGER_LAYOUT,
+    SYS_PRIMITIVE_EVENT_LAYOUT,
+)
+
+_counter = itertools.count()
+
+
+def test_system_table_layout_report(benchmark):
+    """Regenerates the Figure 5/6/7/17 schema listings."""
+    for figure, name, layout in (
+        ("Figure 5", "SysPrimitiveEvent", SYS_PRIMITIVE_EVENT_LAYOUT),
+        ("Figure 6", "SysCompositeEvent", SYS_COMPOSITE_EVENT_LAYOUT),
+        ("Figure 7(+)", "SysEcaTrigger", SYS_ECA_TRIGGER_LAYOUT),
+        ("Figure 17", "sysContext", SYS_CONTEXT_LAYOUT),
+    ):
+        rows = [
+            (col, type_name if length is None else f"{type_name}({length})",
+             "NULL" if nullable else "not null")
+            for col, type_name, length, nullable in layout
+        ]
+        print_series(f"{figure}: {name}", rows,
+                     ("Column_name", "Type", "Nulls"))
+    benchmark(lambda: None)
+
+
+def test_persist_primitive_event(benchmark):
+    _server, agent, _conn = agent_stack()
+    agent.persistent_manager.ensure_system_tables("sentineldb")
+
+    from repro.agent.model import PrimitiveEventDef
+
+    def persist():
+        index = next(_counter)
+        agent.persistent_manager.persist_primitive(PrimitiveEventDef(
+            db_name="sentineldb", user_name="sharma",
+            event_name=f"ev{index}", table_owner="sharma",
+            table_name="stock", operation="insert"))
+
+    benchmark(persist)
+
+
+def test_load_definitions(benchmark):
+    _server, agent, conn = agent_stack()
+    for index in range(50):
+        conn.execute(
+            f"create trigger lt{index} on stock for insert event le{index} "
+            f"as print 'x'")
+
+    pm = agent.persistent_manager
+
+    def load():
+        primitives = pm.load_primitives("sentineldb")
+        triggers = pm.load_triggers("sentineldb")
+        return len(primitives), len(triggers)
+
+    counts = benchmark(load)
+    assert counts == (50, 50)
+
+
+def test_current_v_no_lookup(benchmark):
+    _server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t on stock for insert event e as print 'x'")
+    conn.execute("insert stock values ('A', 1, 1)")
+    value = benchmark(
+        agent.persistent_manager.current_v_no,
+        "sentineldb", "sentineldb.sharma.e")
+    assert value == 1

@@ -1,0 +1,74 @@
+"""E-PERF3: raw LED scaling — throughput vs rules, depth, and context.
+
+Expected shape: per-event cost grows with the number of composite events
+sharing the raised primitives and with expression depth; contexts differ
+by bounded constant factors (CUMULATIVE buffering is the cheapest per
+raise, CONTINUOUS the most expensive when many windows stay open).
+"""
+
+import time
+
+from _helpers import fresh_led, print_series
+
+from repro.led import Context
+from repro.workloads import EcaWorkload
+
+
+def _throughput(workload: EcaWorkload, events: int = 2000,
+                context: str = "RECENT") -> float:
+    led = fresh_led()
+    workload.install(led, context=context)
+    stream = workload.event_stream(events)
+    start = time.perf_counter()
+    for name in stream:
+        led.clock.advance(1)
+        led.raise_event(name)
+    return events / (time.perf_counter() - start)
+
+
+def test_raise_through_small_graph(benchmark):
+    led = fresh_led()
+    EcaWorkload(n_primitives=5, n_composites=5).install(led)
+    led.clock.advance(1)
+    benchmark(led.raise_event, "ev_p0")
+
+
+def test_raise_through_large_graph(benchmark):
+    led = fresh_led()
+    EcaWorkload(n_primitives=10, n_composites=100).install(led)
+    led.clock.advance(1)
+    benchmark(led.raise_event, "ev_p0")
+
+
+def test_scaling_with_rule_count_series(benchmark):
+    rows = []
+    for composites in (10, 40, 160):
+        workload = EcaWorkload(n_primitives=8, n_composites=composites,
+                               expression_depth=2)
+        rows.append((composites, f"{_throughput(workload):,.0f}"))
+    print_series("E-PERF3 throughput vs composite-event count",
+                 rows, ("composites", "events/sec"))
+    benchmark(lambda: None)
+
+
+def test_scaling_with_expression_depth_series(benchmark):
+    rows = []
+    for depth in (1, 3, 5):
+        workload = EcaWorkload(n_primitives=8, n_composites=20,
+                               expression_depth=depth)
+        rows.append((depth, f"{_throughput(workload):,.0f}"))
+    print_series("E-PERF3 throughput vs expression depth",
+                 rows, ("depth", "events/sec"))
+    benchmark(lambda: None)
+
+
+def test_scaling_per_context_series(benchmark):
+    rows = []
+    for context in Context:
+        workload = EcaWorkload(n_primitives=8, n_composites=20,
+                               expression_depth=2)
+        rows.append((context.value,
+                     f"{_throughput(workload, context=context.value):,.0f}"))
+    print_series("E-PERF3 throughput per parameter context",
+                 rows, ("context", "events/sec"))
+    benchmark(lambda: None)

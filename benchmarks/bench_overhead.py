@@ -1,0 +1,70 @@
+"""E-PERF1: total mediator overhead decomposition (Section 6 concern).
+
+Breaks the active-statement cost into its layers: engine execution,
+gateway routing, generated-trigger bookkeeping, notification transport,
+LED detection, and action execution — the quantified version of the
+paper's "communication ... based on the socket ... efficiency will be
+affected".
+"""
+
+import time
+
+from _helpers import (
+    agent_stack,
+    direct_stack,
+    example_1_stack,
+    example_2_stack,
+    print_series,
+)
+
+INSERT = "insert stock values ('X', 1.0, 1)"
+
+
+def _cost(conn, sql=INSERT, n=200) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        conn.execute(sql)
+    return (time.perf_counter() - start) / n * 1e3
+
+
+def test_layer_decomposition_series(benchmark):
+    _s0, direct = direct_stack()
+    _s1, _a1, gateway_only = agent_stack()
+    _s2, _a2, with_event = example_1_stack()
+    _s3, _a3, with_composite = example_2_stack()
+    with_composite.execute("delete stock")  # keep an AND window open
+
+    base = _cost(direct)
+    routed = _cost(gateway_only)
+    evented = _cost(with_event)
+    composed = _cost(with_composite)
+
+    rows = [
+        ("1 engine insert (direct)", f"{base:.3f}", "1.00x"),
+        ("2 + gateway routing", f"{routed:.3f}", f"{routed / base:.2f}x"),
+        ("3 + event machinery (Example 1)", f"{evented:.3f}",
+         f"{evented / base:.2f}x"),
+        ("4 + composite detection (Example 2)", f"{composed:.3f}",
+         f"{composed / base:.2f}x"),
+    ]
+    print_series("E-PERF1 mediator overhead decomposition",
+                 rows, ("layer", "ms/insert", "vs direct"))
+    # Shape: each layer adds cost; routing alone is nearly free.
+    assert routed / base < 1.5
+    assert evented > routed
+    benchmark(lambda: None)
+
+
+def test_direct_insert(benchmark):
+    _server, conn = direct_stack()
+    benchmark(conn.execute, INSERT)
+
+
+def test_gateway_insert_no_rules(benchmark):
+    _server, _agent, conn = agent_stack()
+    benchmark(conn.execute, INSERT)
+
+
+def test_full_active_insert(benchmark):
+    _server, _agent, conn = example_1_stack()
+    benchmark(conn.execute, INSERT)

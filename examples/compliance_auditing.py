@@ -1,0 +1,89 @@
+"""Compliance auditing: full Event-Condition-Action rules.
+
+Shows the reproduction's extension surface on a trading-compliance
+scenario:
+
+- ``WHEN`` conditions (the C of ECA) evaluated inside the generated
+  procedure with the same parameter bindings as the action;
+- ``ALTER TRIGGER ... DISABLE/ENABLE`` for maintenance windows;
+- ``sp_help`` / ``sp_helptext`` introspection of everything the agent
+  generated — it is all ordinary catalog state;
+- a unique index enforcing integrity underneath the active rules.
+
+Run:  python examples/compliance_auditing.py
+"""
+
+from repro import ActiveDatabase
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    adb = ActiveDatabase(database="compliance", user="auditor")
+    adb.execute(
+        "create table trades ("
+        "trade_id int not null, trader varchar(20) not null, "
+        "symbol varchar(10) not null, notional float not null)")
+    adb.execute("create unique index ux_trade on trades (trade_id)")
+    adb.execute("create table flags (trade_id int, reason varchar(40))")
+
+    banner("Conditioned rule: only large trades are flagged")
+    adb.execute("""
+        create trigger t_large on trades for insert
+        event tradeBooked
+        when exists (select * from trades.inserted where notional > 1000000)
+        as
+        insert flags
+        select trade_id, 'large notional' from trades.inserted
+        where notional > 1000000
+        print 'COMPLIANCE: large trade flagged'
+    """)
+    result = adb.execute("insert trades values (1, 'ana', 'IBM', 50000.0)")
+    print("small trade  ->", result.messages or "(no flag)")
+    result = adb.execute("insert trades values (2, 'ben', 'MSFT', 2500000.0)")
+    print("large trade  ->", result.messages)
+
+    banner("Condition consulting database state, not just the event")
+    adb.execute("""
+        create trigger t_velocity event tradeBooked
+        when (select count(*) from trades) > 3
+        as print 'COMPLIANCE: trading velocity threshold crossed'
+    """)
+    adb.execute("insert trades values (3, 'ana', 'ORCL', 100.0)")
+    result = adb.execute("insert trades values (4, 'ana', 'SUNW', 100.0)")
+    print("fourth trade ->", result.messages)
+
+    banner("Maintenance window: disable, then re-enable")
+    adb.execute("alter trigger t_large disable")
+    result = adb.execute("insert trades values (5, 'cy', 'IBM', 9000000.0)")
+    print("while disabled ->", result.messages or "(silent)")
+    adb.execute("alter trigger t_large enable")
+    result = adb.execute("insert trades values (6, 'cy', 'IBM', 9000000.0)")
+    print("re-enabled     ->", result.messages)
+
+    banner("Everything the agent built is ordinary catalog state")
+    print(adb.execute("exec sp_tables").last.format_table())
+    print()
+    print("generated procedure for t_large (sp_helptext):")
+    text = adb.execute("exec sp_helptext 't_large__Proc'").last
+    for row in text.rows[:8]:
+        print("   ", row[0])
+
+    banner("Integrity still enforced underneath the rules")
+    try:
+        adb.execute("insert trades values (1, 'dup', 'IBM', 1.0)")
+    except Exception as exc:
+        print("duplicate trade id rejected:", type(exc).__name__)
+
+    print("\nflags table:")
+    print(adb.execute(
+        "select trade_id, reason from flags order by trade_id"
+    ).last.format_table())
+
+    adb.close()
+
+
+if __name__ == "__main__":
+    main()

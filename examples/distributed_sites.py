@@ -1,0 +1,82 @@
+"""Distributed active capability with the Global Event Detector (GED).
+
+Section 6 of the paper names this as future work: "use a global event
+detector (GED) for events and rules across application/systems."  This
+example runs two independent site databases (each with its own ECA
+Agent) and detects a composite event whose constituents occur at
+*different* sites.
+
+Run:  python examples/distributed_sites.py
+"""
+
+from repro.agent import EcaAgent
+from repro.ged import GlobalEventDetector
+from repro.sqlengine import SqlServer
+
+
+def main() -> None:
+    # Two autonomous sites: a trading branch in New York and one in Tokyo.
+    sites = {}
+    for site in ("nyc", "tokyo"):
+        server = SqlServer(default_database=f"{site}db")
+        agent = EcaAgent(server)
+        conn = agent.connect(user="trader", database=f"{site}db")
+        conn.execute(
+            "create table trades (symbol varchar(10), qty int, side varchar(4))")
+        conn.execute(f"""
+            create trigger t_bigTrade on trades for insert
+            event bigTrade
+            as print '  [{site}] trade recorded'
+        """)
+        sites[site] = (server, agent, conn)
+
+    # The GED imports each site's event under a site-qualified name
+    # (Snoop's Eventname::AppId form) and detects across sites.
+    ged = GlobalEventDetector()
+    for site, (_server, agent, _conn) in sites.items():
+        ged.register_site(site, agent)
+    nyc_event = ged.import_event("nyc", "nycdb.trader.bigTrade")
+    tokyo_event = ged.import_event("tokyo", "tokyodb.trader.bigTrade")
+
+    print("imported global events:")
+    print("  ", nyc_event)
+    print("  ", tokyo_event)
+
+    # Global composite: a big trade in NYC followed by one in Tokyo.
+    ged.define_global_event("followOn", f"{nyc_event} SEQ {tokyo_event}")
+
+    alerts = []
+
+    def on_follow_on(occurrence):
+        legs = " then ".join(occurrence.constituent_names())
+        alerts.append(legs)
+        print("  GLOBAL ALERT: follow-on trading pattern:", legs)
+
+    ged.add_global_rule("r_follow", "followOn", action=on_follow_on,
+                        context="CHRONICLE")
+
+    # A global rule can also run SQL at a chosen site.
+    sites["nyc"][2].execute("create table dbo.alerts (body varchar(60))")
+    ged.add_global_rule(
+        "r_record", "followOn", sql_site="nyc",
+        sql="insert nycdb.dbo.alerts values ('follow-on pattern observed')")
+
+    print("\n-- Tokyo trades first: no pattern (wrong order)")
+    sites["tokyo"][2].execute("insert trades values ('7203', 900, 'buy')")
+    print("   alerts:", alerts)
+
+    print("\n-- NYC trades, then Tokyo: the global SEQ fires")
+    sites["nyc"][2].execute("insert trades values ('IBM', 1200, 'buy')")
+    sites["tokyo"][2].execute("insert trades values ('7203', 800, 'buy')")
+    print("   alerts:", alerts)
+
+    print("\n-- the SQL action ran inside the NYC server:")
+    rows = sites["nyc"][2].execute("select * from dbo.alerts").last.rows
+    print("   nycdb.dbo.alerts:", rows)
+
+    for _server, agent, _conn in sites.values():
+        agent.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Computer-integrated manufacturing / workflow control example.
+
+Another of the paper's motivating applications: an inventory database
+where ECA rules implement the reorder workflow —
+
+- conditions on rules (only reorder when stock is actually low);
+- DEFERRED coupling: audit entries materialize only when the enclosing
+  transaction commits, and vanish if it rolls back;
+- DETACHED coupling: a slow notification job runs on its own worker
+  thread without delaying the triggering client.
+
+Run:  python examples/inventory_workflow.py
+"""
+
+from repro import ActiveDatabase
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    adb = ActiveDatabase(database="factory", user="mrp")
+    adb.execute(
+        "create table inventory ("
+        "part varchar(20) not null, on_hand int not null, "
+        "reorder_point int not null)")
+    adb.execute("create table reorders (part varchar(20), quantity int)")
+    adb.execute("create table audit (entry varchar(60))")
+
+    adb.execute(
+        "insert inventory values ('gear', 100, 20), ('shaft', 50, 10)")
+
+    banner("Reorder rule: fires on every withdrawal, acts conditionally")
+    # The action itself checks the situation (condition-in-action, the
+    # standard relational idiom for the C of ECA).
+    adb.execute("""
+        create trigger t_withdraw on inventory for update
+        event stockChanged
+        as
+        insert reorders
+        select part, reorder_point * 3
+        from inventory.inserted
+        where on_hand < reorder_point
+        print 'withdrawal processed'
+    """)
+    adb.execute("update inventory set on_hand = on_hand - 30 where part = 'gear'")
+    print("after normal withdrawal:",
+          adb.execute("select * from reorders").last.rows)
+    adb.execute("update inventory set on_hand = on_hand - 60 where part = 'gear'")
+    print("after draining withdrawal:",
+          adb.execute("select * from reorders").last.rows)
+
+    banner("DEFERRED coupling: audit only on commit")
+    adb.execute("""
+        create trigger t_audit
+        event stockChanged DEFERRED
+        as insert audit values ('stock changed (committed)')
+    """)
+    print("-- transaction that rolls back leaves no audit entry")
+    adb.execute("begin tran")
+    adb.execute("update inventory set on_hand = on_hand - 1 where part = 'shaft'")
+    adb.execute("rollback")
+    print("   audit rows:", adb.execute("select * from audit").last.rows)
+    print("-- committed transaction flushes the deferred action")
+    adb.execute("begin tran")
+    adb.execute("update inventory set on_hand = on_hand - 1 where part = 'shaft'")
+    adb.execute("commit")
+    print("   audit rows:", adb.execute("select * from audit").last.rows)
+
+    banner("DETACHED coupling: slow job on a worker thread")
+    adb.execute("create table notifications (body varchar(60))")
+    adb.execute("""
+        create trigger t_notify
+        event stockChanged DETACHED
+        as insert notifications values ('supplier notified')
+    """)
+    result = adb.execute(
+        "update inventory set on_hand = on_hand - 1 where part = 'gear'")
+    print("client saw only:", result.messages)
+    adb.agent.action_handler.join_detached()
+    print("worker completed:",
+          adb.execute("select * from notifications").last.rows)
+
+    banner("The reorder pipeline end to end")
+    print(adb.execute(
+        "select part, on_hand, reorder_point from inventory order by part"
+    ).last.format_table())
+    print()
+    print(adb.execute(
+        "select part, quantity from reorders order by part"
+    ).last.format_table())
+
+    adb.close()
+
+
+if __name__ == "__main__":
+    main()

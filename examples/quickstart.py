@@ -1,0 +1,66 @@
+"""Quickstart: turn a passive SQL engine into an active database.
+
+Creates the paper's mediated stack (client -> ECA Agent -> SQL server),
+defines a primitive-event rule with the extended trigger syntax, and
+shows the rule firing transparently when ordinary SQL runs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ActiveDatabase
+
+
+def main() -> None:
+    # One call builds the Virtual Active SQL Server: a passive engine
+    # plus the ECA Agent mediating every client command.
+    adb = ActiveDatabase(database="sentineldb", user="sharma")
+
+    # Plain SQL passes straight through the agent to the server.
+    adb.execute(
+        "create table stock ("
+        "symbol varchar(10) not null, price float null, qty int null)")
+
+    # The paper's Example 1: a named primitive event plus a trigger, in
+    # the extended `create trigger ... event ...` syntax (Figure 9).
+    adb.execute("""
+        create trigger t_addStk on stock for insert
+        event addStk
+        as print 'trigger t_addStk on primitive event addStk occurs'
+        select * from stock
+    """)
+
+    # An ordinary insert now raises the event; the rule's action runs
+    # inside the SQL server and its output comes back to this client.
+    result = adb.execute("insert stock values ('IBM', 101.5, 10)")
+    print("--- messages returned to the client ---")
+    for message in result.messages:
+        print(" ", message)
+    print("--- result sets returned to the client ---")
+    for result_set in result.result_sets:
+        print(result_set.format_table())
+
+    # The same rule can be expressed without hand-written syntax:
+    adb.define_rule(
+        "t_bigBuy",
+        event="bigBuy",
+        on_table="stock",
+        operation="insert",
+        action="print 'large position opened!'",
+    )
+    result = adb.execute("insert stock values ('MSFT', 55.0, 5000)")
+    print("--- after the second rule ---")
+    for message in result.messages:
+        print(" ", message)
+
+    # Everything the agent created is ordinary, queryable database state.
+    print("--- the agent's persistent catalog (SysPrimitiveEvent) ---")
+    catalog = adb.execute(
+        "select eventName, tableName, operation, vNo "
+        "from dbo.SysPrimitiveEvent order by eventName")
+    print(catalog.last.format_table())
+
+    adb.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""The paper's running example: commodity/stock trading monitoring.
+
+Reproduces Example 1 (primitive event ``addStk``) and Example 2 (the
+composite event ``addDel = delStk ^ addStk`` in RECENT context) exactly
+as Section 5 describes, then extends the scenario with the other
+parameter contexts and a portfolio-risk rule spanning two tables —
+something native triggers cannot express (Section 2.2).
+
+Run:  python examples/stock_trading.py
+"""
+
+from repro import ActiveDatabase
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def show(result) -> None:
+    for message in result.messages:
+        print("  msg:", message)
+    for result_set in result.result_sets:
+        print("  ", "\n   ".join(result_set.format_table().splitlines()))
+
+
+def main() -> None:
+    adb = ActiveDatabase(database="sentineldb", user="sharma")
+    adb.execute(
+        "create table stock ("
+        "symbol varchar(10) not null, price float null, qty int null)")
+
+    banner("Example 1: primitive event trigger (paper Section 5.2)")
+    adb.execute("""
+        create trigger t_addStk on stock for insert
+        event addStk
+        as print ' trigger t_addStk on primitive event addStk occurs'
+        select * from stock
+    """)
+    show(adb.execute("insert stock values ('IBM', 101.5, 10)"))
+
+    banner("Example 2: composite event addDel = delStk ^ addStk (5.3)")
+    adb.execute("""
+        create trigger t_delStk on stock for delete
+        event delStk
+        as print ' trigger t_delStk on primitive event delStk occurs'
+    """)
+    adb.execute("""
+        create trigger t_and
+        event addDel = delStk ^ addStk
+        RECENT
+        as
+        print 'trigger t_and on composite event addDel = delStk ^ addStk'
+        select symbol, price from stock.inserted
+    """)
+    show(adb.execute("delete stock where symbol = 'IBM'"))
+    print("  -- AND completes on the next insert:")
+    show(adb.execute("insert stock values ('MSFT', 60.0, 5)"))
+
+    banner("Parameter contexts on the same composite event (Section 5.6)")
+    adb.execute("""
+        create trigger t_and_cumulative
+        event addDelAll = delStk ^ addStk
+        CUMULATIVE
+        as
+        print 'CUMULATIVE firing - every participating insert:'
+        select symbol, price from stock.inserted
+    """)
+    adb.execute("insert stock values ('ORCL', 25.0, 40)")
+    adb.execute("insert stock values ('SUNW', 50.0, 5)")
+    print("  -- two inserts accumulated; the delete completes both events:")
+    show(adb.execute("delete stock where symbol = 'MSFT'"))
+
+    banner("A rule spanning two tables (impossible with native triggers)")
+    adb.execute("create table orders (id int, symbol varchar(10), qty int)")
+    adb.execute("""
+        create trigger t_newOrder on orders for insert
+        event newOrder
+        as print ' order placed'
+    """)
+    adb.execute("""
+        create trigger t_risky
+        event riskyFlow = newOrder AND addStk
+        as print 'RISK DESK: order and position change in the same window'
+    """)
+    adb.execute("insert orders values (1, 'IBM', 500)")
+    show(adb.execute("insert stock values ('IBM', 99.0, 500)"))
+
+    banner("The agent's persistent rule base (native tables, plain SQL)")
+    print(adb.execute(
+        "select eventName, tableName, operation, vNo "
+        "from dbo.SysPrimitiveEvent order by eventName").last.format_table())
+    print()
+    print(adb.execute(
+        "select eventName, eventDescribe, context "
+        "from dbo.SysCompositeEvent order by eventName").last.format_table())
+
+    adb.close()
+
+
+if __name__ == "__main__":
+    main()

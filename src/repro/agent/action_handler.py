@@ -1,0 +1,186 @@
+"""The Action Handler — ``SybaseAction`` (paper Section 5.5, Figure 16).
+
+When the LED fires a rule, the action handler turns the rule's stored
+procedure into SQL commands and runs them in the SQL server through the
+gateway: first the ``sysContext`` refresh carrying the occurrence's
+parameters (Section 5.6), then ``execute <proc>``.
+
+In the paper a new Open Server thread is spawned per action; here the
+``threaded`` mode does the same with Python threads (used for DETACHED
+coupling), while the default synchronous path runs the action inline —
+which is exactly what IMMEDIATE coupling means.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.led.detector import RuleFiring
+from repro.led.occurrences import Occurrence
+from repro.led.rules import Coupling, Rule
+
+from .codegen import sys_context_refresh_sql
+from .messages import NotiStr
+from .model import EcaTriggerDef
+from .trace import FIG4_ACTION_RUN
+
+
+@dataclass
+class ActionRecord:
+    """Log entry for one executed action."""
+
+    trigger_internal: str
+    proc_name: str
+    event_internal: str
+    occurrence: Occurrence
+    messages: list[str] = field(default_factory=list)
+    row_sets: int = 0
+    error: BaseException | None = None
+
+
+@dataclass
+class TriggerRuntime:
+    """Runtime wiring for one ECA trigger."""
+
+    definition: EcaTriggerDef
+    snapshot_tables: list[str]
+    uses_context: bool
+    inline: bool  # executed inside the generated native trigger
+    enabled: bool = True
+
+
+class ActionHandler:
+    """Executes rule actions inside the SQL server."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.action_log: list[ActionRecord] = []
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        #: action execution sessions, one per (database, user): actions run
+        #: with the *trigger owner's* identity so unqualified names in the
+        #: user's action SQL resolve as they would for that user.
+        self._sessions: dict[tuple[str, str], object] = {}
+
+    def _session_for(self, database: str, user: str):
+        key = (database.lower(), user.lower())
+        session = self._sessions.get(key)
+        if session is None:
+            session = self.agent.server.create_session(user, database)
+            self._sessions[key] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # LED integration
+
+    def make_action(self, runtime: TriggerRuntime):
+        """Build the LED action callable for a (non-inline) ECA trigger."""
+
+        def action(occurrence: Occurrence) -> None:
+            self.run_action(runtime, occurrence)
+
+        return action
+
+    def dispatch_detached(self, rule: Rule, occurrence: Occurrence) -> None:
+        """LED detached dispatcher: one worker thread per action
+        (the paper: 'new thread is generated for each call to
+        SybaseAction')."""
+        runtime = self.agent.runtime_for_rule(rule.name)
+        if runtime is None:
+            return
+
+        def worker() -> None:
+            record = self.run_action(runtime, occurrence)
+            firing = RuleFiring(
+                rule_name=rule.name,
+                event_name=rule.event_name,
+                occurrence=occurrence,
+                context=rule.context,
+                coupling=Coupling.DETACHED,
+                at=self.agent.led.clock.now(),
+                error=record.error,
+            )
+            self.agent.led.record_external_firing(firing)
+
+        thread = threading.Thread(
+            target=worker, name=f"eca-action-{rule.name}", daemon=True)
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+
+    def join_detached(self, timeout: float = 5.0) -> None:
+        """Wait for all outstanding detached action threads."""
+        with self._lock:
+            threads = list(self._threads)
+            self._threads = []
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run_action(self, runtime: TriggerRuntime,
+                   occurrence: Occurrence) -> ActionRecord:
+        """Run one action: refresh ``sysContext``, execute the procedure,
+        and route its output toward the client (Figure 16)."""
+        trigger = runtime.definition
+        noti = NotiStr(
+            store_proc=trigger.proc_name,
+            event_name=trigger.event_internal,
+            context=trigger.context.value,
+        )
+        record = ActionRecord(
+            trigger_internal=trigger.internal,
+            proc_name=noti.store_proc,
+            event_internal=noti.event_name,
+            occurrence=occurrence,
+        )
+        statements: list[str] = []
+        if runtime.uses_context:
+            entries = context_entries(occurrence)
+            statements.extend(sys_context_refresh_sql(
+                entries,
+                runtime.snapshot_tables,
+                trigger.context,
+                self.agent.persistent_manager.system_prefix(trigger.db_name),
+            ))
+        statements.append(f"execute {noti.store_proc}")
+        script = "\n".join(statements)
+        session = self._session_for(trigger.db_name, trigger.user_name)
+        try:
+            result = self.agent.server.execute(script, session)
+        except Exception as exc:  # record and surface via the LED policy
+            record.error = exc
+            self.action_log.append(record)
+            if not self.agent.led.swallow_action_errors:
+                raise
+            return record
+        record.messages = list(result.messages)
+        record.row_sets = len(result.result_sets)
+        self.action_log.append(record)
+        self.agent.trace.emit(FIG4_ACTION_RUN, trigger.internal)
+        # Figure 16: results flow back to the client through the gateway.
+        self.agent.gateway.push_action_output(result)
+        return record
+
+
+def context_entries(occurrence: Occurrence) -> list[tuple[str, int]]:
+    """(snapshot table, vNo) pairs carried by an occurrence's constituents.
+
+    Timer ticks and other synthetic constituents carry no snapshot tables
+    and are skipped; duplicates are removed while preserving order.
+    """
+    entries: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+    for constituent in occurrence.flatten():
+        snapshot_tables = constituent.params.get("snapshot_tables")
+        v_no = constituent.params.get("vNo")
+        if not snapshot_tables or v_no is None:
+            continue
+        for table in snapshot_tables.values():
+            entry = (str(table), int(v_no))
+            if entry not in seen:
+                seen.add(entry)
+                entries.append(entry)
+    return entries

@@ -1,0 +1,750 @@
+"""The ECA Agent: assembly of the seven modules of paper Figure 2.
+
+``EcaAgent`` wires together the Gateway Open Server, Language Filter, ECA
+Parser, Local Event Detector, Persistent Manager, Event Notifier, and
+Action Handler around an unmodified :class:`~repro.sqlengine.SqlServer`,
+and implements the two control flows of Figures 3 (create ECA rules) and
+4 (event notification and action).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.led import LocalEventDetector, ManualClock
+from repro.led.clock import VirtualClock
+from repro.led.rules import Context, Coupling
+from repro.snoop import parse_event_expression
+from repro.snoop.ast import referenced_events
+from repro.sqlengine import ClientConnection, SqlServer
+from repro.sqlengine.results import BatchResult
+from repro.sqlengine.server import Session
+
+from . import codegen
+from .action_handler import ActionHandler, TriggerRuntime
+from .eca_parser import (
+    ALTER_TRIGGER,
+    CREATE_COMPOSITE,
+    CREATE_ON_EVENT,
+    CREATE_PRIMITIVE,
+    DROP_EVENT,
+    DROP_TRIGGER,
+    EcaCommand,
+    LanguageFilter,
+    parse_eca_command,
+)
+from .errors import AgentError, NameError_, RecoveryError
+from .model import (
+    CompositeEventDef,
+    EcaTriggerDef,
+    PrimitiveEventDef,
+    TableOpRegistration,
+)
+from .naming import expand_name, expand_snoop_expression, split_internal
+from .notifier import (
+    EventNotifier,
+    NotificationChannel,
+    SynchronousChannel,
+    ThreadedChannel,
+    UdpChannel,
+)
+from .persistence import PersistentManager
+from .trace import (
+    FIG3_GRAPH_CREATED,
+    FIG3_PERSISTED,
+    FIG3_SQL_INSTALLED,
+    FIG4_NOTIFIED,
+    PipelineTrace,
+)
+
+_DROP_TRIGGER_NAME = re.compile(
+    r"^\s*drop\s+trigger\s+([A-Za-z_#][\w.$#]*)", re.IGNORECASE)
+
+
+class EcaAgent:
+    """A Virtual Active SQL Server (paper Section 3).
+
+    Args:
+        server: the passive SQL server being mediated (never modified).
+        channel: notification transport — ``"sync"`` (default,
+            deterministic in-process), ``"threaded"`` (in-process queue
+            with a listener thread), ``"udp"`` (real localhost UDP as in
+            the paper), or any :class:`NotificationChannel` instance.
+        clock: LED clock for temporal operators (default: ManualClock).
+        notify_host / notify_port: the address baked into the generated
+            triggers' ``syb_sendmsg`` calls (paper Figure 11 hard-codes
+            ``128.227.205.215:10006``).
+        swallow_action_errors: record failing rule actions instead of
+            propagating them into the triggering client command.
+    """
+
+    def __init__(self, server: SqlServer,
+                 channel: NotificationChannel | str = "sync",
+                 clock: VirtualClock | None = None,
+                 notify_host: str = "127.0.0.1",
+                 notify_port: int = 10006,
+                 swallow_action_errors: bool = False):
+        self.server = server
+        self.persistent_manager = PersistentManager(server)
+        self.action_handler = ActionHandler(self)
+        self.led = LocalEventDetector(
+            clock=clock or ManualClock(),
+            detached_dispatcher=self.action_handler.dispatch_detached,
+            swallow_action_errors=swallow_action_errors,
+        )
+        self.language_filter = LanguageFilter()
+        self.trace = PipelineTrace()
+        from .gateway import GatewayOpenServer
+
+        self.gateway = GatewayOpenServer(self)
+        self.notify_host = notify_host
+        self.notify_port = notify_port
+
+        # registries (all keyed by lowercase internal name)
+        self.primitive_events: dict[str, PrimitiveEventDef] = {}
+        self.composite_events: dict[str, CompositeEventDef] = {}
+        self.eca_triggers: dict[str, EcaTriggerDef] = {}
+        self.trigger_runtime: dict[str, TriggerRuntime] = {}
+        self.table_ops: dict[tuple[str, str, str, str], TableOpRegistration] = {}
+        #: inline (native-trigger) procs: key -> list of (priority, seq, proc, trigger internal)
+        self._inline: dict[tuple[str, str, str, str], list[tuple[int, int, str, str]]] = {}
+        self._creation_seq = 0
+        #: during recovery, native-trigger regeneration is batched: the
+        #: dirty keys accumulate here and regenerate once at the end.
+        self._regen_suspended: set[tuple[str, str, str, str]] | None = None
+
+        # notification plumbing
+        self.notifier = EventNotifier(
+            self.led,
+            event_lookup=self._primitive_lookup,
+            v_no_lookup=self._v_no_lookup,
+        )
+        self.channel = self._make_channel(channel)
+
+        def receive(payload: str) -> None:
+            self.trace.emit(FIG4_NOTIFIED, payload)
+            self.notifier.on_payload(payload)
+
+        self.channel.attach(receive)
+        self.channel.start()
+        server.set_datagram_sink(self.channel.send)
+        server.add_transaction_end_listener(self._on_transaction_end)
+
+        self.recover()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    def _make_channel(self, channel) -> NotificationChannel:
+        if isinstance(channel, NotificationChannel):
+            return channel
+        if channel == "sync":
+            return SynchronousChannel()
+        if channel == "threaded":
+            return ThreadedChannel()
+        if channel == "udp":
+            return UdpChannel(port=self.notify_port)
+        raise AgentError(f"unknown notification channel {channel!r}")
+
+    def close(self) -> None:
+        """Detach from the server and stop background machinery."""
+        self.action_handler.join_detached()
+        self.channel.stop()
+        self.server.set_datagram_sink(None)
+
+    # ------------------------------------------------------------------
+    # public client surface
+
+    def connect(self, user: str = "dbo",
+                database: str | None = None) -> ClientConnection:
+        """Open a client connection *through the agent* — the client sees
+        a Virtual Active SQL Server."""
+        return ClientConnection(self.gateway, user, database)
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until asynchronous notifications have been processed."""
+        return self.channel.drain(timeout)
+
+    def advance_time(self, seconds: float):
+        """Advance the LED clock (temporal operators fire as due)."""
+        return self.led.advance_time(seconds)
+
+    def flush_deferred(self):
+        """Run queued DEFERRED actions now."""
+        return self.led.flush_deferred()
+
+    # ------------------------------------------------------------------
+    # lookups used by the notifier / action handler
+
+    def _primitive_lookup(self, internal: str) -> PrimitiveEventDef | None:
+        return self.primitive_events.get(internal.lower())
+
+    def _v_no_lookup(self, internal: str) -> int:
+        db, _user, _obj = split_internal(internal)
+        return self.persistent_manager.current_v_no(db, internal)
+
+    def runtime_for_rule(self, rule_name: str) -> TriggerRuntime | None:
+        return self.trigger_runtime.get(rule_name.lower())
+
+    def event_exists(self, internal: str) -> bool:
+        key = internal.lower()
+        return key in self.primitive_events or key in self.composite_events
+
+    # ------------------------------------------------------------------
+    # command routing
+
+    def owns_drop_trigger(self, sql: str, session: Session) -> bool:
+        """Whether a ``drop trigger`` names an agent-managed trigger."""
+        match = _DROP_TRIGGER_NAME.match(sql)
+        if not match:
+            return False
+        internal = expand_name(match.group(1), session.database, session.user)
+        return internal.lower() in self.eca_triggers
+
+    def handle_eca(self, sql: str, session: Session) -> BatchResult:
+        """Figure 3 steps 3-7: parse, generate, persist, wire."""
+        command = parse_eca_command(sql)
+        result = BatchResult()
+        if command.kind == CREATE_PRIMITIVE:
+            event = self._create_primitive_event(command, session, result)
+            self._create_trigger(command, session, event.internal, result)
+        elif command.kind == CREATE_COMPOSITE:
+            event = self._create_composite_event(command, session, result)
+            self._create_trigger(command, session, event.internal, result)
+        elif command.kind == CREATE_ON_EVENT:
+            event_internal = expand_name(
+                str(command.event_name), session.database, session.user)
+            if not self.event_exists(event_internal):
+                raise NameError_(
+                    f"event '{command.event_name}' does not exist")
+            self._create_trigger(command, session, event_internal, result)
+        elif command.kind == DROP_TRIGGER:
+            self._drop_trigger(command, session, result)
+        elif command.kind == DROP_EVENT:
+            self._drop_event(command, session, result)
+        elif command.kind == ALTER_TRIGGER:
+            self._alter_trigger(command, session, result)
+        else:  # pragma: no cover - parser guarantees the kinds above
+            raise AgentError(f"unhandled ECA command kind {command.kind!r}")
+        return result
+
+    def after_client_command(self, session: Session) -> None:
+        """Statement-end hook: outside a transaction each command is its
+        own transaction, so DEFERRED actions queued by it run now."""
+        if not session.tx_log.active and self.led.deferred_count:
+            self.led.flush_deferred()
+
+    def _on_transaction_end(self, session: Session, committed: bool) -> None:
+        if committed:
+            self.led.flush_deferred()
+        else:
+            self.led.discard_deferred()
+
+    # ------------------------------------------------------------------
+    # creating events
+
+    def _create_primitive_event(self, command: EcaCommand, session: Session,
+                                result: BatchResult) -> PrimitiveEventDef:
+        internal = expand_name(
+            str(command.event_name), session.database, session.user)
+        if self.event_exists(internal):
+            raise NameError_(f"event '{command.event_name}' already exists")
+        db_name, user_name, event_name = split_internal(internal)
+
+        table = self._resolve_monitored_table(
+            str(command.table_name), db_name, user_name)
+        event = PrimitiveEventDef(
+            db_name=db_name,
+            user_name=user_name,
+            event_name=event_name,
+            table_owner=table.owner,
+            table_name=table.name,
+            operation=str(command.operation),
+        )
+        self._install_primitive(event, persist=True)
+        result.messages.append(
+            f"Primitive event {internal} created on "
+            f"{table.owner}.{table.name} for {event.operation}."
+        )
+        return event
+
+    def _resolve_monitored_table(self, table_text: str, db_name: str,
+                                 user_name: str):
+        parts = table_text.split(".")
+        database = self.server.catalog.get_database(
+            parts[0] if len(parts) == 3 else db_name)
+        if len(parts) == 1:
+            table = database.find_table(parts[0], user_name)
+        else:
+            table = database.get_table(parts[-2], parts[-1])
+        if table is None:
+            raise NameError_(f"table '{table_text}' does not exist")
+        return table
+
+    def _install_primitive(self, event: PrimitiveEventDef,
+                           persist: bool) -> None:
+        """Create server-side objects (idempotently), register, persist."""
+        pm = self.persistent_manager
+        pm.ensure_system_tables(event.db_name)
+        database = self.server.catalog.get_database(event.db_name)
+        source = f"{event.db_name}.{event.table_owner}.{event.table_name}"
+        for direction in event.snapshot_directions:
+            snapshot = event.snapshot_table(direction)
+            _db, owner, name = split_internal(snapshot)
+            if database.get_table(owner, name) is None:
+                pm.execute(event.db_name,
+                           codegen.snapshot_table_sql(event, direction, source))
+        _db, owner, name = split_internal(event.version_table)
+        if database.get_table(owner, name) is None:
+            pm.execute(event.db_name, codegen.version_table_sql(event))
+
+        self.primitive_events[event.internal.lower()] = event
+        self.led.define_primitive(event.internal)
+        self.trace.emit(FIG3_GRAPH_CREATED, event.internal)
+        key = self._table_op_key(event)
+        registration = self.table_ops.get(key)
+        if registration is None:
+            registration = TableOpRegistration(
+                db_name=event.db_name,
+                table_owner=event.table_owner,
+                table_name=event.table_name,
+                operation=event.operation,
+            )
+            self.table_ops[key] = registration
+        registration.event_internals.append(event.internal)
+        self._regenerate_native_trigger(key)
+        self.trace.emit(FIG3_SQL_INSTALLED, event.native_trigger_name)
+        if persist:
+            pm.persist_primitive(event)
+            self.trace.emit(FIG3_PERSISTED, event.internal)
+
+    @staticmethod
+    def _table_op_key(event: PrimitiveEventDef) -> tuple[str, str, str, str]:
+        return (
+            event.db_name.lower(),
+            event.table_owner.lower(),
+            event.table_name.lower(),
+            event.operation,
+        )
+
+    def _create_composite_event(self, command: EcaCommand, session: Session,
+                                result: BatchResult) -> CompositeEventDef:
+        internal = expand_name(
+            str(command.event_name), session.database, session.user)
+        if self.event_exists(internal):
+            raise NameError_(f"event '{command.event_name}' already exists")
+        db_name, user_name, event_name = split_internal(internal)
+        describe = expand_snoop_expression(
+            str(command.snoop_text), session.database, session.user)
+        for name in referenced_events(parse_event_expression(describe)):
+            if not self.event_exists(name):
+                raise NameError_(
+                    f"constituent event '{name}' does not exist")
+        event = CompositeEventDef(
+            db_name=db_name,
+            user_name=user_name,
+            event_name=event_name,
+            event_describe=describe,
+            coupling=command.coupling or Coupling.IMMEDIATE,
+            context=command.context or Context.RECENT,
+            priority=command.priority or 1,
+        )
+        self._install_composite(event, persist=True)
+        result.messages.append(
+            f"Composite event {internal} = {describe} created.")
+        return event
+
+    def _install_composite(self, event: CompositeEventDef,
+                           persist: bool) -> None:
+        pm = self.persistent_manager
+        pm.ensure_system_tables(event.db_name)
+        self.led.define_composite(event.internal, event.event_describe)
+        self.composite_events[event.internal.lower()] = event
+        if persist:
+            pm.persist_composite(event)
+
+    # ------------------------------------------------------------------
+    # creating triggers (rules)
+
+    def _create_trigger(self, command: EcaCommand, session: Session,
+                        event_internal: str, result: BatchResult) -> EcaTriggerDef:
+        trigger_internal = expand_name(
+            str(command.trigger_name), session.database, session.user)
+        if trigger_internal.lower() in self.eca_triggers:
+            raise NameError_(
+                f"trigger '{command.trigger_name}' already exists")
+        db_name, user_name, trigger_name = split_internal(trigger_internal)
+
+        composite = self.composite_events.get(event_internal.lower())
+        primitive = self.primitive_events.get(event_internal.lower())
+        defaults = composite  # composite definitions carry rule defaults
+        coupling = command.coupling or (
+            defaults.coupling if defaults else Coupling.IMMEDIATE)
+        context = command.context or (
+            defaults.context if defaults else Context.RECENT)
+        priority = command.priority or (
+            defaults.priority if defaults else 1)
+
+        trigger = EcaTriggerDef(
+            db_name=db_name,
+            user_name=user_name,
+            trigger_name=trigger_name,
+            event_internal=event_internal,
+            action_sql=command.action_sql,
+            coupling=coupling,
+            context=context,
+            priority=priority,
+            condition_sql=command.condition_sql,
+        )
+        self._install_trigger(trigger, persist=True)
+        result.messages.append(
+            f"ECA trigger {trigger_internal} created on event "
+            f"{event_internal} ({coupling.value}, {context.value}, "
+            f"priority {priority})."
+        )
+        return trigger
+
+    def _install_trigger(self, trigger: EcaTriggerDef, persist: bool) -> None:
+        pm = self.persistent_manager
+        primitive = self.primitive_events.get(trigger.event_internal.lower())
+        inline = (
+            primitive is not None
+            and trigger.coupling is Coupling.IMMEDIATE
+        )
+        involved = self._constituent_primitives(trigger.event_internal)
+        snapshot_tables = self._snapshot_tables_for(involved)
+
+        def resolve_table(text: str) -> str | None:
+            short = text.split(".")[-1].lower()
+            for event in involved:
+                if event.table_name.lower() == short:
+                    return f"{event.db_name}.{event.user_name}.{event.table_name}"
+            return None
+
+        mode = "pseudo" if inline else "tmp"
+        rewritten = codegen.rewrite_action_sql(
+            trigger.action_sql, resolve_table, mode)
+        rewritten_condition = None
+        if trigger.condition_sql:
+            rewritten_condition = codegen.rewrite_action_sql(
+                trigger.condition_sql, resolve_table, mode)
+
+        if not inline:
+            # Ensure the parameter (_tmp) tables exist — in the snapshot's
+            # own database (a composite may span databases).
+            for snapshot in snapshot_tables:
+                tmp = snapshot + codegen.TMP_SUFFIX
+                snap_db, owner, name = split_internal(tmp)
+                database = self.server.catalog.get_database(snap_db)
+                if database.get_table(owner, name) is None:
+                    pm.execute(snap_db, codegen.tmp_table_sql(snapshot))
+
+        # Idempotent against recovery: the procedure persisted in the
+        # server's catalog, so only create it if it is missing.
+        database = self.server.catalog.get_database(trigger.db_name)
+        _db, proc_owner, proc_name = split_internal(trigger.proc_name)
+        if database.get_procedure(proc_owner, proc_name) is None:
+            proc_sql = codegen.action_proc_sql(
+                trigger, rewritten, snapshot_tables,
+                pm.system_prefix(trigger.db_name),
+                with_context_processing=not inline,
+                rewritten_condition=rewritten_condition,
+            )
+            pm.execute(trigger.db_name, proc_sql)
+
+        self.trace.emit(FIG3_SQL_INSTALLED, trigger.proc_name)
+        runtime = TriggerRuntime(
+            definition=trigger,
+            snapshot_tables=snapshot_tables,
+            uses_context=not inline,
+            inline=inline,
+        )
+        self.eca_triggers[trigger.internal.lower()] = trigger
+        self.trigger_runtime[trigger.rule_name.lower()] = runtime
+
+        if inline:
+            assert primitive is not None
+            key = self._table_op_key(primitive)
+            self._creation_seq += 1
+            self._inline.setdefault(key, []).append(
+                (trigger.priority, self._creation_seq,
+                 trigger.proc_name, trigger.internal))
+            self._regenerate_native_trigger(key)
+        else:
+            self.led.add_rule(
+                trigger.rule_name,
+                trigger.event_internal,
+                action=self.action_handler.make_action(runtime),
+                context=trigger.context,
+                coupling=trigger.coupling,
+                priority=trigger.priority,
+            )
+        if persist:
+            pm.persist_trigger(trigger)
+            self.trace.emit(FIG3_PERSISTED, trigger.internal)
+
+    def _constituent_primitives(self, event_internal: str) -> list[PrimitiveEventDef]:
+        """Transitively collect the primitive events under an event."""
+        out: list[PrimitiveEventDef] = []
+        seen: set[str] = set()
+
+        def visit(name: str) -> None:
+            key = name.lower()
+            if key in seen:
+                return
+            seen.add(key)
+            primitive = self.primitive_events.get(key)
+            if primitive is not None:
+                out.append(primitive)
+                return
+            composite = self.composite_events.get(key)
+            if composite is not None:
+                expr = parse_event_expression(composite.event_describe)
+                for child in referenced_events(expr):
+                    visit(child)
+
+        visit(event_internal)
+        return out
+
+    @staticmethod
+    def _snapshot_tables_for(events: list[PrimitiveEventDef]) -> list[str]:
+        tables: list[str] = []
+        for event in events:
+            for direction in event.snapshot_directions:
+                snapshot = event.snapshot_table(direction)
+                if snapshot not in tables:
+                    tables.append(snapshot)
+        return tables
+
+    # ------------------------------------------------------------------
+    # native trigger regeneration
+
+    def _regenerate_native_trigger(self, key: tuple[str, str, str, str]) -> None:
+        if self._regen_suspended is not None:
+            self._regen_suspended.add(key)
+            return
+        registration = self.table_ops.get(key)
+        if registration is None:
+            return
+        pm = self.persistent_manager
+        if not registration.event_internals:
+            pm.execute(registration.db_name,
+                       codegen.drop_native_trigger_sql(registration))
+            del self.table_ops[key]
+            self._inline.pop(key, None)
+            return
+        events = [
+            self.primitive_events[name.lower()]
+            for name in registration.event_internals
+        ]
+        inline = sorted(
+            self._inline.get(key, []),
+            key=lambda item: (-item[0], item[1]),
+        )
+        registration.inline_proc_names = [
+            proc for _priority, _seq, proc, trigger_internal in inline
+            if self.trigger_runtime.get(
+                trigger_internal.lower(),
+            ) is None or self.trigger_runtime[trigger_internal.lower()].enabled
+        ]
+        sql = codegen.native_trigger_sql(
+            registration, events, registration.inline_proc_names,
+            pm.system_prefix(registration.db_name),
+            self.notify_host, self.notify_port,
+        )
+        pm.execute(registration.db_name, sql)
+
+    def _alter_trigger(self, command: EcaCommand, session: Session,
+                       result: BatchResult) -> None:
+        """``ALTER TRIGGER <name> ENABLE|DISABLE`` (agent extension)."""
+        internal = expand_name(
+            str(command.trigger_name), session.database, session.user)
+        trigger = self.eca_triggers.get(internal.lower())
+        if trigger is None:
+            raise NameError_(
+                f"ECA trigger '{command.trigger_name}' does not exist")
+        runtime = self.trigger_runtime[trigger.rule_name.lower()]
+        runtime.enabled = bool(command.enabled)
+        if runtime.inline:
+            primitive = self.primitive_events[trigger.event_internal.lower()]
+            self._regenerate_native_trigger(self._table_op_key(primitive))
+        else:
+            self.led.rules[trigger.rule_name].enabled = runtime.enabled
+        state = "enabled" if runtime.enabled else "disabled"
+        result.messages.append(f"ECA trigger {internal} {state}.")
+
+    # ------------------------------------------------------------------
+    # dropping
+
+    def _drop_trigger(self, command: EcaCommand, session: Session,
+                      result: BatchResult) -> None:
+        internal = expand_name(
+            str(command.trigger_name), session.database, session.user)
+        trigger = self.eca_triggers.get(internal.lower())
+        if trigger is None:
+            raise NameError_(
+                f"ECA trigger '{command.trigger_name}' does not exist")
+        runtime = self.trigger_runtime.pop(trigger.rule_name.lower())
+        del self.eca_triggers[internal.lower()]
+        if runtime.inline:
+            primitive = self.primitive_events[trigger.event_internal.lower()]
+            key = self._table_op_key(primitive)
+            self._inline[key] = [
+                item for item in self._inline.get(key, [])
+                if item[3].lower() != internal.lower()
+            ]
+            self._regenerate_native_trigger(key)
+        else:
+            self.led.drop_rule(trigger.rule_name)
+        pm = self.persistent_manager
+        pm.execute(trigger.db_name, f"drop procedure {trigger.proc_name}")
+        pm.delete_trigger(trigger)
+        result.messages.append(f"ECA trigger {internal} dropped.")
+
+    def _drop_event(self, command: EcaCommand, session: Session,
+                    result: BatchResult) -> None:
+        internal = expand_name(
+            str(command.event_name), session.database, session.user)
+        key = internal.lower()
+        dependents = [
+            trigger.internal for trigger in self.eca_triggers.values()
+            if trigger.event_internal.lower() == key
+        ]
+        if dependents:
+            raise NameError_(
+                f"event '{command.event_name}' still has triggers: "
+                f"{', '.join(sorted(dependents))}"
+            )
+        node = self.led.events.get(internal)
+        if node is not None and node.parents:
+            raise NameError_(
+                f"event '{command.event_name}' is used by other composite "
+                "events")
+
+        primitive = self.primitive_events.get(key)
+        composite = self.composite_events.get(key)
+        pm = self.persistent_manager
+        if primitive is not None:
+            table_key = self._table_op_key(primitive)
+            registration = self.table_ops.get(table_key)
+            if registration is not None:
+                registration.event_internals = [
+                    name for name in registration.event_internals
+                    if name.lower() != key
+                ]
+                self._regenerate_native_trigger(table_key)
+            pm.execute(primitive.db_name,
+                       f"drop table {primitive.version_table}")
+            self._drop_unused_snapshots(primitive)
+            del self.primitive_events[key]
+            self.led.drop_event(internal)
+            pm.delete_primitive(primitive)
+        elif composite is not None:
+            del self.composite_events[key]
+            self.led.drop_event(internal)
+            pm.delete_composite(composite)
+        else:
+            raise NameError_(f"event '{command.event_name}' does not exist")
+        result.messages.append(f"Event {internal} dropped.")
+
+    def _drop_unused_snapshots(self, event: PrimitiveEventDef) -> None:
+        """Drop snapshot (and _tmp) tables no other event still needs."""
+        pm = self.persistent_manager
+        database = self.server.catalog.get_database(event.db_name)
+        for direction in event.snapshot_directions:
+            snapshot = event.snapshot_table(direction)
+            still_used = any(
+                other.internal != event.internal
+                and direction in other.snapshot_directions
+                and other.snapshot_table(direction) == snapshot
+                for other in self.primitive_events.values()
+            )
+            if still_used:
+                continue
+            _db, owner, name = split_internal(snapshot)
+            if database.get_table(owner, name) is not None:
+                pm.execute(event.db_name, f"drop table {snapshot}")
+            tmp = snapshot + codegen.TMP_SUFFIX
+            _db, owner, name = split_internal(tmp)
+            if database.get_table(owner, name) is not None:
+                pm.execute(event.db_name, f"drop table {tmp}")
+
+    # ------------------------------------------------------------------
+    # recovery (Figure 8)
+
+    def recover(self) -> dict[str, int]:
+        """Restore events and rules from the system tables of every
+        database that has them; returns counts per category."""
+        counts = {"primitive": 0, "composite": 0, "trigger": 0}
+        pm = self.persistent_manager
+        # Batch native-trigger regeneration: the generated triggers
+        # persisted in the server, so one refresh per (table, op) at the
+        # end suffices (instead of one per recovered rule).
+        self._regen_suspended = set()
+        try:
+            for database in list(self.server.catalog.databases.values()):
+                if not pm.has_system_tables(database.name):
+                    continue
+                for event in pm.load_primitives(database.name):
+                    if event.internal.lower() in self.primitive_events:
+                        continue
+                    self._recover_primitive(event)
+                    counts["primitive"] += 1
+                pending = [
+                    event for event in pm.load_composites(database.name)
+                    if event.internal.lower() not in self.composite_events
+                ]
+                counts["composite"] += self._recover_composites(pending)
+                for trigger in pm.load_triggers(database.name):
+                    if trigger.internal.lower() in self.eca_triggers:
+                        continue
+                    self._install_trigger(trigger, persist=False)
+                    counts["trigger"] += 1
+        finally:
+            dirty = self._regen_suspended
+            self._regen_suspended = None
+            for key in dirty:
+                self._regenerate_native_trigger(key)
+        return counts
+
+    def _recover_primitive(self, event: PrimitiveEventDef) -> None:
+        """Re-register a primitive event without re-creating server
+        objects (they persisted in the server's catalog)."""
+        self.primitive_events[event.internal.lower()] = event
+        self.led.define_primitive(event.internal)
+        key = self._table_op_key(event)
+        registration = self.table_ops.get(key)
+        if registration is None:
+            registration = TableOpRegistration(
+                db_name=event.db_name,
+                table_owner=event.table_owner,
+                table_name=event.table_name,
+                operation=event.operation,
+            )
+            self.table_ops[key] = registration
+        registration.event_internals.append(event.internal)
+
+    def _recover_composites(self, pending: list[CompositeEventDef]) -> int:
+        """Define composites in dependency order (a composite may
+        reference another composite)."""
+        recovered = 0
+        remaining = list(pending)
+        while remaining:
+            progress = False
+            still: list[CompositeEventDef] = []
+            for event in remaining:
+                expr = parse_event_expression(event.event_describe)
+                if all(self.event_exists(name)
+                       for name in referenced_events(expr)):
+                    self._install_composite(event, persist=False)
+                    recovered += 1
+                    progress = True
+                else:
+                    still.append(event)
+            if not progress:
+                names = ", ".join(event.internal for event in still)
+                raise RecoveryError(
+                    f"cannot recover composite events (missing "
+                    f"constituents): {names}")
+            remaining = still
+        return recovered

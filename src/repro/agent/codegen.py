@@ -1,0 +1,258 @@
+"""SQL code generation (paper Figures 11 and 14).
+
+Given event and trigger definitions, this module produces the SQL the
+agent installs in the (unmodified) SQL server:
+
+- per primitive event: snapshot tables (``<table>_inserted`` /
+  ``<table>_deleted`` with the extra ``vNo`` column), the event's
+  occurrence-number (``Version``) table, and rows in the system tables;
+- per (table, operation): ONE native trigger that — for every primitive
+  event registered on it — bumps ``vNo``, snapshots the transition rows
+  tagged with ``vNo``, sends the ``syb_sendmsg`` notification, and runs
+  any inline (primitive + IMMEDIATE) action procedures;
+- per ECA trigger: an action procedure; for composite (or non-immediate)
+  triggers the procedure begins with the Figure 14 context-processing
+  joins that materialize ``<snapshot>_tmp`` tables from ``sysContext``.
+
+Differences from the paper's listings are deliberate and documented in
+DESIGN.md §2: the occurrence number is incremented *before* the snapshot
+(Figure 11 tags the snapshot with the stale number), each event has its
+own ``<event>_Version`` table, the notification carries ``vNo``, and the
+Figure 14 join projects ``<snapshot>.*`` instead of a bare ``*`` (which
+would also project the ``sysContext`` columns).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.led.rules import Context
+
+from .model import EcaTriggerDef, PrimitiveEventDef, TableOpRegistration
+
+#: Name of the per-database context table (Figure 17).
+SYS_CONTEXT = "sysContext"
+
+#: Suffix for per-trigger parameter-context materialization tables.
+TMP_SUFFIX = "_tmp"
+
+
+def snapshot_table_sql(event: PrimitiveEventDef, direction: str,
+                       source_table: str) -> str:
+    """DDL for one snapshot table (Figure 11's 'create two tables')."""
+    snapshot = event.snapshot_table(direction)
+    return (
+        f"select * into {snapshot} from {source_table} where 1 = 2\n"
+        f"go\n"
+        f"alter table {snapshot} add vNo int null\n"
+        f"go"
+    )
+
+
+def version_table_sql(event: PrimitiveEventDef) -> str:
+    """DDL + seed row for the event's occurrence-number table."""
+    version = event.version_table
+    return (
+        f"create table {version} (vNo int null)\n"
+        f"go\n"
+        f"insert {version} values (0)\n"
+        f"go"
+    )
+
+
+def native_trigger_sql(registration: TableOpRegistration,
+                       events: list[PrimitiveEventDef],
+                       inline_procs: list[str],
+                       system_db_prefix: str,
+                       notify_host: str, notify_port: int) -> str:
+    """The generated native trigger for one (table, operation).
+
+    One block per primitive event (several named events may watch the
+    same table and operation — something native triggers cannot express,
+    Section 2.2), then the inline IMMEDIATE action procedures.
+    """
+    table = f"{registration.db_name}.{registration.table_owner}.{registration.table_name}"
+    trigger_name = (
+        f"{registration.db_name}.{registration.table_owner}."
+        f"ECA_{registration.table_name}_{registration.operation}"
+    )
+    lines: list[str] = [
+        f"create trigger {trigger_name}",
+        f"on {table}",
+        f"for {registration.operation}",
+        "as",
+        "declare @v int, @r int",
+    ]
+    for event in events:
+        internal = event.internal
+        version = event.version_table
+        row_filter = (
+            f'dbName = "{event.db_name}" and userName = "{event.user_name}" '
+            f'and eventName = "{event.event_name}"'
+        )
+        lines.append(f"/* event {internal} */")
+        lines.append(
+            f"update {system_db_prefix}.SysPrimitiveEvent set vNo = vNo + 1 "
+            f"where {row_filter}"
+        )
+        lines.append(f"delete {version}")
+        lines.append(
+            f"insert {version} select vNo from {system_db_prefix}."
+            f"SysPrimitiveEvent where {row_filter}"
+        )
+        for direction in event.snapshot_directions:
+            snapshot = event.snapshot_table(direction)
+            lines.append(
+                f"insert {snapshot} select {direction}.*, vNo "
+                f"from {direction}, {version}"
+            )
+        lines.append(f"select @v = vNo from {version}")
+        payload = (
+            f'"{event.user_name} {event.table_name} {event.operation} '
+            f'begin {internal} " + convert(varchar, @v)'
+        )
+        lines.append(
+            f'select @r = syb_sendmsg("{notify_host}", {notify_port}, '
+            f"{payload}) /* Notification */"
+        )
+    for proc in inline_procs:
+        lines.append(f"/* action function */")
+        lines.append(f"execute {proc}")
+    return "\n".join(lines)
+
+
+def drop_native_trigger_sql(registration: TableOpRegistration) -> str:
+    """DDL removing the generated native trigger."""
+    return (
+        f"drop trigger {registration.db_name}.{registration.table_owner}."
+        f"ECA_{registration.table_name}_{registration.operation}"
+    )
+
+
+def tmp_table_sql(snapshot_table: str) -> str:
+    """DDL for one ``<snapshot>_tmp`` parameter table (Figure 14)."""
+    tmp = snapshot_table + TMP_SUFFIX
+    return (
+        f"select * into {tmp} from {snapshot_table} where 1 = 2\n"
+        f"go"
+    )
+
+
+def context_processing_sql(snapshot_tables: list[str], context: Context,
+                           system_db_prefix: str) -> list[str]:
+    """The Figure 14 '/* context processing */' block.
+
+    For each snapshot table the event may draw parameters from, refresh
+    its ``_tmp`` table with the rows whose ``vNo`` matches the current
+    ``sysContext`` entries for this parameter context.
+    """
+    statements: list[str] = []
+    for snapshot in snapshot_tables:
+        tmp = snapshot + TMP_SUFFIX
+        statements.append(f"delete {tmp}")
+        statements.append(
+            f"insert {tmp}\n"
+            f"select {snapshot}.*\n"
+            f"from {snapshot}, {system_db_prefix}.{SYS_CONTEXT}\n"
+            f'where {system_db_prefix}.{SYS_CONTEXT}.context = "{context.value}"\n'
+            f'  and {system_db_prefix}.{SYS_CONTEXT}.tableName = "{snapshot}"\n'
+            f"  and {snapshot}.vNo = {system_db_prefix}.{SYS_CONTEXT}.vNo"
+        )
+    return statements
+
+
+def action_proc_sql(trigger: EcaTriggerDef, rewritten_action: str,
+                    snapshot_tables: list[str],
+                    system_db_prefix: str,
+                    with_context_processing: bool,
+                    rewritten_condition: str | None = None) -> str:
+    """CREATE PROCEDURE for an ECA trigger's action (Figures 11/14).
+
+    A WHEN clause becomes a condition gate between the context
+    processing and the action: the parameters the contexts collected are
+    "passed to conditions and actions" (paper Section 6's functionality
+    list) because both see the same ``_tmp``/pseudo tables.
+    """
+    lines = [f"create procedure {trigger.proc_name} as"]
+    if with_context_processing and snapshot_tables:
+        lines.append("/* context processing */")
+        lines.extend(context_processing_sql(
+            snapshot_tables, trigger.context, system_db_prefix))
+    if rewritten_condition:
+        lines.append("/* condition */")
+        lines.append("declare @__cond int")
+        lines.append(
+            "select @__cond = case when "
+            f"({rewritten_condition}) then 1 else 0 end")
+        lines.append("if @__cond = 1")
+        lines.append("begin")
+        lines.append("/* action function */")
+        lines.append(rewritten_action)
+        lines.append("end")
+        return "\n".join(lines)
+    lines.append("/* action function */")
+    lines.append(rewritten_action)
+    return "\n".join(lines)
+
+
+_TRANSITION_REF = re.compile(
+    r"\b([A-Za-z_#][\w$#]*(?:\.[A-Za-z_#][\w$#]*){0,2})"
+    r"\.(inserted|deleted)\b",
+    re.IGNORECASE,
+)
+
+
+def rewrite_action_sql(action_sql: str, resolve_table, mode: str) -> str:
+    """Rewrite ``<table>.inserted`` / ``<table>.deleted`` references.
+
+    ``resolve_table(name)`` maps a (possibly qualified) table name as the
+    user wrote it to the internal snapshot-table base name
+    (``db.user.<table>``) or returns None to leave the text unchanged.
+
+    ``mode``:
+      - ``"pseudo"``  — the action runs inside the native trigger, so the
+        references become the engine's ``inserted``/``deleted``
+        transition pseudo-tables (primitive + IMMEDIATE).
+      - ``"tmp"``     — the action runs later, from the agent, so the
+        references become the ``_tmp`` parameter tables populated by the
+        context-processing block.
+    """
+    if mode not in ("pseudo", "tmp"):
+        raise ValueError(f"unknown rewrite mode {mode!r}")
+
+    def replace(match: re.Match) -> str:
+        table_text, direction = match.group(1), match.group(2).lower()
+        base = resolve_table(table_text)
+        if base is None:
+            return match.group(0)
+        if mode == "pseudo":
+            return direction
+        return f"{base}_{direction}{TMP_SUFFIX}"
+
+    return _TRANSITION_REF.sub(replace, action_sql)
+
+
+def sys_context_refresh_sql(entries: list[tuple[str, int]],
+                            all_tables: list[str],
+                            context: Context,
+                            system_db_prefix: str) -> list[str]:
+    """Statements refreshing ``sysContext`` for one rule firing.
+
+    ``entries`` are (snapshot table, vNo) pairs from the triggering
+    occurrence's constituents; ``all_tables`` is every snapshot table the
+    trigger's procedure will join, so stale rows are cleared even for
+    constituents absent from this particular occurrence (e.g. the
+    untriggered side of an OR).
+    """
+    statements: list[str] = []
+    for snapshot in all_tables:
+        statements.append(
+            f"delete {system_db_prefix}.{SYS_CONTEXT} "
+            f'where tableName = "{snapshot}" and context = "{context.value}"'
+        )
+    for snapshot, v_no in entries:
+        statements.append(
+            f"insert {system_db_prefix}.{SYS_CONTEXT} "
+            f'values ("{snapshot}", "{context.value}", {v_no})'
+        )
+    return statements

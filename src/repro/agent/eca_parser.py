@@ -1,0 +1,394 @@
+"""Language Filter and ECA Parser (paper Figure 2, Sections 5.2-5.3).
+
+The Language Filter classifies each client command: ECA commands (the
+extended ``create trigger ... event ...`` syntax of Figures 9, 10 and 12,
+plus ``drop trigger``/``drop event`` on agent-managed objects) are routed
+to the ECA Parser; everything else passes through to the SQL server
+untouched.
+
+The ECA Parser produces an :class:`EcaCommand` — the structured form the
+agent's code generator consumes.  Name expansion to internal form happens
+in the agent, not here, so the parser is reusable and stateless.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.led.rules import Context, Coupling
+
+from .errors import EcaSyntaxError
+
+_CREATE_TRIGGER = re.compile(r"^\s*create\s+trigger\b", re.IGNORECASE)
+_DROP_TRIGGER = re.compile(
+    r"^\s*drop\s+trigger\s+([A-Za-z_#][\w.$#]*)\s*;?\s*$", re.IGNORECASE)
+_DROP_EVENT = re.compile(
+    r"^\s*drop\s+event\s+([A-Za-z_#][\w.$#]*)\s*;?\s*$", re.IGNORECASE)
+_ALTER_TRIGGER = re.compile(
+    r"^\s*alter\s+trigger\s+([A-Za-z_#][\w.$#]*)\s+"
+    r"(enable|disable)\s*;?\s*$", re.IGNORECASE)
+
+_COUPLING_WORDS = {"IMMEDIATE", "DEFERRED", "DEFERED", "DETACHED"}
+_CONTEXT_WORDS = {"RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
+_OPERATIONS = {"insert", "update", "delete"}
+
+#: Command kinds produced by :func:`parse_eca_command`.
+CREATE_PRIMITIVE = "create_primitive"
+CREATE_ON_EVENT = "create_on_event"
+CREATE_COMPOSITE = "create_composite"
+DROP_TRIGGER = "drop_trigger"
+DROP_EVENT = "drop_event"
+ALTER_TRIGGER = "alter_trigger"
+
+
+@dataclass
+class EcaCommand:
+    """Structured form of one ECA command.
+
+    Names are as the user typed them (possibly qualified); the agent
+    expands them to internal form (Section 5.1) during execution.
+    """
+
+    kind: str
+    trigger_name: str | None = None
+    table_name: str | None = None
+    operation: str | None = None
+    event_name: str | None = None
+    snoop_text: str | None = None
+    coupling: Coupling | None = None
+    context: Context | None = None
+    priority: int | None = None
+    condition_sql: str | None = None   # the WHEN clause (the C of ECA)
+    action_sql: str = ""
+    enabled: bool | None = None        # for ALTER TRIGGER ENABLE/DISABLE
+
+
+class LanguageFilter:
+    """Classifies client commands (paper Figure 2's Language Filter)."""
+
+    #: classification results
+    ECA = "eca"
+    SQL = "sql"
+    MAYBE_DROP_TRIGGER = "maybe_drop_trigger"
+
+    def classify(self, sql: str) -> str:
+        """Decide where a command goes.
+
+        ``create trigger`` text containing a top-level ``event`` keyword
+        before ``as`` is an ECA command; a plain native trigger definition
+        is ordinary SQL.  ``drop trigger`` cannot be classified without
+        the agent's registry (the name may be a native trigger), so it is
+        reported as :data:`MAYBE_DROP_TRIGGER` for the agent to resolve.
+        """
+        if _DROP_EVENT.match(sql):
+            return self.ECA
+        if _ALTER_TRIGGER.match(sql):
+            return self.ECA
+        if _DROP_TRIGGER.match(sql):
+            return self.MAYBE_DROP_TRIGGER
+        if _CREATE_TRIGGER.match(sql):
+            header, _action = _split_on_as(sql)
+            if header is None:
+                # No AS clause: let the SQL parser report the error.
+                return self.SQL
+            # A WHEN condition is arbitrary SQL; strip it before scanning
+            # the header for the `event` keyword.
+            header, _condition = _split_on_keyword(header, "when")
+            if _has_top_level_word(header, "event"):
+                return self.ECA
+        return self.SQL
+
+
+def parse_eca_command(sql: str) -> EcaCommand:
+    """Parse an ECA command into an :class:`EcaCommand`.
+
+    Raises :class:`EcaSyntaxError` with a descriptive message when the
+    text matches none of the three forms (Figures 9, 10, 12).
+    """
+    match = _DROP_EVENT.match(sql)
+    if match:
+        return EcaCommand(kind=DROP_EVENT, event_name=match.group(1))
+    match = _ALTER_TRIGGER.match(sql)
+    if match:
+        return EcaCommand(
+            kind=ALTER_TRIGGER,
+            trigger_name=match.group(1),
+            enabled=match.group(2).lower() == "enable",
+        )
+    match = _DROP_TRIGGER.match(sql)
+    if match:
+        return EcaCommand(kind=DROP_TRIGGER, trigger_name=match.group(1))
+    if not _CREATE_TRIGGER.match(sql):
+        raise EcaSyntaxError("not an ECA command")
+
+    header, action = _split_on_as(sql)
+    if header is None:
+        raise EcaSyntaxError("missing AS <action> clause in trigger definition")
+    if not action.strip():
+        raise EcaSyntaxError("empty action body after AS")
+
+    # The WHEN condition is arbitrary SQL, so it is split off as raw text
+    # before the header is tokenized (same treatment as the action).
+    header, condition_sql = _split_on_keyword(header, "when")
+    if condition_sql is not None and not condition_sql.strip():
+        raise EcaSyntaxError("empty condition after WHEN")
+    if condition_sql is not None:
+        condition_sql = condition_sql.strip()
+
+    tokens = _tokenize_header(header)
+    cursor = _Cursor(tokens, header)
+
+    cursor.expect_word("create")
+    cursor.expect_word("trigger")
+    trigger_name = cursor.expect_name("trigger name")
+
+    table_name = None
+    operation = None
+    if cursor.at_word("on"):
+        cursor.advance()
+        table_name = cursor.expect_name("table name")
+        cursor.expect_word("for")
+        operation = cursor.expect_name("operation").lower()
+        if operation not in _OPERATIONS:
+            raise EcaSyntaxError(
+                f"operation must be insert, update or delete, "
+                f"not {operation!r}"
+            )
+
+    cursor.expect_word("event")
+    event_name = cursor.expect_name("event name")
+
+    snoop_text = None
+    if cursor.at_op("="):
+        cursor.advance()
+        snoop_text = cursor.capture_snoop()
+        if not snoop_text.strip():
+            raise EcaSyntaxError("empty event expression after '='")
+
+    coupling, context, priority = _parse_modifiers(cursor)
+    cursor.expect_end()
+
+    if snoop_text is not None:
+        if table_name is not None:
+            raise EcaSyntaxError(
+                "a composite event definition cannot have an ON <table> clause"
+            )
+        kind = CREATE_COMPOSITE
+    elif table_name is not None:
+        kind = CREATE_PRIMITIVE
+    else:
+        kind = CREATE_ON_EVENT
+
+    return EcaCommand(
+        kind=kind,
+        trigger_name=trigger_name,
+        table_name=table_name,
+        operation=operation,
+        event_name=event_name,
+        snoop_text=snoop_text,
+        coupling=coupling,
+        context=context,
+        priority=priority,
+        condition_sql=condition_sql,
+        action_sql=action.strip(),
+    )
+
+
+# ----------------------------------------------------------------------
+# header scanning helpers
+
+
+def _split_on_as(sql: str) -> tuple[str | None, str]:
+    """Split at the first top-level standalone ``as`` keyword."""
+    header, rest = _split_on_keyword(sql, "as")
+    if rest is None:
+        return None, ""
+    return header, rest
+
+
+def _split_on_keyword(sql: str, word: str) -> tuple[str, str | None]:
+    """Split at the first top-level standalone occurrence of ``word``.
+
+    Top-level means: not inside quotes, parentheses, or ``[time string]``
+    brackets, so composite expressions and string literals are safe.
+    Returns ``(before, after)``; ``after`` is None when absent.
+    """
+    depth = 0
+    index = 0
+    length = len(sql)
+    lowered = sql.lower()
+    word = word.lower()
+    while index < length:
+        char = sql[index]
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth = max(0, depth - 1)
+        elif char in "'\"":
+            quote = char
+            index += 1
+            while index < length and sql[index] != quote:
+                index += 1
+        elif depth == 0 and lowered.startswith(word, index):
+            before_ok = index == 0 or not (sql[index - 1].isalnum() or sql[index - 1] in "_.@$#")
+            after = index + len(word)
+            after_ok = after >= length or not (sql[after].isalnum() or sql[after] in "_.@$#")
+            if before_ok and after_ok:
+                return sql[:index], sql[after:]
+        index += 1
+    return sql, None
+
+
+def _has_top_level_word(text: str, word: str) -> bool:
+    for kind, value, _start, _end in _tokenize_header(text):
+        if kind == "WORD" and value.lower() == word:
+            return True
+    return False
+
+
+_HEADER_TOKEN = re.compile(
+    r"""
+    (?P<time>\[[^\]]*\])            # [time string]
+  | (?P<word>[A-Za-z_#][\w.$#:]*)   # names, possibly dotted/colon-qualified
+  | (?P<number>\d+)
+  | (?P<op>[=()^;|,*])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize_header(text: str) -> list[tuple[str, str, int, int]]:
+    tokens: list[tuple[str, str, int, int]] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        if text[index].isspace():
+            index += 1
+            continue
+        match = _HEADER_TOKEN.match(text, index)
+        if match is None:
+            raise EcaSyntaxError(
+                f"unexpected character {text[index]!r} in trigger header"
+            )
+        kind = str(match.lastgroup).upper()
+        tokens.append((kind, match.group(0), match.start(), match.end()))
+        index = match.end()
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str, int, int]], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def _current(self) -> tuple[str, str, int, int] | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def advance(self) -> tuple[str, str, int, int]:
+        token = self._current()
+        if token is None:
+            raise EcaSyntaxError("unexpected end of trigger header")
+        self.pos += 1
+        return token
+
+    def at_word(self, word: str) -> bool:
+        token = self._current()
+        return token is not None and token[0] == "WORD" and token[1].lower() == word
+
+    def at_op(self, op: str) -> bool:
+        token = self._current()
+        return token is not None and token[0] == "OP" and token[1] == op
+
+    def expect_word(self, word: str) -> None:
+        if not self.at_word(word):
+            token = self._current()
+            found = token[1] if token else "end of header"
+            raise EcaSyntaxError(f"expected {word.upper()}, found {found!r}")
+        self.advance()
+
+    def expect_name(self, what: str) -> str:
+        token = self._current()
+        if token is None or token[0] != "WORD":
+            found = token[1] if token else "end of header"
+            raise EcaSyntaxError(f"expected {what}, found {found!r}")
+        self.advance()
+        return token[1]
+
+    def expect_end(self) -> None:
+        token = self._current()
+        if token is not None:
+            raise EcaSyntaxError(
+                f"unexpected {token[1]!r} at end of trigger header"
+            )
+
+    def capture_snoop(self) -> str:
+        """Take tokens as raw text until a modifier keyword or the end.
+
+        Modifier keywords (coupling/context) and bare integers (priority)
+        terminate the expression only at parenthesis depth zero.
+        """
+        start = None
+        end = None
+        depth = 0
+        while True:
+            token = self._current()
+            if token is None:
+                break
+            kind, value, t_start, t_end = token
+            if depth == 0 and kind == "WORD" and (
+                value.upper() in _COUPLING_WORDS or value.upper() in _CONTEXT_WORDS
+            ):
+                break
+            if depth == 0 and kind == "NUMBER":
+                break
+            if kind == "OP" and value == "(":
+                depth += 1
+            elif kind == "OP" and value == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            if start is None:
+                start = t_start
+            end = t_end
+            self.advance()
+        if start is None:
+            return ""
+        return self.text[start:end]
+
+
+def _parse_modifiers(cursor: _Cursor) -> tuple[Coupling | None, Context | None, int | None]:
+    coupling: Coupling | None = None
+    context: Context | None = None
+    priority: int | None = None
+    while True:
+        token = cursor._current()
+        if token is None:
+            break
+        kind, value, _s, _e = token
+        upper = value.upper()
+        if kind == "WORD" and upper in _COUPLING_WORDS:
+            if coupling is not None:
+                raise EcaSyntaxError("coupling mode specified twice")
+            coupling = Coupling.parse(upper)
+            cursor.advance()
+            continue
+        if kind == "WORD" and upper in _CONTEXT_WORDS:
+            if context is not None:
+                raise EcaSyntaxError("parameter context specified twice")
+            context = Context.parse(upper)
+            cursor.advance()
+            continue
+        if kind == "NUMBER":
+            if priority is not None:
+                raise EcaSyntaxError("priority specified twice")
+            priority = int(value)
+            if priority < 1:
+                raise EcaSyntaxError("priority must be a positive integer")
+            cursor.advance()
+            continue
+        break
+    return coupling, context, priority

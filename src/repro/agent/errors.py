@@ -1,0 +1,26 @@
+"""Errors raised by the ECA Agent."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class AgentError(ReproError):
+    """Root of ECA Agent errors."""
+
+
+class EcaSyntaxError(AgentError):
+    """An ECA command (extended trigger syntax) failed to parse."""
+
+
+class NameError_(AgentError):
+    """Name checking failed: duplicate new object, or a referenced event,
+    trigger, or table does not exist (paper Section 5.3, 'Name checking')."""
+
+
+class NotificationError(AgentError):
+    """A notification message could not be decoded or delivered."""
+
+
+class RecoveryError(AgentError):
+    """Persistent state could not be restored at agent startup."""

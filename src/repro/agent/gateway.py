@@ -1,0 +1,97 @@
+"""The Gateway Open Server — the agent's General Interface (Figure 2).
+
+Presents exactly the same endpoint surface as the SQL server
+(:class:`repro.sqlengine.client.SqlEndpoint`), so existing clients connect
+to the agent without modification.  Each incoming command flows through
+the Language Filter: ECA commands go to the agent's ECA parser, plain SQL
+passes straight through to the server (Figure 3 steps 1-3).
+
+The gateway also routes the output of IMMEDIATE rule actions back into
+the result stream of the client command that raised the event (Figure 4
+step 6 / Figure 16), via a per-thread slot the action handler writes to.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sqlengine.results import BatchResult
+from repro.sqlengine.server import Session
+
+from .trace import (
+    FIG3_CLASSIFIED_ECA,
+    FIG3_COMMAND_RECEIVED,
+    FIG3_PASSED_THROUGH,
+    FIG4_RESULTS_ROUTED,
+)
+
+
+class GatewayOpenServer:
+    """SqlEndpoint implementation mediating between clients and server."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self._local = threading.local()
+        #: statistics for the transparency/overhead benches (E-PERF1)
+        self.commands_total = 0
+        self.commands_passed_through = 0
+        self.commands_eca = 0
+
+    # ------------------------------------------------------------------
+    # SqlEndpoint surface
+
+    def open_session(self, user: str, database: str | None) -> Session:
+        """Open a server session on the client's behalf (the gateway's
+        pass-through connection)."""
+        return self.agent.server.create_session(user, database)
+
+    def execute_for(self, session: Session, sql: str) -> BatchResult:
+        """Route one client command (Figure 3, steps 1-4)."""
+        self.commands_total += 1
+        self.agent.trace.emit(FIG3_COMMAND_RECEIVED, sql.split(chr(10))[0][:60])
+        filter_ = self.agent.language_filter
+        kind = filter_.classify(sql)
+
+        if kind == filter_.ECA:
+            self.commands_eca += 1
+            self.agent.trace.emit(FIG3_CLASSIFIED_ECA)
+            return self.agent.handle_eca(sql, session)
+
+        if kind == filter_.MAYBE_DROP_TRIGGER:
+            if self.agent.owns_drop_trigger(sql, session):
+                self.commands_eca += 1
+                return self.agent.handle_eca(sql, session)
+
+        self.commands_passed_through += 1
+        self.agent.trace.emit(FIG3_PASSED_THROUGH)
+        owns_slot = not hasattr(self._local, "slot") or self._local.slot is None
+        if owns_slot:
+            self._local.slot = BatchResult()
+        try:
+            result = self.agent.server.execute(sql, session)
+            self.agent.after_client_command(session)
+        finally:
+            if owns_slot:
+                slot = self._local.slot
+                self._local.slot = None
+        if owns_slot and (slot.result_sets or slot.messages):
+            result.result_sets.extend(slot.result_sets)
+            result.messages.extend(slot.messages)
+        return result
+
+    # ------------------------------------------------------------------
+    # action output routing
+
+    def push_action_output(self, action_result: BatchResult) -> bool:
+        """Append an action's output to the in-flight client result.
+
+        Returns False when no client command is executing on this thread
+        (detached actions land in the agent's action log instead).
+        """
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            return False
+        slot.messages.extend(action_result.messages)
+        slot.result_sets.extend(action_result.result_sets)
+        self.agent.trace.emit(FIG4_RESULTS_ROUTED)
+        return True

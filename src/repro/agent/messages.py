@@ -1,0 +1,82 @@
+"""Notification messages and the ``NotiStr`` action-parameter structure.
+
+The generated native triggers notify the agent with a ``syb_sendmsg``
+datagram whose payload is (paper Figure 11)::
+
+    <user> <table> <operation> begin <internal event name> [<vNo>]
+
+The paper's message stops at the event name; we append the occurrence
+number ``vNo`` so the notification is self-contained — the paper's agent
+instead reads the current ``vNo`` back from ``SysPrimitiveEvent``, which
+races when notifications are delivered asynchronously (documented
+deviation, DESIGN.md §2).  The decoder accepts both forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import NotificationError
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Decoded content of one primitive-event notification."""
+
+    user: str
+    table: str
+    operation: str
+    phase: str              # always "begin" for database events
+    event_internal: str
+    v_no: int | None = None
+
+    def encode(self) -> str:
+        """Render the datagram payload."""
+        base = (
+            f"{self.user} {self.table} {self.operation} "
+            f"{self.phase} {self.event_internal}"
+        )
+        if self.v_no is None:
+            return base
+        return f"{base} {self.v_no}"
+
+    @classmethod
+    def decode(cls, payload: str) -> "Notification":
+        """Parse a datagram payload; raises :class:`NotificationError`."""
+        parts = payload.split()
+        if len(parts) not in (5, 6):
+            raise NotificationError(
+                f"malformed notification payload {payload!r}"
+            )
+        v_no: int | None = None
+        if len(parts) == 6:
+            try:
+                v_no = int(parts[5])
+            except ValueError as exc:
+                raise NotificationError(
+                    f"bad occurrence number in {payload!r}"
+                ) from exc
+        return cls(
+            user=parts[0],
+            table=parts[1],
+            operation=parts[2],
+            phase=parts[3],
+            event_internal=parts[4],
+            v_no=v_no,
+        )
+
+
+@dataclass
+class NotiStr:
+    """The action-parameter structure of paper Figure 13.
+
+    Packs everything ``SybaseAction`` needs to run a rule's action inside
+    the SQL server: the stored procedure to execute, the event name, the
+    parameter context, and the client/thread association (here, the
+    originating session id rather than a ``SRV_PROC*``).
+    """
+
+    store_proc: str
+    event_name: str
+    context: str
+    session_id: int | None = None

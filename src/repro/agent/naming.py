@@ -1,0 +1,109 @@
+"""Internal object naming (paper Section 5.1).
+
+User-assigned names are expanded to system-wide internal names of the form
+``DatabaseName.userName.objectName`` so that names are unique across users
+and databases — "consistent with the way Sybase expands user-defined
+object names".  A user only ever sees and types the short form; the agent
+expands on the way in and may strip on the way out.
+"""
+
+from __future__ import annotations
+
+from .errors import EcaSyntaxError
+
+SEPARATOR = "."
+
+
+def expand_name(name: str, database: str, user: str) -> str:
+    """Expand a 1- to 3-part user name to the internal 3-part form.
+
+    >>> expand_name("addStk", "sentineldb", "sharma")
+    'sentineldb.sharma.addStk'
+    >>> expand_name("sharma.addStk", "sentineldb", "anyone")
+    'sentineldb.sharma.addStk'
+    >>> expand_name("otherdb.bob.ev", "sentineldb", "sharma")
+    'otherdb.bob.ev'
+    """
+    parts = name.split(SEPARATOR)
+    if any(not part for part in parts):
+        raise EcaSyntaxError(f"malformed object name {name!r}")
+    if len(parts) == 1:
+        return internal_name(database, user, parts[0])
+    if len(parts) == 2:
+        return internal_name(database, parts[0], parts[1])
+    if len(parts) == 3:
+        return name
+    raise EcaSyntaxError(
+        f"object name {name!r} has more than three parts"
+    )
+
+
+def internal_name(database: str, user: str, obj: str) -> str:
+    """Compose the canonical internal name."""
+    return f"{database}{SEPARATOR}{user}{SEPARATOR}{obj}"
+
+
+def split_internal(name: str) -> tuple[str, str, str]:
+    """Split an internal name back into (database, user, object)."""
+    parts = name.split(SEPARATOR)
+    if len(parts) != 3 or any(not part for part in parts):
+        raise EcaSyntaxError(f"{name!r} is not an internal 3-part name")
+    return parts[0], parts[1], parts[2]
+
+
+def short_name(name: str) -> str:
+    """The user-facing object part of an internal name."""
+    return name.split(SEPARATOR)[-1]
+
+
+def expand_snoop_expression(expr_text: str, database: str, user: str) -> str:
+    """Expand every event name inside a Snoop expression to internal form.
+
+    Used before persisting composite definitions so that the stored
+    ``eventDescribe`` is unambiguous (paper Example 2 shows the stored
+    string with internal names).
+    """
+    from repro.snoop import parse_event_expression
+    from repro.snoop.ast import (
+        And,
+        Aperiodic,
+        AperiodicStar,
+        EventExpr,
+        EventName,
+        Not,
+        Or,
+        Periodic,
+        PeriodicStar,
+        Plus,
+        Seq,
+    )
+
+    def rewrite(node: EventExpr) -> EventExpr:
+        if isinstance(node, EventName):
+            return EventName(expand_name(node.name, database, user))
+        if isinstance(node, Or):
+            return Or(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, And):
+            return And(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, Seq):
+            return Seq(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, Not):
+            return Not(rewrite(node.initiator), rewrite(node.event),
+                       rewrite(node.terminator))
+        if isinstance(node, Aperiodic):
+            return Aperiodic(rewrite(node.initiator), rewrite(node.event),
+                             rewrite(node.terminator))
+        if isinstance(node, AperiodicStar):
+            return AperiodicStar(rewrite(node.initiator), rewrite(node.event),
+                                 rewrite(node.terminator))
+        if isinstance(node, Periodic):
+            return Periodic(rewrite(node.initiator), node.period,
+                            rewrite(node.terminator), node.parameter)
+        if isinstance(node, PeriodicStar):
+            return PeriodicStar(rewrite(node.initiator), node.period,
+                                rewrite(node.terminator), node.parameter)
+        if isinstance(node, Plus):
+            return Plus(rewrite(node.event), node.delta)
+        raise EcaSyntaxError(f"unsupported Snoop node {type(node).__name__}")
+
+    return rewrite(parse_event_expression(expr_text)).describe()

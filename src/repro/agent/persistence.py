@@ -1,0 +1,304 @@
+"""The Persistent Manager (paper Section 4, Figures 5-8, 17).
+
+Persists every event and ECA trigger in system tables *inside the SQL
+server itself*, using nothing but ordinary SQL — that is the paper's
+point: the native DBMS provides the persistence.  On agent startup the
+manager reads the tables back and the agent re-creates its runtime state
+(Figure 8's recovery path).
+
+Table layouts follow the paper's figures exactly; ``SysEcaTrigger`` gains
+three trailing columns (``coupling``, ``context``, ``priority``) that the
+paper's Figure 7 omits but recovery requires — a documented extension
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+
+from repro.led.rules import Context, Coupling
+from repro.sqlengine import SqlServer
+from repro.sqlengine.types import sql_repr
+
+from .model import CompositeEventDef, EcaTriggerDef, PrimitiveEventDef
+
+#: (column name, type, length, nullable) — Figure 5.
+SYS_PRIMITIVE_EVENT_LAYOUT = [
+    ("dbName", "varchar", 30, True),
+    ("userName", "varchar", 30, True),
+    ("eventName", "varchar", 30, True),
+    ("tableName", "varchar", 30, True),
+    ("operation", "varchar", 20, True),
+    ("timeStamp", "datetime", None, True),
+    ("vNo", "int", None, True),
+]
+
+#: Figure 6.
+SYS_COMPOSITE_EVENT_LAYOUT = [
+    ("dbName", "varchar", 30, True),
+    ("userName", "varchar", 30, True),
+    ("eventName", "varchar", 30, True),
+    ("eventDescribe", "text", None, True),
+    ("timeStamp", "datetime", None, True),
+    ("coupling", "char", 10, True),
+    ("context", "char", 10, True),
+    ("priority", "char", 10, True),
+]
+
+#: Figure 7 plus the three recovery columns (documented extension).
+SYS_ECA_TRIGGER_LAYOUT = [
+    ("dbName", "varchar", 30, True),
+    ("userName", "varchar", 30, True),
+    ("triggerName", "varchar", 30, True),
+    ("triggerProc", "text", None, True),
+    ("timeStamp", "datetime", None, True),
+    ("eventName", "varchar", 60, True),
+    ("coupling", "char", 10, True),
+    ("context", "char", 12, True),
+    ("priority", "int", None, True),
+]
+
+#: Figure 17.
+SYS_CONTEXT_LAYOUT = [
+    ("tableName", "varchar", 50, False),
+    ("context", "varchar", 12, False),
+    ("vNo", "int", None, False),
+]
+
+#: Which ECA trigger additionally stores the user's action text; needed to
+#: regenerate procedures if a DBA drops one (extension table).
+SYS_ACTION_LAYOUT = [
+    ("triggerName", "varchar", 90, False),
+    ("actionSql", "text", None, True),
+    ("conditionSql", "text", None, True),
+]
+
+_SYSTEM_TABLES = {
+    "SysPrimitiveEvent": SYS_PRIMITIVE_EVENT_LAYOUT,
+    "SysCompositeEvent": SYS_COMPOSITE_EVENT_LAYOUT,
+    "SysEcaTrigger": SYS_ECA_TRIGGER_LAYOUT,
+    "sysContext": SYS_CONTEXT_LAYOUT,
+    "SysEcaAction": SYS_ACTION_LAYOUT,
+}
+
+
+class PersistentManager:
+    """Owns the agent's DBA connection and the ECA system tables.
+
+    The paper runs this as a dedicated Open Server thread holding a
+    high-privilege Client-Library connection; here it holds a dedicated
+    DBA session on the engine.
+    """
+
+    #: owner of the system tables inside each database
+    OWNER = "dbo"
+
+    def __init__(self, server: SqlServer, dba_user: str = "sa"):
+        self.server = server
+        self.dba_user = dba_user
+        self._sessions: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _session(self, database: str):
+        session = self._sessions.get(database.lower())
+        if session is None:
+            session = self.server.create_session(self.OWNER, database)
+            self._sessions[database.lower()] = session
+        return session
+
+    def execute(self, database: str, sql: str):
+        """Run SQL on the manager's privileged connection."""
+        return self.server.execute(sql, self._session(database))
+
+    def system_prefix(self, database: str) -> str:
+        """Qualified prefix for system tables, e.g. ``sentineldb.dbo``."""
+        return f"{database}.{self.OWNER}"
+
+    # ------------------------------------------------------------------
+    # table lifecycle
+
+    def ensure_system_tables(self, database: str) -> None:
+        """Create any missing ECA system tables in a database."""
+        db = self.server.catalog.get_database(database)
+        for table_name, layout in _SYSTEM_TABLES.items():
+            if db.get_table(self.OWNER, table_name) is not None:
+                continue
+            columns = ", ".join(
+                _column_ddl(name, type_name, length, nullable)
+                for name, type_name, length, nullable in layout
+            )
+            self.execute(database, f"create table {table_name} ({columns})")
+
+    def has_system_tables(self, database: str) -> bool:
+        db = self.server.catalog.get_database(database)
+        return all(
+            db.get_table(self.OWNER, table_name) is not None
+            for table_name in _SYSTEM_TABLES
+        )
+
+    # ------------------------------------------------------------------
+    # persisting definitions
+
+    def persist_primitive(self, event: PrimitiveEventDef) -> None:
+        self.execute(event.db_name, (
+            "insert SysPrimitiveEvent values ("
+            f"{sql_repr(event.db_name)}, {sql_repr(event.user_name)}, "
+            f"{sql_repr(event.event_name)}, {sql_repr(event.table_name)}, "
+            f"{sql_repr(event.operation)}, getdate(), 0)"
+        ))
+
+    def persist_composite(self, event: CompositeEventDef) -> None:
+        self.execute(event.db_name, (
+            "insert SysCompositeEvent values ("
+            f"{sql_repr(event.db_name)}, {sql_repr(event.user_name)}, "
+            f"{sql_repr(event.event_name)}, {sql_repr(event.event_describe)}, "
+            f"getdate(), {sql_repr(event.coupling.value)}, "
+            f"{sql_repr(event.context.value)}, "
+            f"{sql_repr(str(event.priority))})"
+        ))
+
+    def persist_trigger(self, trigger: EcaTriggerDef) -> None:
+        self.execute(trigger.db_name, (
+            "insert SysEcaTrigger values ("
+            f"{sql_repr(trigger.db_name)}, {sql_repr(trigger.user_name)}, "
+            f"{sql_repr(trigger.trigger_name)}, {sql_repr(trigger.proc_name)}, "
+            f"getdate(), {sql_repr(trigger.event_internal)}, "
+            f"{sql_repr(trigger.coupling.value)}, "
+            f"{sql_repr(trigger.context.value)}, {trigger.priority})"
+        ))
+        self.execute(trigger.db_name, (
+            "insert SysEcaAction values ("
+            f"{sql_repr(trigger.internal)}, {sql_repr(trigger.action_sql)}, "
+            f"{sql_repr(trigger.condition_sql)})"
+        ))
+
+    # ------------------------------------------------------------------
+    # removing definitions
+
+    def delete_primitive(self, event: PrimitiveEventDef) -> None:
+        self.execute(event.db_name, (
+            "delete SysPrimitiveEvent "
+            f"where dbName = {sql_repr(event.db_name)} "
+            f"and userName = {sql_repr(event.user_name)} "
+            f"and eventName = {sql_repr(event.event_name)}"
+        ))
+
+    def delete_composite(self, event: CompositeEventDef) -> None:
+        self.execute(event.db_name, (
+            "delete SysCompositeEvent "
+            f"where dbName = {sql_repr(event.db_name)} "
+            f"and userName = {sql_repr(event.user_name)} "
+            f"and eventName = {sql_repr(event.event_name)}"
+        ))
+
+    def delete_trigger(self, trigger: EcaTriggerDef) -> None:
+        self.execute(trigger.db_name, (
+            "delete SysEcaTrigger "
+            f"where dbName = {sql_repr(trigger.db_name)} "
+            f"and userName = {sql_repr(trigger.user_name)} "
+            f"and triggerName = {sql_repr(trigger.trigger_name)}"
+        ))
+        self.execute(trigger.db_name, (
+            "delete SysEcaAction "
+            f"where triggerName = {sql_repr(trigger.internal)}"
+        ))
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def current_v_no(self, database: str, event_internal: str) -> int:
+        """The latest occurrence number of a primitive event.
+
+        Matching by the internal name requires splitting it, since the
+        paper's Figure 5 stores short names per (db, user).
+        """
+        from .naming import split_internal
+
+        db, user, obj = split_internal(event_internal)
+        result = self.execute(database, (
+            "select vNo from SysPrimitiveEvent "
+            f"where dbName = {sql_repr(db)} and userName = {sql_repr(user)} "
+            f"and eventName = {sql_repr(obj)}"
+        ))
+        last = result.last
+        if last is None or not last.rows:
+            return 0
+        return int(last.rows[0][0] or 0)
+
+    def load_primitives(self, database: str) -> list[PrimitiveEventDef]:
+        """Rebuild primitive event definitions from ``SysPrimitiveEvent``.
+
+        The monitored table's owner is re-resolved with the same
+        preference order used at definition time (owner = defining user,
+        falling back to ``dbo``).
+        """
+        result = self.execute(database, "select * from SysPrimitiveEvent")
+        definitions: list[PrimitiveEventDef] = []
+        db_obj = self.server.catalog.get_database(database)
+        for row in (result.last.as_dicts() if result.last else []):
+            user = str(row["userName"])
+            table_name = str(row["tableName"])
+            table = db_obj.find_table(table_name, user)
+            table_owner = table.owner if table is not None else user
+            definitions.append(PrimitiveEventDef(
+                db_name=str(row["dbName"]),
+                user_name=user,
+                event_name=str(row["eventName"]),
+                table_owner=table_owner,
+                table_name=table_name,
+                operation=str(row["operation"]),
+            ))
+        return definitions
+
+    def load_composites(self, database: str) -> list[CompositeEventDef]:
+        result = self.execute(database, "select * from SysCompositeEvent")
+        definitions: list[CompositeEventDef] = []
+        for row in (result.last.as_dicts() if result.last else []):
+            definitions.append(CompositeEventDef(
+                db_name=str(row["dbName"]),
+                user_name=str(row["userName"]),
+                event_name=str(row["eventName"]),
+                event_describe=str(row["eventDescribe"]),
+                coupling=Coupling.parse(str(row["coupling"]).strip()),
+                context=Context.parse(str(row["context"]).strip()),
+                priority=int(str(row["priority"]).strip() or "1"),
+            ))
+        return definitions
+
+    def load_triggers(self, database: str) -> list[EcaTriggerDef]:
+        result = self.execute(database, "select * from SysEcaTrigger")
+        actions = self.execute(database, "select * from SysEcaAction")
+        action_by_trigger = {
+            str(row["triggerName"]): (
+                str(row["actionSql"] or ""),
+                row["conditionSql"],
+            )
+            for row in (actions.last.as_dicts() if actions.last else [])
+        }
+        definitions: list[EcaTriggerDef] = []
+        for row in (result.last.as_dicts() if result.last else []):
+            trigger = EcaTriggerDef(
+                db_name=str(row["dbName"]),
+                user_name=str(row["userName"]),
+                trigger_name=str(row["triggerName"]),
+                event_internal=str(row["eventName"]),
+                action_sql="",
+                coupling=Coupling.parse(str(row["coupling"]).strip()),
+                context=Context.parse(str(row["context"]).strip()),
+                priority=int(row["priority"] or 1),
+            )
+            action_sql, condition_sql = action_by_trigger.get(
+                trigger.internal, ("", None))
+            trigger.action_sql = action_sql
+            trigger.condition_sql = (
+                str(condition_sql) if condition_sql is not None else None)
+            definitions.append(trigger)
+        return definitions
+
+
+def _column_ddl(name: str, type_name: str, length: int | None,
+                nullable: bool) -> str:
+    rendered = type_name if length is None else f"{type_name}({length})"
+    null_clause = "null" if nullable else "not null"
+    return f"{name} {rendered} {null_clause}"

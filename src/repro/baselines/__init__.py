@@ -1,0 +1,31 @@
+"""``repro.baselines`` — the alternative architectures the paper rejects.
+
+Section 1 discusses (and dismisses) two alternatives to the mediated ECA
+Agent for adding active behaviour to a passive DBMS:
+
+- **Polling** (:mod:`repro.baselines.polling`): an external process that
+  periodically scans tables for changes.  Latency is bounded below by the
+  poll interval and every poll costs a full scan even when nothing
+  changed.
+- **Embedded situation checks** (:mod:`repro.baselines.embedded`):
+  every application embeds condition checks after its own updates —
+  modularity is lost and situations caused by *other* applications are
+  missed.
+
+Both are implemented so the benchmarks can quantify the comparison
+(E-PERF2), plus a native-trigger-only configuration
+(:mod:`repro.baselines.native_only`) demonstrating the Section 2.2
+restrictions.
+"""
+
+from .embedded import EmbeddedSituationClient, SituationCheck
+from .native_only import NativeTriggerToolkit
+from .polling import PollingMonitor, TableChange
+
+__all__ = [
+    "EmbeddedSituationClient",
+    "NativeTriggerToolkit",
+    "PollingMonitor",
+    "SituationCheck",
+    "TableChange",
+]

@@ -1,0 +1,50 @@
+"""Native-trigger-only configuration (paper Section 2.2).
+
+A thin toolkit over the raw engine showing what active behaviour looks
+like with nothing but the native trigger mechanism — the configuration
+whose restrictions motivate the ECA Agent:
+
+- no named events, so nothing can be reused;
+- one trigger per (table, operation): a new one silently displaces the
+  old (the engine reports the displacement only through
+  ``server.last_displaced_triggers``);
+- no composite events: correlating two operations requires hand-written
+  state tables inside trigger bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine import BatchResult, SqlServer, connect
+
+
+@dataclass
+class NativeTriggerToolkit:
+    """Helper for defining plain native triggers directly on the engine."""
+
+    server: SqlServer
+    database: str
+    user: str = "dbo"
+
+    def __post_init__(self) -> None:
+        self._connection = connect(self.server, self.user, self.database)
+
+    def create_trigger(self, name: str, table: str, operation: str,
+                       body_sql: str) -> BatchResult:
+        """Create a native trigger; silently displaces any existing
+        trigger on the same (table, operation)."""
+        return self._connection.execute(
+            f"create trigger {name} on {table} for {operation} as\n{body_sql}"
+        )
+
+    def drop_trigger(self, name: str) -> BatchResult:
+        return self._connection.execute(f"drop trigger {name}")
+
+    def displaced_by_last_create(self) -> list[str]:
+        """Names of triggers the engine silently displaced (it never warns
+        the client — the restriction the paper highlights)."""
+        return list(self.server.last_displaced_triggers)
+
+    def execute(self, sql: str) -> BatchResult:
+        return self._connection.execute(sql)

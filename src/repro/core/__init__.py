@@ -1,0 +1,22 @@
+"""``repro.core`` — the public API of the reproduction.
+
+:class:`~repro.core.api.ActiveDatabase` bundles a passive SQL server with
+an ECA Agent into the paper's "Virtual Active SQL Server" and offers both
+interfaces:
+
+- the *transparent SQL interface*: clients connect and issue ordinary SQL
+  plus the extended ``create trigger ... event ...`` syntax;
+- a *programmatic convenience layer* that builds those ECA commands for
+  you (:meth:`~repro.core.api.ActiveDatabase.define_rule` et al.).
+"""
+
+from repro.led.rules import Context, Coupling
+
+from .api import ActiveDatabase, EcaRuleSpec
+
+__all__ = [
+    "ActiveDatabase",
+    "Context",
+    "Coupling",
+    "EcaRuleSpec",
+]

@@ -1,0 +1,168 @@
+"""High-level facade over the server + agent stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agent import EcaAgent
+from repro.led.clock import VirtualClock
+from repro.led.rules import Context, Coupling
+from repro.sqlengine import BatchResult, ClientConnection, SqlServer, connect
+
+
+@dataclass
+class EcaRuleSpec:
+    """Declarative description of one ECA rule, renderable to the agent's
+    extended trigger syntax (Figures 9, 10, 12)."""
+
+    trigger_name: str
+    action_sql: str
+    event_name: str
+    on_table: str | None = None          # primitive-event form
+    operation: str | None = None         # insert | update | delete
+    expression: str | None = None        # composite-event form (Snoop)
+    coupling: Coupling | None = None
+    context: Context | None = None
+    priority: int | None = None
+
+    def to_sql(self) -> str:
+        """Render the ECA command text."""
+        parts = [f"create trigger {self.trigger_name}"]
+        if self.on_table is not None:
+            if self.operation is None:
+                raise ValueError("on_table requires operation")
+            parts.append(f"on {self.on_table}")
+            parts.append(f"for {self.operation}")
+        event_clause = f"event {self.event_name}"
+        if self.expression is not None:
+            event_clause += f" = {self.expression}"
+        parts.append(event_clause)
+        modifiers: list[str] = []
+        if self.coupling is not None:
+            modifiers.append(self.coupling.value)
+        if self.context is not None:
+            modifiers.append(self.context.value)
+        if self.priority is not None:
+            modifiers.append(str(self.priority))
+        if modifiers:
+            parts.append(" ".join(modifiers))
+        parts.append(f"as {self.action_sql}")
+        return "\n".join(parts)
+
+
+class ActiveDatabase:
+    """A Virtual Active SQL Server: passive engine + ECA Agent in one.
+
+    Example::
+
+        from repro.core import ActiveDatabase, Context
+
+        adb = ActiveDatabase(database="sentineldb", user="sharma")
+        adb.execute("create table stock (symbol varchar(10), price float)")
+        adb.define_rule(
+            "t_addStk", event="addStk", on_table="stock",
+            operation="insert",
+            action='print "stock added"',
+        )
+        result = adb.execute("insert stock values ('IBM', 101.5)")
+        assert "stock added" in result.messages
+    """
+
+    def __init__(self, database: str = "activedb", user: str = "dbo",
+                 channel: str = "sync", clock: VirtualClock | None = None,
+                 swallow_action_errors: bool = False,
+                 notify_host: str = "127.0.0.1", notify_port: int = 10006):
+        self.server = SqlServer(default_database=database)
+        self.agent = EcaAgent(
+            self.server, channel=channel, clock=clock,
+            notify_host=notify_host, notify_port=notify_port,
+            swallow_action_errors=swallow_action_errors,
+        )
+        self.database = database
+        self.user = user
+        self._admin = self.agent.connect(user=user, database=database)
+
+    # ------------------------------------------------------------------
+    # connections
+
+    def connect(self, user: str | None = None,
+                database: str | None = None) -> ClientConnection:
+        """A mediated (active) connection — the normal entry point."""
+        return self.agent.connect(
+            user=user or self.user, database=database or self.database)
+
+    def connect_direct(self, user: str | None = None,
+                       database: str | None = None) -> ClientConnection:
+        """A raw connection bypassing the agent (passive behaviour only);
+        used by the transparency bench (E-FIG1)."""
+        return connect(
+            self.server, user=user or self.user,
+            database=database or self.database)
+
+    # ------------------------------------------------------------------
+    # SQL
+
+    def execute(self, sql: str) -> BatchResult:
+        """Run SQL (plain or ECA) on the built-in admin connection."""
+        return self._admin.execute(sql)
+
+    # ------------------------------------------------------------------
+    # declarative rules
+
+    def define_rule(self, trigger_name: str, *, event: str,
+                    action: str, on_table: str | None = None,
+                    operation: str | None = None,
+                    expression: str | None = None,
+                    coupling: Coupling | str | None = None,
+                    context: Context | str | None = None,
+                    priority: int | None = None) -> BatchResult:
+        """Define an ECA rule without hand-writing the extended syntax.
+
+        - primitive event: pass ``on_table`` + ``operation``;
+        - composite event: pass ``expression`` (Snoop text);
+        - existing event: pass neither.
+        """
+        if isinstance(coupling, str):
+            coupling = Coupling.parse(coupling)
+        if isinstance(context, str):
+            context = Context.parse(context)
+        spec = EcaRuleSpec(
+            trigger_name=trigger_name,
+            action_sql=action,
+            event_name=event,
+            on_table=on_table,
+            operation=operation,
+            expression=expression,
+            coupling=coupling,
+            context=context,
+            priority=priority,
+        )
+        return self.execute(spec.to_sql())
+
+    def drop_rule(self, trigger_name: str) -> BatchResult:
+        """Drop an ECA trigger."""
+        return self.execute(f"drop trigger {trigger_name}")
+
+    def drop_event(self, event_name: str) -> BatchResult:
+        """Drop an event (must have no remaining triggers/dependents)."""
+        return self.execute(f"drop event {event_name}")
+
+    # ------------------------------------------------------------------
+    # temporal / async control
+
+    def advance_time(self, seconds: float):
+        """Advance the agent's virtual clock (temporal operators fire)."""
+        return self.agent.advance_time(seconds)
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait for asynchronous notification delivery to settle."""
+        return self.agent.drain(timeout)
+
+    def close(self) -> None:
+        self.agent.close()
+
+    def __enter__(self) -> "ActiveDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,21 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Every error raised by the SQL engine, the Snoop parser, the local event
+detector, or the ECA agent derives from :class:`ReproError`, so callers can
+catch one root type at an API boundary.  Subsystems refine the hierarchy in
+their own ``errors`` modules (for example ``repro.sqlengine.errors``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was assembled or configured inconsistently."""
+
+
+class NotSupportedError(ReproError):
+    """A requested feature is deliberately outside the supported dialect."""

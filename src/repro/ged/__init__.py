@@ -1,0 +1,17 @@
+"""``repro.ged`` — the Global Event Detector (paper Section 6 future work).
+
+"We plan on supporting heterogeneous distributed active capability ...
+and use a global event detector (GED) for events and rules across
+application/systems."
+
+This extension implements that plan at laptop scale: a
+:class:`GlobalEventDetector` owns its own LED whose primitive events are
+*imported* events from any number of site agents.  When an imported event
+occurs at its home site, the site's LED forwards the occurrence to the
+GED, where global composite events (spanning sites) are detected and
+global rules fire.
+"""
+
+from .global_detector import GlobalEventDetector, GlobalRuleFiring
+
+__all__ = ["GlobalEventDetector", "GlobalRuleFiring"]

@@ -1,0 +1,122 @@
+"""Global composite event detection across multiple ECA agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.agent import EcaAgent
+from repro.errors import ConfigurationError
+from repro.led import Context, Coupling, LocalEventDetector, ManualClock, Occurrence
+from repro.led.clock import VirtualClock
+
+
+@dataclass
+class GlobalRuleFiring:
+    """Record of one global rule execution."""
+
+    rule_name: str
+    event_name: str
+    occurrence: Occurrence
+
+
+class GlobalEventDetector:
+    """Detects composite events whose constituents occur at different
+    sites (agents).
+
+    Imported events are named ``<site>::<event internal>`` inside the
+    GED, mirroring Snoop's ``Eventname::AppId`` qualified form
+    (Section 2.1's BNF).
+    """
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.led = LocalEventDetector(clock=clock or ManualClock())
+        self.sites: dict[str, EcaAgent] = {}
+        self.firings: list[GlobalRuleFiring] = []
+        self._imports: dict[str, str] = {}  # global name -> site
+
+    # ------------------------------------------------------------------
+    # sites and imports
+
+    def register_site(self, name: str, agent: EcaAgent) -> None:
+        """Attach a site agent under a unique site name."""
+        if name in self.sites:
+            raise ConfigurationError(f"site '{name}' is already registered")
+        self.sites[name] = agent
+
+    def global_name(self, site: str, event_internal: str) -> str:
+        """The GED-side name of an imported event."""
+        return f"{event_internal}::{site}"
+
+    def import_event(self, site: str, event_internal: str) -> str:
+        """Make a site event visible to global composite definitions.
+
+        Installs a forwarding rule in the site's LED; every occurrence of
+        the event at the site is re-raised in the GED's LED (with the
+        site stamped into the parameters).
+        """
+        agent = self.sites.get(site)
+        if agent is None:
+            raise ConfigurationError(f"unknown site '{site}'")
+        name = self.global_name(site, event_internal)
+        if self.led.has_event(name):
+            return name
+        self.led.define_primitive(name)
+        self._imports[name] = site
+
+        def forward(occurrence: Occurrence, _site=site, _name=name) -> None:
+            params: dict[str, object] = {"site": _site}
+            # Preserve the site-local parameters so global rules can reach
+            # back to snapshot tables and occurrence numbers.
+            flattened = occurrence.flatten()
+            params["constituents"] = [item.params for item in flattened]
+            if len(flattened) == 1:
+                params.update(flattened[0].params)
+            self.led.raise_event(_name, params)
+
+        agent.led.add_rule(
+            f"__ged_forward_{name}",
+            event_internal,
+            action=forward,
+            context=Context.RECENT,
+            coupling=Coupling.IMMEDIATE,
+        )
+        return name
+
+    # ------------------------------------------------------------------
+    # global events and rules
+
+    def define_global_event(self, name: str, expression: str) -> None:
+        """Define a global composite event over imported event names."""
+        self.led.define_composite(name, expression)
+
+    def add_global_rule(self, rule_name: str, event_name: str,
+                        action: Callable[[Occurrence], object] | None = None,
+                        context: Context | str = Context.RECENT,
+                        sql_site: str | None = None,
+                        sql: str | None = None) -> None:
+        """Attach a rule to a global event.
+
+        The action is either a Python callable or, with ``sql_site`` and
+        ``sql``, a SQL script executed at the named site through its
+        agent (the distributed analogue of the Action Handler).
+        """
+        if (sql is None) == (action is None):
+            if sql is None:
+                raise ConfigurationError(
+                    "provide either an action callable or sql_site+sql")
+
+        def run(occurrence: Occurrence) -> None:
+            self.firings.append(
+                GlobalRuleFiring(rule_name, event_name, occurrence))
+            if action is not None:
+                action(occurrence)
+            if sql is not None:
+                agent = self.sites.get(sql_site or "")
+                if agent is None:
+                    raise ConfigurationError(
+                        f"unknown action site '{sql_site}'")
+                database = agent.server.default_database
+                agent.persistent_manager.execute(database, sql)
+
+        self.led.add_rule(rule_name, event_name, action=run, context=context)

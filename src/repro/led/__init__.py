@@ -1,0 +1,41 @@
+"""``repro.led`` — the Local Event Detector (LED).
+
+A re-implementation of Sentinel's LED (paper Section 2): an event graph
+whose leaves are primitive events and whose inner nodes are Snoop
+operators.  Primitive event occurrences are *raised* into the detector;
+composite occurrences propagate up the graph and fire the ECA rules
+attached to event nodes.
+
+Key concepts:
+
+- :class:`~repro.led.occurrences.Occurrence` — one event occurrence with
+  its interval and constituent primitive occurrences (the rule parameters).
+- :class:`~repro.led.rules.Context` — the four Snoop parameter contexts
+  (RECENT, CHRONICLE, CONTINUOUS, CUMULATIVE) that govern how initiator
+  and terminator occurrences pair up.
+- :class:`~repro.led.rules.Coupling` — IMMEDIATE / DEFERRED / DETACHED
+  action execution.
+- :class:`~repro.led.detector.LocalEventDetector` — the facade: register
+  events (from Snoop ASTs), attach rules, raise occurrences, drive time.
+"""
+
+from .clock import ManualClock, SystemClock, VirtualClock
+from .detector import LocalEventDetector, RuleFiring
+from .errors import DetectorError, EventDefinitionError, RuleError
+from .occurrences import Occurrence
+from .rules import Context, Coupling, Rule
+
+__all__ = [
+    "Context",
+    "Coupling",
+    "DetectorError",
+    "EventDefinitionError",
+    "LocalEventDetector",
+    "ManualClock",
+    "Occurrence",
+    "Rule",
+    "RuleError",
+    "RuleFiring",
+    "SystemClock",
+    "VirtualClock",
+]

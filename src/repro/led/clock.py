@@ -1,0 +1,52 @@
+"""Clocks for the detector's temporal operators (P, P*, PLUS).
+
+The paper's LED uses wall-clock time.  For reproducible tests and benches
+we default to a :class:`ManualClock` that only moves when told to; the
+:class:`SystemClock` provides the faithful real-time behaviour.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class VirtualClock:
+    """Abstract clock: monotonically non-decreasing seconds since epoch."""
+
+    def now(self) -> float:
+        """Current time in (possibly virtual) seconds."""
+        raise NotImplementedError
+
+
+class ManualClock(VirtualClock):
+    """A clock that moves only via :meth:`advance` / :meth:`set`.
+
+    Drives deterministic tests of temporal operators: advance the clock,
+    then ask the detector to process due timers.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not go backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot move a clock backwards")
+        self._now = float(timestamp)
+
+
+class SystemClock(VirtualClock):
+    """Wall-clock time (``time.time``)."""
+
+    def now(self) -> float:
+        return _time.time()

@@ -1,0 +1,434 @@
+"""The Local Event Detector facade.
+
+Owns the event registry, the event graph, rule dispatch, the timer queue,
+and the deferred/detached action machinery.  This is the component the ECA
+Agent embeds (paper Figure 2); it can equally be used standalone as a
+composite-event rule engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.snoop import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventExpr,
+    EventName,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Seq,
+    parse_event_expression,
+)
+
+from .clock import ManualClock, VirtualClock
+from .errors import ActionError, EventDefinitionError, RuleError
+from .nodes import EventNode, PrimitiveEventNode
+from .occurrences import Occurrence, primitive
+from .operators import (
+    INITIATOR,
+    LEFT,
+    MIDDLE,
+    RIGHT,
+    TERMINATOR,
+    AndNode,
+    AperiodicNode,
+    AperiodicStarNode,
+    CompositeNode,
+    NotNode,
+    OrNode,
+    PeriodicNode,
+    PeriodicStarNode,
+    PlusNode,
+    SeqNode,
+)
+from .rules import (
+    DEFAULT_CONTEXT,
+    DEFAULT_COUPLING,
+    DEFAULT_PRIORITY,
+    Action,
+    Condition,
+    Context,
+    Coupling,
+    Rule,
+    always_true,
+)
+from .snooptime import TimerHandle, TimerQueue
+
+
+@dataclass
+class RuleFiring:
+    """Record of one rule triggering (kept in the detector history)."""
+
+    rule_name: str
+    event_name: str
+    occurrence: Occurrence
+    context: Context
+    coupling: Coupling
+    at: float
+    error: BaseException | None = None
+
+
+class LocalEventDetector:
+    """Composite event detection engine with ECA rule dispatch.
+
+    Args:
+        clock: time source for temporal operators (default: a
+            :class:`ManualClock` starting at 0 — deterministic).
+        detached_dispatcher: callable ``(rule, occurrence) -> None``
+            invoked for DETACHED-coupled rules; defaults to synchronous
+            execution (the agent installs its thread-pool ``SybaseAction``
+            analogue here).
+        swallow_action_errors: when True, exceptions from rule actions are
+            recorded in the firing history instead of propagating.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None,
+                 detached_dispatcher: Callable[[Rule, Occurrence], None] | None = None,
+                 swallow_action_errors: bool = False):
+        self.clock = clock or ManualClock()
+        self.events: dict[str, EventNode] = {}
+        self.rules: dict[str, Rule] = {}
+        self._rules_by_event: dict[str, list[Rule]] = {}
+        self._timers = TimerQueue()
+        self._seq = itertools.count(1)
+        self._anon = itertools.count(1)
+        self._lock = threading.RLock()
+        self.detached_dispatcher = detached_dispatcher
+        self.swallow_action_errors = swallow_action_errors
+        self.history: list[RuleFiring] = []
+        self._deferred: list[tuple[Rule, Occurrence, Context]] = []
+        self._current_firings: list[RuleFiring] | None = None
+
+    # ------------------------------------------------------------------
+    # event definition
+
+    def has_event(self, name: str) -> bool:
+        return name in self.events
+
+    def get_event(self, name: str) -> EventNode:
+        node = self.events.get(name)
+        if node is None:
+            raise EventDefinitionError(f"event '{name}' is not defined")
+        return node
+
+    def define_primitive(self, name: str) -> PrimitiveEventNode:
+        """Register a primitive event name."""
+        with self._lock:
+            if name in self.events:
+                raise EventDefinitionError(f"event '{name}' already exists")
+            node = PrimitiveEventNode(self, name)
+            self.events[name] = node
+            return node
+
+    def define_composite(self, name: str,
+                         expression: EventExpr | str) -> CompositeNode:
+        """Register a composite event from a Snoop expression.
+
+        Every event name referenced by the expression must already be
+        defined (the paper's name-checking step); the new event may itself
+        be referenced by later definitions (event reuse).
+        """
+        with self._lock:
+            if name in self.events:
+                raise EventDefinitionError(f"event '{name}' already exists")
+            expr = (
+                parse_event_expression(expression)
+                if isinstance(expression, str)
+                else expression
+            )
+            node = self._build(expr, top_name=name)
+            if not isinstance(node, CompositeNode):
+                raise EventDefinitionError(
+                    f"expression for '{name}' must use at least one operator "
+                    "(a bare event name does not define a new event)"
+                )
+            self.events[name] = node
+            return node
+
+    def _build(self, expr: EventExpr, top_name: str | None = None) -> EventNode:
+        """Recursively build graph nodes for an expression tree."""
+        name = top_name or f"_anon{next(self._anon)}"
+        if isinstance(expr, EventName):
+            return self.get_event(expr.name)
+        if isinstance(expr, Or):
+            return OrNode(self, name, {
+                LEFT: self._build(expr.left), RIGHT: self._build(expr.right)})
+        if isinstance(expr, And):
+            return AndNode(self, name, {
+                LEFT: self._build(expr.left), RIGHT: self._build(expr.right)})
+        if isinstance(expr, Seq):
+            return SeqNode(self, name, {
+                LEFT: self._build(expr.left), RIGHT: self._build(expr.right)})
+        if isinstance(expr, Not):
+            return NotNode(self, name, {
+                INITIATOR: self._build(expr.initiator),
+                MIDDLE: self._build(expr.event),
+                TERMINATOR: self._build(expr.terminator),
+            })
+        if isinstance(expr, Aperiodic):
+            return AperiodicNode(self, name, {
+                INITIATOR: self._build(expr.initiator),
+                MIDDLE: self._build(expr.event),
+                TERMINATOR: self._build(expr.terminator),
+            })
+        if isinstance(expr, AperiodicStar):
+            return AperiodicStarNode(self, name, {
+                INITIATOR: self._build(expr.initiator),
+                MIDDLE: self._build(expr.event),
+                TERMINATOR: self._build(expr.terminator),
+            })
+        if isinstance(expr, Periodic):
+            return PeriodicNode(self, name, {
+                INITIATOR: self._build(expr.initiator),
+                TERMINATOR: self._build(expr.terminator),
+            }, expr.period.seconds, expr.parameter)
+        if isinstance(expr, PeriodicStar):
+            return PeriodicStarNode(self, name, {
+                INITIATOR: self._build(expr.initiator),
+                TERMINATOR: self._build(expr.terminator),
+            }, expr.period.seconds, expr.parameter)
+        if isinstance(expr, Plus):
+            return PlusNode(self, name, {
+                INITIATOR: self._build(expr.event),
+            }, expr.delta.seconds)
+        raise EventDefinitionError(
+            f"unsupported expression node {type(expr).__name__}")
+
+    def drop_event(self, name: str) -> None:
+        """Remove an event; refuses if rules or other events depend on it."""
+        with self._lock:
+            node = self.get_event(name)
+            if node.parents:
+                raise EventDefinitionError(
+                    f"event '{name}' is used by other composite events")
+            if self._rules_by_event.get(name):
+                raise EventDefinitionError(
+                    f"event '{name}' still has rules attached")
+            # Unhook this composite from its children so they stop feeding it.
+            for child in node.children():
+                child.detach_parent(node)
+            del self.events[name]
+
+    # ------------------------------------------------------------------
+    # rules
+
+    def add_rule(self, name: str, event_name: str, action: Action,
+                 condition: Condition = always_true,
+                 context: Context | str = DEFAULT_CONTEXT,
+                 coupling: Coupling | str = DEFAULT_COUPLING,
+                 priority: int = DEFAULT_PRIORITY) -> Rule:
+        """Attach a rule to an event (multiple rules per event allowed)."""
+        with self._lock:
+            if name in self.rules:
+                raise RuleError(f"rule '{name}' already exists")
+            node = self.get_event(event_name)
+            if isinstance(context, str):
+                context = Context.parse(context)
+            if isinstance(coupling, str):
+                coupling = Coupling.parse(coupling)
+            rule = Rule(
+                name=name, event_name=event_name, action=action,
+                condition=condition, context=context, coupling=coupling,
+                priority=priority,
+            )
+            self.rules[name] = rule
+            bucket = self._rules_by_event.setdefault(event_name, [])
+            bucket.append(rule)
+            bucket.sort(key=lambda r: (-r.priority, r.name))
+            node.activate(context)
+            return rule
+
+    def drop_rule(self, name: str) -> None:
+        with self._lock:
+            rule = self.rules.pop(name, None)
+            if rule is None:
+                raise RuleError(f"rule '{name}' does not exist")
+            bucket = self._rules_by_event.get(rule.event_name, [])
+            if rule in bucket:
+                bucket.remove(rule)
+
+    def rules_for(self, event_name: str) -> list[Rule]:
+        """The rules attached to an event, highest priority first."""
+        return list(self._rules_by_event.get(event_name, []))
+
+    # ------------------------------------------------------------------
+    # raising events and time
+
+    def raise_event(self, name: str, params: dict[str, object] | None = None,
+                    at: float | None = None) -> list[RuleFiring]:
+        """Raise a primitive event occurrence.
+
+        Returns the rule firings triggered synchronously by this raise
+        (immediate actions run; deferred/detached are recorded as firings
+        when they are later executed, not here).
+        """
+        with self._lock:
+            node = self.get_event(name)
+            if not isinstance(node, PrimitiveEventNode):
+                raise EventDefinitionError(
+                    f"'{name}' is a composite event; only primitive events "
+                    "can be raised externally")
+            time = self.clock.now() if at is None else at
+            occurrence = primitive(name, time, next(self._seq), params)
+            outer = self._current_firings is None
+            if outer:
+                self._current_firings = []
+            try:
+                node.on_raise(occurrence)
+                return list(self._current_firings or [])
+            finally:
+                if outer:
+                    self._current_firings = None
+
+    def process_timers(self) -> list[RuleFiring]:
+        """Run all timers due at the current clock time; returns firings."""
+        with self._lock:
+            outer = self._current_firings is None
+            if outer:
+                self._current_firings = []
+            try:
+                self._timers.process_due(self.clock.now())
+                return list(self._current_firings or [])
+            finally:
+                if outer:
+                    self._current_firings = None
+
+    def advance_time(self, seconds: float) -> list[RuleFiring]:
+        """Advance a :class:`ManualClock` and process due timers."""
+        clock = self.clock
+        if not isinstance(clock, ManualClock):
+            raise RuleError("advance_time requires a ManualClock")
+        with self._lock:
+            outer = self._current_firings is None
+            if outer:
+                self._current_firings = []
+            try:
+                target = clock.now() + seconds
+                # Step through intermediate timer deadlines so periodic
+                # reschedules land at exact multiples.
+                while True:
+                    next_fire = self._timers.next_fire_time()
+                    if next_fire is None or next_fire > target:
+                        break
+                    clock.set(max(next_fire, clock.now()))
+                    self._timers.process_due(clock.now())
+                clock.set(target)
+                self._timers.process_due(target)
+                return list(self._current_firings or [])
+            finally:
+                if outer:
+                    self._current_firings = None
+
+    def pending_timer_count(self) -> int:
+        return len(self._timers)
+
+    def flush_deferred(self) -> list[RuleFiring]:
+        """Execute all DEFERRED actions queued so far (transaction end)."""
+        with self._lock:
+            queued = self._deferred
+            self._deferred = []
+            firings: list[RuleFiring] = []
+            for rule, occurrence, context in queued:
+                firings.append(self._run_action(rule, occurrence, context))
+            return firings
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    def discard_deferred(self) -> int:
+        """Drop queued DEFERRED actions (the enclosing transaction rolled
+        back, so its rule actions must not run); returns the count."""
+        with self._lock:
+            count = len(self._deferred)
+            self._deferred = []
+            return count
+
+    def reset_detection_state(self) -> None:
+        """Clear partial detections and pending timers (keep definitions)."""
+        with self._lock:
+            for node in self.events.values():
+                node.reset()
+            self._timers = TimerQueue()
+            self._deferred = []
+
+    # ------------------------------------------------------------------
+    # internals used by nodes
+
+    def _schedule_timer(self, fire_at: float, callback) -> TimerHandle:
+        return self._timers.schedule(fire_at, callback)
+
+    def _timer_occurrence(self, name: str, fire_time: float,
+                          parameter: str | None) -> Occurrence:
+        params: dict[str, object] = {"time": fire_time}
+        if parameter:
+            params["parameter"] = parameter
+        return primitive(name, fire_time, next(self._seq), params)
+
+    def _dispatch_rules(self, node: EventNode, occurrence: Occurrence,
+                        context: Context | None) -> None:
+        rules = self._rules_by_event.get(node.name)
+        if not rules:
+            return
+        for rule in list(rules):
+            if not rule.enabled:
+                continue
+            if context is not None and rule.context is not context:
+                continue
+            effective = context if context is not None else rule.context
+            try:
+                if not rule.condition(occurrence):
+                    continue
+            except Exception as exc:
+                self._record(RuleFiring(
+                    rule.name, node.name, occurrence, effective,
+                    rule.coupling, self.clock.now(), error=exc))
+                if not self.swallow_action_errors:
+                    raise ActionError(rule.name, exc) from exc
+                continue
+            if rule.coupling is Coupling.IMMEDIATE:
+                self._run_action(rule, occurrence, effective)
+            elif rule.coupling is Coupling.DEFERRED:
+                self._deferred.append((rule, occurrence, effective))
+            else:  # DETACHED
+                if self.detached_dispatcher is not None:
+                    # The dispatcher records the completed firing itself
+                    # (via record_external_firing) when the worker is done.
+                    self.detached_dispatcher(rule, occurrence)
+                else:
+                    self._run_action(rule, occurrence, effective)
+
+    def _run_action(self, rule: Rule, occurrence: Occurrence,
+                    context: Context) -> RuleFiring:
+        firing = RuleFiring(
+            rule.name, rule.event_name, occurrence, context,
+            rule.coupling, self.clock.now())
+        try:
+            rule.action(occurrence)
+        except Exception as exc:
+            firing.error = exc
+            self._record(firing)
+            if not self.swallow_action_errors:
+                raise ActionError(rule.name, exc) from exc
+            return firing
+        self._record(firing)
+        return firing
+
+    def record_external_firing(self, firing: RuleFiring) -> None:
+        """Let an external dispatcher (the agent's action handler) log the
+        completion of a DETACHED action into the shared history."""
+        with self._lock:
+            self.history.append(firing)
+
+    def _record(self, firing: RuleFiring) -> None:
+        self.history.append(firing)
+        if self._current_firings is not None:
+            self._current_firings.append(firing)

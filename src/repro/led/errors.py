@@ -1,0 +1,27 @@
+"""Errors raised by the local event detector."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class DetectorError(ReproError):
+    """Root of LED errors."""
+
+
+class EventDefinitionError(DetectorError):
+    """An event definition is invalid (duplicate name, unknown constituent,
+    dropping an event that other events or rules depend on, ...)."""
+
+
+class RuleError(DetectorError):
+    """A rule definition or rule operation is invalid."""
+
+
+class ActionError(DetectorError):
+    """A rule action raised; wraps the original exception."""
+
+    def __init__(self, rule_name: str, original: BaseException):
+        super().__init__(f"action of rule '{rule_name}' failed: {original!r}")
+        self.rule_name = rule_name
+        self.original = original

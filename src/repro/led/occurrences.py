@@ -1,0 +1,104 @@
+"""Event occurrences and their composition.
+
+An :class:`Occurrence` is one detected instance of an event.  A primitive
+occurrence is its own single constituent; a composite occurrence carries
+the primitive occurrences that produced it — these constituents are
+exactly the *parameters* that Snoop's parameter contexts collect and that
+the agent's action procedures consume (paper Section 5.6).
+
+Ordering uses ``(time, seq)`` pairs: ``seq`` is a detector-global counter
+so simultaneous raises still have a well-defined total order (needed by
+SEQ's "strictly before" semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One event occurrence.
+
+    Attributes:
+        event_name: name of the event this occurrence belongs to (inner
+            anonymous operator nodes use a generated name).
+        start: ``(time, seq)`` of the earliest constituent.
+        end: ``(time, seq)`` of the latest constituent (detection point).
+        constituents: the primitive occurrences composing this one, in
+            detection order.
+        params: payload of a primitive occurrence (empty for composites;
+            a composite's data lives in its constituents).
+    """
+
+    event_name: str
+    start: tuple[float, int]
+    end: tuple[float, int]
+    constituents: tuple["Occurrence", ...] = ()
+    params: dict[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def time(self) -> float:
+        """Detection time (the end of the interval)."""
+        return self.end[0]
+
+    @property
+    def seq(self) -> int:
+        """Detection sequence number."""
+        return self.end[1]
+
+    def before(self, other: "Occurrence") -> bool:
+        """Strictly-before test used by SEQ: this ends before other starts."""
+        return self.end < other.start
+
+    def flatten(self) -> tuple["Occurrence", ...]:
+        """This occurrence's primitive constituents (itself if primitive)."""
+        if not self.constituents:
+            return (self,)
+        return self.constituents
+
+    def constituent_names(self) -> list[str]:
+        """Names of the primitive constituents, in order."""
+        return [item.event_name for item in self.flatten()]
+
+    def describe(self) -> str:
+        """Compact rendering for logs: ``name[c1@t1, c2@t2]``."""
+        inner = ", ".join(
+            f"{item.event_name}@{item.time:g}" for item in self.flatten()
+        )
+        return f"{self.event_name}[{inner}]"
+
+
+def primitive(event_name: str, time: float, seq: int,
+              params: dict[str, object] | None = None) -> Occurrence:
+    """Build a primitive occurrence (its own single constituent)."""
+    occurrence = Occurrence(
+        event_name=event_name,
+        start=(time, seq),
+        end=(time, seq),
+        constituents=(),
+        params=params or {},
+    )
+    return occurrence
+
+
+def compose(event_name: str, parts: list[Occurrence]) -> Occurrence:
+    """Combine occurrences into a composite occurrence.
+
+    The composite's interval spans all parts; constituents are the parts'
+    primitive constituents in chronological order.
+    """
+    if not parts:
+        raise ValueError("a composite occurrence needs at least one part")
+    flattened: list[Occurrence] = []
+    for part in parts:
+        flattened.extend(part.flatten())
+    flattened.sort(key=lambda occ: occ.end)
+    start = min(part.start for part in parts)
+    end = max(part.end for part in parts)
+    return Occurrence(
+        event_name=event_name,
+        start=start,
+        end=end,
+        constituents=tuple(flattened),
+    )

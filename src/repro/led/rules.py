@@ -1,0 +1,110 @@
+"""ECA rules: parameter contexts, coupling modes, priorities.
+
+Mirrors the RULE objects of the paper's Section 5.3::
+
+    RULE *t_and = new RULE(name, event, condition, SybaseAction,
+                           actionPara, RECENT);
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .occurrences import Occurrence
+
+
+class Context(enum.Enum):
+    """Snoop parameter contexts (paper Sections 2.1 and 5.6).
+
+    They differ in which initiator occurrences pair with a terminator and
+    which occurrences are consumed on detection:
+
+    - RECENT: only the most recent initiator is used; it is *not* consumed
+      (a newer initiator simply replaces it).
+    - CHRONICLE: initiator/terminator pairs in chronological (FIFO) order;
+      paired occurrences are consumed.
+    - CONTINUOUS: every pending initiator starts its own window; one
+      terminator detects one occurrence per open window and consumes all
+      of them.
+    - CUMULATIVE: all occurrences accumulate and are emitted (and consumed)
+      together in a single composite occurrence.
+    """
+
+    RECENT = "RECENT"
+    CHRONICLE = "CHRONICLE"
+    CONTINUOUS = "CONTINUOUS"
+    CUMULATIVE = "CUMULATIVE"
+
+    @classmethod
+    def parse(cls, text: str) -> "Context":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown parameter context {text!r}") from None
+
+
+class Coupling(enum.Enum):
+    """Event-action coupling modes (paper Figure 9; Section 6 future work).
+
+    - IMMEDIATE: the action runs synchronously when the event is detected.
+    - DEFERRED: the action is queued and runs when the triggering
+      transaction reaches its end (the detector's ``flush_deferred``).
+    - DETACHED: the action runs independently (the agent uses a worker
+      thread per action, its ``SybaseAction`` analogue).
+    """
+
+    IMMEDIATE = "IMMEDIATE"
+    DEFERRED = "DEFERRED"
+    DETACHED = "DETACHED"
+
+    @classmethod
+    def parse(cls, text: str) -> "Coupling":
+        normalized = text.strip().upper()
+        if normalized == "DEFERED":  # the paper's Figure 9 spelling
+            normalized = "DEFERRED"
+        try:
+            return cls[normalized]
+        except KeyError:
+            raise ValueError(f"unknown coupling mode {text!r}") from None
+
+
+#: Default modes per the paper ("The default coupling mode is IMMEDIATE,
+#: and the default parameter context is RECENT" — Section 5, with the
+#: figure and prose swapped; we follow the syntax figure's defaults).
+DEFAULT_CONTEXT = Context.RECENT
+DEFAULT_COUPLING = Coupling.IMMEDIATE
+DEFAULT_PRIORITY = 1
+
+#: Rule condition: predicate over the triggering occurrence.
+Condition = Callable[[Occurrence], bool]
+#: Rule action: consumer of the triggering occurrence.
+Action = Callable[[Occurrence], object]
+
+
+def always_true(_occurrence: Occurrence) -> bool:
+    """The default (empty) condition."""
+    return True
+
+
+@dataclass
+class Rule:
+    """One ECA rule bound to an event node.
+
+    Higher ``priority`` runs earlier among rules triggered by the same
+    occurrence (the paper's positive-integer priorities).
+    """
+
+    name: str
+    event_name: str
+    action: Action
+    condition: Condition = field(default=always_true)
+    context: Context = DEFAULT_CONTEXT
+    coupling: Coupling = DEFAULT_COUPLING
+    priority: int = DEFAULT_PRIORITY
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.priority < 1:
+            raise ValueError("priority must be a positive integer")

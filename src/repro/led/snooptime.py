@@ -1,0 +1,82 @@
+"""Timer queue for the detector's temporal operators.
+
+A deterministic timer wheel: callbacks are enqueued with an absolute fire
+time and run (in fire-time order) when the detector is asked to process
+timers up to the current clock reading.  This keeps the temporal operators
+(P, P*, PLUS) exact under the :class:`~repro.led.clock.ManualClock` used
+by tests and benches, while a real-time driver can simply call
+``process_due`` from a background thread under the system clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: A timer callback receives the time it was scheduled to fire at.
+TimerCallback = Callable[[float], None]
+
+
+@dataclass
+class TimerHandle:
+    """Cancelable reference to one scheduled timer."""
+
+    fire_at: float
+    seq: int
+    callback: TimerCallback | None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        self.callback = None
+
+
+@dataclass
+class TimerQueue:
+    """Min-heap of pending timers."""
+
+    _heap: list[tuple[float, int, TimerHandle]] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def __len__(self) -> int:
+        return sum(1 for _f, _s, handle in self._heap if not handle.cancelled)
+
+    def schedule(self, fire_at: float, callback: TimerCallback) -> TimerHandle:
+        """Enqueue a callback for an absolute fire time."""
+        handle = TimerHandle(fire_at, next(self._counter), callback)
+        heapq.heappush(self._heap, (fire_at, handle.seq, handle))
+        return handle
+
+    def next_fire_time(self) -> float | None:
+        """Earliest pending (non-cancelled) fire time, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def process_due(self, now: float) -> int:
+        """Run every timer with ``fire_at <= now`` in order; returns count.
+
+        Callbacks may schedule further timers (periodic rescheduling);
+        those are processed too if they are already due.
+        """
+        fired = 0
+        while self._heap:
+            fire_at, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if fire_at > now:
+                break
+            heapq.heappop(self._heap)
+            callback = handle.callback
+            handle.callback = None
+            assert callback is not None
+            callback(fire_at)
+            fired += 1
+        return fired

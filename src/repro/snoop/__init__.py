@@ -1,0 +1,56 @@
+"""``repro.snoop`` — the Snoop event specification language.
+
+Snoop (Chakravarthy & Mishra) is the composite-event language Sentinel —
+and therefore the ECA Agent — uses (paper Section 2.1).  This package
+implements its grammar:
+
+- binary operators ``OR``, ``AND``, ``SEQ`` (with the symbolic aliases
+  ``|``, ``^``, ``;`` the paper's Example 2 uses);
+- the ternary operators ``NOT(E1, E2, E3)``, ``A(E1, E2, E3)`` and
+  ``A*(E1, E2, E3)`` — in all three, ``E1`` is the *initiator*, ``E3`` the
+  *terminator*, and ``E2`` the constituent that must (A/A*) or must not
+  (NOT) occur in between;
+- the temporal operators ``P``/``P*`` (periodic) and ``E PLUS [t]``;
+- ``[time string]`` literals such as ``[10 sec]`` or ``[1 hour 30 min]``;
+- parenthesized expressions and (possibly qualified) event names.
+
+Parsing yields an AST of :class:`~repro.snoop.ast.EventExpr` nodes that the
+LED (:mod:`repro.led`) compiles into an event graph.
+"""
+
+from .ast import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventExpr,
+    EventName,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Seq,
+    TimeSpec,
+    walk,
+)
+from .errors import SnoopParseError
+from .parser import parse_event_expression, parse_time_spec
+
+__all__ = [
+    "And",
+    "Aperiodic",
+    "AperiodicStar",
+    "EventExpr",
+    "EventName",
+    "Not",
+    "Or",
+    "Periodic",
+    "PeriodicStar",
+    "Plus",
+    "Seq",
+    "SnoopParseError",
+    "TimeSpec",
+    "parse_event_expression",
+    "parse_time_spec",
+    "walk",
+]

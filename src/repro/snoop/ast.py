@@ -1,0 +1,225 @@
+"""AST nodes for Snoop event expressions.
+
+Every node knows how to render itself back to canonical Snoop text
+(:meth:`EventExpr.describe`), which the agent uses when persisting
+composite-event definitions to ``SysCompositeEvent.eventDescribe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class EventExpr:
+    """Base class of all Snoop expression nodes."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Canonical textual form of the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TimeSpec:
+    """A relative ``[time string]``, e.g. ``[1 hour 30 min]``.
+
+    Stored as total seconds; :meth:`describe` renders a canonical form.
+    """
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("time specification must be positive")
+
+    def describe(self) -> str:
+        remaining = self.seconds
+        parts: list[str] = []
+        for label, size in (("hour", 3600.0), ("min", 60.0)):
+            count = int(remaining // size)
+            if count:
+                parts.append(f"{count} {label}")
+                remaining -= count * size
+        if remaining or not parts:
+            if remaining == int(remaining):
+                parts.append(f"{int(remaining)} sec")
+            else:
+                parts.append(f"{remaining:g} sec")
+        return f"[{' '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class EventName(EventExpr):
+    """A reference to a named (primitive or composite) event.
+
+    ``name`` may be qualified, e.g. ``sentineldb.sharma.addStk``.
+    """
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Or(EventExpr):
+    """``E1 OR E2`` (alias ``|``): either constituent occurs."""
+
+    left: EventExpr
+    right: EventExpr
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} OR {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class And(EventExpr):
+    """``E1 AND E2`` (alias ``^``): both occur, in any order."""
+
+    left: EventExpr
+    right: EventExpr
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} AND {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Seq(EventExpr):
+    """``E1 SEQ E2`` (alias ``;``): E1 then, strictly later, E2."""
+
+    left: EventExpr
+    right: EventExpr
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} SEQ {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Not(EventExpr):
+    """``NOT(E1, E2, E3)``: E3 occurs after E1 with no E2 in between.
+
+    ``initiator`` starts the interval, ``event`` must *not* occur inside
+    it, and ``terminator`` closes the interval and signals the occurrence.
+    """
+
+    initiator: EventExpr
+    event: EventExpr
+    terminator: EventExpr
+
+    def describe(self) -> str:
+        return (
+            f"NOT({self.initiator.describe()}, {self.event.describe()}, "
+            f"{self.terminator.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class Aperiodic(EventExpr):
+    """``A(E1, E2, E3)``: signal each E2 inside the E1..E3 interval."""
+
+    initiator: EventExpr
+    event: EventExpr
+    terminator: EventExpr
+
+    def describe(self) -> str:
+        return (
+            f"A({self.initiator.describe()}, {self.event.describe()}, "
+            f"{self.terminator.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class AperiodicStar(EventExpr):
+    """``A*(E1, E2, E3)``: fire once at E3 with all E2s accumulated."""
+
+    initiator: EventExpr
+    event: EventExpr
+    terminator: EventExpr
+
+    def describe(self) -> str:
+        return (
+            f"A*({self.initiator.describe()}, {self.event.describe()}, "
+            f"{self.terminator.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class Periodic(EventExpr):
+    """``P(E1, [t], E3)``: fire every ``t`` inside the E1..E3 interval.
+
+    ``parameter`` carries the optional ``:param`` annotation of the BNF
+    (``P(E1, [t]:x, E3)``) naming the value to collect at each tick.
+    """
+
+    initiator: EventExpr
+    period: TimeSpec
+    terminator: EventExpr
+    parameter: str | None = None
+
+    def describe(self) -> str:
+        time_part = self.period.describe()
+        if self.parameter:
+            time_part = f"{time_part}:{self.parameter}"
+        return (
+            f"P({self.initiator.describe()}, {time_part}, "
+            f"{self.terminator.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class PeriodicStar(EventExpr):
+    """``P*(E1, [t], E3)``: cumulative periodic — fire once at E3 with
+    every tick's data accumulated."""
+
+    initiator: EventExpr
+    period: TimeSpec
+    terminator: EventExpr
+    parameter: str | None = None
+
+    def describe(self) -> str:
+        time_part = self.period.describe()
+        if self.parameter:
+            time_part = f"{time_part}:{self.parameter}"
+        return (
+            f"P*({self.initiator.describe()}, {time_part}, "
+            f"{self.terminator.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class Plus(EventExpr):
+    """``E PLUS [t]``: fire ``t`` after each occurrence of E."""
+
+    event: EventExpr
+    delta: TimeSpec
+
+    def describe(self) -> str:
+        return f"({self.event.describe()} PLUS {self.delta.describe()})"
+
+
+def walk(expr: EventExpr) -> Iterator[EventExpr]:
+    """Depth-first pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, (Or, And, Seq)):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, (Not, Aperiodic, AperiodicStar)):
+        yield from walk(expr.initiator)
+        yield from walk(expr.event)
+        yield from walk(expr.terminator)
+    elif isinstance(expr, (Periodic, PeriodicStar)):
+        yield from walk(expr.initiator)
+        yield from walk(expr.terminator)
+    elif isinstance(expr, Plus):
+        yield from walk(expr.event)
+
+
+def referenced_events(expr: EventExpr) -> list[str]:
+    """All distinct event names referenced, in first-appearance order."""
+    names: list[str] = []
+    for node in walk(expr):
+        if isinstance(node, EventName) and node.name not in names:
+            names.append(node.name)
+    return names

@@ -1,0 +1,18 @@
+"""Errors for the Snoop language front-end."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class SnoopError(ReproError):
+    """Root of Snoop-related errors."""
+
+
+class SnoopParseError(SnoopError):
+    """The event expression text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at position {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position

@@ -1,0 +1,93 @@
+"""Lexer for Snoop event expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SnoopParseError
+
+NAME = "NAME"
+TIME = "TIME"      # contents of a [time string], without the brackets
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+PIPE = "PIPE"      # OR alias
+CARET = "CARET"    # AND alias
+SEMI = "SEMI"      # SEQ alias
+STAR = "STAR"      # the '*' of A*/P*
+COLON = "COLON"    # the ':parameter' separator after a time string
+EOF = "EOF"
+
+_SINGLE = {
+    "(": LPAREN,
+    ")": RPAREN,
+    ",": COMMA,
+    "|": PIPE,
+    "^": CARET,
+    ";": SEMI,
+    "*": STAR,
+    ":": COLON,
+}
+
+
+@dataclass(frozen=True)
+class SnoopToken:
+    """One token with its character position."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_$#"
+
+
+def tokenize(text: str) -> list[SnoopToken]:
+    """Tokenize a Snoop expression string."""
+    tokens: list[SnoopToken] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "[":
+            end = text.find("]", index)
+            if end == -1:
+                raise SnoopParseError("unterminated [time string]", index)
+            tokens.append(SnoopToken(TIME, text[index + 1 : end].strip(), index))
+            index = end + 1
+            continue
+        if _is_name_start(char):
+            start = index
+            while index < length and _is_name_char(text[index]):
+                index += 1
+            # Absorb dotted qualification (db.user.event) and the
+            # Event:Object / Event::AppId forms of the Snoop BNF, but only
+            # when the separator is immediately adjacent to name text.
+            while index < length and text[index] in ".:":
+                separator = text[index]
+                run = index
+                while run < length and text[run] == separator:
+                    run += 1
+                if run - index > 2 or run >= length or not _is_name_start(text[run]):
+                    break
+                index = run
+                while index < length and _is_name_char(text[index]):
+                    index += 1
+            tokens.append(SnoopToken(NAME, text[start:index], start))
+            continue
+        kind = _SINGLE.get(char)
+        if kind is not None:
+            tokens.append(SnoopToken(kind, char, index))
+            index += 1
+            continue
+        raise SnoopParseError(f"unexpected character {char!r}", index)
+    tokens.append(SnoopToken(EOF, "", length))
+    return tokens

@@ -1,0 +1,247 @@
+"""Recursive-descent parser for Snoop event expressions.
+
+Implements the BNF of the paper's Section 2.1 with the operator
+precedence the grammar encodes: ``OR`` binds loosest, then ``AND``, then
+``SEQ``; ``PLUS`` and the ternary operators are tightest.  Symbolic
+aliases accepted: ``|`` (OR), ``^`` (AND, as used in Example 2's
+``delStk ^ addStk``), ``;`` (SEQ).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventExpr,
+    EventName,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Seq,
+    TimeSpec,
+)
+from .errors import SnoopParseError
+from .lexer import (
+    CARET,
+    COLON,
+    COMMA,
+    EOF,
+    LPAREN,
+    NAME,
+    PIPE,
+    RPAREN,
+    SEMI,
+    STAR,
+    TIME,
+    SnoopToken,
+    tokenize,
+)
+
+_UNIT_SECONDS = {
+    "ms": 0.001,
+    "msec": 0.001,
+    "millisecond": 0.001,
+    "milliseconds": 0.001,
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "hrs": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+_TIME_PAIR = re.compile(r"(\d+(?:\.\d+)?)\s*([A-Za-z]+)")
+
+#: Operator keywords that cannot be plain event names when followed by '('.
+_TERNARY_KEYWORDS = {"NOT", "A", "P"}
+
+
+def parse_time_spec(text: str) -> TimeSpec:
+    """Parse the contents of a ``[time string]`` into a :class:`TimeSpec`.
+
+    >>> parse_time_spec("1 hour 30 min").seconds
+    5400.0
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise SnoopParseError("empty time string")
+    total = 0.0
+    consumed = 0
+    for match in _TIME_PAIR.finditer(stripped):
+        amount, unit = match.groups()
+        factor = _UNIT_SECONDS.get(unit.lower())
+        if factor is None:
+            raise SnoopParseError(f"unknown time unit {unit!r}")
+        total += float(amount) * factor
+        consumed += len(match.group(0))
+    leftover = re.sub(r"\s+", "", stripped)
+    matched = "".join(
+        re.sub(r"\s+", "", match.group(0)) for match in _TIME_PAIR.finditer(stripped)
+    )
+    if leftover != matched:
+        raise SnoopParseError(f"cannot parse time string {text!r}")
+    if total <= 0:
+        raise SnoopParseError("time string must be positive")
+    return TimeSpec(total)
+
+
+class _SnoopParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    @property
+    def current(self) -> SnoopToken:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> SnoopToken:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> SnoopToken:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, what: str) -> SnoopToken:
+        if self.current.kind != kind:
+            raise SnoopParseError(
+                f"expected {what}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.current
+        return token.kind == NAME and token.value.upper() == word
+
+    # grammar ----------------------------------------------------------
+
+    def parse(self) -> EventExpr:
+        expr = self.parse_or()
+        if self.current.kind != EOF:
+            raise SnoopParseError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return expr
+
+    def parse_or(self) -> EventExpr:
+        left = self.parse_and()
+        while self.at_keyword("OR") or self.current.kind == PIPE:
+            self.advance()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> EventExpr:
+        left = self.parse_seq()
+        while self.at_keyword("AND") or self.current.kind == CARET:
+            self.advance()
+            left = And(left, self.parse_seq())
+        return left
+
+    def parse_seq(self) -> EventExpr:
+        left = self.parse_plus()
+        while self.at_keyword("SEQ") or self.current.kind == SEMI:
+            self.advance()
+            left = Seq(left, self.parse_plus())
+        return left
+
+    def parse_plus(self) -> EventExpr:
+        expr = self.parse_primary()
+        while self.at_keyword("PLUS"):
+            self.advance()
+            time_token = self.expect(TIME, "a [time string] after PLUS")
+            expr = Plus(expr, parse_time_spec(time_token.value))
+        return expr
+
+    def parse_primary(self) -> EventExpr:
+        token = self.current
+
+        if token.kind == LPAREN:
+            self.advance()
+            expr = self.parse_or()
+            self.expect(RPAREN, "')'")
+            return expr
+
+        if token.kind == NAME:
+            word = token.value.upper()
+            if word in _TERNARY_KEYWORDS and self._ternary_follows():
+                return self.parse_ternary(word)
+            self.advance()
+            return EventName(token.value)
+
+        raise SnoopParseError(
+            f"expected an event expression, found {token.value!r}",
+            token.position,
+        )
+
+    def _ternary_follows(self) -> bool:
+        """NOT/A/P act as operators only when '(' (or '*(') follows."""
+        nxt = self.peek()
+        if nxt.kind == LPAREN:
+            return True
+        return nxt.kind == STAR and self.peek(2).kind == LPAREN
+
+    def parse_ternary(self, word: str) -> EventExpr:
+        self.advance()  # the keyword
+        starred = False
+        if self.current.kind == STAR:
+            starred = True
+            self.advance()
+        if word == "NOT" and starred:
+            raise SnoopParseError("NOT has no '*' variant", self.current.position)
+        self.expect(LPAREN, "'('")
+        initiator = self.parse_or()
+        self.expect(COMMA, "','")
+
+        if word == "P":
+            time_token = self.expect(TIME, "a [time string]")
+            period = parse_time_spec(time_token.value)
+            parameter = None
+            if self.current.kind == COLON:
+                self.advance()
+                parameter = self.expect(NAME, "a parameter name").value
+            self.expect(COMMA, "','")
+            terminator = self.parse_or()
+            self.expect(RPAREN, "')'")
+            if starred:
+                return PeriodicStar(initiator, period, terminator, parameter)
+            return Periodic(initiator, period, terminator, parameter)
+
+        middle = self.parse_or()
+        self.expect(COMMA, "','")
+        terminator = self.parse_or()
+        self.expect(RPAREN, "')'")
+        if word == "NOT":
+            return Not(initiator, middle, terminator)
+        if starred:
+            return AperiodicStar(initiator, middle, terminator)
+        return Aperiodic(initiator, middle, terminator)
+
+
+def parse_event_expression(text: str) -> EventExpr:
+    """Parse Snoop text into an expression tree.
+
+    >>> parse_event_expression("delStk ^ addStk").describe()
+    '(delStk AND addStk)'
+    """
+    return _SnoopParser(text).parse()

@@ -1,0 +1,68 @@
+"""``repro.sqlengine`` — the passive relational engine substrate.
+
+A from-scratch, in-memory SQL server playing the role of the paper's
+Sybase SQL Server: multi-database catalog, a T-SQL-like dialect, stored
+procedures, and native triggers with Sybase's documented limitations.
+The ECA Agent (:mod:`repro.agent`) layers full active capability on top
+of this engine without modifying it — that is the paper's whole point.
+
+Quick use::
+
+    from repro.sqlengine import SqlServer, connect
+
+    server = SqlServer(default_database="sentineldb")
+    conn = connect(server, user="sharma", database="sentineldb")
+    conn.execute("create table stock (symbol varchar(10), price float)")
+    conn.execute("insert stock values ('IBM', 101.5)")
+    print(conn.execute("select * from stock").last.rows)
+"""
+
+from .client import ClientConnection, DirectEndpoint, SqlEndpoint, connect
+from .errors import (
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+    SchemaError,
+    SqlError,
+    SqlParseError,
+    SqlTypeError,
+    TransactionError,
+    TriggerRecursionError,
+)
+from .parser import parse_batch, parse_expression, parse_statement, split_batches
+from .results import BatchResult, ResultSet
+from .schema import Column, TableSchema
+from .server import Session, SqlServer
+from .table import Table
+from .types import SqlType, format_datetime, parse_datetime, sql_repr
+
+__all__ = [
+    "BatchResult",
+    "CatalogError",
+    "ClientConnection",
+    "Column",
+    "DirectEndpoint",
+    "ExecutionError",
+    "IntegrityError",
+    "ResultSet",
+    "SchemaError",
+    "Session",
+    "SqlEndpoint",
+    "SqlError",
+    "SqlParseError",
+    "SqlServer",
+    "SqlType",
+    "SqlTypeError",
+    "Table",
+    "TableSchema",
+    "TransactionError",
+    "TriggerRecursionError",
+    "connect",
+    "format_datetime",
+    "parse_batch",
+    "parse_datetime",
+    "parse_expression",
+    "parse_statement",
+    "split_batches",
+    "sql_repr",
+]

@@ -1,0 +1,205 @@
+"""Scalar builtin functions, including the ``syb_sendmsg`` notification hook.
+
+``syb_sendmsg(host, port, message)`` is the Sybase builtin the paper's
+generated triggers call (Figure 11) to notify the ECA Agent over UDP.  Here
+it delegates to the server's pluggable ``datagram_sink`` so the agent can
+attach either a real UDP socket channel or an in-process queue.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable
+
+from .errors import ExecutionError
+from .types import format_datetime, parse_datetime
+
+
+def _fn_getdate(ctx) -> _dt.datetime:
+    """Current timestamp — drawn from the server clock so tests can freeze it."""
+    return ctx.session.server.now()
+
+def _fn_user_name(ctx) -> str:
+    return ctx.session.user
+
+def _fn_db_name(ctx) -> str:
+    return ctx.session.database
+
+def _fn_upper(ctx, value) -> object:
+    return None if value is None else str(value).upper()
+
+def _fn_lower(ctx, value) -> object:
+    return None if value is None else str(value).lower()
+
+def _fn_ltrim(ctx, value) -> object:
+    return None if value is None else str(value).lstrip()
+
+def _fn_rtrim(ctx, value) -> object:
+    return None if value is None else str(value).rstrip()
+
+def _fn_len(ctx, value) -> object:
+    return None if value is None else len(str(value))
+
+def _fn_abs(ctx, value) -> object:
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)):
+        raise ExecutionError(f"abs() expects a number, got {value!r}")
+    return abs(value)
+
+def _fn_round(ctx, value, digits=0) -> object:
+    if value is None:
+        return None
+    return round(float(value), int(digits))
+
+def _fn_floor(ctx, value) -> object:
+    import math
+
+    return None if value is None else math.floor(float(value))
+
+def _fn_ceiling(ctx, value) -> object:
+    import math
+
+    return None if value is None else math.ceil(float(value))
+
+def _fn_isnull(ctx, value, fallback) -> object:
+    return fallback if value is None else value
+
+def _fn_coalesce(ctx, *values) -> object:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+def _fn_str(ctx, value, length=10) -> object:
+    if value is None:
+        return None
+    text = str(value)
+    return text[: int(length)]
+
+def _fn_substring(ctx, value, start, length) -> object:
+    if value is None:
+        return None
+    text = str(value)
+    begin = max(int(start) - 1, 0)
+    return text[begin : begin + int(length)]
+
+def _fn_charindex(ctx, needle, haystack) -> object:
+    if needle is None or haystack is None:
+        return None
+    return str(haystack).find(str(needle)) + 1
+
+def _fn_convert(ctx, type_name, value) -> object:
+    from .types import SqlType
+
+    if not isinstance(type_name, str):
+        raise ExecutionError("convert() first argument must be a type name")
+    return SqlType.parse(type_name).coerce(value)
+
+def _fn_datename(ctx, part, value) -> object:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = parse_datetime(value)
+    part = str(part).lower()
+    mapping = {
+        "year": "%Y", "yy": "%Y", "month": "%B", "mm": "%m", "day": "%d",
+        "dd": "%d", "hour": "%H", "minute": "%M", "second": "%S",
+        "weekday": "%A",
+    }
+    if part not in mapping:
+        raise ExecutionError(f"unknown datename part {part!r}")
+    return value.strftime(mapping[part])
+
+_DATEDIFF_SECONDS = {
+    "second": 1, "ss": 1, "minute": 60, "mi": 60, "hour": 3600, "hh": 3600,
+    "day": 86400, "dd": 86400,
+}
+
+def _fn_datediff(ctx, part, start, end) -> object:
+    if start is None or end is None:
+        return None
+    if isinstance(start, str):
+        start = parse_datetime(start)
+    if isinstance(end, str):
+        end = parse_datetime(end)
+    unit = _DATEDIFF_SECONDS.get(str(part).lower())
+    if unit is None:
+        raise ExecutionError(f"unknown datediff part {part!r}")
+    return int((end - start).total_seconds() // unit)
+
+def _fn_dateadd(ctx, part, amount, value) -> object:
+    if value is None or amount is None:
+        return None
+    if isinstance(value, str):
+        value = parse_datetime(value)
+    unit = _DATEDIFF_SECONDS.get(str(part).lower())
+    if unit is None:
+        raise ExecutionError(f"unknown dateadd part {part!r}")
+    return value + _dt.timedelta(seconds=unit * float(amount))
+
+def _fn_format_datetime(ctx, value) -> object:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = parse_datetime(value)
+    return format_datetime(value)
+
+def _fn_syb_sendmsg(ctx, host, port, message) -> int:
+    """Send a datagram through the server's notification sink.
+
+    Returns 0 on success like the Sybase builtin; raises if no sink is
+    configured (the agent installs one at startup).
+    """
+    server = ctx.session.server
+    server.send_datagram(str(host), int(port), str(message))
+    return 0
+
+def _fn_object_id(ctx, name) -> object:
+    """Sybase-ish object_id(): non-NULL if the named table exists."""
+    if name is None:
+        return None
+    from .statements import QualifiedName
+
+    session = ctx.session
+    try:
+        qname = QualifiedName.of(str(name))
+        table = session.server.catalog.resolve_table(qname, session, required=False)
+    except Exception:
+        return None
+    if table is None:
+        return None
+    return abs(hash((table.owner, table.name))) % 2_000_000_000 + 1
+
+
+def standard_functions() -> dict[str, Callable]:
+    """The scalar builtin registry installed on every server."""
+    return {
+        "getdate": _fn_getdate,
+        "user_name": _fn_user_name,
+        "suser_name": _fn_user_name,
+        "db_name": _fn_db_name,
+        "upper": _fn_upper,
+        "lower": _fn_lower,
+        "ltrim": _fn_ltrim,
+        "rtrim": _fn_rtrim,
+        "len": _fn_len,
+        "char_length": _fn_len,
+        "datalength": _fn_len,
+        "abs": _fn_abs,
+        "round": _fn_round,
+        "floor": _fn_floor,
+        "ceiling": _fn_ceiling,
+        "isnull": _fn_isnull,
+        "coalesce": _fn_coalesce,
+        "str": _fn_str,
+        "substring": _fn_substring,
+        "charindex": _fn_charindex,
+        "convert": _fn_convert,
+        "datename": _fn_datename,
+        "datediff": _fn_datediff,
+        "dateadd": _fn_dateadd,
+        "format_datetime": _fn_format_datetime,
+        "syb_sendmsg": _fn_syb_sendmsg,
+        "object_id": _fn_object_id,
+    }

@@ -1,0 +1,274 @@
+"""System catalog: databases, and name resolution for tables, procedures
+and triggers.
+
+Objects live inside a database under an *owner* (a user name), exactly as
+in Sybase, so fully qualified names are ``database.owner.object``.  Lookup
+of an unqualified name tries the session user's schema first, then the
+``dbo`` schema — the same fallback Sybase applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import CatalogError
+from .procedures import Procedure
+from .statements import QualifiedName
+from .table import Table
+from .triggers import Trigger
+
+#: The default owner schema, as in Sybase.
+DBO = "dbo"
+
+
+def _key(owner: str, name: str) -> tuple[str, str]:
+    return owner.lower(), name.lower()
+
+
+@dataclass
+class View:
+    """A named stored query (``CREATE VIEW``), expanded at query time."""
+
+    name: str
+    owner: str
+    select: object  # SelectStatement | UnionSelect
+    source: str = ""
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+
+@dataclass
+class Database:
+    """One database: its tables, views, stored procedures, and triggers."""
+
+    name: str
+    tables: dict[tuple[str, str], Table] = field(default_factory=dict)
+    views: dict[tuple[str, str], View] = field(default_factory=dict)
+    procedures: dict[tuple[str, str], Procedure] = field(default_factory=dict)
+    triggers: dict[tuple[str, str], Trigger] = field(default_factory=dict)
+
+    # -- tables --------------------------------------------------------
+
+    def add_table(self, table: Table, replace: bool = False) -> None:
+        key = _key(table.owner, table.name)
+        if not replace and (key in self.tables or key in self.views):
+            raise CatalogError(
+                f"table '{table.owner}.{table.name}' already exists in "
+                f"database '{self.name}'"
+            )
+        self.tables[key] = table
+
+    def get_table(self, owner: str, name: str) -> Table | None:
+        return self.tables.get(_key(owner, name))
+
+    def find_table(self, name: str, preferred_owner: str) -> Table | None:
+        """Resolve an unqualified table name: preferred owner, then dbo."""
+        table = self.get_table(preferred_owner, name)
+        if table is None and preferred_owner.lower() != DBO:
+            table = self.get_table(DBO, name)
+        return table
+
+    def drop_table(self, owner: str, name: str) -> Table:
+        key = _key(owner, name)
+        table = self.tables.pop(key, None)
+        if table is None:
+            raise CatalogError(
+                f"table '{owner}.{name}' does not exist in database '{self.name}'"
+            )
+        # Dropping a table drops its triggers, as in Sybase.
+        doomed = [
+            trig_key
+            for trig_key, trigger in self.triggers.items()
+            if _key(trigger.table_owner, trigger.table_name) == key
+        ]
+        for trig_key in doomed:
+            del self.triggers[trig_key]
+        return table
+
+    # -- views -----------------------------------------------------------
+
+    def add_view(self, view: View) -> None:
+        key = _key(view.owner, view.name)
+        if key in self.views or key in self.tables:
+            raise CatalogError(
+                f"object '{view.owner}.{view.name}' already exists in "
+                f"database '{self.name}'"
+            )
+        self.views[key] = view
+
+    def get_view(self, owner: str, name: str) -> View | None:
+        return self.views.get(_key(owner, name))
+
+    def find_view(self, name: str, preferred_owner: str) -> View | None:
+        view = self.get_view(preferred_owner, name)
+        if view is None and preferred_owner.lower() != DBO:
+            view = self.get_view(DBO, name)
+        return view
+
+    def drop_view(self, owner: str, name: str) -> None:
+        if self.views.pop(_key(owner, name), None) is None:
+            raise CatalogError(f"view '{owner}.{name}' does not exist")
+
+    # -- procedures ----------------------------------------------------
+
+    def add_procedure(self, procedure: Procedure, replace: bool = False) -> None:
+        key = _key(procedure.owner, procedure.name)
+        if not replace and key in self.procedures:
+            raise CatalogError(
+                f"procedure '{procedure.owner}.{procedure.name}' already exists"
+            )
+        self.procedures[key] = procedure
+
+    def get_procedure(self, owner: str, name: str) -> Procedure | None:
+        return self.procedures.get(_key(owner, name))
+
+    def find_procedure(self, name: str, preferred_owner: str) -> Procedure | None:
+        procedure = self.get_procedure(preferred_owner, name)
+        if procedure is None and preferred_owner.lower() != DBO:
+            procedure = self.get_procedure(DBO, name)
+        return procedure
+
+    def drop_procedure(self, owner: str, name: str) -> None:
+        if self.procedures.pop(_key(owner, name), None) is None:
+            raise CatalogError(f"procedure '{owner}.{name}' does not exist")
+
+    # -- triggers ------------------------------------------------------
+
+    def add_trigger(self, trigger: Trigger) -> list[str]:
+        """Install a trigger, silently displacing any existing trigger on
+        the same (table, operation) — the Sybase behaviour the paper calls
+        out ("No warning message is given before the overwrite occurs").
+
+        Returns the names of displaced triggers.
+        """
+        displaced: list[str] = []
+        table_key = _key(trigger.table_owner, trigger.table_name)
+        for existing_key, existing in list(self.triggers.items()):
+            if _key(existing.table_owner, existing.table_name) != table_key:
+                continue
+            if existing.name == trigger.name and existing.owner == trigger.owner:
+                continue
+            overlap = set(existing.operations) & set(trigger.operations)
+            if overlap:
+                displaced.append(existing.qualified_name)
+                del self.triggers[existing_key]
+        self.triggers[_key(trigger.owner, trigger.name)] = trigger
+        return displaced
+
+    def get_trigger(self, owner: str, name: str) -> Trigger | None:
+        return self.triggers.get(_key(owner, name))
+
+    def find_trigger(self, name: str, preferred_owner: str) -> Trigger | None:
+        trigger = self.get_trigger(preferred_owner, name)
+        if trigger is None and preferred_owner.lower() != DBO:
+            trigger = self.get_trigger(DBO, name)
+        return trigger
+
+    def drop_trigger(self, owner: str, name: str) -> None:
+        if self.triggers.pop(_key(owner, name), None) is None:
+            raise CatalogError(f"trigger '{owner}.{name}' does not exist")
+
+    def trigger_for(self, table: Table, operation: str) -> Trigger | None:
+        """The trigger (if any) that fires for ``operation`` on ``table``."""
+        table_key = _key(table.owner, table.name)
+        for trigger in self.triggers.values():
+            if (
+                _key(trigger.table_owner, trigger.table_name) == table_key
+                and trigger.fires_on(operation)
+            ):
+                return trigger
+        return None
+
+
+@dataclass
+class Catalog:
+    """All databases on one server."""
+
+    databases: dict[str, Database] = field(default_factory=dict)
+
+    def create_database(self, name: str) -> Database:
+        key = name.lower()
+        if key in self.databases:
+            raise CatalogError(f"database '{name}' already exists")
+        database = Database(name)
+        self.databases[key] = database
+        return database
+
+    def drop_database(self, name: str) -> None:
+        if self.databases.pop(name.lower(), None) is None:
+            raise CatalogError(f"database '{name}' does not exist")
+
+    def get_database(self, name: str) -> Database:
+        database = self.databases.get(name.lower())
+        if database is None:
+            raise CatalogError(f"database '{name}' does not exist")
+        return database
+
+    def has_database(self, name: str) -> bool:
+        return name.lower() in self.databases
+
+    # -- name resolution ------------------------------------------------
+
+    def resolve_table(
+        self, qname: QualifiedName, session, required: bool = True
+    ) -> Table | None:
+        """Resolve a 1- to 3-part table name relative to a session."""
+        database, owner, name = self._split(qname, session)
+        db = self.get_database(database)
+        if owner is not None:
+            table = db.get_table(owner, name)
+        else:
+            table = db.find_table(name, session.user)
+        if table is None and required:
+            raise CatalogError(f"table '{qname.describe()}' not found")
+        return table
+
+    def resolve_view(
+        self, qname: QualifiedName, session
+    ) -> View | None:
+        """Resolve a view name relative to a session (None if absent)."""
+        database, owner, name = self._split(qname, session)
+        db = self.get_database(database)
+        if owner is not None:
+            return db.get_view(owner, name)
+        return db.find_view(name, session.user)
+
+    def resolve_procedure(
+        self, qname: QualifiedName, session, required: bool = True
+    ) -> Procedure | None:
+        database, owner, name = self._split(qname, session)
+        db = self.get_database(database)
+        if owner is not None:
+            procedure = db.get_procedure(owner, name)
+        else:
+            procedure = db.find_procedure(name, session.user)
+        if procedure is None and required:
+            raise CatalogError(f"procedure '{qname.describe()}' not found")
+        return procedure
+
+    def resolve_trigger(
+        self, qname: QualifiedName, session, required: bool = True
+    ) -> tuple[Database, Trigger] | None:
+        database, owner, name = self._split(qname, session)
+        db = self.get_database(database)
+        if owner is not None:
+            trigger = db.get_trigger(owner, name)
+        else:
+            trigger = db.find_trigger(name, session.user)
+        if trigger is None:
+            if required:
+                raise CatalogError(f"trigger '{qname.describe()}' not found")
+            return None
+        return db, trigger
+
+    def owner_for_create(self, qname: QualifiedName, session) -> tuple[Database, str, str]:
+        """Where a CREATE places an object: (database, owner, name)."""
+        database, owner, name = self._split(qname, session)
+        return self.get_database(database), owner or session.user, name
+
+    @staticmethod
+    def _split(qname: QualifiedName, session) -> tuple[str, str | None, str]:
+        database = qname.database or session.database
+        return database, qname.owner, qname.object_name

@@ -1,0 +1,90 @@
+"""Client-Library analogue: connections that speak to any SQL endpoint.
+
+The paper's clients use Sybase Open Client to talk either to the SQL
+Server directly or — transparently — to the ECA Agent's Gateway Open
+Server.  Both endpoints here expose the same ``execute(sql) -> BatchResult``
+surface, captured by the :class:`SqlEndpoint` protocol, so a client cannot
+tell which one it is connected to (the transparency property of E-FIG1).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .errors import SqlError
+from .results import BatchResult
+from .server import Session, SqlServer
+
+
+@runtime_checkable
+class SqlEndpoint(Protocol):
+    """Anything a client connection can bind to: a server or a gateway."""
+
+    def open_session(self, user: str, database: str | None) -> object:
+        """Create server-side session state for one connection."""
+        ...
+
+    def execute_for(self, session: object, sql: str) -> BatchResult:
+        """Run a script on behalf of a connection's session."""
+        ...
+
+
+class DirectEndpoint:
+    """Adapter presenting a raw :class:`SqlServer` as a client endpoint."""
+
+    def __init__(self, server: SqlServer):
+        self.server = server
+
+    def open_session(self, user: str, database: str | None) -> Session:
+        return self.server.create_session(user, database)
+
+    def execute_for(self, session: Session, sql: str) -> BatchResult:
+        return self.server.execute(sql, session)
+
+
+class ClientConnection:
+    """A client connection to a server or gateway endpoint.
+
+    Use as a context manager or call :meth:`close` explicitly::
+
+        endpoint = DirectEndpoint(server)
+        with ClientConnection(endpoint, user="sharma", database="sentineldb") as conn:
+            result = conn.execute("select * from stock")
+    """
+
+    def __init__(self, endpoint: SqlEndpoint, user: str = "dbo",
+                 database: str | None = None):
+        self.endpoint = endpoint
+        self.user = user
+        self._session = endpoint.open_session(user, database)
+        self._closed = False
+
+    @property
+    def session(self):
+        """The server-side session object backing this connection."""
+        return self._session
+
+    def execute(self, sql: str) -> BatchResult:
+        """Execute a script and return its merged results."""
+        if self._closed:
+            raise SqlError("connection is closed")
+        return self.endpoint.execute_for(self._session, sql)
+
+    def close(self) -> None:
+        """Close the connection; further execute() calls raise."""
+        self._closed = True
+        session = self._session
+        if session is not None and hasattr(session, "closed"):
+            session.closed = True
+
+    def __enter__(self) -> "ClientConnection":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def connect(server: SqlServer, user: str = "dbo",
+            database: str | None = None) -> ClientConnection:
+    """Open a direct (non-mediated) connection to a server."""
+    return ClientConnection(DirectEndpoint(server), user, database)

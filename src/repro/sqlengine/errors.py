@@ -1,0 +1,57 @@
+"""Errors raised by the relational engine substrate."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Root of all engine errors."""
+
+
+class SqlParseError(SqlError):
+    """The statement text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known, mirroring the diagnostics a real server would return.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CatalogError(SqlError):
+    """A referenced database object does not exist or already exists."""
+
+
+class SchemaError(SqlError):
+    """A column reference or table definition is inconsistent."""
+
+
+class SqlTypeError(SqlError):
+    """A value could not be coerced to the declared column type."""
+
+
+class IntegrityError(SqlError):
+    """A NOT NULL or other declared constraint was violated."""
+
+
+class ExecutionError(SqlError):
+    """A statement failed during evaluation (bad subquery, overflow, ...)."""
+
+
+class TriggerRecursionError(ExecutionError):
+    """Trigger firing exceeded the engine's nesting limit (Sybase: 16)."""
+
+
+class PermissionError_(SqlError):
+    """The session user may not perform the operation."""
+
+
+class TransactionError(SqlError):
+    """Invalid transaction control (commit without begin, ...)."""

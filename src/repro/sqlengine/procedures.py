@@ -1,0 +1,27 @@
+"""Stored procedure catalog objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .statements import ProcedureParam, Statement
+
+
+@dataclass
+class Procedure:
+    """A stored procedure: parameters, parsed body, and original source.
+
+    The source text is kept verbatim because the ECA Agent's Persistent
+    Manager stores procedure text in ``SysEcaTrigger.triggerProc`` and must
+    be able to re-create the procedure after a restart.
+    """
+
+    name: str
+    owner: str
+    params: tuple[ProcedureParam, ...]
+    body: tuple[Statement, ...]
+    source: str
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}"

@@ -1,0 +1,113 @@
+"""Table schemas: ordered column definitions with case-insensitive lookup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import IntegrityError, SchemaError
+from .types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition: name, resolved type, and nullability."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def describe(self) -> str:
+        """Render the column as DDL, e.g. ``price float not null``."""
+        null_clause = "null" if self.nullable else "not null"
+        return f"{self.name} {self.sql_type.describe()} {null_clause}"
+
+
+@dataclass
+class TableSchema:
+    """An ordered list of :class:`Column` with name-based access.
+
+    Column names are matched case-insensitively (the friendlier of the two
+    Sybase sort-order configurations), but their declared spelling is
+    preserved for display.
+    """
+
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for column in self.columns:
+            key = column.name.lower()
+            if key in seen:
+                raise SchemaError(f"duplicate column name '{column.name}'")
+            seen.add(key)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Declared column names, in order."""
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with this name (any case) exists."""
+        return self.index_of(name, required=False) is not None
+
+    def index_of(self, name: str, required: bool = True) -> int | None:
+        """Position of the named column, or ``None``/raise when absent."""
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        if required:
+            raise SchemaError(f"unknown column '{name}'")
+        return None
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` with this name."""
+        index = self.index_of(name)
+        assert index is not None
+        return self.columns[index]
+
+    def add_column(self, column: Column) -> None:
+        """Append a column (``ALTER TABLE ... ADD``).
+
+        Sybase requires added columns to be nullable because existing rows
+        receive NULL; we enforce the same rule.
+        """
+        if self.has_column(column.name):
+            raise SchemaError(f"column '{column.name}' already exists")
+        if not column.nullable:
+            raise SchemaError(
+                f"column '{column.name}' added by ALTER TABLE must allow nulls"
+            )
+        self.columns.append(column)
+
+    def coerce_row(self, values: list[object]) -> list[object]:
+        """Type-check and coerce a full-width row, enforcing NOT NULL."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values but table has "
+                f"{len(self.columns)} columns"
+            )
+        row: list[object] = []
+        for column, value in zip(self.columns, values):
+            coerced = column.sql_type.coerce(value)
+            if coerced is None and not column.nullable:
+                raise IntegrityError(
+                    f"column '{column.name}' does not allow nulls"
+                )
+            row.append(coerced)
+        return row
+
+    def clone(self) -> "TableSchema":
+        """Structural copy (columns are immutable so they are shared)."""
+        return TableSchema(list(self.columns))
+
+    def describe(self) -> str:
+        """Render the schema as a parenthesized DDL column list."""
+        inner = ", ".join(column.describe() for column in self.columns)
+        return f"({inner})"

@@ -1,0 +1,161 @@
+"""The SQL server: sessions, batch execution, and integration hooks.
+
+This is the stand-in for the Sybase SQL Server of the paper.  It is a
+passive engine: it knows nothing about ECA rules, Snoop, or composite
+events.  The only outward-facing hooks are:
+
+- ``datagram_sink`` — where the ``syb_sendmsg`` builtin delivers its
+  messages (the ECA Agent plugs its notification channel in here, playing
+  the role of the UDP network between the server and the agent);
+- ``clock`` — the source for ``getdate()``, overridable for deterministic
+  tests;
+- a reentrant lock serializing batches, mirroring a single engine
+  scheduler while allowing the nested execution that occurs when a
+  notification handler immediately issues SQL from within a batch.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from typing import Callable
+
+from .builtins import standard_functions
+from .catalog import Catalog
+from .errors import SqlError
+from .executor import Executor
+from .parser import parse_batch, split_batches
+from .results import BatchResult
+from .transactions import TransactionLog
+
+#: Signature of a datagram sink: (host, port, message) -> None
+DatagramSink = Callable[[str, int, str], None]
+
+
+class Session:
+    """One client session: identity, current database, transaction state."""
+
+    _next_id = 1
+    _id_lock = threading.Lock()
+
+    def __init__(self, server: "SqlServer", user: str, database: str):
+        with Session._id_lock:
+            self.session_id = Session._next_id
+            Session._next_id += 1
+        self.server = server
+        self.user = user
+        self.database = database
+        self.tx_log = TransactionLog()
+        self.global_vars: dict[str, object] = {"@@rowcount": 0, "@@trancount": 0}
+        self.closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Session({self.session_id}, user={self.user!r}, db={self.database!r})"
+
+
+class SqlServer:
+    """An in-memory multi-database SQL server.
+
+    Args:
+        default_database: created at startup (plus ``master``).
+        clock: zero-argument callable returning the current datetime;
+            ``getdate()`` and default timestamps use it.
+    """
+
+    def __init__(self, default_database: str = "master",
+                 clock: Callable[[], _dt.datetime] | None = None):
+        self.catalog = Catalog()
+        self.catalog.create_database("master")
+        if default_database.lower() != "master":
+            self.catalog.create_database(default_database)
+        self.default_database = default_database
+        self.functions = standard_functions()
+        self.executor = Executor(self)
+        self.clock = clock or _dt.datetime.now
+        self.triggers_enabled = True
+        self.last_displaced_triggers: list[str] = []
+        self._datagram_sink: DatagramSink | None = None
+        #: datagrams sent while no sink is attached (inspectable by tests)
+        self.unsunk_datagrams: list[tuple[str, int, str]] = []
+        self._lock = threading.RLock()
+        self._tx_end_listeners: list[Callable[[Session, bool], None]] = []
+        #: count of batches executed, for the overhead benches
+        self.batches_executed = 0
+
+    # ------------------------------------------------------------------
+    # hooks
+
+    def now(self) -> _dt.datetime:
+        """Current time per the configured clock."""
+        return self.clock()
+
+    def set_datagram_sink(self, sink: DatagramSink | None) -> None:
+        """Attach (or detach) the destination for ``syb_sendmsg`` output."""
+        self._datagram_sink = sink
+
+    def send_datagram(self, host: str, port: int, message: str) -> None:
+        """Deliver one ``syb_sendmsg`` datagram to the sink (or stash it)."""
+        if self._datagram_sink is not None:
+            self._datagram_sink(host, port, message)
+        else:
+            self.unsunk_datagrams.append((host, port, message))
+
+    def add_transaction_end_listener(
+            self, listener: Callable[[Session, bool], None]) -> None:
+        """Register a callback fired at top-level COMMIT/ROLLBACK.
+
+        The ECA Agent uses this to release DEFERRED-coupled rule actions at
+        transaction end.
+        """
+        self._tx_end_listeners.append(listener)
+
+    def on_transaction_end(self, session: Session, committed: bool) -> None:
+        for listener in self._tx_end_listeners:
+            listener(session, committed)
+
+    # ------------------------------------------------------------------
+    # sessions and execution
+
+    def create_session(self, user: str = "dbo",
+                       database: str | None = None) -> Session:
+        """Open a session for ``user`` in ``database`` (default database)."""
+        name = database or self.default_database
+        self.catalog.get_database(name)  # existence check
+        return Session(self, user, name)
+
+    def execute(self, sql: str, session: Session) -> BatchResult:
+        """Execute a script (possibly several ``go``-separated batches).
+
+        All results and messages are merged into one :class:`BatchResult`,
+        which is what a TDS client would accumulate.  Engine errors raise
+        :class:`~repro.sqlengine.errors.SqlError` subclasses.
+        """
+        if session.closed:
+            raise SqlError("session is closed")
+        result = BatchResult()
+        with self._lock:
+            for batch_text in split_batches(sql):
+                statements = parse_batch(batch_text)
+                self.batches_executed += 1
+                self.executor.execute_batch(statements, session, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # convenience introspection (used by tests, benches, and the agent)
+
+    def table_names(self, database: str) -> list[str]:
+        """All ``owner.name`` tables in a database, sorted."""
+        db = self.catalog.get_database(database)
+        return sorted(table.qualified_name for table in db.tables.values())
+
+    def view_names(self, database: str) -> list[str]:
+        db = self.catalog.get_database(database)
+        return sorted(view.qualified_name for view in db.views.values())
+
+    def procedure_names(self, database: str) -> list[str]:
+        db = self.catalog.get_database(database)
+        return sorted(proc.qualified_name for proc in db.procedures.values())
+
+    def trigger_names(self, database: str) -> list[str]:
+        db = self.catalog.get_database(database)
+        return sorted(trigger.qualified_name for trigger in db.triggers.values())

@@ -1,0 +1,359 @@
+"""Statement AST nodes for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expressions import Expression
+from .types import SqlType
+
+
+@dataclass(frozen=True)
+class QualifiedName:
+    """A 1- to 3-part object name: ``name``, ``owner.name``, or
+    ``database.owner.name`` (Sybase's fully qualified form, which the
+    agent's internal naming scheme of Section 5.1 relies on)."""
+
+    parts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.parts) <= 3:
+            raise ValueError(f"bad qualified name: {self.parts!r}")
+
+    @property
+    def object_name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def owner(self) -> str | None:
+        return self.parts[-2] if len(self.parts) >= 2 else None
+
+    @property
+    def database(self) -> str | None:
+        return self.parts[0] if len(self.parts) == 3 else None
+
+    def describe(self) -> str:
+        return ".".join(self.parts)
+
+    @classmethod
+    def of(cls, text: str) -> "QualifiedName":
+        """Build from dotted text, e.g. ``"sentineldb.sharma.stock"``."""
+        return cls(tuple(text.split(".")))
+
+
+class Statement:
+    """Base class for all statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column declaration inside CREATE TABLE / ALTER TABLE ADD."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    name: QualifiedName
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """SELECT [DISTINCT] [TOP n] items [INTO t] FROM ... WHERE ...
+    GROUP BY ... HAVING ... ORDER BY ..."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    into: QualifiedName | None = None
+    distinct: bool = False
+    top: int | None = None
+
+
+@dataclass(frozen=True)
+class UnionSelect(Statement):
+    """``SELECT ... UNION [ALL] SELECT ... [ORDER BY ...]``.
+
+    ``all_flags[i]`` says whether the UNION joining part ``i`` and part
+    ``i+1`` was ``UNION ALL``.  The trailing ORDER BY applies to the
+    combined result (T-SQL semantics).
+    """
+
+    parts: tuple[SelectStatement, ...]
+    all_flags: tuple[bool, ...]
+    order_by: tuple[OrderItem, ...] = ()
+    into: QualifiedName | None = None
+
+
+@dataclass(frozen=True)
+class AssignSelect(Statement):
+    """T-SQL variable assignment select: ``SELECT @x = expr [FROM ...]``."""
+
+    assignments: tuple[tuple[str, Expression], ...]
+    tables: tuple[TableRef, ...] = ()
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class InsertValues(Statement):
+    """``INSERT [INTO] t [(cols)] VALUES (...), (...)``."""
+
+    table: QualifiedName
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expression, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertSelect(Statement):
+    """``INSERT [INTO] t [(cols)] SELECT ...``."""
+
+    table: QualifiedName
+    select: SelectStatement
+    columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    """``UPDATE t SET col = expr, ... [WHERE ...]``."""
+
+    table: QualifiedName
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement(Statement):
+    """``DELETE [FROM] t [WHERE ...]`` (Sybase allows omitting FROM)."""
+
+    table: QualifiedName
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class TruncateStatement(Statement):
+    """``TRUNCATE TABLE t`` — fast delete-all that skips triggers."""
+
+    table: QualifiedName
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Statement):
+    """``CREATE TABLE t (col type [null|not null], ...)``."""
+
+    table: QualifiedName
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class DropTableStatement(Statement):
+    """``DROP TABLE t [, t2 ...]``."""
+
+    tables: tuple[QualifiedName, ...]
+
+
+@dataclass(frozen=True)
+class AlterTableAddStatement(Statement):
+    """``ALTER TABLE t ADD col type [null]``."""
+
+    table: QualifiedName
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class ProcedureParam:
+    """One ``@name type [= default]`` procedure parameter."""
+
+    name: str
+    sql_type: SqlType
+    default: Expression | None = None
+
+
+@dataclass(frozen=True)
+class CreateProcedureStatement(Statement):
+    """``CREATE PROC[EDURE] name [params] AS body``.
+
+    ``source`` preserves the original text so procedures can be persisted
+    and re-created verbatim (the Persistent Manager stores procedure text
+    in ``SysEcaTrigger.triggerProc``).
+    """
+
+    name: QualifiedName
+    params: tuple[ProcedureParam, ...]
+    body: tuple[Statement, ...]
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class DropProcedureStatement(Statement):
+    """``DROP PROC[EDURE] name``."""
+
+    name: QualifiedName
+
+
+@dataclass(frozen=True)
+class ExecuteStatement(Statement):
+    """``EXEC[UTE] name [arg, ...]`` with positional or ``@p =`` args."""
+
+    name: QualifiedName
+    args: tuple[Expression, ...] = ()
+    named_args: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTriggerStatement(Statement):
+    """Native trigger DDL: ``CREATE TRIGGER tr ON t FOR op[, op] AS body``."""
+
+    name: QualifiedName
+    table: QualifiedName
+    operations: tuple[str, ...]  # subset of ('insert', 'update', 'delete')
+    body: tuple[Statement, ...]
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class DropTriggerStatement(Statement):
+    """``DROP TRIGGER tr``."""
+
+    name: QualifiedName
+
+
+@dataclass(frozen=True)
+class CreateViewStatement(Statement):
+    """``CREATE VIEW v AS SELECT ...`` — a named stored query."""
+
+    name: QualifiedName
+    select: "SelectStatement | UnionSelect"
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class DropViewStatement(Statement):
+    """``DROP VIEW v``."""
+
+    name: QualifiedName
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement(Statement):
+    """``CREATE [UNIQUE] INDEX i ON t (col)`` — equality lookup index."""
+
+    name: str
+    table: QualifiedName
+    column: str
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndexStatement(Statement):
+    """``DROP INDEX t.i`` (Sybase spelling: table-qualified index name)."""
+
+    table: QualifiedName
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateDatabaseStatement(Statement):
+    """``CREATE DATABASE name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropDatabaseStatement(Statement):
+    """``DROP DATABASE name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UseStatement(Statement):
+    """``USE dbname`` — switch the session's current database."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PrintStatement(Statement):
+    """``PRINT expr`` — emit an informational message."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class DeclareStatement(Statement):
+    """``DECLARE @x type [, @y type ...]``."""
+
+    variables: tuple[tuple[str, SqlType], ...]
+
+
+@dataclass(frozen=True)
+class SetStatement(Statement):
+    """``SET @x = expr``."""
+
+    name: str
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """``IF cond stmt [ELSE stmt]`` with BEGIN/END blocks."""
+
+    condition: Expression
+    then_branch: tuple[Statement, ...]
+    else_branch: tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStatement(Statement):
+    """``WHILE cond stmt``."""
+
+    condition: Expression
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class BeginTransactionStatement(Statement):
+    """``BEGIN TRAN[SACTION]``."""
+
+
+@dataclass(frozen=True)
+class CommitStatement(Statement):
+    """``COMMIT [TRAN|WORK]``."""
+
+
+@dataclass(frozen=True)
+class RollbackStatement(Statement):
+    """``ROLLBACK [TRAN|WORK]``."""
+
+
+@dataclass(frozen=True)
+class ReturnStatement(Statement):
+    """``RETURN [expr]`` inside a procedure or trigger body."""
+
+    expr: Expression | None = None

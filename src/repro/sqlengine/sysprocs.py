@@ -1,0 +1,122 @@
+"""System stored procedures (``sp_help`` and friends).
+
+Sybase ships catalog-introspection procedures; clients (and the paper's
+DBAs) use them to inspect what the ECA Agent generated.  They are
+intercepted by name in the executor — no user procedure may shadow an
+``sp_`` name, mirroring Sybase's reserved prefix.
+"""
+
+from __future__ import annotations
+
+from .errors import CatalogError, ExecutionError
+from .results import ResultSet
+from .statements import QualifiedName
+
+
+def _resolve_any(server, session, name: str):
+    """Find a table, view, procedure, or trigger by user-style name."""
+    qname = QualifiedName.of(name)
+    table = server.catalog.resolve_table(qname, session, required=False)
+    if table is not None:
+        return "table", table
+    view = server.catalog.resolve_view(qname, session)
+    if view is not None:
+        return "view", view
+    procedure = server.catalog.resolve_procedure(qname, session, required=False)
+    if procedure is not None:
+        return "procedure", procedure
+    resolved = server.catalog.resolve_trigger(qname, session, required=False)
+    if resolved is not None:
+        return "trigger", resolved[1]
+    raise CatalogError(f"object '{name}' not found")
+
+
+def sp_help(server, state, name: str | None = None) -> list[ResultSet]:
+    """``sp_help`` — object list, or one object's column layout."""
+    session = state.session
+    database = server.catalog.get_database(session.database)
+    if name is None:
+        rows = []
+        for table in database.tables.values():
+            rows.append([table.name, table.owner, "user table"])
+        for view in database.views.values():
+            rows.append([view.name, view.owner, "view"])
+        for procedure in database.procedures.values():
+            rows.append([procedure.name, procedure.owner, "stored procedure"])
+        for trigger in database.triggers.values():
+            rows.append([trigger.name, trigger.owner, "trigger"])
+        rows.sort(key=lambda row: (row[2], str(row[0]).lower()))
+        return [ResultSet(["Name", "Owner", "Object_type"], rows)]
+    kind, obj = _resolve_any(server, session, str(name))
+    if kind == "table":
+        rows = [
+            [column.name, column.sql_type.name, column.sql_type.storage_length,
+             "NULL" if column.nullable else "not null"]
+            for column in obj.schema
+        ]
+        return [
+            ResultSet(["Name", "Owner", "Object_type"],
+                      [[obj.name, obj.owner, "user table"]]),
+            ResultSet(["Column_name", "Type", "Length", "Nulls"], rows),
+        ]
+    return [ResultSet(["Name", "Object_type"], [[getattr(obj, "name", name), kind]])]
+
+
+def sp_helptext(server, state, name: str | None = None) -> list[ResultSet]:
+    """``sp_helptext`` — stored source of a procedure, trigger, or view."""
+    if name is None:
+        raise ExecutionError("sp_helptext requires an object name")
+    kind, obj = _resolve_any(server, state.session, str(name))
+    source = getattr(obj, "source", "")
+    if not source:
+        raise ExecutionError(f"no source text stored for {kind} '{name}'")
+    rows = [[line] for line in source.splitlines()]
+    return [ResultSet(["text"], rows)]
+
+
+def sp_tables(server, state, name: str | None = None) -> list[ResultSet]:
+    """``sp_tables`` — tables and views in the current database."""
+    database = server.catalog.get_database(state.session.database)
+    rows = []
+    for table in database.tables.values():
+        rows.append([state.session.database, table.owner, table.name, "TABLE"])
+    for view in database.views.values():
+        rows.append([state.session.database, view.owner, view.name, "VIEW"])
+    rows.sort(key=lambda row: (str(row[2]).lower()))
+    return [ResultSet(
+        ["table_qualifier", "table_owner", "table_name", "table_type"], rows)]
+
+
+def sp_helpindex(server, state, name: str | None = None) -> list[ResultSet]:
+    """``sp_helpindex`` — the indexes defined on a table."""
+    if name is None:
+        raise ExecutionError("sp_helpindex requires a table name")
+    kind, table = _resolve_any(server, state.session, str(name))
+    if kind != "table":
+        raise ExecutionError(f"'{name}' is not a table")
+    rows = [
+        [index.name, index.column, "unique" if index.unique else "nonunique"]
+        for index in table.indexes.values()
+    ]
+    return [ResultSet(["index_name", "index_column", "index_description"], rows)]
+
+
+def sp_helpdb(server, state, name: str | None = None) -> list[ResultSet]:
+    """``sp_helpdb`` — the databases on this server."""
+    rows = [
+        [database.name, len(database.tables), len(database.procedures),
+         len(database.triggers)]
+        for database in server.catalog.databases.values()
+    ]
+    rows.sort(key=lambda row: str(row[0]).lower())
+    return [ResultSet(["name", "tables", "procedures", "triggers"], rows)]
+
+
+#: Registry consulted by the executor before user procedures.
+SYSTEM_PROCEDURES = {
+    "sp_help": sp_help,
+    "sp_helptext": sp_helptext,
+    "sp_tables": sp_tables,
+    "sp_helpindex": sp_helpindex,
+    "sp_helpdb": sp_helpdb,
+}

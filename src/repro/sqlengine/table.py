@@ -1,0 +1,214 @@
+"""Row storage: heap tables with snapshot support for transactions,
+plus lazily-rebuilt equality indexes (``CREATE INDEX``)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from .errors import IntegrityError
+from .schema import Column, TableSchema
+from .types import SqlType
+
+
+def _index_key(value: object) -> object:
+    """Normalize a cell value to a hashable, type-stable index key."""
+    if isinstance(value, bool):
+        return float(int(value))
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, _dt.datetime):
+        return value
+    # Strings index as-is: the engine's '=' is case-sensitive, and the
+    # index must agree with the scan it replaces.
+    return value
+
+
+@dataclass
+class TableIndex:
+    """An equality-lookup index over one column.
+
+    The index rebuilds itself lazily: any table mutation bumps the
+    table's version counter, and the next lookup against a stale index
+    pays one O(n) rebuild, after which lookups are O(1) until the next
+    mutation.  This keeps every mutation path trivially correct while
+    still giving read-mostly workloads their speedup.
+    """
+
+    name: str
+    column: str
+    unique: bool = False
+    _built_version: int = -1
+    _map: dict = field(default_factory=dict)
+
+    def lookup(self, table: "Table", value: object) -> list[list[object]]:
+        """Rows whose indexed column equals ``value`` (NULL matches none)."""
+        if value is None:
+            return []
+        self._ensure(table)
+        return self._map.get(_index_key(value), [])
+
+    def _ensure(self, table: "Table") -> None:
+        if self._built_version == table.version:
+            return
+        column_index = table.schema.index_of(self.column)
+        assert column_index is not None
+        mapping: dict = {}
+        for row in table.rows:
+            value = row[column_index]
+            if value is None:
+                continue
+            mapping.setdefault(_index_key(value), []).append(row)
+        self._map = mapping
+        self._built_version = table.version
+
+    def check_unique(self, table: "Table") -> None:
+        """Raise if the indexed column currently contains duplicates."""
+        if not self.unique:
+            return
+        self._built_version = -1  # force rebuild against current rows
+        self._ensure(table)
+        for key, rows in self._map.items():
+            if len(rows) > 1:
+                raise IntegrityError(
+                    f"unique index '{self.name}' on "
+                    f"{table.qualified_name}({self.column}) violated by "
+                    f"duplicate value {key!r}"
+                )
+
+
+@dataclass
+class Table:
+    """An in-memory heap table: a schema plus a list of rows.
+
+    Rows are stored as plain Python lists aligned with the schema's column
+    order.  All mutation goes through the methods here (or bumps
+    :attr:`version` via :meth:`mark_modified`) so the transaction layer
+    can snapshot/restore tables wholesale and indexes can invalidate.
+    """
+
+    name: str
+    owner: str
+    schema: TableSchema
+    rows: list[list[object]] = field(default_factory=list)
+    indexes: dict[str, TableIndex] = field(default_factory=dict)
+    version: int = 0
+
+    @property
+    def qualified_name(self) -> str:
+        """``owner.name`` — how the table is listed in catalog output."""
+        return f"{self.owner}.{self.name}"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def mark_modified(self) -> None:
+        """Invalidate indexes after in-place row mutation (UPDATE)."""
+        self.version += 1
+
+    def insert_row(self, values: list[object]) -> list[object]:
+        """Coerce and append one full-width row; returns the stored row."""
+        row = self.schema.coerce_row(values)
+        for index in self.indexes.values():
+            if index.unique:
+                column_index = self.schema.index_of(index.column)
+                assert column_index is not None
+                if index.lookup(self, row[column_index]):
+                    raise IntegrityError(
+                        f"unique index '{index.name}' on "
+                        f"{self.qualified_name}({index.column}) would be "
+                        f"violated by value {row[column_index]!r}"
+                    )
+        self.rows.append(row)
+        self.version += 1
+        return row
+
+    def insert_partial(self, column_names: list[str], values: list[object]) -> list[object]:
+        """Insert a row given an explicit column list; others become NULL."""
+        full: list[object] = [None] * len(self.schema)
+        for column_name, value in zip(column_names, values):
+            index = self.schema.index_of(column_name)
+            assert index is not None
+            full[index] = value
+        return self.insert_row(full)
+
+    def delete_rows(self, predicate) -> list[list[object]]:
+        """Delete rows matching ``predicate(row)``; returns deleted rows."""
+        kept: list[list[object]] = []
+        deleted: list[list[object]] = []
+        for row in self.rows:
+            if predicate(row):
+                deleted.append(row)
+            else:
+                kept.append(row)
+        self.rows = kept
+        self.version += 1
+        return deleted
+
+    def add_column(self, column: Column) -> None:
+        """``ALTER TABLE ADD``: extend the schema, NULL-fill existing rows."""
+        self.schema.add_column(column)
+        for row in self.rows:
+            row.append(None)
+        self.version += 1
+
+    def snapshot(self) -> "TableSnapshot":
+        """Capture current schema and rows for transaction rollback."""
+        return TableSnapshot(
+            schema=self.schema.clone(),
+            rows=[list(row) for row in self.rows],
+        )
+
+    def restore(self, snapshot: "TableSnapshot") -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.schema = snapshot.schema.clone()
+        self.rows = [list(row) for row in snapshot.rows]
+        self.version += 1
+
+    def index_on(self, column: str) -> TableIndex | None:
+        """The first index over ``column`` (any case), if one exists."""
+        lowered = column.lower()
+        for index in self.indexes.values():
+            if index.column.lower() == lowered:
+                return index
+        return None
+
+    def add_index(self, index: TableIndex) -> None:
+        key = index.name.lower()
+        if key in self.indexes:
+            raise IntegrityError(
+                f"index '{index.name}' already exists on {self.qualified_name}")
+        self.schema.index_of(index.column)  # column must exist
+        index.check_unique(self)
+        self.indexes[key] = index
+
+    def drop_index(self, name: str) -> None:
+        if self.indexes.pop(name.lower(), None) is None:
+            raise IntegrityError(
+                f"index '{name}' does not exist on {self.qualified_name}")
+
+    def clone_empty(self, new_name: str, new_owner: str) -> "Table":
+        """A new empty table with the same schema (``SELECT INTO ... WHERE 1=2``)."""
+        return Table(name=new_name, owner=new_owner, schema=self.schema.clone())
+
+
+@dataclass
+class TableSnapshot:
+    """Frozen copy of a table's schema and rows, used for rollback."""
+
+    schema: TableSchema
+    rows: list[list[object]]
+
+
+def table_from_columns(name: str, owner: str, columns: list[tuple[str, str, int | None, bool]]) -> Table:
+    """Convenience constructor used by the system-catalog bootstrap.
+
+    ``columns`` entries are ``(name, type_name, length, nullable)``.
+    """
+    schema = TableSchema(
+        [
+            Column(col_name, SqlType.parse(type_name, length), nullable)
+            for col_name, type_name, length, nullable in columns
+        ]
+    )
+    return Table(name=name, owner=owner, schema=schema)

@@ -1,0 +1,192 @@
+"""Tokenizer for the engine's T-SQL-like dialect.
+
+Produces a flat list of :class:`Token`.  Handles ``--`` and ``/* */``
+comments, single- and double-quoted string literals (Sybase treats both as
+strings by default), numbers, ``@local`` variables, and multi-character
+operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SqlParseError
+
+# Token kinds
+IDENT = "IDENT"       # identifiers and keywords (parser decides which)
+VARIABLE = "VARIABLE"  # @name local variables / procedure parameters
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"             # operators and punctuation
+EOF = "EOF"
+
+_TWO_CHAR_OPS = {"<>", "!=", "<=", ">=", "==", "*="}
+_ONE_CHAR_OPS = set("+-*/%(),.=<>;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+    offset: int = 0  # character offset of the token start in the batch text
+
+    @property
+    def upper(self) -> str:
+        """Uppercased text for keyword comparison (IDENT/OP only)."""
+        return str(self.value).upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r}@{self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a SQL batch; raises :class:`SqlParseError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def position() -> tuple[int, int]:
+        return line, index - line_start + 1
+
+    while index < length:
+        char = text[index]
+
+        if char == "\n":
+            line += 1
+            index += 1
+            line_start = index
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+
+        # -- line comment
+        if char == "-" and text.startswith("--", index):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+
+        # /* block comment */ (non-nesting, like Sybase)
+        if char == "/" and text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end == -1:
+                raise SqlParseError("unterminated comment", *position())
+            segment = text[index : end + 2]
+            newlines = segment.count("\n")
+            if newlines:
+                line += newlines
+                line_start = index + segment.rfind("\n") + 1
+            index = end + 2
+            continue
+
+        # string literals: '...' or "..." with doubled-quote escaping
+        if char in ("'", '"'):
+            tok_line, tok_col = position()
+            tok_offset = index
+            quote = char
+            index += 1
+            pieces: list[str] = []
+            while True:
+                if index >= length:
+                    raise SqlParseError("unterminated string literal", tok_line, tok_col)
+                current = text[index]
+                if current == quote:
+                    if index + 1 < length and text[index + 1] == quote:
+                        pieces.append(quote)
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                if current == "\n":
+                    line += 1
+                    line_start = index + 1
+                pieces.append(current)
+                index += 1
+            tokens.append(Token(STRING, "".join(pieces), tok_line, tok_col, tok_offset))
+            continue
+
+        # numbers: 123, 1.5, .5, 1e3
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            tok_line, tok_col = position()
+            start = index
+            has_dot = False
+            has_exp = False
+            while index < length:
+                current = text[index]
+                if current.isdigit():
+                    index += 1
+                elif current == "." and not has_dot and not has_exp:
+                    has_dot = True
+                    index += 1
+                elif current in "eE" and not has_exp and index > start:
+                    nxt = text[index + 1] if index + 1 < length else ""
+                    if nxt.isdigit() or (
+                        nxt in "+-" and index + 2 < length and text[index + 2].isdigit()
+                    ):
+                        has_exp = True
+                        index += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            literal = text[start:index]
+            value: object
+            if has_dot or has_exp:
+                value = float(literal)
+            else:
+                value = int(literal)
+            tokens.append(Token(NUMBER, value, tok_line, tok_col, start))
+            continue
+
+        # @variables
+        if char == "@":
+            tok_line, tok_col = position()
+            start = index
+            index += 1
+            while index < length and (text[index].isalnum() or text[index] in "_@#$"):
+                index += 1
+            if index == start + 1:
+                raise SqlParseError("lone '@' is not a valid token", tok_line, tok_col)
+            tokens.append(Token(VARIABLE, text[start:index], tok_line, tok_col, start))
+            continue
+
+        # identifiers / keywords (allow #temp names and embedded $)
+        if char.isalpha() or char in "_#[":
+            tok_line, tok_col = position()
+            if char == "[":
+                # bracket-quoted identifier
+                end = text.find("]", index + 1)
+                if end == -1:
+                    raise SqlParseError("unterminated [identifier]", tok_line, tok_col)
+                tokens.append(Token(IDENT, text[index + 1 : end], tok_line, tok_col, index))
+                index = end + 1
+                continue
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in "_#$"):
+                index += 1
+            tokens.append(Token(IDENT, text[start:index], tok_line, tok_col, start))
+            continue
+
+        # operators / punctuation
+        two = text[index : index + 2]
+        if two in _TWO_CHAR_OPS:
+            tok_line, tok_col = position()
+            tokens.append(Token(OP, two, tok_line, tok_col, index))
+            index += 2
+            continue
+        if char in _ONE_CHAR_OPS:
+            tok_line, tok_col = position()
+            tokens.append(Token(OP, char, tok_line, tok_col, index))
+            index += 1
+            continue
+
+        raise SqlParseError(f"unexpected character {char!r}", *position())
+
+    tokens.append(Token(EOF, None, line, index - line_start + 1, index))
+    return tokens

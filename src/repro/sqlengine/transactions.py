@@ -1,0 +1,68 @@
+"""Session transaction support: lazy table snapshots with full rollback.
+
+The engine implements ``BEGIN TRAN`` / ``COMMIT`` / ``ROLLBACK`` with a
+simple but correct scheme: the first time a transaction touches a table it
+snapshots that table; catalog changes (create/drop of tables, procedures,
+triggers) are recorded as undo actions.  ``ROLLBACK`` replays the undo log
+in reverse.  Nested ``BEGIN TRAN`` increments a counter the way Sybase's
+``@@trancount`` does; only the outermost pair is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import TransactionError
+from .table import Table, TableSnapshot
+
+
+@dataclass
+class TransactionLog:
+    """Undo state for one session's open transaction."""
+
+    depth: int = 0
+    _table_snapshots: dict[int, tuple[Table, TableSnapshot]] = field(default_factory=dict)
+    _undo_actions: list[Callable[[], None]] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return self.depth > 0
+
+    def begin(self) -> None:
+        self.depth += 1
+
+    def before_table_mutation(self, table: Table) -> None:
+        """Snapshot a table once, before its first mutation in this txn."""
+        if not self.active:
+            return
+        key = id(table)
+        if key not in self._table_snapshots:
+            self._table_snapshots[key] = (table, table.snapshot())
+
+    def record_undo(self, action: Callable[[], None]) -> None:
+        """Record a catalog undo action (e.g. re-add a dropped table)."""
+        if self.active:
+            self._undo_actions.append(action)
+
+    def commit(self) -> int:
+        if not self.active:
+            raise TransactionError("COMMIT without a matching BEGIN TRANSACTION")
+        self.depth -= 1
+        if self.depth == 0:
+            self._clear()
+        return self.depth
+
+    def rollback(self) -> None:
+        if not self.active:
+            raise TransactionError("ROLLBACK without a matching BEGIN TRANSACTION")
+        for table, snapshot in self._table_snapshots.values():
+            table.restore(snapshot)
+        for action in reversed(self._undo_actions):
+            action()
+        self.depth = 0
+        self._clear()
+
+    def _clear(self) -> None:
+        self._table_snapshots.clear()
+        self._undo_actions.clear()

@@ -1,0 +1,47 @@
+"""Native trigger catalog objects, with Sybase's documented restrictions.
+
+Section 2.2 of the paper lists the native trigger limitations the ECA Agent
+works around.  The ones that are *engine* behaviour are enforced here:
+
+- a trigger applies to exactly one table;
+- at most one trigger per (table, operation) — creating a new trigger for
+  an operation that already has one silently replaces it, with no warning;
+- triggers cannot be named events, cannot be reused, and know nothing of
+  composite events (there is simply no such concept in the engine);
+- trigger nesting is capped (Sybase's limit is 16 levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .statements import Statement
+
+#: Maximum trigger nesting depth, matching Sybase.
+MAX_TRIGGER_DEPTH = 16
+
+OPERATIONS = ("insert", "update", "delete")
+
+
+@dataclass
+class Trigger:
+    """A native statement-level trigger on one table.
+
+    ``operations`` is the subset of insert/update/delete it fires for; the
+    body sees the transition pseudo-tables ``inserted`` and ``deleted``.
+    """
+
+    name: str
+    owner: str
+    table_owner: str
+    table_name: str
+    operations: tuple[str, ...]
+    body: tuple[Statement, ...]
+    source: str
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    def fires_on(self, operation: str) -> bool:
+        return operation in self.operations

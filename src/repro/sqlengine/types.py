@@ -1,0 +1,227 @@
+"""SQL value types and coercion rules for the engine's T-SQL-like dialect.
+
+The engine supports the types the paper's generated code and system tables
+use (Figures 5-7, 17): ``int``, ``float``, ``varchar(n)``, ``char(n)``,
+``text``, ``datetime``, ``bit`` and ``numeric``.  SQL ``NULL`` is represented
+by Python ``None`` throughout.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from .errors import SqlTypeError
+
+#: Canonical type-name spellings accepted by the parser, mapped to the
+#: canonical name used internally.  ``numeric``/``decimal``/``real`` are
+#: stored as floats; ``smallint``/``tinyint``/``bigint`` as ints.
+_TYPE_ALIASES = {
+    "int": "int",
+    "integer": "int",
+    "smallint": "int",
+    "tinyint": "int",
+    "bigint": "int",
+    "float": "float",
+    "real": "float",
+    "numeric": "float",
+    "decimal": "float",
+    "double": "float",
+    "varchar": "varchar",
+    "char": "char",
+    "nvarchar": "varchar",
+    "nchar": "char",
+    "text": "text",
+    "datetime": "datetime",
+    "date": "datetime",
+    "bit": "bit",
+}
+
+#: Default lengths assigned when a declaration omits ``(n)``.
+_DEFAULT_LENGTHS = {"varchar": 30, "char": 10}
+
+#: Storage size in bytes reported by metadata queries, mirroring Sybase's
+#: fixed sizes for the non-character types (Figure 5 reports datetime as 8
+#: and int as 4).
+_FIXED_SIZES = {"int": 4, "float": 8, "datetime": 8, "bit": 1, "text": 16}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A resolved column type: canonical ``name`` plus optional ``length``.
+
+    Instances are immutable and hashable so schemas can be compared
+    structurally (the system-table layout tests in E-FIG5/6/7 rely on this).
+    """
+
+    name: str
+    length: int | None = None
+
+    @classmethod
+    def parse(cls, type_name: str, length: int | None = None) -> "SqlType":
+        """Resolve a declared type name (any alias, any case) to a type.
+
+        >>> SqlType.parse("VARCHAR", 30)
+        SqlType(name='varchar', length=30)
+        """
+        canonical = _TYPE_ALIASES.get(type_name.lower())
+        if canonical is None:
+            raise SqlTypeError(f"unknown type name '{type_name}'")
+        if canonical in ("varchar", "char"):
+            if length is None:
+                length = _DEFAULT_LENGTHS[canonical]
+        elif length is not None:
+            # Sybase ignores precision on e.g. numeric(10, 2); so do we.
+            length = None
+        return cls(canonical, length)
+
+    @property
+    def storage_length(self) -> int:
+        """Byte length reported in ``sp_help``-style metadata output."""
+        if self.length is not None:
+            return self.length
+        return _FIXED_SIZES.get(self.name, 8)
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this type, raising :class:`SqlTypeError`.
+
+        ``None`` (SQL NULL) passes through every type unchanged; NOT NULL
+        enforcement happens at the schema layer, not here.
+        """
+        if value is None:
+            return None
+        try:
+            return _COERCERS[self.name](value, self)
+        except SqlTypeError:
+            raise
+        except (ValueError, TypeError) as exc:
+            raise SqlTypeError(
+                f"cannot convert {value!r} to {self.describe()}"
+            ) from exc
+
+    def describe(self) -> str:
+        """Render the type as it appears in DDL, e.g. ``varchar(30)``."""
+        if self.length is not None:
+            return f"{self.name}({self.length})"
+        return self.name
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()
+
+
+def _coerce_int(value: object, _type: SqlType) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value != int(value):
+            raise SqlTypeError(f"cannot convert non-integral {value!r} to int")
+        return int(value)
+    if isinstance(value, str):
+        return int(value.strip())
+    raise SqlTypeError(f"cannot convert {value!r} to int")
+
+
+def _coerce_float(value: object, _type: SqlType) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise SqlTypeError(f"cannot convert {value!r} to float")
+
+
+def _coerce_str(value: object, sql_type: SqlType) -> str:
+    if isinstance(value, _dt.datetime):
+        text = format_datetime(value)
+    elif isinstance(value, bool):
+        text = "1" if value else "0"
+    elif isinstance(value, (str, int, float)):
+        text = str(value)
+    else:
+        raise SqlTypeError(f"cannot convert {value!r} to {sql_type.describe()}")
+    if sql_type.length is not None and len(text) > sql_type.length:
+        # Sybase truncates character data silently on insert.
+        text = text[: sql_type.length]
+    return text
+
+
+def _coerce_text(value: object, sql_type: SqlType) -> str:
+    return _coerce_str(value, SqlType("text", None))
+
+
+def _coerce_datetime(value: object, _type: SqlType) -> _dt.datetime:
+    if isinstance(value, _dt.datetime):
+        return value
+    if isinstance(value, str):
+        return parse_datetime(value)
+    if isinstance(value, (int, float)):
+        return _dt.datetime.fromtimestamp(float(value))
+    raise SqlTypeError(f"cannot convert {value!r} to datetime")
+
+
+def _coerce_bit(value: object, _type: SqlType) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return 1 if value else 0
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true"):
+            return 1
+        if lowered in ("0", "false"):
+            return 0
+    raise SqlTypeError(f"cannot convert {value!r} to bit")
+
+
+_COERCERS = {
+    "int": _coerce_int,
+    "float": _coerce_float,
+    "varchar": _coerce_str,
+    "char": _coerce_str,
+    "text": _coerce_text,
+    "datetime": _coerce_datetime,
+    "bit": _coerce_bit,
+}
+
+_DATETIME_FORMATS = (
+    "%Y-%m-%d %H:%M:%S.%f",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+    "%b %d %Y %I:%M%p",  # Sybase's default display format
+    "%m/%d/%Y %H:%M:%S",
+    "%m/%d/%Y",
+)
+
+
+def parse_datetime(text: str) -> _dt.datetime:
+    """Parse a datetime literal in any of the accepted formats."""
+    stripped = text.strip()
+    for fmt in _DATETIME_FORMATS:
+        try:
+            return _dt.datetime.strptime(stripped, fmt)
+        except ValueError:
+            continue
+    raise SqlTypeError(f"cannot parse datetime literal {text!r}")
+
+
+def format_datetime(value: _dt.datetime) -> str:
+    """Render a datetime the way result sets display it."""
+    return value.strftime("%Y-%m-%d %H:%M:%S.%f")[:-3]
+
+
+def sql_repr(value: object) -> str:
+    """Render a Python value as a SQL literal (used by code generation)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, _dt.datetime):
+        return f"'{format_datetime(value)}'"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)

@@ -1,0 +1,17 @@
+"""``repro.workloads`` — deterministic workload generators for benches.
+
+The paper's running example is a stock-trading database (``stock`` table,
+``addStk``/``delStk`` events); :mod:`repro.workloads.stock` generates that
+workload.  :mod:`repro.workloads.generators` builds parameterized random
+ECA rule sets (events, Snoop expressions, rules) for the scaling benches.
+"""
+
+from .generators import EcaWorkload, RandomEventStream, random_snoop_expression
+from .stock import StockWorkload
+
+__all__ = [
+    "EcaWorkload",
+    "RandomEventStream",
+    "StockWorkload",
+    "random_snoop_expression",
+]

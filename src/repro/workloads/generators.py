@@ -1,0 +1,100 @@
+"""Random ECA workload generators for the scaling benches (E-PERF3).
+
+Everything is seeded, so the "random" workloads are reproducible across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_BINARY_OPS = ["OR", "AND", "SEQ"]
+
+
+def random_snoop_expression(rng: random.Random, leaves: list[str],
+                            depth: int) -> str:
+    """A random Snoop expression of the given operator depth.
+
+    Depth 0 yields a bare event name; each additional level wraps one of
+    the binary operators (plus the occasional ternary) around subtrees.
+    """
+    if depth <= 0:
+        return rng.choice(leaves)
+    roll = rng.random()
+    if roll < 0.85 or len(leaves) < 3:
+        op = rng.choice(_BINARY_OPS)
+        left = random_snoop_expression(rng, leaves, depth - 1)
+        right = random_snoop_expression(rng, leaves, depth - 1)
+        return f"({left} {op} {right})"
+    names = rng.sample(leaves, 3)
+    operator = rng.choice(["A", "A*", "NOT"])
+    return f"{operator}({names[0]}, {names[1]}, {names[2]})"
+
+
+@dataclass
+class RandomEventStream:
+    """A deterministic stream of primitive-event raises for the raw LED."""
+
+    event_names: list[str]
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def take(self, count: int) -> list[str]:
+        """The next ``count`` event names to raise."""
+        return [self._rng.choice(self.event_names) for _ in range(count)]
+
+
+@dataclass
+class EcaWorkload:
+    """A parameterized ECA rule set for LED scaling benches.
+
+    Args:
+        n_primitives: how many primitive events to define.
+        n_composites: how many composite events to define on top.
+        expression_depth: operator depth of each composite expression.
+        rules_per_event: rules attached to each composite event.
+        seed: RNG seed.
+    """
+
+    n_primitives: int = 10
+    n_composites: int = 10
+    expression_depth: int = 2
+    rules_per_event: int = 1
+    seed: int = 11
+
+    primitives: list[str] = field(default_factory=list)
+    composites: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.seed)
+        self.primitives = [f"ev_p{i}" for i in range(self.n_primitives)]
+        self.composites = []
+        for index in range(self.n_composites):
+            expression = random_snoop_expression(
+                rng, self.primitives, self.expression_depth)
+            self.composites.append((f"ev_c{index}", expression))
+
+    def install(self, led, action=None, context="RECENT") -> int:
+        """Define everything in a LED; returns the number of rules added."""
+        if action is None:
+            def action(_occurrence):
+                return None
+        for name in self.primitives:
+            led.define_primitive(name)
+        rules = 0
+        for name, expression in self.composites:
+            led.define_composite(name, expression)
+            for rule_index in range(self.rules_per_event):
+                led.add_rule(
+                    f"rule_{name}_{rule_index}", name, action=action,
+                    context=context,
+                )
+                rules += 1
+        return rules
+
+    def event_stream(self, count: int, seed: int = 23) -> list[str]:
+        """A stream of primitive raises exercising the installed graph."""
+        return RandomEventStream(self.primitives, seed).take(count)

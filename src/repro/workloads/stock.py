@@ -1,0 +1,91 @@
+"""The paper's stock-trading workload (Examples 1 and 2).
+
+Generates a ``stock`` table and a deterministic stream of trading
+operations (inserts, price updates, deletes) driven by a seeded RNG, so
+benches and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_SYMBOLS = [
+    "IBM", "MSFT", "ORCL", "SUNW", "DELL", "INTC", "CSCO", "AAPL",
+    "HPQ", "TXN", "MOT", "NOK", "AMD", "EMC", "GTW", "CPQ",
+]
+
+
+@dataclass
+class StockWorkload:
+    """Deterministic stream of stock-table operations.
+
+    Args:
+        seed: RNG seed (defaults keep every run identical).
+        symbols: universe of stock symbols.
+
+    Each generated operation is a SQL string against the ``stock`` table;
+    the mix is roughly 50% insert / 30% update / 20% delete once the
+    table is warm.
+    """
+
+    seed: int = 19990201
+    symbols: list[str] = field(default_factory=lambda: list(_SYMBOLS))
+
+    TABLE_DDL = (
+        "create table stock ("
+        "symbol varchar(10) not null, "
+        "price float null, "
+        "qty int null)"
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._held: list[str] = []
+        self._serial = 0
+
+    def setup_sql(self) -> str:
+        """DDL creating the workload's table."""
+        return self.TABLE_DDL
+
+    def insert_sql(self) -> str:
+        """One insert of a fresh position."""
+        self._serial += 1
+        symbol = f"{self._rng.choice(self.symbols)}{self._serial}"
+        self._held.append(symbol)
+        price = round(self._rng.uniform(5.0, 250.0), 2)
+        qty = self._rng.randint(1, 1000)
+        return f"insert stock values ('{symbol}', {price}, {qty})"
+
+    def update_sql(self) -> str | None:
+        """One price update of a held position (None when empty)."""
+        if not self._held:
+            return None
+        symbol = self._rng.choice(self._held)
+        delta = round(self._rng.uniform(-5.0, 5.0), 2)
+        return f"update stock set price = price + {delta} where symbol = '{symbol}'"
+
+    def delete_sql(self) -> str | None:
+        """One liquidation of a held position (None when empty)."""
+        if not self._held:
+            return None
+        symbol = self._held.pop(self._rng.randrange(len(self._held)))
+        return f"delete stock where symbol = '{symbol}'"
+
+    def operations(self, count: int) -> list[str]:
+        """A mixed operation stream of the requested length."""
+        ops: list[str] = []
+        while len(ops) < count:
+            roll = self._rng.random()
+            if roll < 0.5 or not self._held:
+                ops.append(self.insert_sql())
+                continue
+            if roll < 0.8:
+                update = self.update_sql()
+                if update is not None:
+                    ops.append(update)
+                continue
+            delete = self.delete_sql()
+            if delete is not None:
+                ops.append(delete)
+        return ops

@@ -1,0 +1,112 @@
+"""E-FIG16: the Action Handler (SybaseAction analogue)."""
+
+import pytest
+
+from repro.agent.action_handler import context_entries
+from repro.led.occurrences import compose, primitive
+
+
+class TestContextEntries:
+    def test_collects_snapshot_vno_pairs(self):
+        occ1 = primitive("e1", 1.0, 1, {
+            "vNo": 3, "snapshot_tables": {"inserted": "db.u.t_inserted"}})
+        occ2 = primitive("e2", 2.0, 2, {
+            "vNo": 5, "snapshot_tables": {"deleted": "db.u.t_deleted"}})
+        combined = compose("c", [occ1, occ2])
+        assert context_entries(combined) == [
+            ("db.u.t_inserted", 3), ("db.u.t_deleted", 5)]
+
+    def test_skips_timer_ticks(self):
+        occ = primitive("e1", 1.0, 1, {
+            "vNo": 1, "snapshot_tables": {"inserted": "db.u.t_inserted"}})
+        tick = primitive("c.timer", 5.0, 2, {"time": 5.0})
+        combined = compose("c", [occ, tick])
+        assert context_entries(combined) == [("db.u.t_inserted", 1)]
+
+    def test_dedupes(self):
+        occ = primitive("e1", 1.0, 1, {
+            "vNo": 1, "snapshot_tables": {"inserted": "db.u.t_inserted"}})
+        combined = compose("c", [occ, occ])
+        assert context_entries(combined) == [("db.u.t_inserted", 1)]
+
+    def test_update_event_contributes_both_directions(self):
+        occ = primitive("e1", 1.0, 1, {
+            "vNo": 2,
+            "snapshot_tables": {"deleted": "db.u.t_deleted",
+                                "inserted": "db.u.t_inserted"}})
+        assert context_entries(occ) == [
+            ("db.u.t_deleted", 2), ("db.u.t_inserted", 2)]
+
+
+class TestActionExecution:
+    @pytest.fixture
+    def wired(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger t2 on stock for delete event e2 as print '2'")
+        astock.execute(
+            "create trigger tc event c = e1 AND e2 as "
+            "select symbol from stock.inserted")
+        return astock
+
+    def test_record_captures_output(self, wired, agent):
+        wired.execute("insert stock values ('A', 1, 1)")
+        wired.execute("delete stock")
+        record = [r for r in agent.action_handler.action_log
+                  if r.trigger_internal.endswith("tc")][0]
+        assert record.error is None
+        assert record.row_sets == 1
+        assert record.proc_name == "sentineldb.sharma.tc__Proc"
+        assert record.event_internal == "sentineldb.sharma.c"
+
+    def test_occurrence_attached_to_record(self, wired, agent):
+        wired.execute("insert stock values ('A', 1, 1)")
+        wired.execute("delete stock")
+        record = [r for r in agent.action_handler.action_log
+                  if r.trigger_internal.endswith("tc")][0]
+        assert set(record.occurrence.constituent_names()) == {
+            "sentineldb.sharma.e1", "sentineldb.sharma.e2"}
+
+    def test_action_error_propagates_to_client_by_default(self, astock):
+        from repro.led.errors import ActionError
+
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger bad event e1 DEFERRED as "
+            "select * from table_that_does_not_exist")
+        with pytest.raises(ActionError):
+            astock.execute("insert stock values ('A', 1, 1)")
+
+    def test_action_error_swallowed_when_configured(self, server):
+        from repro.agent import EcaAgent
+
+        agent = EcaAgent(server, swallow_action_errors=True)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        conn.execute("create table stock (symbol varchar(10), price float)")
+        conn.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        conn.execute(
+            "create trigger bad event e1 DEFERRED as select * from ghost")
+        result = conn.execute("insert stock values ('A', 1)")  # no raise
+        assert "1" in result.messages
+        record = [r for r in agent.action_handler.action_log
+                  if r.trigger_internal.endswith("bad")][0]
+        assert record.error is not None
+        agent.close()
+
+
+class TestParallelDetachedActions:
+    def test_many_detached_actions_all_complete(self, astock, agent):
+        astock.execute("create table hits (n int)")
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger tx event e1 DETACHED as insert hits values (1)")
+        for index in range(10):
+            astock.execute(f"insert stock values ('S{index}', 1, 1)")
+        agent.action_handler.join_detached()
+        total = agent.persistent_manager.execute(
+            "sentineldb", "select count(*) from sharma.hits").last.scalar()
+        assert total == 10

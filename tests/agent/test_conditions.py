@@ -1,0 +1,155 @@
+"""The C of ECA: WHEN condition clauses, and ALTER TRIGGER ENABLE/DISABLE."""
+
+import pytest
+
+from repro.agent.errors import EcaSyntaxError, NameError_
+
+
+class TestConditionParsing:
+    def test_when_clause_captured(self):
+        from repro.agent import parse_eca_command
+
+        command = parse_eca_command(
+            "create trigger t on stock for insert event e "
+            "when exists (select * from stock.inserted where price > 100) "
+            "as print 'pricey'")
+        assert command.condition_sql == (
+            "exists (select * from stock.inserted where price > 100)")
+
+    def test_when_after_modifiers(self):
+        from repro.agent import parse_eca_command
+
+        command = parse_eca_command(
+            "create trigger t event e DEFERRED CHRONICLE 2 "
+            "when 1 = 1 as print 'x'")
+        assert command.condition_sql == "1 = 1"
+        assert command.priority == 2
+
+    def test_empty_condition_rejected(self):
+        from repro.agent import parse_eca_command
+
+        with pytest.raises(EcaSyntaxError):
+            parse_eca_command("create trigger t event e when as print 'x'")
+
+
+class TestPrimitiveConditions:
+    def test_condition_gates_inline_action(self, astock):
+        astock.execute(
+            "create trigger t_big on stock for insert event bigBuy "
+            "when exists (select * from stock.inserted where qty > 100) "
+            "as print 'big position!'")
+        small = astock.execute("insert stock values ('A', 1.0, 5)")
+        assert "big position!" not in small.messages
+        big = astock.execute("insert stock values ('B', 1.0, 500)")
+        assert "big position!" in big.messages
+
+    def test_condition_sees_pseudo_table_values(self, astock):
+        astock.execute(
+            "create trigger t_sym on stock for insert event symEv "
+            "when exists (select * from stock.inserted where symbol = 'IBM') "
+            "as print 'ibm traded'")
+        assert "ibm traded" not in astock.execute(
+            "insert stock values ('MSFT', 1.0, 1)").messages
+        assert "ibm traded" in astock.execute(
+            "insert stock values ('IBM', 1.0, 1)").messages
+
+    def test_condition_querying_database_state(self, astock):
+        astock.execute(
+            "create trigger t_count on stock for insert event cEv "
+            "when (select count(*) from stock) > 2 "
+            "as print 'third row!'")
+        astock.execute("insert stock values ('A', 1, 1)")
+        astock.execute("insert stock values ('B', 1, 1)")
+        result = astock.execute("insert stock values ('C', 1, 1)")
+        assert "third row!" in result.messages
+
+
+class TestCompositeConditions:
+    @pytest.fixture
+    def wired(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger t2 on stock for delete event e2 as print '2'")
+        return astock
+
+    def test_condition_on_composite_uses_context_tables(self, wired, agent):
+        wired.execute(
+            "create trigger tc event c = e1 AND e2 RECENT "
+            "when exists (select * from stock.inserted where price > 50) "
+            "as print 'expensive pair'")
+        wired.execute("insert stock values ('CHEAP', 10.0, 1)")
+        result = wired.execute("delete stock where symbol = 'CHEAP'")
+        assert "expensive pair" not in result.messages
+        wired.execute("insert stock values ('DEAR', 90.0, 1)")
+        result = wired.execute("delete stock where symbol = 'DEAR'")
+        assert "expensive pair" in result.messages
+
+    def test_condition_persisted_and_recovered(self, wired, agent, server):
+        from repro.agent import EcaAgent
+
+        wired.execute(
+            "create trigger tc event c = e1 AND e2 "
+            "when 1 = 2 as print 'never'")
+        agent.close()
+        restarted = EcaAgent(server)
+        trigger = restarted.eca_triggers["sentineldb.sharma.tc"]
+        assert trigger.condition_sql == "1 = 2"
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        conn.execute("insert stock values ('A', 1, 1)")
+        result = conn.execute("delete stock")
+        assert "never" not in result.messages
+        restarted.close()
+
+    def test_generated_proc_contains_condition_block(self, wired, agent, server):
+        wired.execute(
+            "create trigger tc event c = e1 AND e2 "
+            "when 1 = 1 as print 'gated'")
+        db = server.catalog.get_database("sentineldb")
+        proc = db.get_procedure("sharma", "tc__Proc")
+        assert "/* condition */" in proc.source
+        assert "case when (1 = 1) then 1 else 0 end" in proc.source
+
+
+class TestEnableDisable:
+    @pytest.fixture
+    def rule(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'on'")
+        return astock
+
+    def test_disable_inline_rule(self, rule):
+        rule.execute("alter trigger t1 disable")
+        assert "on" not in rule.execute(
+            "insert stock values ('A', 1, 1)").messages
+
+    def test_reenable_inline_rule(self, rule):
+        rule.execute("alter trigger t1 disable")
+        rule.execute("alter trigger t1 enable")
+        assert "on" in rule.execute(
+            "insert stock values ('A', 1, 1)").messages
+
+    def test_disabled_rule_still_raises_event(self, rule, agent):
+        # The event keeps flowing into the LED; only the rule is off.
+        rule.execute("alter trigger t1 disable")
+        rule.execute("insert stock values ('A', 1, 1)")
+        assert agent.notifier.received == 1
+
+    def test_disable_led_rule(self, rule, agent):
+        rule.execute(
+            "create trigger t2 event e1 DETACHED as print 'led side'")
+        rule.execute("alter trigger t2 disable")
+        rule.execute("insert stock values ('A', 1, 1)")
+        agent.action_handler.join_detached()
+        assert not any(r.trigger_internal.endswith("t2")
+                       for r in agent.action_handler.action_log)
+
+    def test_alter_unknown_trigger(self, rule):
+        with pytest.raises(NameError_):
+            rule.execute("alter trigger ghost disable")
+
+    def test_alter_classified_as_eca(self):
+        from repro.agent import LanguageFilter
+
+        assert LanguageFilter().classify("alter trigger t disable") == \
+            LanguageFilter.ECA

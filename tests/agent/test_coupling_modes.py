@@ -1,0 +1,147 @@
+"""E-EXT1: IMMEDIATE / DEFERRED / DETACHED coupling through the full stack.
+
+The paper implements IMMEDIATE and names deferred/detached as future work
+(Section 6); this reproduction implements all three.
+"""
+
+import pytest
+
+
+class TestImmediate:
+    def test_primitive_immediate_runs_inside_statement(self, astock):
+        astock.execute(
+            "create trigger t on stock for insert event e as print 'now'")
+        result = astock.execute("insert stock values ('A', 1, 1)")
+        assert "now" in result.messages
+
+    def test_composite_immediate_runs_inside_statement(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger t2 on stock for update event e2 as print '2'")
+        astock.execute(
+            "create trigger tc event c = e1 SEQ e2 as print 'seq fired'")
+        astock.execute("insert stock values ('A', 1, 1)")
+        result = astock.execute("update stock set price = 2")
+        assert "seq fired" in result.messages
+
+
+class TestDeferred:
+    @pytest.fixture
+    def deferred_rule(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger td event e1 DEFERRED as "
+            "print 'deferred fired'")
+        return astock
+
+    def test_runs_at_commit(self, deferred_rule, agent):
+        deferred_rule.execute("begin tran")
+        result = deferred_rule.execute("insert stock values ('A', 1, 1)")
+        assert "deferred fired" not in result.messages
+        assert agent.led.deferred_count == 1
+        deferred_rule.execute("commit")
+        log = [r for r in agent.action_handler.action_log
+               if "td" in r.trigger_internal]
+        assert len(log) == 1
+
+    def test_discarded_on_rollback(self, deferred_rule, agent):
+        deferred_rule.execute("begin tran")
+        deferred_rule.execute("insert stock values ('A', 1, 1)")
+        deferred_rule.execute("rollback")
+        log = [r for r in agent.action_handler.action_log
+               if "td" in r.trigger_internal]
+        assert log == []
+        assert agent.led.deferred_count == 0
+
+    def test_autocommit_statement_flushes_at_end(self, deferred_rule, agent):
+        # Outside a transaction each statement is its own transaction.
+        deferred_rule.execute("insert stock values ('A', 1, 1)")
+        log = [r for r in agent.action_handler.action_log
+               if "td" in r.trigger_internal]
+        assert len(log) == 1
+
+    def test_multiple_deferred_fire_in_order(self, astock, agent):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger ta event e1 DEFERRED 5 as print 'a'")
+        astock.execute(
+            "create trigger tb event e1 DEFERRED 1 as print 'b'")
+        astock.execute("begin tran")
+        astock.execute("insert stock values ('A', 1, 1)")
+        astock.execute("commit")
+        names = [r.trigger_internal.split(".")[-1]
+                 for r in agent.action_handler.action_log]
+        assert names == ["ta", "tb"]
+
+
+class TestDetached:
+    def test_runs_on_worker_thread(self, astock, agent):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger tx event e1 DETACHED as "
+            "print 'detached fired'")
+        result = astock.execute("insert stock values ('A', 1, 1)")
+        agent.action_handler.join_detached()
+        log = [r for r in agent.action_handler.action_log
+               if r.trigger_internal.endswith("tx")]
+        assert len(log) == 1
+        assert log[0].messages == ["detached fired"]
+        # Detached output does NOT go to the triggering client.
+        assert "detached fired" not in result.messages
+
+    def test_detached_firing_recorded_in_led_history(self, astock, agent):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger tx event e1 DETACHED as print 'd'")
+        astock.execute("insert stock values ('A', 1, 1)")
+        agent.action_handler.join_detached()
+        detached = [f for f in agent.led.history
+                    if f.coupling.value == "DETACHED"]
+        assert len(detached) == 1
+        assert detached[0].error is None
+
+    def test_primitive_detached_not_inlined_in_native_trigger(
+            self, astock, agent, server):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 DETACHED as "
+            "print 'async primitive'")
+        db = server.catalog.get_database("sentineldb")
+        trigger = db.get_trigger("sharma", "ECA_stock_insert")
+        assert "execute" not in trigger.source.lower().replace(
+            "executed", "")  # no inline proc call
+        astock.execute("insert stock values ('A', 1, 1)")
+        agent.action_handler.join_detached()
+        log = [r for r in agent.action_handler.action_log
+               if r.trigger_internal.endswith("t1")]
+        assert len(log) == 1
+
+
+class TestDefaults:
+    def test_default_coupling_is_immediate(self, astock, agent):
+        astock.execute(
+            "create trigger t on stock for insert event e as print 'x'")
+        trigger = agent.eca_triggers["sentineldb.sharma.t"]
+        assert trigger.coupling.value == "IMMEDIATE"
+
+    def test_default_context_is_recent(self, astock, agent):
+        astock.execute(
+            "create trigger t on stock for insert event e as print 'x'")
+        trigger = agent.eca_triggers["sentineldb.sharma.t"]
+        assert trigger.context.value == "RECENT"
+
+    def test_composite_event_defaults_flow_to_triggers(self, astock, agent):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        astock.execute(
+            "create trigger tc event c = e1 OR e1 DEFERRED CHRONICLE 4 as "
+            "print 'c'")
+        astock.execute("create trigger tc2 event c as print 'c2'")
+        second = agent.eca_triggers["sentineldb.sharma.tc2"]
+        assert second.coupling.value == "DEFERRED"
+        assert second.context.value == "CHRONICLE"
+        assert second.priority == 4

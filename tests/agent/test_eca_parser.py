@@ -1,0 +1,186 @@
+"""Figures 9, 10, 12: the extended trigger syntax, and the Language Filter."""
+
+import pytest
+
+from repro.agent import LanguageFilter, parse_eca_command
+from repro.agent.eca_parser import (
+    CREATE_COMPOSITE,
+    CREATE_ON_EVENT,
+    CREATE_PRIMITIVE,
+    DROP_EVENT,
+    DROP_TRIGGER,
+)
+from repro.agent.errors import EcaSyntaxError
+from repro.led.rules import Context, Coupling
+
+EXAMPLE_1 = """create trigger t_addStk on stock for insert
+event addStk
+as print " trigger t_addStk on primitive event addStk occurs"
+select * from stock"""
+
+EXAMPLE_2 = """create trigger t_and
+event addDel = delStk ^ addStk
+RECENT
+as
+print "trigger t_and on composite event addDel = delStk ^ addStk"
+select symbol, price from stock.inserted"""
+
+
+class TestPrimitiveForm:
+    """Figure 9."""
+
+    def test_example_1(self):
+        command = parse_eca_command(EXAMPLE_1)
+        assert command.kind == CREATE_PRIMITIVE
+        assert command.trigger_name == "t_addStk"
+        assert command.table_name == "stock"
+        assert command.operation == "insert"
+        assert command.event_name == "addStk"
+        assert command.action_sql.startswith('print')
+
+    def test_owner_qualified_names(self):
+        command = parse_eca_command(
+            "create trigger sharma.t1 on dbo.stock for delete "
+            "event sharma.ev as select 1")
+        assert command.trigger_name == "sharma.t1"
+        assert command.table_name == "dbo.stock"
+
+    @pytest.mark.parametrize("operation", ["insert", "update", "delete"])
+    def test_all_operations(self, operation):
+        command = parse_eca_command(
+            f"create trigger t on tbl for {operation} event e as select 1")
+        assert command.operation == operation
+
+    def test_bad_operation(self):
+        with pytest.raises(EcaSyntaxError):
+            parse_eca_command(
+                "create trigger t on tbl for merge event e as select 1")
+
+    def test_modifiers(self):
+        command = parse_eca_command(
+            "create trigger t on tbl for insert event e "
+            "DETACHED CUMULATIVE 5 as select 1")
+        assert command.coupling is Coupling.DETACHED
+        assert command.context is Context.CUMULATIVE
+        assert command.priority == 5
+
+    def test_paper_defered_spelling(self):
+        command = parse_eca_command(
+            "create trigger t on tbl for insert event e DEFERED as select 1")
+        assert command.coupling is Coupling.DEFERRED
+
+
+class TestOnEventForm:
+    """Figure 10: trigger on a previously defined event."""
+
+    def test_minimal(self):
+        command = parse_eca_command("create trigger t2 event addStk as select 1")
+        assert command.kind == CREATE_ON_EVENT
+        assert command.event_name == "addStk"
+        assert command.table_name is None
+
+    def test_with_modifiers(self):
+        command = parse_eca_command(
+            "create trigger t2 event addStk IMMEDIATE CHRONICLE 3 as select 1")
+        assert command.context is Context.CHRONICLE
+        assert command.priority == 3
+
+
+class TestCompositeForm:
+    """Figure 12."""
+
+    def test_example_2(self):
+        command = parse_eca_command(EXAMPLE_2)
+        assert command.kind == CREATE_COMPOSITE
+        assert command.event_name == "addDel"
+        assert command.snoop_text == "delStk ^ addStk"
+        assert command.context is Context.RECENT
+        assert "stock.inserted" in command.action_sql
+
+    def test_complex_expression_with_time_string(self):
+        command = parse_eca_command(
+            "create trigger t event big = A*(s, m, t) PLUS [10 sec] "
+            "CHRONICLE as select 1")
+        assert command.snoop_text == "A*(s, m, t) PLUS [10 sec]"
+        assert command.context is Context.CHRONICLE
+
+    def test_expression_keeps_parenthesized_form(self):
+        command = parse_eca_command(
+            "create trigger t event e = (a SEQ b) OR c as select 1")
+        assert command.snoop_text == "(a SEQ b) OR c"
+
+    def test_composite_with_on_clause_rejected(self):
+        with pytest.raises(EcaSyntaxError):
+            parse_eca_command(
+                "create trigger t on tbl for insert event e = a ^ b as select 1")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(EcaSyntaxError):
+            parse_eca_command("create trigger t event e = RECENT as select 1")
+
+
+class TestDropForms:
+    def test_drop_trigger(self):
+        command = parse_eca_command("drop trigger t_addStk")
+        assert command.kind == DROP_TRIGGER
+        assert command.trigger_name == "t_addStk"
+
+    def test_drop_event(self):
+        command = parse_eca_command("drop event sharma.addStk")
+        assert command.kind == DROP_EVENT
+        assert command.event_name == "sharma.addStk"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "create trigger t on tbl for insert event e",        # no AS
+        "create trigger t event e as ",                      # empty action
+        "create trigger t event e = a ^ b RECENT RECENT as select 1",
+        "create trigger t event e IMMEDIATE DETACHED as select 1",
+        "create trigger t event e 0 as select 1",            # bad priority
+        "select * from stock",                               # not ECA at all
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(EcaSyntaxError):
+            parse_eca_command(bad)
+
+    def test_action_containing_word_as_in_string(self):
+        command = parse_eca_command(
+            "create trigger t event e as print 'save as draft'")
+        assert command.action_sql == "print 'save as draft'"
+
+
+class TestLanguageFilter:
+    def setup_method(self):
+        self.filter = LanguageFilter()
+
+    def test_eca_create_trigger(self):
+        assert self.filter.classify(EXAMPLE_1) == LanguageFilter.ECA
+        assert self.filter.classify(EXAMPLE_2) == LanguageFilter.ECA
+
+    def test_native_create_trigger_is_sql(self):
+        assert self.filter.classify(
+            "create trigger tr on stock for insert as select * from inserted"
+        ) == LanguageFilter.SQL
+
+    def test_plain_sql(self):
+        for sql in ("select * from stock", "insert stock values (1)",
+                    "create table t (a int)", "exec someproc"):
+            assert self.filter.classify(sql) == LanguageFilter.SQL
+
+    def test_drop_trigger_needs_registry(self):
+        assert self.filter.classify("drop trigger anything") == \
+            LanguageFilter.MAYBE_DROP_TRIGGER
+
+    def test_drop_event_is_eca(self):
+        assert self.filter.classify("drop event ev") == LanguageFilter.ECA
+
+    def test_event_word_inside_action_does_not_confuse(self):
+        # 'event' after AS belongs to the action, not the header.
+        assert self.filter.classify(
+            "create trigger tr on t for insert as insert log values ('event')"
+        ) == LanguageFilter.SQL
+
+    def test_create_trigger_without_as_falls_back_to_sql(self):
+        assert self.filter.classify("create trigger broken") == \
+            LanguageFilter.SQL

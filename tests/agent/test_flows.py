@@ -1,0 +1,158 @@
+"""E-FIG2/3/4: module assembly and the two control flows.
+
+Figure 3 — creating ECA rules (seven steps); Figure 4 — event
+notification and action (six steps).  These tests trace the steps through
+observable side effects on each module.
+"""
+
+import pytest
+
+from repro.agent import (
+    ActionHandler,
+    EventNotifier,
+    GatewayOpenServer,
+    LanguageFilter,
+    PersistentManager,
+)
+from repro.agent.errors import EcaSyntaxError, NameError_
+from repro.led import LocalEventDetector
+from repro.sqlengine import SqlError
+
+
+class TestFig2Assembly:
+    """All seven modules of Figure 2 exist and are wired together."""
+
+    def test_modules_present(self, agent):
+        assert isinstance(agent.gateway, GatewayOpenServer)          # GI/GOS
+        assert isinstance(agent.language_filter, LanguageFilter)     # filter
+        assert isinstance(agent.led, LocalEventDetector)             # LED
+        assert isinstance(agent.persistent_manager, PersistentManager)
+        assert isinstance(agent.notifier, EventNotifier)
+        assert isinstance(agent.action_handler, ActionHandler)
+        # The ECA parser is stateless (module functions); the agent routes
+        # to it via handle_eca.
+        assert callable(agent.handle_eca)
+
+    def test_server_is_unmodified(self, agent, server):
+        # The engine knows nothing about the agent beyond its two hooks.
+        assert server.catalog is not None
+        assert not hasattr(server, "led")
+        assert not hasattr(server, "eca_parser")
+
+    def test_agent_close_detaches(self, server):
+        from repro.agent import EcaAgent
+
+        agent = EcaAgent(server)
+        agent.close()
+        assert server._datagram_sink is None
+
+
+class TestFig3CreateRuleFlow:
+    """The seven steps of 'create ECA rules'."""
+
+    def test_happy_path_touches_every_module(self, agent, astock):
+        # Steps 1-2: command through GOS into the Language Filter.
+        eca_before = agent.gateway.commands_eca
+        result = astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'x'")
+        # Step 3: classified as ECA and parsed.
+        assert agent.gateway.commands_eca == eca_before + 1
+        # Step 5: event graph created in the LED.
+        assert agent.led.has_event("sentineldb.sharma.e1")
+        # Step 5: generated SQL installed in the server through GOS.
+        assert "sharma.t1__Proc" in agent.server.procedure_names("sentineldb")
+        # Step 7: persistent manager stored the rule.
+        count = agent.persistent_manager.execute(
+            "sentineldb", "select count(*) from SysEcaTrigger").last.scalar()
+        assert count == 1
+        # Step 6: results returned to the client.
+        assert result.messages
+
+    def test_parse_error_returned_to_client(self, agent, astock):
+        with pytest.raises(EcaSyntaxError):
+            astock.execute(
+                "create trigger t1 on stock for frobnicate event e as print 'x'")
+        # Nothing was created (system tables are not even provisioned yet).
+        assert agent.eca_triggers == {}
+        assert not agent.persistent_manager.has_system_tables("sentineldb")
+
+    def test_name_error_unknown_table(self, astock):
+        with pytest.raises(NameError_):
+            astock.execute(
+                "create trigger t on missing for insert event e as print 'x'")
+
+    def test_name_error_duplicate_event(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e as print 'x'")
+        with pytest.raises(NameError_):
+            astock.execute(
+                "create trigger t2 on stock for delete event e as print 'y'")
+
+    def test_name_error_duplicate_trigger(self, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'x'")
+        with pytest.raises(NameError_):
+            astock.execute("create trigger t1 event e1 as print 'y'")
+
+    def test_name_error_unknown_constituent(self, astock):
+        with pytest.raises(NameError_):
+            astock.execute(
+                "create trigger t event bad = ghost1 AND ghost2 as print 'x'")
+
+    def test_plain_sql_bypasses_eca_machinery(self, agent, astock):
+        eca_before = agent.gateway.commands_eca
+        astock.execute("select 1")
+        assert agent.gateway.commands_eca == eca_before
+
+
+class TestFig4NotifyActionFlow:
+    """The six steps of 'event notification and action'."""
+
+    @pytest.fixture
+    def wired(self, astock):
+        astock.execute(
+            "create trigger t_a on stock for insert event evA as print 'A!'")
+        astock.execute(
+            "create trigger t_b on stock for delete event evB as print 'B!'")
+        astock.execute(
+            "create trigger t_ab event evAB = evA SEQ evB "
+            "CHRONICLE as print 'AB!'")
+        return astock
+
+    def test_step_1_2_notification_sent(self, wired, agent):
+        sent_before = agent.channel.sent_count
+        wired.execute("insert stock values ('X', 1, 1)")
+        assert agent.channel.sent_count == sent_before + 1
+
+    def test_step_3_notifier_decodes_and_raises(self, wired, agent):
+        received_before = agent.notifier.received
+        wired.execute("insert stock values ('X', 1, 1)")
+        assert agent.notifier.received == received_before + 1
+
+    def test_step_4_led_detects_composite(self, wired, agent):
+        wired.execute("insert stock values ('X', 1, 1)")
+        assert not any(
+            f.rule_name == "sentineldb.sharma.t_ab" for f in agent.led.history)
+        wired.execute("delete stock")
+        assert any(
+            f.rule_name == "sentineldb.sharma.t_ab" for f in agent.led.history)
+
+    def test_step_5_action_handler_runs_procedure(self, wired, agent):
+        wired.execute("insert stock values ('X', 1, 1)")
+        wired.execute("delete stock")
+        records = [r for r in agent.action_handler.action_log
+                   if "t_ab" in r.trigger_internal]
+        assert len(records) == 1
+        assert records[0].error is None
+
+    def test_step_6_results_reach_client(self, wired):
+        wired.execute("insert stock values ('X', 1, 1)")
+        result = wired.execute("delete stock")
+        assert "AB!" in result.messages
+
+    def test_unknown_event_notification_rejected(self, agent):
+        from repro.agent.errors import NotificationError
+
+        with pytest.raises(NotificationError):
+            agent.notifier.on_payload("u t insert begin db.u.ghost 1")
+        assert agent.notifier.rejected == 1

@@ -1,0 +1,95 @@
+"""E-FIG1: the Gateway Open Server is transparent to clients."""
+
+import pytest
+
+from repro.sqlengine import SqlError
+
+QUERIES = [
+    "select * from stock order by symbol",
+    "select count(*), avg(price) from stock",
+    "select symbol from stock where price > 50",
+]
+
+
+@pytest.fixture
+def both(server, agent):
+    direct = __import__("repro.sqlengine", fromlist=["connect"]).connect(
+        server, user="sharma", database="sentineldb")
+    mediated = agent.connect(user="sharma", database="sentineldb")
+    direct.execute(
+        "create table stock (symbol varchar(10), price float, qty int)")
+    direct.execute(
+        "insert stock values ('IBM', 100.0, 1), ('MSFT', 50.0, 2)")
+    return direct, mediated
+
+
+class TestTransparency:
+    def test_identical_result_sets(self, both):
+        direct, mediated = both
+        for sql in QUERIES:
+            d = direct.execute(sql)
+            m = mediated.execute(sql)
+            assert d.last.columns == m.last.columns
+            assert d.last.rows == m.last.rows
+
+    def test_identical_messages(self, both):
+        direct, mediated = both
+        assert direct.execute("print 'x'").messages == \
+            mediated.execute("print 'x'").messages
+
+    def test_identical_errors(self, both):
+        direct, mediated = both
+        with pytest.raises(SqlError) as direct_error:
+            direct.execute("select * from missing_table")
+        with pytest.raises(SqlError) as mediated_error:
+            mediated.execute("select * from missing_table")
+        assert str(direct_error.value) == str(mediated_error.value)
+
+    def test_ddl_and_dml_pass_through(self, both, server):
+        _direct, mediated = both
+        mediated.execute("create table t2 (a int)")
+        mediated.execute("insert t2 values (1)")
+        assert "sharma.t2" in server.table_names("sentineldb")
+
+    def test_native_trigger_ddl_passes_through(self, both, server):
+        _direct, mediated = both
+        mediated.execute(
+            "create trigger native_tr on stock for insert as print 'native'")
+        assert "sharma.native_tr" in server.trigger_names("sentineldb")
+        assert mediated.execute("insert stock values ('X', 1, 1)").messages \
+            == ["native"]
+
+    def test_sessions_isolated_between_clients(self, agent, server):
+        one = agent.connect(user="u1", database="sentineldb")
+        two = agent.connect(user="u2", database="sentineldb")
+        one.execute("create table mine (a int)")
+        with pytest.raises(SqlError):
+            two.execute("insert mine values (1)")  # u2 has no 'mine'
+
+
+class TestRoutingStatistics:
+    def test_pass_through_counted(self, agent, astock):
+        before = agent.gateway.commands_passed_through
+        astock.execute("select * from stock")
+        assert agent.gateway.commands_passed_through == before + 1
+
+    def test_eca_commands_counted(self, agent, astock):
+        before = agent.gateway.commands_eca
+        astock.execute(
+            "create trigger t on stock for insert event e as print 'x'")
+        assert agent.gateway.commands_eca == before + 1
+
+    def test_drop_of_native_trigger_passes_through(self, agent, astock, server):
+        astock.execute(
+            "create trigger native_tr on stock for insert as print 'n'")
+        before = agent.gateway.commands_eca
+        astock.execute("drop trigger native_tr")
+        assert agent.gateway.commands_eca == before
+        assert "sharma.native_tr" not in server.trigger_names("sentineldb")
+
+    def test_drop_of_eca_trigger_routed_to_agent(self, agent, astock):
+        astock.execute(
+            "create trigger t on stock for insert event e as print 'x'")
+        before = agent.gateway.commands_eca
+        astock.execute("drop trigger t")
+        assert agent.gateway.commands_eca == before + 1

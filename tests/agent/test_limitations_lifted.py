@@ -1,0 +1,90 @@
+"""E-SEC2.2 (lifted): every native restriction the agent removes.
+
+The companion file ``tests/sqlengine/test_native_triggers.py`` shows the
+restrictions holding on the raw engine; here each one is shown lifted
+when the same client speaks to the ECA Agent instead.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def base(astock):
+    return astock
+
+
+class TestRestrictionsLifted:
+    def test_events_can_be_named_and_reused(self, base, agent):
+        base.execute(
+            "create trigger t1 on stock for insert event namedEvent as print '1'")
+        base.execute("create trigger t2 event namedEvent as print '2'")
+        result = base.execute("insert stock values ('A', 1, 1)")
+        assert "1" in result.messages and "2" in result.messages
+
+    def test_multiple_triggers_per_operation_no_overwrite(self, base, agent):
+        # Native: a second insert-trigger silently displaces the first.
+        # Agent: both coexist as ECA triggers on named events.
+        base.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        base.execute(
+            "create trigger t2 on stock for insert event e2 as print '2'")
+        assert len(agent.eca_triggers) == 2
+        result = base.execute("insert stock values ('A', 1, 1)")
+        assert "1" in result.messages and "2" in result.messages
+
+    def test_rules_spanning_multiple_tables(self, base, agent):
+        # Native: "A trigger cannot be applied to more than one table."
+        base.execute("create table orders (id int)")
+        base.execute(
+            "create trigger ts on stock for insert event sIns as print 's'")
+        base.execute(
+            "create trigger to1 on orders for insert event oIns as print 'o'")
+        base.execute(
+            "create trigger tboth event both = sIns AND oIns as "
+            "print 'spans two tables'")
+        base.execute("insert stock values ('A', 1, 1)")
+        result = base.execute("insert orders values (1)")
+        assert "spans two tables" in result.messages
+
+    def test_composite_events_specifiable(self, base, agent):
+        base.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        base.execute(
+            "create trigger t2 on stock for delete event e2 as print '2'")
+        base.execute(
+            "create trigger tc event c = NOT(e1, e2, e1) as print 'not!'")
+        base.execute("insert stock values ('A', 1, 1)")
+        result = base.execute("insert stock values ('B', 2, 2)")
+        assert "not!" in result.messages
+
+    def test_dropping_specific_eca_trigger_leaves_others(self, base, agent):
+        base.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        base.execute("create trigger t2 event e1 as print '2'")
+        base.execute("drop trigger t1")
+        result = base.execute("insert stock values ('A', 1, 1)")
+        assert "1" not in result.messages
+        assert "2" in result.messages
+
+    def test_native_trigger_slot_reused_transparently(self, base, agent, server):
+        # The agent occupies the single native slot per (table, op) with
+        # its generated trigger, multiplexing all named events over it.
+        base.execute(
+            "create trigger t1 on stock for insert event e1 as print '1'")
+        base.execute(
+            "create trigger t2 on stock for insert event e2 as print '2'")
+        triggers = server.trigger_names("sentineldb")
+        generated = [name for name in triggers if "ECA_stock_insert" in name]
+        assert len(generated) == 1
+
+
+class TestLimitationStillVisibleWithoutAgent:
+    def test_direct_connection_keeps_native_semantics(self, agent, server):
+        # A client bypassing the agent still gets the passive engine.
+        from repro.sqlengine import connect
+
+        direct = connect(server, user="x", database="sentineldb")
+        direct.execute("create table t (a int)")
+        direct.execute("create trigger tr1 on t for insert as print 'one'")
+        direct.execute("create trigger tr2 on t for insert as print 'two'")
+        assert direct.execute("insert t values (1)").messages == ["two"]

@@ -1,0 +1,63 @@
+"""Section 5.1: internal naming scheme."""
+
+import pytest
+
+from repro.agent import expand_name, internal_name, split_internal
+from repro.agent.errors import EcaSyntaxError
+from repro.agent.naming import expand_snoop_expression, short_name
+
+
+class TestExpandName:
+    def test_unqualified(self):
+        assert expand_name("addStk", "sentineldb", "sharma") == \
+            "sentineldb.sharma.addStk"
+
+    def test_owner_qualified(self):
+        assert expand_name("sharma.addStk", "sentineldb", "other") == \
+            "sentineldb.sharma.addStk"
+
+    def test_fully_qualified_passes_through(self):
+        assert expand_name("db.u.e", "x", "y") == "db.u.e"
+
+    def test_too_many_parts(self):
+        with pytest.raises(EcaSyntaxError):
+            expand_name("a.b.c.d", "db", "u")
+
+    def test_empty_part(self):
+        with pytest.raises(EcaSyntaxError):
+            expand_name("a..b", "db", "u")
+
+
+class TestInternalNames:
+    def test_compose_and_split_round_trip(self):
+        name = internal_name("db", "user", "obj")
+        assert split_internal(name) == ("db", "user", "obj")
+
+    def test_split_rejects_short_names(self):
+        with pytest.raises(EcaSyntaxError):
+            split_internal("justone")
+
+    def test_short_name(self):
+        assert short_name("db.u.event") == "event"
+
+
+class TestSnoopExpansion:
+    def test_expands_every_leaf(self):
+        expanded = expand_snoop_expression("delStk ^ addStk", "sentineldb", "sharma")
+        assert expanded == \
+            "(sentineldb.sharma.delStk AND sentineldb.sharma.addStk)"
+
+    def test_preserves_qualified_leaves(self):
+        expanded = expand_snoop_expression("other.u.e1 SEQ e2", "db", "me")
+        assert "other.u.e1" in expanded
+        assert "db.me.e2" in expanded
+
+    def test_expands_inside_ternary_and_temporal(self):
+        expanded = expand_snoop_expression(
+            "A*(s, m, t) OR (x PLUS [5 sec])", "db", "u")
+        assert expanded == \
+            "(A*(db.u.s, db.u.m, db.u.t) OR (db.u.x PLUS [5 sec]))"
+
+    def test_periodic_parameter_preserved(self):
+        expanded = expand_snoop_expression("P(s, [1 min]:px, t)", "db", "u")
+        assert ":px" in expanded

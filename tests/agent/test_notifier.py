@@ -1,0 +1,145 @@
+"""E-FIG15: the Event Notifier and its three channels (sync, threaded, UDP)."""
+
+import pytest
+
+from repro.agent import (
+    EcaAgent,
+    Notification,
+    SynchronousChannel,
+    ThreadedChannel,
+    UdpChannel,
+)
+from repro.agent.errors import NotificationError
+from repro.sqlengine import SqlServer
+
+
+class TestNotificationCodec:
+    def test_encode_decode_round_trip(self):
+        original = Notification(
+            user="sharma", table="stock", operation="insert",
+            phase="begin", event_internal="sentineldb.sharma.addStk",
+            v_no=7)
+        assert Notification.decode(original.encode()) == original
+
+    def test_paper_format_without_vno_accepted(self):
+        # The paper's Figure 11 payload has no occurrence number.
+        decoded = Notification.decode(
+            "sharma stock insert begin sentineldb.sharma.addStk")
+        assert decoded.v_no is None
+        assert decoded.event_internal == "sentineldb.sharma.addStk"
+
+    @pytest.mark.parametrize("bad", [
+        "", "too few", "a b c d e f g", "u t op begin ev notanumber",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(NotificationError):
+            Notification.decode(bad)
+
+
+class TestSynchronousChannel:
+    def test_delivers_inline(self):
+        channel = SynchronousChannel()
+        got = []
+        channel.attach(got.append)
+        channel.send("h", 1, "payload")
+        assert got == ["payload"]
+        assert channel.drain()
+
+    def test_without_receiver_raises(self):
+        channel = SynchronousChannel()
+        with pytest.raises(NotificationError):
+            channel.send("h", 1, "x")
+
+
+class TestThreadedChannel:
+    def test_async_delivery(self):
+        channel = ThreadedChannel()
+        got = []
+        channel.attach(got.append)
+        channel.start()
+        for index in range(20):
+            channel.send("h", 1, f"m{index}")
+        assert channel.drain(timeout=5.0)
+        channel.stop()
+        assert got == [f"m{index}" for index in range(20)]
+
+    def test_bad_payload_does_not_kill_worker(self):
+        channel = ThreadedChannel()
+
+        def receiver(payload):
+            if payload == "bad":
+                raise ValueError("boom")
+
+        channel.attach(receiver)
+        channel.start()
+        channel.send("h", 1, "bad")
+        channel.send("h", 1, "good")
+        assert channel.drain(timeout=5.0)
+        channel.stop()
+        assert channel.processed_count == 2
+
+
+class TestUdpChannel:
+    def test_real_udp_round_trip(self):
+        channel = UdpChannel(port=0)  # ephemeral port
+        got = []
+        channel.attach(got.append)
+        channel.start()
+        try:
+            channel.send("127.0.0.1", channel.port, "over the wire")
+            assert channel.drain(timeout=5.0)
+        finally:
+            channel.stop()
+        assert got == ["over the wire"]
+
+    def test_agent_end_to_end_over_udp(self):
+        server = SqlServer(default_database="sentineldb")
+        agent = EcaAgent(server, channel="udp", notify_port=0)
+        # Rebind the generated triggers' target port to the bound one.
+        agent.notify_port = agent.channel.port
+        try:
+            conn = agent.connect(user="sharma", database="sentineldb")
+            conn.execute("create table stock (symbol varchar(10), price float)")
+            conn.execute(
+                "create trigger t1 on stock for insert event e1 "
+                "DETACHED as print 'via udp'")
+            conn.execute("insert stock values ('IBM', 1.0)")
+            assert agent.drain(timeout=5.0)
+            agent.action_handler.join_detached()
+            records = [r for r in agent.action_handler.action_log
+                       if "t1" in r.trigger_internal]
+            assert len(records) == 1
+            assert records[0].messages == ["via udp"]
+        finally:
+            agent.close()
+
+
+class TestAgentNotifierIntegration:
+    def test_threaded_channel_with_agent(self, server):
+        agent = EcaAgent(server, channel="threaded")
+        try:
+            conn = agent.connect(user="sharma", database="sentineldb")
+            conn.execute("create table t (a int)")
+            conn.execute(
+                "create trigger tr on t for insert event e1 "
+                "DETACHED as print 'hi'")
+            conn.execute("insert t values (1)")
+            assert agent.drain(timeout=5.0)
+            agent.action_handler.join_detached()
+            assert agent.notifier.received == 1
+        finally:
+            agent.close()
+
+    def test_vno_fallback_queries_persistent_manager(self, agent, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'x'")
+        astock.execute("insert stock values ('A', 1, 1)")
+        # Simulate a paper-format notification without vNo: the notifier
+        # falls back to SysPrimitiveEvent's counter.
+        hits = []
+        agent.led.add_rule(
+            "probe", "sentineldb.sharma.e1",
+            action=lambda occ: hits.append(occ.params.get("vNo")))
+        agent.notifier.on_payload(
+            "sharma stock insert begin sentineldb.sharma.e1")
+        assert hits == [1]

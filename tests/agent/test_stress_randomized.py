@@ -1,0 +1,146 @@
+"""Seeded randomized stress: rule churn interleaved with DML.
+
+A deterministic pseudo-random driver creates/drops/toggles ECA rules
+while running DML, then checks global invariants — the kind of long-haul
+consistency a mediator must keep (registry == persistence == LED == server
+catalog).
+"""
+
+import random
+
+import pytest
+
+from repro.agent.errors import NameError_
+
+
+def run_session(agent, conn, seed: int, steps: int = 120) -> dict:
+    rng = random.Random(seed)
+    next_id = 0
+    live_events: list[str] = []          # short names of primitive events
+    live_triggers: list[str] = []        # short names of eca triggers
+    stats = {"creates": 0, "drops": 0, "dml": 0, "toggles": 0}
+
+    for _step in range(steps):
+        roll = rng.random()
+        if roll < 0.25 or not live_events:
+            # new primitive event + trigger
+            next_id += 1
+            event = f"ev{next_id}"
+            trigger = f"tr{next_id}"
+            operation = rng.choice(["insert", "update", "delete"])
+            conn.execute(
+                f"create trigger {trigger} on stock for {operation} "
+                f"event {event} as print '{trigger}'")
+            live_events.append(event)
+            live_triggers.append(trigger)
+            stats["creates"] += 1
+        elif roll < 0.35 and len(live_events) >= 2:
+            # composite over two random live events
+            next_id += 1
+            left, right = rng.sample(live_events, 2)
+            operator = rng.choice(["AND", "OR", "SEQ"])
+            context = rng.choice(
+                ["RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"])
+            conn.execute(
+                f"create trigger trc{next_id} event evc{next_id} = "
+                f"{left} {operator} {right} {context} as print 'c{next_id}'")
+            live_triggers.append(f"trc{next_id}")
+            stats["creates"] += 1
+        elif roll < 0.45 and live_triggers:
+            victim = rng.choice(live_triggers)
+            conn.execute(f"drop trigger {victim}")
+            live_triggers.remove(victim)
+            stats["drops"] += 1
+        elif roll < 0.55 and live_triggers:
+            victim = rng.choice(live_triggers)
+            conn.execute(f"alter trigger {victim} "
+                         f"{rng.choice(['enable', 'disable'])}")
+            stats["toggles"] += 1
+        else:
+            kind = rng.random()
+            if kind < 0.6:
+                conn.execute(
+                    f"insert stock values ('S{next_id}_{_step}', "
+                    f"{rng.randint(1, 100)}.0, {rng.randint(1, 50)})")
+            elif kind < 0.8:
+                conn.execute(
+                    f"update stock set price = price + 1 "
+                    f"where qty > {rng.randint(0, 50)}")
+            else:
+                conn.execute(
+                    f"delete stock where qty = {rng.randint(1, 50)}")
+            stats["dml"] += 1
+    return stats
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+class TestRandomizedChurn:
+    def test_registries_stay_consistent(self, agent, astock, seed):
+        stats = run_session(agent, astock, seed)
+        assert stats["dml"] > 0 and stats["creates"] > 0
+
+        # Invariant: agent registry == persisted SysEcaTrigger rows.
+        persisted = agent.persistent_manager.execute(
+            "sentineldb", "select count(*) from SysEcaTrigger").last.scalar()
+        assert persisted == len(agent.eca_triggers)
+
+        # Invariant: every registered trigger has its procedure and its
+        # runtime; every LED rule maps back to a registered trigger.
+        for internal, trigger in agent.eca_triggers.items():
+            assert internal in agent.trigger_runtime
+            db = agent.server.catalog.get_database(trigger.db_name)
+            from repro.agent.naming import split_internal
+
+            _db, owner, proc = split_internal(trigger.proc_name)
+            assert db.get_procedure(owner, proc) is not None
+        for rule_name in agent.led.rules:
+            assert rule_name.lower() in agent.trigger_runtime
+
+        # Invariant: no failed actions, no rejected notifications.
+        assert [r for r in agent.action_handler.action_log if r.error] == []
+        assert agent.notifier.rejected == 0
+
+    def test_recovery_reproduces_churned_state(self, server, agent, astock, seed):
+        from repro.agent import EcaAgent
+
+        run_session(agent, astock, seed, steps=80)
+        before = {
+            "triggers": sorted(agent.eca_triggers),
+            "primitives": sorted(agent.primitive_events),
+            "composites": sorted(agent.composite_events),
+        }
+        agent.close()
+        restarted = EcaAgent(server)
+        after = {
+            "triggers": sorted(restarted.eca_triggers),
+            "primitives": sorted(restarted.primitive_events),
+            "composites": sorted(restarted.composite_events),
+        }
+        assert before == after
+        restarted.close()
+
+    def test_dropping_everything_leaves_clean_state(self, agent, astock, seed):
+        run_session(agent, astock, seed, steps=60)
+        for internal in list(agent.eca_triggers.values()):
+            astock.execute(f"drop trigger {internal.trigger_name}")
+        # Events without triggers can all be dropped (composites first,
+        # until a fixpoint, since they may reference each other).
+        remaining = list(agent.composite_events.values()) + \
+            list(agent.primitive_events.values())
+        progress = True
+        while remaining and progress:
+            progress = False
+            for definition in list(remaining):
+                try:
+                    astock.execute(f"drop event {definition.event_name}")
+                except NameError_:
+                    continue
+                remaining.remove(definition)
+                progress = True
+        assert remaining == []
+        assert agent.eca_triggers == {}
+        assert agent.led.rules == {}
+        count = agent.persistent_manager.execute(
+            "sentineldb",
+            "select count(*) from SysEcaTrigger").last.scalar()
+        assert count == 0

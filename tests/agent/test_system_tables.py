@@ -1,0 +1,135 @@
+"""E-FIG5/6/7/17: the ECA system tables match the paper's layouts."""
+
+import pytest
+
+from repro.agent.persistence import (
+    SYS_COMPOSITE_EVENT_LAYOUT,
+    SYS_CONTEXT_LAYOUT,
+    SYS_ECA_TRIGGER_LAYOUT,
+    SYS_PRIMITIVE_EVENT_LAYOUT,
+)
+
+
+@pytest.fixture
+def provisioned(agent):
+    agent.persistent_manager.ensure_system_tables("sentineldb")
+    return agent
+
+
+def layout_of(server, table_name):
+    db = server.catalog.get_database("sentineldb")
+    table = db.get_table("dbo", table_name)
+    assert table is not None, f"{table_name} missing"
+    return [
+        (col.name, col.sql_type.name, col.sql_type.length, col.nullable)
+        for col in table.schema
+    ]
+
+
+class TestFigure5SysPrimitiveEvent:
+    def test_exact_layout(self, provisioned, server):
+        assert layout_of(server, "SysPrimitiveEvent") == [
+            ("dbName", "varchar", 30, True),
+            ("userName", "varchar", 30, True),
+            ("eventName", "varchar", 30, True),
+            ("tableName", "varchar", 30, True),
+            ("operation", "varchar", 20, True),
+            ("timeStamp", "datetime", None, True),
+            ("vNo", "int", None, True),
+        ]
+
+    def test_storage_lengths_match_figure(self, provisioned, server):
+        db = server.catalog.get_database("sentineldb")
+        table = db.get_table("dbo", "SysPrimitiveEvent")
+        by_name = {col.name: col.sql_type.storage_length for col in table.schema}
+        # Figure 5 reports datetime length 8 and int length 4.
+        assert by_name["timeStamp"] == 8
+        assert by_name["vNo"] == 4
+
+
+class TestFigure6SysCompositeEvent:
+    def test_exact_layout(self, provisioned, server):
+        assert layout_of(server, "SysCompositeEvent") == [
+            ("dbName", "varchar", 30, True),
+            ("userName", "varchar", 30, True),
+            ("eventName", "varchar", 30, True),
+            ("eventDescribe", "text", None, True),
+            ("timeStamp", "datetime", None, True),
+            ("coupling", "char", 10, True),
+            ("context", "char", 10, True),
+            ("priority", "char", 10, True),
+        ]
+
+
+class TestFigure7SysEcaTrigger:
+    def test_figure_7_columns_are_a_prefix(self, provisioned, server):
+        layout = layout_of(server, "SysEcaTrigger")
+        paper_prefix = [
+            ("dbName", "varchar", 30, True),
+            ("userName", "varchar", 30, True),
+            ("triggerName", "varchar", 30, True),
+            ("triggerProc", "text", None, True),
+            ("timeStamp", "datetime", None, True),
+        ]
+        assert layout[:5] == paper_prefix
+        assert layout[5][0] == "eventName"
+
+    def test_recovery_extension_columns_documented(self, provisioned, server):
+        # DESIGN.md §2: coupling/context/priority appended for recovery.
+        layout = layout_of(server, "SysEcaTrigger")
+        extra = [entry[0] for entry in layout[6:]]
+        assert extra == ["coupling", "context", "priority"]
+
+
+class TestFigure17SysContext:
+    def test_exact_layout(self, provisioned, server):
+        assert layout_of(server, "sysContext") == [
+            ("tableName", "varchar", 50, False),
+            ("context", "varchar", 12, False),
+            ("vNo", "int", None, False),
+        ]
+
+    def test_not_null_columns(self, provisioned, server):
+        layout = layout_of(server, "sysContext")
+        assert all(nullable is False for _n, _t, _l, nullable in layout)
+
+    def test_table_name_fits_internal_snapshot_names(self, provisioned):
+        # varchar(50) accommodates db.user.table_inserted names.
+        example = "sentineldb.sharma.stock_inserted"
+        assert len(example) <= 50
+
+
+class TestLayoutConstantsMatchLiveTables:
+    @pytest.mark.parametrize("table_name, layout", [
+        ("SysPrimitiveEvent", SYS_PRIMITIVE_EVENT_LAYOUT),
+        ("SysCompositeEvent", SYS_COMPOSITE_EVENT_LAYOUT),
+        ("SysEcaTrigger", SYS_ECA_TRIGGER_LAYOUT),
+        ("sysContext", SYS_CONTEXT_LAYOUT),
+    ])
+    def test_constant_matches_table(self, provisioned, server, table_name, layout):
+        live = layout_of(server, table_name)
+        declared = [
+            (name, type_name if type_name != "char" else "char", length, nullable)
+            for name, type_name, length, nullable in layout
+        ]
+        normalized = [
+            (name,
+             {"varchar": "varchar", "char": "char", "text": "text",
+              "datetime": "datetime", "int": "int"}[type_name],
+             length if type_name in ("varchar", "char") else None,
+             nullable)
+            for name, type_name, length, nullable in declared
+        ]
+        assert live == normalized
+
+    def test_idempotent_provisioning(self, agent):
+        pm = agent.persistent_manager
+        pm.ensure_system_tables("sentineldb")
+        pm.ensure_system_tables("sentineldb")  # second call is a no-op
+        assert pm.has_system_tables("sentineldb")
+
+    def test_tables_per_database(self, agent, server):
+        server.catalog.create_database("otherdb")
+        agent.persistent_manager.ensure_system_tables("otherdb")
+        db = server.catalog.get_database("otherdb")
+        assert db.get_table("dbo", "SysPrimitiveEvent") is not None

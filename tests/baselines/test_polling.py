@@ -1,0 +1,87 @@
+"""The Polling baseline: correctness and its inherent costs."""
+
+import pytest
+
+from repro.baselines import PollingMonitor
+
+
+@pytest.fixture
+def monitor(server, stock):
+    stock.execute("insert stock values ('SEED', 1.0, 1)")
+    poller = PollingMonitor(
+        server, ["stock"], database="sentineldb", user="sharma")
+    poller.prime()
+    return poller
+
+
+class TestDetection:
+    def test_detects_insert(self, monitor, stock):
+        stock.execute("insert stock values ('NEW', 2.0, 2)")
+        changes = monitor.poll()
+        assert [(c.kind, c.row[0]) for c in changes] == [("insert", "NEW")]
+
+    def test_detects_delete(self, monitor, stock):
+        stock.execute("delete stock where symbol = 'SEED'")
+        changes = monitor.poll()
+        assert [(c.kind, c.row[0]) for c in changes] == [("delete", "SEED")]
+
+    def test_update_appears_as_delete_plus_insert(self, monitor, stock):
+        stock.execute("update stock set price = 9.0 where symbol = 'SEED'")
+        kinds = sorted(c.kind for c in monitor.poll())
+        assert kinds == ["delete", "insert"]
+
+    def test_idle_poll_reports_nothing(self, monitor):
+        assert monitor.poll() == []
+
+    def test_changes_between_polls_are_batched(self, monitor, stock):
+        stock.execute("insert stock values ('A', 1, 1)")
+        stock.execute("insert stock values ('B', 2, 2)")
+        assert len(monitor.poll()) == 2
+
+    def test_insert_then_delete_between_polls_is_invisible(self, monitor, stock):
+        # The fundamental polling blind spot: transient states are lost.
+        stock.execute("insert stock values ('GHOST', 1, 1)")
+        stock.execute("delete stock where symbol = 'GHOST'")
+        assert monitor.poll() == []
+
+    def test_duplicate_rows_counted(self, monitor, stock):
+        stock.execute("insert stock values ('D', 1, 1), ('D', 1, 1)")
+        assert len(monitor.poll()) == 2
+
+    def test_callback_invoked(self, server, stock):
+        seen = []
+        poller = PollingMonitor(
+            server, ["stock"], database="sentineldb", user="sharma",
+            on_change=seen.append)
+        poller.prime()
+        stock.execute("insert stock values ('X', 1, 1)")
+        poller.poll()
+        assert len(seen) == 1
+
+
+class TestCosts:
+    def test_idle_polls_still_scan_full_table(self, monitor, stock):
+        for _ in range(100):
+            stock.execute("insert stock values ('R', 1, 1)")
+        monitor.poll()
+        scanned_before = monitor.rows_scanned
+        for _ in range(5):
+            monitor.poll()  # nothing changed
+        # Five idle polls scanned 5 * 101 rows.
+        assert monitor.rows_scanned - scanned_before == 5 * 101
+
+    def test_statistics_accumulate(self, monitor, stock):
+        stock.execute("insert stock values ('A', 1, 1)")
+        monitor.poll()
+        monitor.poll()
+        assert monitor.polls == 2
+        assert monitor.changes_detected == 1
+
+    def test_multiple_tables(self, server, stock):
+        stock.execute("create table other (a int)")
+        poller = PollingMonitor(
+            server, ["stock", "other"], database="sentineldb", user="sharma")
+        poller.prime()
+        stock.execute("insert other values (1)")
+        changes = poller.poll()
+        assert [(c.table, c.kind) for c in changes] == [("other", "insert")]

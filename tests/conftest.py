@@ -1,0 +1,68 @@
+"""Shared fixtures: a fresh server, direct and mediated connections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.core import ActiveDatabase
+from repro.sqlengine import SqlServer, connect
+
+STOCK_DDL = (
+    "create table stock ("
+    "symbol varchar(10) not null, "
+    "price float null, "
+    "qty int null)"
+)
+
+
+@pytest.fixture
+def server() -> SqlServer:
+    """A fresh passive engine with a ``sentineldb`` database."""
+    return SqlServer(default_database="sentineldb")
+
+
+@pytest.fixture
+def conn(server):
+    """A direct (non-mediated) connection as user ``sharma``."""
+    connection = connect(server, user="sharma", database="sentineldb")
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def stock(conn):
+    """The paper's stock table, created directly on the engine."""
+    conn.execute(STOCK_DDL)
+    return conn
+
+
+@pytest.fixture
+def agent(server):
+    """An ECA Agent mediating the fresh server (synchronous channel)."""
+    eca_agent = EcaAgent(server)
+    yield eca_agent
+    eca_agent.close()
+
+
+@pytest.fixture
+def aconn(agent):
+    """A mediated connection through the agent as user ``sharma``."""
+    connection = agent.connect(user="sharma", database="sentineldb")
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def astock(aconn):
+    """The stock table created through the agent (plain SQL passthrough)."""
+    aconn.execute(STOCK_DDL)
+    return aconn
+
+
+@pytest.fixture
+def adb():
+    """An :class:`ActiveDatabase` facade instance."""
+    database = ActiveDatabase(database="sentineldb", user="sharma")
+    yield database
+    database.close()

@@ -1,0 +1,115 @@
+"""The ActiveDatabase facade and the declarative rule spec."""
+
+import pytest
+
+from repro.core import ActiveDatabase, Context, Coupling, EcaRuleSpec
+
+
+class TestEcaRuleSpec:
+    def test_primitive_form_sql(self):
+        spec = EcaRuleSpec(
+            trigger_name="t1", action_sql="print 'x'", event_name="e1",
+            on_table="stock", operation="insert")
+        text = spec.to_sql()
+        assert "create trigger t1" in text
+        assert "on stock" in text
+        assert "for insert" in text
+        assert "event e1" in text
+        assert text.endswith("as print 'x'")
+
+    def test_composite_form_sql(self):
+        spec = EcaRuleSpec(
+            trigger_name="t", action_sql="select 1", event_name="c",
+            expression="a AND b", context=Context.CHRONICLE,
+            coupling=Coupling.DEFERRED, priority=3)
+        text = spec.to_sql()
+        assert "event c = a AND b" in text
+        assert "DEFERRED CHRONICLE 3" in text
+
+    def test_on_table_requires_operation(self):
+        spec = EcaRuleSpec(
+            trigger_name="t", action_sql="x", event_name="e", on_table="s")
+        with pytest.raises(ValueError):
+            spec.to_sql()
+
+
+class TestActiveDatabase:
+    def test_quickstart_shape(self, adb):
+        adb.execute("create table stock (symbol varchar(10), price float)")
+        adb.define_rule(
+            "t1", event="addStk", on_table="stock", operation="insert",
+            action='print "stock added"')
+        result = adb.execute("insert stock values ('IBM', 101.5)")
+        assert "stock added" in result.messages
+
+    def test_composite_rule_via_facade(self, adb):
+        adb.execute("create table stock (symbol varchar(10), price float)")
+        adb.define_rule("t1", event="e1", on_table="stock",
+                        operation="insert", action="print '1'")
+        adb.define_rule("t2", event="e2", on_table="stock",
+                        operation="delete", action="print '2'")
+        adb.define_rule("tc", event="c", expression="e1 AND e2",
+                        context="RECENT", action="print 'both'")
+        adb.execute("insert stock values ('A', 1)")
+        result = adb.execute("delete stock")
+        assert "both" in result.messages
+
+    def test_rule_on_existing_event(self, adb):
+        adb.execute("create table t (a int)")
+        adb.define_rule("t1", event="e1", on_table="t",
+                        operation="insert", action="print '1'")
+        adb.define_rule("t2", event="e1", action="print '2'")
+        result = adb.execute("insert t values (1)")
+        assert {"1", "2"} <= set(result.messages)
+
+    def test_drop_rule_and_event(self, adb):
+        adb.execute("create table t (a int)")
+        adb.define_rule("t1", event="e1", on_table="t",
+                        operation="insert", action="print '1'")
+        adb.drop_rule("t1")
+        adb.drop_event("e1")
+        assert adb.execute("insert t values (1)").messages == []
+
+    def test_string_enums_accepted(self, adb):
+        adb.execute("create table t (a int)")
+        adb.define_rule(
+            "t1", event="e1", on_table="t", operation="insert",
+            action="print 'x'", coupling="detached", context="cumulative")
+        trigger = adb.agent.eca_triggers["sentineldb.sharma.t1"]
+        assert trigger.coupling is Coupling.DETACHED
+        assert trigger.context is Context.CUMULATIVE
+
+    def test_direct_connection_bypasses_agent(self, adb):
+        adb.execute("create table t (a int)")
+        adb.define_rule("t1", event="e1", on_table="t",
+                        operation="insert", action="print 'active'")
+        direct = adb.connect_direct()
+        # Direct inserts still fire the generated *native* trigger (it
+        # lives in the engine), proving actions run inside the server.
+        result = direct.execute("insert t values (1)")
+        assert "active" in result.messages
+
+    def test_context_manager(self):
+        with ActiveDatabase(database="cm", user="u") as adb:
+            adb.execute("create table t (a int)")
+        # closed without error
+
+    def test_advance_time_reaches_led(self, adb):
+        adb.execute("create table t (a int)")
+        adb.define_rule("t1", event="e1", on_table="t",
+                        operation="insert", action="print '1'")
+        hits = []
+        adb.agent.led.define_composite(
+            "late", "sentineldb.sharma.e1 PLUS [10 sec]")
+        adb.agent.led.add_rule("probe", "late",
+                               action=lambda occ: hits.append(occ))
+        adb.execute("insert t values (1)")
+        adb.advance_time(11)
+        assert len(hits) == 1
+
+    def test_package_level_exports(self):
+        import repro
+
+        assert repro.ActiveDatabase is ActiveDatabase
+        assert repro.Context is Context
+        assert repro.Coupling is Coupling

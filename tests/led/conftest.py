@@ -1,0 +1,46 @@
+"""LED test helpers: a detector with primitives and a firing recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.led import LocalEventDetector, ManualClock
+
+
+class Recorder:
+    """Collects rule firings as (constituent-name lists) for assertions."""
+
+    def __init__(self):
+        self.occurrences = []
+
+    def __call__(self, occurrence):
+        self.occurrences.append(occurrence)
+
+    @property
+    def constituents(self) -> list[list[str]]:
+        return [occ.constituent_names() for occ in self.occurrences]
+
+    @property
+    def count(self) -> int:
+        return len(self.occurrences)
+
+
+@pytest.fixture
+def led():
+    """Fresh detector with a manual clock and primitives a..f defined."""
+    detector = LocalEventDetector(clock=ManualClock())
+    for name in "abcdef":
+        detector.define_primitive(name)
+    return detector
+
+
+@pytest.fixture
+def recorder():
+    return Recorder()
+
+
+def raise_sequence(led, names):
+    """Raise each named event one second apart (deterministic ordering)."""
+    for name in names:
+        led.clock.advance(1)
+        led.raise_event(name)

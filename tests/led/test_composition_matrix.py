@@ -1,0 +1,120 @@
+"""Operator composition: nested Snoop expressions behave compositionally.
+
+The paper's event graphs allow arbitrary nesting; these tests pin down
+the semantics of representative nestings in each context family.
+"""
+
+import pytest
+
+from repro.led import Context
+
+from .conftest import Recorder, raise_sequence
+
+
+def install(led, recorder, expression, context=Context.CHRONICLE, name="X"):
+    led.define_composite(name, expression)
+    led.add_rule("r", name, action=recorder, context=context)
+
+
+class TestNestedBinary:
+    def test_and_of_seqs(self, led, recorder):
+        install(led, recorder, "(a SEQ b) AND (c SEQ d)")
+        raise_sequence(led, ["a", "c", "b", "d"])
+        assert recorder.constituents == [["a", "c", "b", "d"]]
+
+    def test_seq_of_ands_requires_interval_order(self, led, recorder):
+        install(led, recorder, "(a AND b) SEQ (c AND d)")
+        # The (c,d) pair completes before (a,b) does -> no sequence.
+        raise_sequence(led, ["a", "c", "d", "b"])
+        assert recorder.count == 0
+        # Now a fresh (c,d) after the completed (a,b): fires.
+        raise_sequence(led, ["c", "d"])
+        assert recorder.count == 1
+
+    def test_or_distributes_detection(self, led, recorder):
+        install(led, recorder, "(a OR b) SEQ c")
+        raise_sequence(led, ["a", "c", "b", "c"])
+        assert recorder.count == 2
+
+    def test_deep_left_nesting(self, led, recorder):
+        install(led, recorder, "((a SEQ b) SEQ c) SEQ d")
+        raise_sequence(led, ["a", "b", "c", "d"])
+        assert recorder.constituents == [["a", "b", "c", "d"]]
+
+    def test_deep_nesting_partial_prefix_does_not_fire(self, led, recorder):
+        install(led, recorder, "((a SEQ b) SEQ c) SEQ d")
+        raise_sequence(led, ["a", "b", "d", "c"])
+        assert recorder.count == 0
+
+
+class TestTernaryOverComposite:
+    def test_not_with_composite_interval_ends(self, led, recorder):
+        # NOT((a AND b), c, d): window opens when the AND completes.
+        install(led, recorder, "NOT(a AND b, c, d)")
+        raise_sequence(led, ["a", "b", "d"])
+        assert recorder.count == 1
+
+    def test_not_with_composite_killed_by_middle(self, led, recorder):
+        install(led, recorder, "NOT(a AND b, c, d)")
+        raise_sequence(led, ["a", "b", "c", "d"])
+        assert recorder.count == 0
+
+    def test_aperiodic_with_composite_middle(self, led, recorder):
+        install(led, recorder, "A(a, b AND c, d)")
+        raise_sequence(led, ["a", "b", "c", "d", "b", "c"])
+        # One (b AND c) completion inside the window; the pair after d
+        # is outside.
+        assert recorder.count == 1
+
+    def test_astar_collects_composite_middles(self, led, recorder):
+        install(led, recorder, "A*(a, b SEQ c, d)")
+        raise_sequence(led, ["a", "b", "c", "b", "c", "d"])
+        assert recorder.count == 1
+        names = recorder.constituents[0]
+        assert names.count("b") == 2 and names.count("c") == 2
+
+
+class TestContextThroughNesting:
+    def test_recent_inner_feeds_recent_outer(self, led, recorder):
+        install(led, recorder, "(a AND b) SEQ c", context=Context.RECENT)
+        raise_sequence(led, ["a", "b", "a", "b", "c"])
+        # RECENT keeps only the newest completed (a AND b) as initiator.
+        assert recorder.count == 1
+        inner_times = [c.time for c in recorder.occurrences[0].flatten()][:2]
+        assert inner_times == [3.0, 4.0]
+
+    def test_cumulative_merges_nested_pairs(self, led, recorder):
+        install(led, recorder, "(a AND b) SEQ c", context=Context.CUMULATIVE)
+        raise_sequence(led, ["a", "b", "a", "b", "c"])
+        assert recorder.count == 1
+        names = recorder.constituents[0]
+        assert names.count("a") == 2 and names.count("b") == 2
+
+    def test_continuous_counts_inner_completions(self, led, recorder):
+        install(led, recorder, "(a AND b) SEQ c", context=Context.CONTINUOUS)
+        raise_sequence(led, ["a", "b", "a", "b", "c"])
+        # Each completed inner pair is its own open window.
+        assert recorder.count == 2
+
+
+class TestEventNameResolutionThroughNesting:
+    def test_named_subevents_equal_inline_expression(self, led):
+        inline, named = Recorder(), Recorder()
+        led.define_composite("inlineX", "(a AND b) SEQ c")
+        led.define_composite("ab", "a AND b")
+        led.define_composite("namedX", "ab SEQ c")
+        led.add_rule("ri", "inlineX", action=inline, context=Context.CHRONICLE)
+        led.add_rule("rn", "namedX", action=named, context=Context.CHRONICLE)
+        raise_sequence(led, ["a", "b", "c", "a", "c", "b"])
+        assert inline.constituents == named.constituents
+
+    def test_three_level_reuse(self, led, recorder):
+        led.define_composite("l1", "a AND b")
+        led.define_composite("l2", "l1 SEQ c")
+        led.define_composite("l3", "l2 OR d")
+        led.add_rule("r", "l3", action=recorder, context=Context.CHRONICLE)
+        raise_sequence(led, ["d"])
+        assert recorder.count == 1
+        raise_sequence(led, ["a", "b", "c"])
+        assert recorder.count == 2
+        assert recorder.constituents[1] == ["a", "b", "c"]

@@ -1,0 +1,106 @@
+"""E-FIG17: the four parameter contexts on the canonical sequence.
+
+Uses the classic Snoop illustration: for E = e1 AND e2 with occurrences
+e1(1), e1(2), e2(1) the four contexts yield documented, mutually distinct
+parameter sets.  These are the exact bindings the agent later writes into
+``sysContext`` (paper Section 5.6).
+"""
+
+import pytest
+
+from repro.led import Context
+
+from .conftest import raise_sequence
+
+
+@pytest.fixture
+def and_node(led, recorder):
+    led.define_composite("E", "a AND b")
+
+    def run(context):
+        led.add_rule("r", "E", action=recorder, context=context)
+        raise_sequence(led, ["a", "a", "b"])
+        return [
+            [(c.event_name, c.time) for c in occ.flatten()]
+            for occ in recorder.occurrences
+        ]
+
+    return run
+
+
+class TestCanonicalSequence:
+    """a@1, a@2, b@3 against E = a AND b."""
+
+    def test_recent_uses_latest_initiator(self, and_node):
+        assert and_node(Context.RECENT) == [[("a", 2.0), ("b", 3.0)]]
+
+    def test_chronicle_uses_oldest_initiator(self, and_node):
+        assert and_node(Context.CHRONICLE) == [[("a", 1.0), ("b", 3.0)]]
+
+    def test_continuous_fires_once_per_initiator(self, and_node):
+        assert and_node(Context.CONTINUOUS) == [
+            [("a", 1.0), ("b", 3.0)],
+            [("a", 2.0), ("b", 3.0)],
+        ]
+
+    def test_cumulative_merges_all(self, and_node):
+        assert and_node(Context.CUMULATIVE) == [
+            [("a", 1.0), ("a", 2.0), ("b", 3.0)],
+        ]
+
+    def test_contexts_are_mutually_distinct(self, led):
+        results = {}
+        led.define_composite("E", "a AND b")
+        for context in Context:
+            from .conftest import Recorder
+
+            rec = Recorder()
+            led.add_rule(f"r_{context.value}", "E", action=rec, context=context)
+            results[context] = rec
+        raise_sequence(led, ["a", "a", "b"])
+        shapes = {
+            context: tuple(
+                tuple((c.event_name, c.time) for c in occ.flatten())
+                for occ in rec.occurrences
+            )
+            for context, rec in results.items()
+        }
+        assert len(set(shapes.values())) == 4
+
+
+class TestLongerStream:
+    """Occurrence counts over a longer mixed stream differ per context."""
+
+    STREAM = ["a", "b", "a", "a", "b", "b", "b"]
+
+    def expected_counts(self):
+        return {
+            Context.RECENT: 4,       # every b pairs with retained latest a
+            Context.CHRONICLE: 3,    # min(#a, #b) FIFO pairs
+            Context.CONTINUOUS: 4,   # b1 takes a1; b2 takes a2+a3; b3/b4 none... see test
+            Context.CUMULATIVE: 2,   # batches: {a1,b1}, {a2,a3,b2}
+        }
+
+    @pytest.mark.parametrize("context", list(Context))
+    def test_counts(self, led, recorder, context):
+        led.define_composite("E", "a AND b")
+        led.add_rule("r", "E", action=recorder, context=context)
+        raise_sequence(led, self.STREAM)
+        if context is Context.RECENT:
+            # b@2 pairs a@1; b@5 pairs a@4; b@6 and b@7 pair the retained
+            # a@4 again -> but each b also becomes the retained b and
+            # pairs later a's: a@3, a@4 pair the retained b@2.
+            assert recorder.count == 6
+        elif context is Context.CHRONICLE:
+            assert recorder.count == 3
+        elif context is Context.CONTINUOUS:
+            assert recorder.count == 3
+        else:
+            assert recorder.count == 2
+
+    def test_chronicle_preserves_fifo_pairing(self, led, recorder):
+        led.define_composite("E", "a AND b")
+        led.add_rule("r", "E", action=recorder, context=Context.CHRONICLE)
+        raise_sequence(led, self.STREAM)
+        initiator_times = [occ.flatten()[0].time for occ in recorder.occurrences]
+        assert initiator_times == sorted(initiator_times)

@@ -1,0 +1,148 @@
+"""Detector registry: event definition, reuse, dropping, resets."""
+
+import pytest
+
+from repro.led import Context, LocalEventDetector
+from repro.led.errors import EventDefinitionError
+
+from .conftest import Recorder, raise_sequence
+
+
+class TestEventDefinition:
+    def test_define_primitive(self, led):
+        assert led.has_event("a")
+
+    def test_duplicate_primitive(self, led):
+        with pytest.raises(EventDefinitionError):
+            led.define_primitive("a")
+
+    def test_define_composite_from_text(self, led):
+        led.define_composite("ab", "a AND b")
+        assert led.has_event("ab")
+
+    def test_define_composite_from_ast(self, led):
+        from repro.snoop import parse_event_expression
+
+        led.define_composite("ab", parse_event_expression("a OR b"))
+        assert led.has_event("ab")
+
+    def test_unknown_constituent_rejected(self, led):
+        with pytest.raises(EventDefinitionError):
+            led.define_composite("bad", "a AND nosuch")
+
+    def test_bare_name_is_not_a_composite(self, led):
+        # Name checking (Section 5.3): an alias is not a new event.
+        with pytest.raises(EventDefinitionError):
+            led.define_composite("alias", "a")
+
+    def test_duplicate_composite(self, led):
+        led.define_composite("ab", "a AND b")
+        with pytest.raises(EventDefinitionError):
+            led.define_composite("ab", "a OR b")
+
+    def test_raise_composite_rejected(self, led):
+        led.define_composite("ab", "a AND b")
+        with pytest.raises(EventDefinitionError):
+            led.raise_event("ab")
+
+    def test_raise_unknown_event(self, led):
+        with pytest.raises(EventDefinitionError):
+            led.raise_event("ghost")
+
+
+class TestEventReuse:
+    def test_composite_as_constituent(self, led, recorder):
+        led.define_composite("ab", "a AND b")
+        led.define_composite("abc", "ab AND c")
+        led.add_rule("r", "abc", action=recorder, context=Context.RECENT)
+        raise_sequence(led, ["a", "b", "c"])
+        assert recorder.count == 1
+
+    def test_inner_event_still_usable_directly(self, led):
+        inner, outer = Recorder(), Recorder()
+        led.define_composite("ab", "a AND b")
+        led.define_composite("abc", "ab SEQ c")
+        led.add_rule("ri", "ab", action=inner, context=Context.RECENT)
+        led.add_rule("ro", "abc", action=outer, context=Context.RECENT)
+        raise_sequence(led, ["a", "b", "c"])
+        assert inner.count == 1
+        assert outer.count == 1
+
+
+class TestDropEvent:
+    def test_drop_unused_event(self, led):
+        led.define_composite("ab", "a AND b")
+        led.drop_event("ab")
+        assert not led.has_event("ab")
+
+    def test_drop_event_with_rules_refused(self, led):
+        led.define_composite("ab", "a AND b")
+        led.add_rule("r", "ab", action=lambda o: None)
+        with pytest.raises(EventDefinitionError):
+            led.drop_event("ab")
+
+    def test_drop_event_used_by_composite_refused(self, led):
+        led.define_composite("ab", "a AND b")
+        led.define_composite("abc", "ab AND c")
+        with pytest.raises(EventDefinitionError):
+            led.drop_event("ab")
+
+    def test_drop_stops_propagation(self, led, recorder):
+        led.define_composite("ab", "a AND b")
+        led.add_rule("r", "ab", action=recorder)
+        led.drop_rule("r")
+        led.drop_event("ab")
+        raise_sequence(led, ["a", "b"])
+        assert recorder.count == 0
+
+    def test_drop_unknown_event(self, led):
+        with pytest.raises(EventDefinitionError):
+            led.drop_event("ghost")
+
+
+class TestResets:
+    def test_reset_detection_state_clears_partial_detections(self, led, recorder):
+        led.define_composite("ab", "a AND b")
+        led.add_rule("r", "ab", action=recorder, context=Context.CHRONICLE)
+        raise_sequence(led, ["a"])
+        led.reset_detection_state()
+        raise_sequence(led, ["b"])
+        assert recorder.count == 0
+
+    def test_reset_clears_timers(self, led, recorder):
+        led.define_composite("late", "a PLUS [5 sec]")
+        led.add_rule("r", "late", action=recorder)
+        led.raise_event("a")
+        led.reset_detection_state()
+        led.advance_time(10)
+        assert recorder.count == 0
+
+    def test_definitions_survive_reset(self, led):
+        led.define_composite("ab", "a AND b")
+        led.reset_detection_state()
+        assert led.has_event("ab")
+
+
+class TestRaiseReturnValue:
+    def test_returns_synchronous_firings_only(self, led):
+        led.define_composite("ab", "a AND b")
+        led.add_rule("r", "ab", action=lambda o: None, context=Context.RECENT)
+        assert led.raise_event("a") == []
+        firings = led.raise_event("b")
+        assert [f.rule_name for f in firings] == ["r"]
+
+    def test_cascading_rule_raises_are_included(self, led):
+        # A rule action that raises another primitive event.
+        led.add_rule("chain", "a", action=lambda o: led.raise_event("b"))
+        led.add_rule("leaf", "b", action=lambda o: None)
+        firings = led.raise_event("a")
+        assert {f.rule_name for f in firings} == {"chain", "leaf"}
+
+    def test_timestamp_override(self, led):
+        led.define_composite("ab", "a SEQ b")
+        hits = []
+        led.add_rule("r", "ab", action=lambda o: hits.append(o))
+        led.raise_event("a", at=5.0)
+        led.raise_event("b", at=2.0)   # earlier time, later seq
+        # SEQ compares (time, seq): b starts before a ends, so no fire.
+        assert hits == []

@@ -1,0 +1,83 @@
+"""Occurrence composition and interval algebra."""
+
+import pytest
+
+from repro.led.occurrences import Occurrence, compose, primitive
+
+
+class TestPrimitive:
+    def test_interval_is_a_point(self):
+        occ = primitive("e", 5.0, 3)
+        assert occ.start == occ.end == (5.0, 3)
+        assert occ.time == 5.0
+        assert occ.seq == 3
+
+    def test_flatten_is_self(self):
+        occ = primitive("e", 1.0, 1)
+        assert occ.flatten() == (occ,)
+
+    def test_params_carried(self):
+        occ = primitive("e", 1.0, 1, {"vNo": 4})
+        assert occ.params["vNo"] == 4
+
+
+class TestBefore:
+    def test_strictly_before(self):
+        first = primitive("a", 1.0, 1)
+        second = primitive("b", 2.0, 2)
+        assert first.before(second)
+        assert not second.before(first)
+
+    def test_same_time_uses_sequence(self):
+        first = primitive("a", 1.0, 1)
+        second = primitive("b", 1.0, 2)
+        assert first.before(second)
+
+    def test_not_before_itself(self):
+        occ = primitive("a", 1.0, 1)
+        assert not occ.before(occ)
+
+
+class TestCompose:
+    def test_interval_spans_parts(self):
+        a = primitive("a", 1.0, 1)
+        b = primitive("b", 5.0, 2)
+        c = compose("ab", [b, a])
+        assert c.start == (1.0, 1)
+        assert c.end == (5.0, 2)
+
+    def test_constituents_chronological(self):
+        a = primitive("a", 3.0, 2)
+        b = primitive("b", 1.0, 1)
+        c = compose("ab", [a, b])
+        assert c.constituent_names() == ["b", "a"]
+
+    def test_nested_composition_flattens(self):
+        a = primitive("a", 1.0, 1)
+        b = primitive("b", 2.0, 2)
+        c = primitive("c", 3.0, 3)
+        inner = compose("ab", [a, b])
+        outer = compose("abc", [inner, c])
+        assert outer.constituent_names() == ["a", "b", "c"]
+        assert outer.start == (1.0, 1)
+        assert outer.end == (3.0, 3)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            compose("x", [])
+
+    def test_describe(self):
+        a = primitive("a", 1.0, 1)
+        b = primitive("b", 2.0, 2)
+        text = compose("ab", [a, b]).describe()
+        assert text == "ab[a@1, b@2]"
+
+    def test_composite_before_uses_interval_ends(self):
+        # A composite spanning [1, 5] is NOT before an occurrence at 3.
+        a = primitive("a", 1.0, 1)
+        b = primitive("b", 5.0, 3)
+        mid = primitive("m", 3.0, 2)
+        span = compose("ab", [a, b])
+        assert not span.before(mid)
+        late = primitive("l", 6.0, 4)
+        assert span.before(late)

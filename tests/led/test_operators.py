@@ -1,0 +1,249 @@
+"""Snoop operator semantics in every parameter context.
+
+Each test raises a canonical primitive sequence and asserts exactly which
+composite occurrences each context produces — these are the semantics of
+the Snoop papers the ECA Agent inherits (paper Sections 2.1, 5.6).
+"""
+
+import pytest
+
+from repro.led import Context
+
+from .conftest import Recorder, raise_sequence
+
+
+def install(led, recorder, expression, context, name="X"):
+    led.define_composite(name, expression)
+    led.add_rule("r", name, action=recorder, context=context)
+
+
+class TestOr:
+    @pytest.mark.parametrize("context", list(Context))
+    def test_fires_once_per_constituent_in_every_context(
+            self, led, recorder, context):
+        install(led, recorder, "a OR b", context)
+        raise_sequence(led, ["a", "b", "a"])
+        assert recorder.constituents == [["a"], ["b"], ["a"]]
+
+    def test_no_fire_for_unrelated_event(self, led, recorder):
+        install(led, recorder, "a OR b", Context.RECENT)
+        raise_sequence(led, ["c"])
+        assert recorder.count == 0
+
+
+class TestAnd:
+    def test_recent_pairs_with_most_recent(self, led, recorder):
+        install(led, recorder, "a AND b", Context.RECENT)
+        raise_sequence(led, ["a", "a", "b"])
+        # The second `a` is the most recent; pairs once.
+        assert recorder.count == 1
+        occ = recorder.occurrences[0]
+        assert occ.constituent_names() == ["a", "b"]
+        assert occ.constituents[0].time == 2.0
+
+    def test_recent_constituents_not_consumed(self, led, recorder):
+        install(led, recorder, "a AND b", Context.RECENT)
+        raise_sequence(led, ["a", "b", "b"])
+        # The retained `a` pairs again with the newer `b`.
+        assert recorder.count == 2
+
+    def test_recent_is_order_insensitive(self, led, recorder):
+        install(led, recorder, "a AND b", Context.RECENT)
+        raise_sequence(led, ["b", "a"])
+        assert recorder.count == 1
+
+    def test_chronicle_pairs_fifo_and_consumes(self, led, recorder):
+        install(led, recorder, "a AND b", Context.CHRONICLE)
+        raise_sequence(led, ["a", "a", "b", "b", "b"])
+        # Two pairs (oldest-first); the third b has no partner.
+        assert recorder.count == 2
+        first = recorder.occurrences[0]
+        assert first.constituents[0].time == 1.0  # oldest a
+
+    def test_continuous_one_per_open_initiator(self, led, recorder):
+        install(led, recorder, "a AND b", Context.CONTINUOUS)
+        raise_sequence(led, ["a", "a", "a", "b"])
+        assert recorder.count == 3
+
+    def test_continuous_terminator_consumed(self, led, recorder):
+        install(led, recorder, "a AND b", Context.CONTINUOUS)
+        raise_sequence(led, ["a", "b", "b"])
+        # Second b finds no pending a.
+        assert recorder.count == 1
+
+    def test_cumulative_accumulates_everything_once(self, led, recorder):
+        install(led, recorder, "a AND b", Context.CUMULATIVE)
+        raise_sequence(led, ["a", "a", "a", "b"])
+        assert recorder.constituents == [["a", "a", "a", "b"]]
+
+    def test_cumulative_resets_after_firing(self, led, recorder):
+        install(led, recorder, "a AND b", Context.CUMULATIVE)
+        raise_sequence(led, ["a", "b", "a", "b"])
+        assert recorder.constituents == [["a", "b"], ["a", "b"]]
+
+
+class TestSeq:
+    def test_order_matters(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.RECENT)
+        raise_sequence(led, ["b", "a"])
+        assert recorder.count == 0
+
+    def test_recent(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.RECENT)
+        raise_sequence(led, ["a", "a", "b", "b"])
+        # Latest a pairs with each b (initiator retained).
+        assert recorder.count == 2
+        assert all(occ.constituents[0].time == 2.0
+                   for occ in recorder.occurrences)
+
+    def test_chronicle(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.CHRONICLE)
+        raise_sequence(led, ["a", "a", "b", "b", "b"])
+        assert recorder.count == 2
+        assert recorder.occurrences[0].constituents[0].time == 1.0
+        assert recorder.occurrences[1].constituents[0].time == 2.0
+
+    def test_continuous(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.CONTINUOUS)
+        raise_sequence(led, ["a", "a", "b", "b"])
+        # First b terminates both open a-windows; second b finds none.
+        assert recorder.count == 2
+
+    def test_cumulative(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.CUMULATIVE)
+        raise_sequence(led, ["a", "a", "b"])
+        assert recorder.constituents == [["a", "a", "b"]]
+
+    def test_simultaneous_raises_are_ordered_by_sequence(self, led, recorder):
+        install(led, recorder, "a SEQ b", Context.RECENT)
+        # Same clock reading: the global sequence number breaks the tie,
+        # so a-then-b still counts as a sequence.
+        led.raise_event("a")
+        led.raise_event("b")
+        assert recorder.count == 1
+
+
+class TestNot:
+    def test_fires_without_middle(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "c"])
+        assert recorder.constituents == [["a", "c"]]
+
+    def test_middle_cancels(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b", "c"])
+        assert recorder.count == 0
+
+    def test_new_initiator_after_cancel(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b", "a", "c"])
+        assert recorder.count == 1
+
+    def test_chronicle_consumes_initiator(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.CHRONICLE)
+        raise_sequence(led, ["a", "c", "c"])
+        assert recorder.count == 1
+
+    def test_continuous_fires_per_open_window(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.CONTINUOUS)
+        raise_sequence(led, ["a", "a", "c"])
+        assert recorder.count == 2
+
+    def test_middle_only_kills_started_windows(self, led, recorder):
+        install(led, recorder, "NOT(a, b, c)", Context.CHRONICLE)
+        raise_sequence(led, ["b", "a", "c"])
+        # b before a does not poison the later window.
+        assert recorder.count == 1
+
+
+class TestAperiodic:
+    def test_fires_per_middle_within_window(self, led, recorder):
+        install(led, recorder, "A(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b", "b", "c", "b"])
+        # Two b's inside the window; the b after c is outside.
+        assert recorder.count == 2
+
+    def test_no_fire_before_initiator(self, led, recorder):
+        install(led, recorder, "A(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["b", "a", "b"])
+        assert recorder.count == 1
+
+    def test_terminator_does_not_signal(self, led, recorder):
+        install(led, recorder, "A(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "c"])
+        assert recorder.count == 0
+
+    def test_continuous_pairs_every_open_window(self, led, recorder):
+        install(led, recorder, "A(a, b, c)", Context.CONTINUOUS)
+        raise_sequence(led, ["a", "a", "b"])
+        assert recorder.count == 2
+
+    def test_occurrence_carries_initiator_and_middle(self, led, recorder):
+        install(led, recorder, "A(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b"])
+        assert recorder.constituents == [["a", "b"]]
+
+
+class TestAperiodicStar:
+    def test_accumulates_and_fires_at_terminator(self, led, recorder):
+        install(led, recorder, "A*(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b", "b", "b", "c"])
+        assert recorder.constituents == [["a", "b", "b", "b", "c"]]
+
+    def test_fires_with_empty_collection(self, led, recorder):
+        install(led, recorder, "A*(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "c"])
+        assert recorder.constituents == [["a", "c"]]
+
+    def test_window_closes_after_terminator(self, led, recorder):
+        install(led, recorder, "A*(a, b, c)", Context.RECENT)
+        raise_sequence(led, ["a", "b", "c", "b", "c"])
+        assert recorder.count == 1
+
+    def test_chronicle_windows_fifo(self, led, recorder):
+        install(led, recorder, "A*(a, b, c)", Context.CHRONICLE)
+        raise_sequence(led, ["a", "b", "a", "c", "c"])
+        assert recorder.count == 2
+        # First firing closes the older window (which saw the b).
+        assert recorder.constituents[0] == ["a", "b", "c"]
+        assert recorder.constituents[1] == ["a", "b", "c"] or \
+            recorder.constituents[1] == ["a", "c"]
+
+    def test_cumulative_merges_windows(self, led, recorder):
+        install(led, recorder, "A*(a, b, c)", Context.CUMULATIVE)
+        raise_sequence(led, ["a", "a", "b", "c"])
+        assert recorder.count == 1
+
+
+class TestComposition:
+    def test_nested_operators(self, led, recorder):
+        install(led, recorder, "(a SEQ b) AND c", Context.CHRONICLE)
+        raise_sequence(led, ["a", "c", "b"])
+        assert recorder.constituents == [["a", "c", "b"]]
+
+    def test_reuse_of_named_composite(self, led, recorder):
+        led.define_composite("ab", "a AND b")
+        led.define_composite("abc", "ab SEQ c")
+        led.add_rule("r", "abc", action=recorder, context=Context.CHRONICLE)
+        raise_sequence(led, ["a", "b", "c"])
+        assert recorder.constituents == [["a", "b", "c"]]
+
+    def test_same_event_both_sides(self, led, recorder):
+        install(led, recorder, "a SEQ a", Context.CHRONICLE)
+        raise_sequence(led, ["a", "a"])
+        assert recorder.count >= 1
+
+    def test_shared_constituent_two_composites(self, led):
+        left, right = Recorder(), Recorder()
+        led.define_composite("X1", "a AND b")
+        led.define_composite("X2", "a AND c")
+        led.add_rule("r1", "X1", action=left, context=Context.RECENT)
+        led.add_rule("r2", "X2", action=right, context=Context.RECENT)
+        raise_sequence(led, ["a", "b", "c"])
+        assert left.count == 1
+        assert right.count == 1
+
+    def test_or_of_sequences(self, led, recorder):
+        install(led, recorder, "(a SEQ b) OR (c SEQ d)", Context.CHRONICLE)
+        raise_sequence(led, ["c", "a", "d", "b"])
+        assert recorder.constituents == [["c", "d"], ["a", "b"]]

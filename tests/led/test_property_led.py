@@ -1,0 +1,145 @@
+"""Property-based invariants of the event detector (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.led import Context, LocalEventDetector, ManualClock
+
+events = st.lists(st.sampled_from(["a", "b", "c"]), min_size=0, max_size=30)
+
+_quick = settings(max_examples=60, deadline=None)
+
+
+def build(expression, context):
+    led = LocalEventDetector(clock=ManualClock())
+    for name in "abc":
+        led.define_primitive(name)
+    led.define_composite("X", expression)
+    hits = []
+    led.add_rule("r", "X", action=lambda o: hits.append(o), context=context)
+    return led, hits
+
+
+def play(led, stream):
+    for name in stream:
+        led.clock.advance(1)
+        led.raise_event(name)
+
+
+class TestStructuralInvariants:
+    @_quick
+    @given(stream=events)
+    def test_or_count_equals_constituent_count(self, stream):
+        led, hits = build("a OR b", Context.RECENT)
+        play(led, stream)
+        assert len(hits) == sum(1 for name in stream if name in "ab")
+
+    @_quick
+    @given(stream=events)
+    def test_seq_constituents_are_ordered(self, stream):
+        for context in Context:
+            led, hits = build("a SEQ b", context)
+            play(led, stream)
+            for occ in hits:
+                parts = occ.flatten()
+                assert parts[0].end < parts[-1].start or len(parts) > 2
+                # strictly: every a precedes the terminating b
+                terminator = parts[-1]
+                for part in parts[:-1]:
+                    assert part.end < terminator.start
+
+    @_quick
+    @given(stream=events)
+    def test_and_occurrence_has_both_sides(self, stream):
+        for context in (Context.RECENT, Context.CHRONICLE, Context.CONTINUOUS):
+            led, hits = build("a AND b", context)
+            play(led, stream)
+            for occ in hits:
+                names = set(occ.constituent_names())
+                assert names == {"a", "b"}
+
+    @_quick
+    @given(stream=events)
+    def test_chronicle_never_exceeds_min_side_count(self, stream):
+        led, hits = build("a AND b", Context.CHRONICLE)
+        play(led, stream)
+        a_count = sum(1 for name in stream if name == "a")
+        b_count = sum(1 for name in stream if name == "b")
+        assert len(hits) == min(a_count, b_count)
+
+    @_quick
+    @given(stream=events)
+    def test_chronicle_consumption_is_disjoint(self, stream):
+        # No primitive occurrence participates in two chronicle detections.
+        led, hits = build("a AND b", Context.CHRONICLE)
+        play(led, stream)
+        seen: set[tuple[float, int]] = set()
+        for occ in hits:
+            for part in occ.flatten():
+                assert part.end not in seen
+                seen.add(part.end)
+
+    @_quick
+    @given(stream=events)
+    def test_cumulative_fires_at_most_half(self, stream):
+        led, hits = build("a AND b", Context.CUMULATIVE)
+        play(led, stream)
+        pair_bound = min(
+            sum(1 for name in stream if name == "a"),
+            sum(1 for name in stream if name == "b"),
+        )
+        assert len(hits) <= pair_bound
+
+    @_quick
+    @given(stream=events)
+    def test_cumulative_consumes_everything_available(self, stream):
+        led, hits = build("a AND b", Context.CUMULATIVE)
+        play(led, stream)
+        total_consumed = sum(len(occ.flatten()) for occ in hits)
+        relevant = sum(1 for name in stream if name in "ab")
+        assert total_consumed <= relevant
+
+    @_quick
+    @given(stream=events)
+    def test_not_windows_never_contain_middle(self, stream):
+        led, hits = build("NOT(a, b, c)", Context.CHRONICLE)
+        play(led, stream)
+        # Reconstruct: for each firing [a@t1, c@t2] there is no b between.
+        b_times = [
+            index + 1.0
+            for index, name in enumerate(stream) if name == "b"
+        ]
+        for occ in hits:
+            start = occ.flatten()[0].time
+            end = occ.flatten()[-1].time
+            assert not any(start < t < end for t in b_times)
+
+    @_quick
+    @given(stream=events)
+    def test_detection_time_is_terminator_time(self, stream):
+        for expr in ("a AND b", "a SEQ b"):
+            led, hits = build(expr, Context.RECENT)
+            play(led, stream)
+            for occ in hits:
+                assert occ.time == max(p.time for p in occ.flatten())
+
+    @_quick
+    @given(stream=events)
+    def test_history_matches_rule_hits(self, stream):
+        led, hits = build("a AND b", Context.RECENT)
+        play(led, stream)
+        assert len(led.history) == len(hits)
+
+
+class TestDeterminism:
+    @_quick
+    @given(stream=events)
+    def test_same_stream_same_result(self, stream):
+        results = []
+        for _ in range(2):
+            led, hits = build("(a SEQ b) OR c", Context.CHRONICLE)
+            play(led, stream)
+            results.append([occ.constituent_names() for occ in hits])
+        assert results[0] == results[1]

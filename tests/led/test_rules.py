@@ -1,0 +1,198 @@
+"""Rule machinery: priorities, conditions, coupling modes, errors."""
+
+import pytest
+
+from repro.led import Context, Coupling
+from repro.led.errors import ActionError, RuleError
+
+from .conftest import raise_sequence
+
+
+class TestMultipleRules:
+    def test_multiple_rules_one_event(self, led):
+        hits = []
+        led.add_rule("r1", "a", action=lambda o: hits.append("r1"))
+        led.add_rule("r2", "a", action=lambda o: hits.append("r2"))
+        led.raise_event("a")
+        assert sorted(hits) == ["r1", "r2"]
+
+    def test_priority_order(self, led):
+        hits = []
+        led.add_rule("low", "a", action=lambda o: hits.append("low"), priority=1)
+        led.add_rule("high", "a", action=lambda o: hits.append("high"), priority=9)
+        led.add_rule("mid", "a", action=lambda o: hits.append("mid"), priority=5)
+        led.raise_event("a")
+        assert hits == ["high", "mid", "low"]
+
+    def test_equal_priority_ordered_by_name(self, led):
+        hits = []
+        led.add_rule("zz", "a", action=lambda o: hits.append("zz"))
+        led.add_rule("aa", "a", action=lambda o: hits.append("aa"))
+        led.raise_event("a")
+        assert hits == ["aa", "zz"]
+
+    def test_priority_must_be_positive(self, led):
+        with pytest.raises(ValueError):
+            led.add_rule("bad", "a", action=lambda o: None, priority=0)
+
+    def test_duplicate_rule_name(self, led):
+        led.add_rule("r", "a", action=lambda o: None)
+        with pytest.raises(RuleError):
+            led.add_rule("r", "b", action=lambda o: None)
+
+
+class TestConditions:
+    def test_condition_gates_action(self, led):
+        hits = []
+        led.add_rule(
+            "r", "a", action=lambda o: hits.append(o),
+            condition=lambda o: o.params.get("price", 0) > 100)
+        led.raise_event("a", {"price": 50})
+        led.raise_event("a", {"price": 150})
+        assert len(hits) == 1
+
+    def test_condition_on_composite_occurrence(self, led):
+        hits = []
+        led.define_composite("ab", "a AND b")
+        led.add_rule(
+            "r", "ab", action=lambda o: hits.append(o),
+            condition=lambda o: len(o.flatten()) == 2,
+            context=Context.RECENT)
+        raise_sequence(led, ["a", "b"])
+        assert len(hits) == 1
+
+    def test_condition_error_propagates_by_default(self, led):
+        led.add_rule("r", "a", action=lambda o: None,
+                     condition=lambda o: 1 / 0)
+        with pytest.raises(ActionError):
+            led.raise_event("a")
+
+
+class TestRuleLifecycle:
+    def test_drop_rule(self, led):
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o))
+        led.drop_rule("r")
+        led.raise_event("a")
+        assert hits == []
+
+    def test_drop_unknown_rule(self, led):
+        with pytest.raises(RuleError):
+            led.drop_rule("ghost")
+
+    def test_disable_rule(self, led):
+        hits = []
+        rule = led.add_rule("r", "a", action=lambda o: hits.append(o))
+        rule.enabled = False
+        led.raise_event("a")
+        rule.enabled = True
+        led.raise_event("a")
+        assert len(hits) == 1
+
+    def test_rules_for_sorted_by_priority(self, led):
+        led.add_rule("x", "a", action=lambda o: None, priority=1)
+        led.add_rule("y", "a", action=lambda o: None, priority=3)
+        assert [rule.name for rule in led.rules_for("a")] == ["y", "x"]
+
+
+class TestCoupling:
+    def test_immediate_runs_inline(self, led):
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o),
+                     coupling=Coupling.IMMEDIATE)
+        firings = led.raise_event("a")
+        assert len(hits) == 1 and len(firings) == 1
+
+    def test_deferred_waits_for_flush(self, led):
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o),
+                     coupling=Coupling.DEFERRED)
+        led.raise_event("a")
+        assert hits == []
+        assert led.deferred_count == 1
+        led.flush_deferred()
+        assert len(hits) == 1
+
+    def test_discard_deferred(self, led):
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o),
+                     coupling=Coupling.DEFERRED)
+        led.raise_event("a")
+        assert led.discard_deferred() == 1
+        led.flush_deferred()
+        assert hits == []
+
+    def test_deferred_condition_evaluated_at_detection(self, led):
+        gate = {"open": True}
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o),
+                     condition=lambda o: gate["open"],
+                     coupling=Coupling.DEFERRED)
+        led.raise_event("a")
+        gate["open"] = False          # too late: already queued
+        led.flush_deferred()
+        assert len(hits) == 1
+
+    def test_detached_uses_dispatcher(self, led):
+        dispatched = []
+        led.detached_dispatcher = lambda rule, occ: dispatched.append(rule.name)
+        led.add_rule("r", "a", action=lambda o: None,
+                     coupling=Coupling.DETACHED)
+        led.raise_event("a")
+        assert dispatched == ["r"]
+
+    def test_detached_without_dispatcher_runs_inline(self, led):
+        hits = []
+        led.add_rule("r", "a", action=lambda o: hits.append(o),
+                     coupling=Coupling.DETACHED)
+        led.raise_event("a")
+        assert len(hits) == 1
+
+    def test_coupling_parse_accepts_paper_spelling(self):
+        # Figure 9 spells it DEFERED.
+        assert Coupling.parse("DEFERED") is Coupling.DEFERRED
+
+
+class TestActionErrors:
+    def test_propagates_by_default(self, led):
+        led.add_rule("r", "a", action=lambda o: 1 / 0)
+        with pytest.raises(ActionError):
+            led.raise_event("a")
+
+    def test_swallow_mode_records_error(self, led):
+        led.swallow_action_errors = True
+        led.add_rule("bad", "a", action=lambda o: 1 / 0)
+        led.add_rule("good", "a", action=lambda o: None)
+        firings = led.raise_event("a")
+        assert len(firings) == 2
+        errors = [f for f in firings if f.error is not None]
+        assert len(errors) == 1 and errors[0].rule_name == "bad"
+
+    def test_history_records_all_firings(self, led):
+        led.add_rule("r", "a", action=lambda o: None)
+        led.raise_event("a")
+        led.raise_event("a")
+        assert len(led.history) == 2
+        assert led.history[0].rule_name == "r"
+
+
+class TestContextIsolation:
+    def test_rules_in_different_contexts_see_different_streams(self, led):
+        recent, cumulative = [], []
+        led.define_composite("ab", "a AND b")
+        led.add_rule("r1", "ab", action=lambda o: recent.append(o),
+                     context=Context.RECENT)
+        led.add_rule("r2", "ab", action=lambda o: cumulative.append(o),
+                     context=Context.CUMULATIVE)
+        raise_sequence(led, ["a", "a", "b"])
+        assert len(recent) == 1
+        assert len(cumulative) == 1
+        assert len(recent[0].flatten()) == 2
+        assert len(cumulative[0].flatten()) == 3
+
+    def test_context_activation_is_lazy(self, led):
+        led.define_composite("ab", "a AND b")
+        node = led.get_event("ab")
+        assert node.active_contexts == set()
+        led.add_rule("r", "ab", action=lambda o: None, context=Context.CHRONICLE)
+        assert node.active_contexts == {Context.CHRONICLE}

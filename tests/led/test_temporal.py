@@ -1,0 +1,149 @@
+"""Temporal operators (P, P*, PLUS) under the manual clock."""
+
+import pytest
+
+from repro.led import Context, LocalEventDetector, ManualClock
+
+from .conftest import Recorder, raise_sequence
+
+
+class TestPlus:
+    def test_fires_exactly_after_delta(self, led, recorder):
+        led.define_composite("late", "a PLUS [10 sec]")
+        led.add_rule("r", "late", action=recorder)
+        led.raise_event("a")
+        led.advance_time(9.99)
+        assert recorder.count == 0
+        led.advance_time(0.01)
+        assert recorder.count == 1
+        assert recorder.occurrences[0].time == 10.0
+
+    def test_one_timer_per_occurrence(self, led, recorder):
+        led.define_composite("late", "a PLUS [5 sec]")
+        led.add_rule("r", "late", action=recorder)
+        led.raise_event("a")
+        led.advance_time(2)
+        led.raise_event("a")
+        led.advance_time(10)
+        assert recorder.count == 2
+        assert [occ.time for occ in recorder.occurrences] == [5.0, 7.0]
+
+    def test_constituents_include_source_and_timer(self, led, recorder):
+        led.define_composite("late", "a PLUS [1 sec]")
+        led.add_rule("r", "late", action=recorder)
+        led.raise_event("a")
+        led.advance_time(2)
+        names = recorder.occurrences[0].constituent_names()
+        assert names[0] == "a"
+        assert names[1].endswith(".timer")
+
+    def test_plus_over_composite(self, led, recorder):
+        led.define_composite("late", "(a AND b) PLUS [3 sec]")
+        led.add_rule("r", "late", action=recorder, context=Context.RECENT)
+        raise_sequence(led, ["a", "b"])
+        led.advance_time(3)
+        assert recorder.count == 1
+        assert recorder.occurrences[0].constituent_names()[:2] == ["a", "b"]
+
+
+class TestPeriodic:
+    def test_ticks_until_terminator(self, led, recorder):
+        led.define_composite("pp", "P(a, [5 sec], b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.raise_event("a")
+        led.advance_time(17)          # ticks at 5, 10, 15
+        led.raise_event("b")
+        led.advance_time(20)          # no more ticks
+        assert [occ.time for occ in recorder.occurrences] == [5.0, 10.0, 15.0]
+
+    def test_no_tick_without_initiator(self, led, recorder):
+        led.define_composite("pp", "P(a, [5 sec], b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.advance_time(30)
+        assert recorder.count == 0
+
+    def test_recent_new_initiator_resets_phase(self, led, recorder):
+        led.define_composite("pp", "P(a, [10 sec], b)")
+        led.add_rule("r", "pp", action=recorder, context=Context.RECENT)
+        led.raise_event("a")
+        led.advance_time(6)
+        led.raise_event("a")          # replaces window, phase restarts
+        led.advance_time(9)
+        assert recorder.count == 0    # old tick at 10 cancelled
+        led.advance_time(1)
+        assert recorder.count == 1    # new tick at 6 + 10 = 16
+
+    def test_chronicle_windows_tick_independently(self, led, recorder):
+        led.define_composite("pp", "P(a, [10 sec], b)")
+        led.add_rule("r", "pp", action=recorder, context=Context.CHRONICLE)
+        led.raise_event("a")
+        led.advance_time(5)
+        led.raise_event("a")
+        led.advance_time(10)          # ticks at 10 (w1) and 15 (w2)
+        assert [occ.time for occ in recorder.occurrences] == [10.0, 15.0]
+
+    def test_terminator_cancels_pending_timers(self, led, recorder):
+        led.define_composite("pp", "P(a, [5 sec], b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.raise_event("a")
+        led.advance_time(1)
+        led.raise_event("b")
+        assert led.pending_timer_count() == 0
+
+    def test_tick_carries_parameter_annotation(self, led, recorder):
+        led.define_composite("pp", "P(a, [5 sec]:price, b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.raise_event("a")
+        led.advance_time(5)
+        tick = recorder.occurrences[0].constituents[-1]
+        assert tick.params["parameter"] == "price"
+
+
+class TestPeriodicStar:
+    def test_accumulates_ticks_fires_at_terminator(self, led, recorder):
+        led.define_composite("pp", "P*(a, [5 sec], b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.raise_event("a")
+        led.advance_time(12)          # ticks at 5, 10 collected silently
+        assert recorder.count == 0
+        led.raise_event("b")
+        assert recorder.count == 1
+        names = recorder.occurrences[0].constituent_names()
+        assert names[0] == "a" and names[-1] == "b"
+        assert sum(1 for n in names if n.endswith(".tick")) == 2
+
+    def test_no_ticks_still_fires(self, led, recorder):
+        led.define_composite("pp", "P*(a, [1 hour], b)")
+        led.add_rule("r", "pp", action=recorder)
+        raise_sequence(led, ["a", "b"])
+        assert recorder.count == 1
+
+
+class TestTimerMachinery:
+    def test_advance_time_steps_through_deadlines(self, led, recorder):
+        # Periodic reschedules land exactly on multiples even when the
+        # clock jumps far past several of them at once.
+        led.define_composite("pp", "P(a, [3 sec], b)")
+        led.add_rule("r", "pp", action=recorder)
+        led.raise_event("a")
+        led.advance_time(100)
+        times = [occ.time for occ in recorder.occurrences]
+        assert times[:5] == [3.0, 6.0, 9.0, 12.0, 15.0]
+        assert len(times) == 33
+
+    def test_advance_requires_manual_clock(self):
+        from repro.led.clock import SystemClock
+        from repro.led.errors import RuleError
+
+        detector = LocalEventDetector(clock=SystemClock())
+        with pytest.raises(RuleError):
+            detector.advance_time(1)
+
+    def test_process_timers_without_advance(self, led, recorder):
+        led.define_composite("late", "a PLUS [5 sec]")
+        led.add_rule("r", "late", action=recorder)
+        led.raise_event("a")
+        led.clock.advance(10)         # move clock without processing
+        assert recorder.count == 0
+        led.process_timers()
+        assert recorder.count == 1

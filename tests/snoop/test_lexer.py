@@ -1,0 +1,81 @@
+"""Unit tests for the Snoop lexer."""
+
+import pytest
+
+from repro.snoop.errors import SnoopParseError
+from repro.snoop.lexer import (
+    CARET,
+    COLON,
+    COMMA,
+    EOF,
+    LPAREN,
+    NAME,
+    PIPE,
+    RPAREN,
+    SEMI,
+    STAR,
+    TIME,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+class TestNames:
+    def test_simple_name(self):
+        token = tokenize("addStk")[0]
+        assert token.kind == NAME and token.value == "addStk"
+
+    def test_dotted_internal_name(self):
+        assert tokenize("sentineldb.sharma.addStk")[0].value == \
+            "sentineldb.sharma.addStk"
+
+    def test_colon_object_qualification(self):
+        # Eventname:Objectname from the BNF.
+        assert tokenize("addStk:stock1")[0].value == "addStk:stock1"
+
+    def test_double_colon_app_qualification(self):
+        # Eventname::AppId from the BNF.
+        assert tokenize("addStk::siteA_app")[0].value == "addStk::siteA_app"
+
+    def test_separator_needs_adjacent_name(self):
+        # A detached dot is not absorbed into the name (and is invalid).
+        with pytest.raises(SnoopParseError):
+            tokenize("ev .")
+
+    def test_names_with_digits_and_underscore(self):
+        assert tokenize("ev_p10")[0].value == "ev_p10"
+
+
+class TestOperatorsAndStructure:
+    def test_symbolic_aliases(self):
+        assert kinds("a | b ^ c ; d") == [
+            NAME, PIPE, NAME, CARET, NAME, SEMI, NAME, EOF]
+
+    def test_parens_comma_star(self):
+        assert kinds("A*(x, y, z)") == [
+            NAME, STAR, LPAREN, NAME, COMMA, NAME, COMMA, NAME, RPAREN, EOF]
+
+    def test_time_string_token(self):
+        token = tokenize("[1 hour 30 min]")[0]
+        assert token.kind == TIME
+        assert token.value == "1 hour 30 min"
+
+    def test_time_then_colon_parameter(self):
+        assert kinds("[5 sec]:price") == [TIME, COLON, NAME, EOF]
+
+    def test_unterminated_time_string(self):
+        with pytest.raises(SnoopParseError):
+            tokenize("[5 sec")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SnoopParseError):
+            tokenize("a & b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a ^ b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 2
+        assert tokens[2].position == 4

@@ -1,0 +1,152 @@
+"""Unit tests for the Snoop grammar (paper Section 2.1 BNF)."""
+
+import pytest
+
+from repro.snoop import (
+    And,
+    Aperiodic,
+    AperiodicStar,
+    EventName,
+    Not,
+    Or,
+    Periodic,
+    PeriodicStar,
+    Plus,
+    Seq,
+    SnoopParseError,
+    parse_event_expression,
+)
+from repro.snoop.ast import referenced_events, walk
+
+
+class TestPrecedence:
+    def test_or_binds_loosest(self):
+        expr = parse_event_expression("a OR b AND c")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_and_binds_looser_than_seq(self):
+        expr = parse_event_expression("a AND b SEQ c")
+        assert isinstance(expr, And)
+        assert isinstance(expr.right, Seq)
+
+    def test_parentheses_override(self):
+        expr = parse_event_expression("(a OR b) AND c")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_left_associativity(self):
+        expr = parse_event_expression("a SEQ b SEQ c")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.left, Seq)
+
+    def test_symbolic_aliases_match_keywords(self):
+        assert parse_event_expression("a ^ b") == parse_event_expression("a AND b")
+        assert parse_event_expression("a | b") == parse_event_expression("a OR b")
+        assert parse_event_expression("a ; b") == parse_event_expression("a SEQ b")
+
+
+class TestTernaryOperators:
+    def test_not(self):
+        expr = parse_event_expression("NOT(s, m, t)")
+        assert isinstance(expr, Not)
+        assert expr.initiator == EventName("s")
+        assert expr.event == EventName("m")
+        assert expr.terminator == EventName("t")
+
+    def test_aperiodic(self):
+        assert isinstance(parse_event_expression("A(a, b, c)"), Aperiodic)
+
+    def test_aperiodic_star(self):
+        assert isinstance(parse_event_expression("A*(a, b, c)"), AperiodicStar)
+
+    def test_not_star_rejected(self):
+        with pytest.raises(SnoopParseError):
+            parse_event_expression("NOT*(a, b, c)")
+
+    def test_ternary_with_nested_expressions(self):
+        expr = parse_event_expression("A(a SEQ b, c OR d, e)")
+        assert isinstance(expr.initiator, Seq)
+        assert isinstance(expr.event, Or)
+
+    def test_keyword_names_without_parens_are_events(self):
+        # 'A' and 'P' alone are legal event names per the BNF.
+        expr = parse_event_expression("A SEQ P")
+        assert expr == Seq(EventName("A"), EventName("P"))
+
+    def test_not_as_event_name(self):
+        assert parse_event_expression("NOT OR x") == Or(
+            EventName("NOT"), EventName("x"))
+
+
+class TestTemporalOperators:
+    def test_periodic(self):
+        expr = parse_event_expression("P(open, [30 sec], close)")
+        assert isinstance(expr, Periodic)
+        assert expr.period.seconds == 30.0
+        assert expr.parameter is None
+
+    def test_periodic_with_parameter(self):
+        expr = parse_event_expression("P(open, [5 min]:price, close)")
+        assert expr.parameter == "price"
+
+    def test_periodic_star(self):
+        expr = parse_event_expression("P*(open, [1 hour], close)")
+        assert isinstance(expr, PeriodicStar)
+        assert expr.period.seconds == 3600.0
+
+    def test_plus(self):
+        expr = parse_event_expression("e PLUS [10 sec]")
+        assert isinstance(expr, Plus)
+        assert expr.delta.seconds == 10.0
+
+    def test_plus_chains(self):
+        expr = parse_event_expression("e PLUS [1 sec] PLUS [2 sec]")
+        assert isinstance(expr, Plus)
+        assert isinstance(expr.event, Plus)
+
+    def test_plus_binds_tighter_than_seq(self):
+        expr = parse_event_expression("a SEQ b PLUS [1 sec]")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.right, Plus)
+
+    def test_periodic_requires_time(self):
+        with pytest.raises(SnoopParseError):
+            parse_event_expression("P(open, middle, close)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "a AND", "OR b", "(a", "a)", "NOT(a, b)", "A(a, b, c, d)",
+        "e PLUS", "P(a, [0 sec], b)",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SnoopParseError):
+            parse_event_expression(bad)
+
+
+class TestDescribeRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "a OR b", "a AND b", "a SEQ b", "NOT(a, b, c)", "A(a, b, c)",
+        "A*(a, b, c)", "P(a, [10 sec], b)", "P*(a, [2 min], b)",
+        "a PLUS [5 sec]", "((a SEQ b) OR c) AND NOT(d, e, f)",
+        "P(a, [90 sec]:px, b)",
+    ])
+    def test_describe_reparses_to_same_tree(self, text):
+        tree = parse_event_expression(text)
+        assert parse_event_expression(tree.describe()) == tree
+
+
+class TestAstHelpers:
+    def test_walk_visits_all_nodes(self):
+        expr = parse_event_expression("(a SEQ b) AND NOT(c, d, e)")
+        names = [node.name for node in walk(expr) if isinstance(node, EventName)]
+        assert names == ["a", "b", "c", "d", "e"]
+
+    def test_referenced_events_dedupes(self):
+        expr = parse_event_expression("a AND (a SEQ b)")
+        assert referenced_events(expr) == ["a", "b"]
+
+    def test_walk_covers_temporal(self):
+        expr = parse_event_expression("P(a, [1 sec], b) OR (c PLUS [2 sec])")
+        assert referenced_events(expr) == ["a", "b", "c"]

@@ -1,0 +1,50 @@
+"""Time-string parsing and rendering."""
+
+import pytest
+
+from repro.snoop import SnoopParseError, TimeSpec, parse_time_spec
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text, seconds", [
+        ("5 sec", 5.0),
+        ("5sec", 5.0),
+        ("1 min", 60.0),
+        ("2 hours", 7200.0),
+        ("1 day", 86400.0),
+        ("500 ms", 0.5),
+        ("1 hour 30 min", 5400.0),
+        ("1 min 30 sec", 90.0),
+        ("0.5 sec", 0.5),
+        ("1 h", 3600.0),
+    ])
+    def test_accepted(self, text, seconds):
+        assert parse_time_spec(text).seconds == seconds
+
+    @pytest.mark.parametrize("bad", [
+        "", "sec", "5", "5 fortnights", "five sec", "0 sec", "-1 sec",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SnoopParseError):
+            parse_time_spec(bad)
+
+
+class TestTimeSpec:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            TimeSpec(0)
+
+    @pytest.mark.parametrize("seconds, text", [
+        (5.0, "[5 sec]"),
+        (90.0, "[1 min 30 sec]"),
+        (5400.0, "[1 hour 30 min]"),
+        (3600.0, "[1 hour]"),
+        (0.25, "[0.25 sec]"),
+    ])
+    def test_describe(self, seconds, text):
+        assert TimeSpec(seconds).describe() == text
+
+    def test_describe_round_trips(self):
+        for seconds in (1.0, 61.0, 3661.0, 0.5, 7325.0):
+            spec = TimeSpec(seconds)
+            assert parse_time_spec(spec.describe()[1:-1]).seconds == seconds

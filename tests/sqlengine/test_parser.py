@@ -1,0 +1,365 @@
+"""Unit tests for the SQL parser (statement shapes and error paths)."""
+
+import pytest
+
+from repro.sqlengine import parse_batch, parse_expression, parse_statement, split_batches
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    ScalarSubquery,
+    Star,
+    UnaryOp,
+    VariableRef,
+)
+from repro.sqlengine.statements import (
+    AlterTableAddStatement,
+    AssignSelect,
+    BeginTransactionStatement,
+    CommitStatement,
+    CreateProcedureStatement,
+    CreateTableStatement,
+    CreateTriggerStatement,
+    DeleteStatement,
+    DropTableStatement,
+    DropTriggerStatement,
+    ExecuteStatement,
+    IfStatement,
+    InsertSelect,
+    InsertValues,
+    PrintStatement,
+    RollbackStatement,
+    SelectStatement,
+    TruncateStatement,
+    UpdateStatement,
+    WhileStatement,
+)
+
+
+class TestSelect:
+    def test_star_select(self):
+        stmt = parse_statement("select * from stock")
+        assert isinstance(stmt, SelectStatement)
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.tables[0].name.object_name == "stock"
+
+    def test_qualified_star(self):
+        stmt = parse_statement("select s.* from stock s")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.items[0].expr.qualifier == ("s",)
+        assert stmt.tables[0].alias == "s"
+
+    def test_three_part_table_name(self):
+        stmt = parse_statement("select * from sentineldb.sharma.stock")
+        assert stmt.tables[0].name.parts == ("sentineldb", "sharma", "stock")
+
+    def test_column_aliases(self):
+        stmt = parse_statement("select price as p, qty q from stock")
+        assert stmt.items[0].alias == "p"
+        assert stmt.items[1].alias == "q"
+
+    def test_where_group_having_order(self):
+        stmt = parse_statement(
+            "select symbol, sum(qty) total from stock where price > 10 "
+            "group by symbol having sum(qty) > 5 order by total desc, symbol"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_distinct_and_top(self):
+        stmt = parse_statement("select distinct top 3 symbol from stock")
+        assert stmt.distinct is True
+        assert stmt.top == 3
+
+    def test_select_into(self):
+        stmt = parse_statement("select * into copy from stock where 1 = 2")
+        assert stmt.into is not None
+        assert stmt.into.object_name == "copy"
+
+    def test_select_without_from(self):
+        stmt = parse_statement("select 1 + 2")
+        assert stmt.tables == ()
+
+    def test_multi_table_from(self):
+        stmt = parse_statement(
+            "select * from stock, sysContext where stock.vNo = sysContext.vNo")
+        assert len(stmt.tables) == 2
+
+    def test_assign_select(self):
+        stmt = parse_statement("select @x = max(price) from stock")
+        assert isinstance(stmt, AssignSelect)
+        assert stmt.assignments[0][0] == "@x"
+
+
+class TestDml:
+    def test_insert_values_without_into(self):
+        stmt = parse_statement("insert stock values ('IBM', 10, 1)")
+        assert isinstance(stmt, InsertValues)
+        assert len(stmt.rows) == 1
+
+    def test_insert_multi_row(self):
+        stmt = parse_statement("insert into t values (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_insert_with_column_list(self):
+        stmt = parse_statement("insert t (a, b) values (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("insert copy select * from stock")
+        assert isinstance(stmt, InsertSelect)
+
+    def test_update(self):
+        stmt = parse_statement(
+            "update stock set price = price * 1.1, qty = 0 where symbol = 'X'")
+        assert isinstance(stmt, UpdateStatement)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete_without_from(self):
+        # Sybase allows `delete TableName`.
+        stmt = parse_statement("delete Version")
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.where is None
+
+    def test_delete_with_from_and_where(self):
+        stmt = parse_statement("delete from stock where qty = 0")
+        assert stmt.where is not None
+
+    def test_truncate(self):
+        assert isinstance(parse_statement("truncate table stock"), TruncateStatement)
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "create table t (a int not null, b varchar(30) null, c datetime)")
+        assert isinstance(stmt, CreateTableStatement)
+        assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+        assert stmt.columns[0].nullable is False
+        assert stmt.columns[1].sql_type.length == 30
+
+    def test_create_table_numeric_scale_swallowed(self):
+        stmt = parse_statement("create table t (x numeric(10, 2))")
+        assert stmt.columns[0].sql_type.name == "float"
+
+    def test_drop_multiple_tables(self):
+        stmt = parse_statement("drop table a, b.c")
+        assert isinstance(stmt, DropTableStatement)
+        assert len(stmt.tables) == 2
+
+    def test_alter_table_add(self):
+        stmt = parse_statement("alter table copy add vNo int null")
+        assert isinstance(stmt, AlterTableAddStatement)
+        assert stmt.columns[0].name == "vNo"
+
+
+class TestProceduresAndTriggers:
+    def test_create_procedure_with_params(self):
+        stmt = parse_statement(
+            "create procedure p @a int, @b varchar(20) = 'x' as\n"
+            "select @a, @b")
+        assert isinstance(stmt, CreateProcedureStatement)
+        assert stmt.params[0].name == "@a"
+        assert stmt.params[1].default is not None
+        assert stmt.source.startswith("create procedure")
+
+    def test_procedure_body_spans_rest_of_batch(self):
+        stmt = parse_statement(
+            "create proc p as\nprint 'a'\nselect 1\nselect 2")
+        assert len(stmt.body) == 3
+
+    def test_procedure_must_start_batch(self):
+        with pytest.raises(SqlParseError):
+            parse_batch("select 1 create proc p as select 2")
+
+    def test_execute_with_args(self):
+        stmt = parse_statement("exec p 1, 'two'")
+        assert isinstance(stmt, ExecuteStatement)
+        assert len(stmt.args) == 2
+
+    def test_execute_named_args(self):
+        stmt = parse_statement("execute p @a = 5")
+        assert stmt.named_args[0][0] == "@a"
+
+    def test_create_trigger(self):
+        stmt = parse_statement(
+            "create trigger tr on stock for insert as\n"
+            "insert log select * from inserted")
+        assert isinstance(stmt, CreateTriggerStatement)
+        assert stmt.operations == ("insert",)
+
+    def test_create_trigger_multiple_operations(self):
+        stmt = parse_statement(
+            "create trigger tr on stock for insert, delete as print 'x'")
+        assert stmt.operations == ("insert", "delete")
+
+    def test_trigger_bad_operation(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("create trigger tr on stock for merge as print 'x'")
+
+    def test_drop_trigger(self):
+        assert isinstance(parse_statement("drop trigger tr"), DropTriggerStatement)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        stmt = parse_statement(
+            "if @x > 0 print 'pos' else print 'non-pos'")
+        assert isinstance(stmt, IfStatement)
+        assert len(stmt.then_branch) == 1
+        assert len(stmt.else_branch) == 1
+
+    def test_if_with_begin_end_block(self):
+        stmt = parse_statement(
+            "if 1 = 1 begin print 'a' print 'b' end")
+        assert len(stmt.then_branch) == 2
+
+    def test_while(self):
+        stmt = parse_statement("while @i < 10 set @i = @i + 1")
+        assert isinstance(stmt, WhileStatement)
+
+    def test_begin_tran_vs_begin_block(self):
+        assert isinstance(parse_statement("begin tran"), BeginTransactionStatement)
+        batch = parse_batch("begin transaction commit")
+        assert isinstance(batch[0], BeginTransactionStatement)
+        assert isinstance(batch[1], CommitStatement)
+
+    def test_rollback(self):
+        assert isinstance(parse_statement("rollback tran"), RollbackStatement)
+
+    def test_print(self):
+        stmt = parse_statement("print 'hello'")
+        assert isinstance(stmt, PrintStatement)
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("not a = 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-price")
+        assert isinstance(expr, UnaryOp)
+
+    def test_equality_aliases(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_like(self):
+        expr = parse_expression("symbol like 'IB%'")
+        assert expr.op == "LIKE"
+
+    def test_not_like(self):
+        assert parse_expression("symbol not like 'X%'").op == "NOT LIKE"
+
+    def test_between(self):
+        expr = parse_expression("price between 1 and 10")
+        assert isinstance(expr, Between)
+        assert expr.negated is False
+
+    def test_not_between(self):
+        assert parse_expression("price not between 1 and 10").negated is True
+
+    def test_in_list(self):
+        expr = parse_expression("symbol in ('A', 'B')")
+        assert isinstance(expr, InList)
+
+    def test_not_in_subquery(self):
+        expr = parse_expression("symbol not in (select symbol from sold)")
+        assert isinstance(expr, InSubquery)
+        assert expr.negated is True
+
+    def test_is_null(self):
+        expr = parse_expression("price is null")
+        assert isinstance(expr, IsNull)
+
+    def test_is_not_null(self):
+        assert parse_expression("price is not null").negated is True
+
+    def test_exists(self):
+        expr = parse_expression("exists (select * from stock)")
+        assert isinstance(expr, Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(select max(price) from stock)")
+        assert isinstance(expr, ScalarSubquery)
+
+    def test_function_call(self):
+        expr = parse_expression("isnull(price, 0)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "isnull"
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert expr.star is True
+
+    def test_count_distinct(self):
+        expr = parse_expression("count(distinct symbol)")
+        assert expr.distinct is True
+
+    def test_qualified_column(self):
+        expr = parse_expression("sentineldb.sharma.stock.price")
+        assert isinstance(expr, ColumnRef)
+        assert expr.column_name == "price"
+        assert expr.qualifier == ("sentineldb", "sharma", "stock")
+
+    def test_null_literal(self):
+        assert parse_expression("null") == Literal(None)
+
+    def test_variable(self):
+        assert parse_expression("@x") == VariableRef("@x")
+
+    def test_string_concat(self):
+        expr = parse_expression("'a' + 'b'")
+        assert expr.op == "+"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_expression("1 + 2 extra")
+
+
+class TestBatches:
+    def test_adjacent_statements(self):
+        # Sybase style: no separator needed between statements.
+        batch = parse_batch("delete Version insert Version select vNo from t")
+        assert len(batch) == 2
+        assert isinstance(batch[0], DeleteStatement)
+        assert isinstance(batch[1], InsertSelect)
+
+    def test_semicolons_allowed(self):
+        assert len(parse_batch("select 1; select 2;")) == 2
+
+    def test_split_batches_on_go(self):
+        script = "select 1\ngo\nselect 2\nGO\nselect 3"
+        assert len(split_batches(script)) == 3
+
+    def test_split_batches_ignores_empty(self):
+        assert split_batches("go\n\ngo\n") == []
+
+    def test_error_reports_position(self):
+        with pytest.raises(SqlParseError) as excinfo:
+            parse_statement("select from")
+        assert "line" in str(excinfo.value)

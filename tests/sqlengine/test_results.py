@@ -1,0 +1,81 @@
+"""ResultSet / BatchResult behaviour (the TDS analogue)."""
+
+import pytest
+
+from repro.sqlengine.results import BatchResult, ResultSet
+
+
+class TestResultSet:
+    def test_column_access(self):
+        result = ResultSet(["a", "b"], [[1, 2], [3, 4]])
+        assert result.column_values("b") == [2, 4]
+        assert result.column_index("A") == 0  # case-insensitive
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            ResultSet(["a"], []).column_index("zz")
+
+    def test_as_dicts(self):
+        result = ResultSet(["x"], [[1]])
+        assert result.as_dicts() == [{"x": 1}]
+
+    def test_scalar(self):
+        assert ResultSet(["n"], [[5]]).scalar() == 5
+
+    def test_scalar_rejects_non_1x1(self):
+        with pytest.raises(ValueError):
+            ResultSet(["n"], [[1], [2]]).scalar()
+
+    def test_format_table_alignment(self):
+        text = ResultSet(["symbol", "price"], [["IBM", 10.5]]).format_table()
+        lines = text.splitlines()
+        assert lines[0].startswith("symbol")
+        assert "IBM" in lines[2]
+
+    def test_format_renders_null(self):
+        text = ResultSet(["x"], [[None]]).format_table()
+        assert "NULL" in text
+
+    def test_iteration_and_len(self):
+        result = ResultSet(["x"], [[1], [2]])
+        assert len(result) == 2
+        assert [row[0] for row in result] == [1, 2]
+
+
+class TestBatchResult:
+    def test_last(self):
+        batch = BatchResult(result_sets=[ResultSet(["a"], []), ResultSet(["b"], [])])
+        assert batch.last.columns == ["b"]
+
+    def test_last_empty(self):
+        assert BatchResult().last is None
+
+    def test_merge(self):
+        one = BatchResult(messages=["m1"], rowcount=1)
+        two = BatchResult(messages=["m2"], rowcount=2,
+                          result_sets=[ResultSet(["x"], [])])
+        one.merge(two)
+        assert one.messages == ["m1", "m2"]
+        assert one.rowcount == 2
+        assert len(one.result_sets) == 1
+
+    def test_format_includes_messages_and_tables(self):
+        batch = BatchResult(messages=["hello"],
+                            result_sets=[ResultSet(["x"], [[1]])])
+        text = batch.format()
+        assert "hello" in text and "x" in text
+
+
+class TestEngineProducedResults:
+    def test_multiple_selects_multiple_result_sets(self, stock):
+        stock.execute("insert stock values ('A', 1, 1)")
+        result = stock.execute("select symbol from stock select qty from stock")
+        assert len(result.result_sets) == 2
+
+    def test_message_ordering(self, conn):
+        result = conn.execute("print 'one' print 'two'")
+        assert result.messages == ["one", "two"]
+
+    def test_computed_column_names(self, conn):
+        result = conn.execute("select 1 + 1, upper('x')").last
+        assert result.columns == ["", "upper"]

@@ -1,0 +1,106 @@
+"""Transaction semantics: commit, rollback, nesting, catalog undo."""
+
+import pytest
+
+from repro.sqlengine.errors import TransactionError
+
+
+class TestBasicTransactions:
+    def test_commit_keeps_changes(self, stock):
+        stock.execute("begin tran")
+        stock.execute("insert stock values ('A', 1, 1)")
+        stock.execute("commit")
+        assert stock.execute("select count(*) from stock").last.scalar() == 1
+
+    def test_rollback_discards_inserts(self, stock):
+        stock.execute("begin tran")
+        stock.execute("insert stock values ('A', 1, 1)")
+        stock.execute("rollback")
+        assert stock.execute("select count(*) from stock").last.scalar() == 0
+
+    def test_rollback_restores_updates(self, stock):
+        stock.execute("insert stock values ('A', 10.0, 1)")
+        stock.execute("begin tran")
+        stock.execute("update stock set price = 99.0")
+        stock.execute("rollback")
+        assert stock.execute("select price from stock").last.scalar() == 10.0
+
+    def test_rollback_restores_deletes(self, stock):
+        stock.execute("insert stock values ('A', 10.0, 1)")
+        stock.execute("begin tran")
+        stock.execute("delete stock")
+        stock.execute("rollback")
+        assert stock.execute("select count(*) from stock").last.scalar() == 1
+
+    def test_rollback_within_single_batch(self, stock):
+        stock.execute(
+            "begin tran insert stock values ('A', 1, 1) rollback")
+        assert stock.execute("select count(*) from stock").last.scalar() == 0
+
+    def test_commit_without_begin_raises(self, conn):
+        with pytest.raises(TransactionError):
+            conn.execute("commit")
+
+    def test_rollback_without_begin_raises(self, conn):
+        with pytest.raises(TransactionError):
+            conn.execute("rollback")
+
+
+class TestNestedTransactions:
+    def test_nested_commit_counts_down(self, stock):
+        stock.execute("begin tran")
+        stock.execute("begin tran")
+        stock.execute("insert stock values ('A', 1, 1)")
+        stock.execute("commit")  # inner: still open
+        stock.execute("rollback")  # outer rollback discards everything
+        assert stock.execute("select count(*) from stock").last.scalar() == 0
+
+    def test_rollback_closes_all_levels(self, stock):
+        stock.execute("begin tran")
+        stock.execute("begin tran")
+        stock.execute("rollback")
+        assert stock.execute("select @@trancount").last.scalar() == 0
+
+
+class TestCatalogUndo:
+    def test_rollback_undoes_create_table(self, conn, server):
+        conn.execute("begin tran")
+        conn.execute("create table temp_t (a int)")
+        conn.execute("rollback")
+        assert "sharma.temp_t" not in server.table_names("sentineldb")
+
+    def test_rollback_undoes_drop_table(self, stock, conn, server):
+        stock.execute("insert stock values ('A', 1, 1)")
+        conn.execute("begin tran")
+        conn.execute("drop table stock")
+        conn.execute("rollback")
+        assert conn.execute("select count(*) from stock").last.scalar() == 1
+
+    def test_rollback_undoes_select_into(self, stock, conn, server):
+        conn.execute("begin tran")
+        conn.execute("select * into snap from stock where 1 = 2")
+        conn.execute("rollback")
+        assert "sharma.snap" not in server.table_names("sentineldb")
+
+    def test_rollback_undoes_create_procedure(self, conn, server):
+        conn.execute("begin tran")
+        conn.execute("create proc ghost_p as select 1")
+        conn.execute("rollback")
+        assert server.procedure_names("sentineldb") == []
+
+    def test_commit_preserves_catalog_changes(self, conn, server):
+        conn.execute("begin tran")
+        conn.execute("create table kept (a int)")
+        conn.execute("commit")
+        assert "sharma.kept" in server.table_names("sentineldb")
+
+
+class TestSessionIsolationOfTransactionState:
+    def test_transactions_are_per_session(self, server):
+        from repro.sqlengine import connect
+
+        one = connect(server, user="a", database="sentineldb")
+        two = connect(server, user="b", database="sentineldb")
+        one.execute("begin tran")
+        assert two.execute("select @@trancount").last.scalar() == 0
+        one.execute("rollback")

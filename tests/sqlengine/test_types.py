@@ -1,0 +1,122 @@
+"""Unit tests for SQL types, coercion, and literal rendering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sqlengine import SqlType, format_datetime, parse_datetime, sql_repr
+from repro.sqlengine.errors import SqlTypeError
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize("alias, canonical", [
+        ("INT", "int"), ("integer", "int"), ("smallint", "int"),
+        ("FLOAT", "float"), ("real", "float"), ("numeric", "float"),
+        ("VARCHAR", "varchar"), ("nvarchar", "varchar"),
+        ("CHAR", "char"), ("TEXT", "text"), ("DATETIME", "datetime"),
+        ("bit", "bit"),
+    ])
+    def test_aliases(self, alias, canonical):
+        assert SqlType.parse(alias).name == canonical
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.parse("blob")
+
+    def test_varchar_default_length(self):
+        assert SqlType.parse("varchar").length == 30
+
+    def test_char_default_length(self):
+        assert SqlType.parse("char").length == 10
+
+    def test_length_ignored_for_numeric(self):
+        assert SqlType.parse("numeric", 10).length is None
+
+    def test_describe(self):
+        assert SqlType.parse("varchar", 12).describe() == "varchar(12)"
+        assert SqlType.parse("int").describe() == "int"
+
+    def test_storage_length_matches_sybase(self):
+        # Figure 5 reports datetime as 8 bytes, int as 4.
+        assert SqlType.parse("datetime").storage_length == 8
+        assert SqlType.parse("int").storage_length == 4
+        assert SqlType.parse("varchar", 30).storage_length == 30
+
+
+class TestCoercion:
+    def test_null_passes_every_type(self):
+        for name in ("int", "float", "varchar", "datetime", "bit", "text"):
+            assert SqlType.parse(name).coerce(None) is None
+
+    def test_int_from_string(self):
+        assert SqlType.parse("int").coerce(" 42 ") == 42
+
+    def test_int_from_integral_float(self):
+        assert SqlType.parse("int").coerce(3.0) == 3
+
+    def test_int_rejects_fractional(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.parse("int").coerce(3.5)
+
+    def test_float_from_int(self):
+        value = SqlType.parse("float").coerce(2)
+        assert value == 2.0 and isinstance(value, float)
+
+    def test_varchar_truncates_silently(self):
+        # Sybase truncates character data on insert.
+        assert SqlType.parse("varchar", 3).coerce("abcdef") == "abc"
+
+    def test_varchar_from_number(self):
+        assert SqlType.parse("varchar", 10).coerce(5) == "5"
+
+    def test_datetime_from_string(self):
+        value = SqlType.parse("datetime").coerce("1999-02-01 12:30:00")
+        assert value == dt.datetime(1999, 2, 1, 12, 30)
+
+    def test_datetime_rejects_garbage(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.parse("datetime").coerce("not a date")
+
+    def test_bit_values(self):
+        bit = SqlType.parse("bit")
+        assert bit.coerce(True) == 1
+        assert bit.coerce(0) == 0
+        assert bit.coerce("true") == 1
+        with pytest.raises(SqlTypeError):
+            bit.coerce("maybe")
+
+
+class TestDatetimeHelpers:
+    def test_round_trip(self):
+        stamp = dt.datetime(1999, 2, 1, 8, 30, 15)
+        assert parse_datetime(format_datetime(stamp)) == stamp
+
+    @pytest.mark.parametrize("text", [
+        "1999-02-01", "1999-02-01 08:30", "02/01/1999",
+        "Feb 01 1999 08:30AM",
+    ])
+    def test_accepted_formats(self, text):
+        assert parse_datetime(text).year == 1999
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(SqlTypeError):
+            parse_datetime("01.02.1999")
+
+
+class TestSqlRepr:
+    def test_null(self):
+        assert sql_repr(None) == "NULL"
+
+    def test_string_escaping(self):
+        assert sql_repr("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert sql_repr(42) == "42"
+        assert sql_repr(1.5) == "1.5"
+
+    def test_datetime(self):
+        rendered = sql_repr(dt.datetime(1999, 2, 1))
+        assert rendered.startswith("'1999-02-01")
+
+    def test_bool(self):
+        assert sql_repr(True) == "1"

@@ -1,0 +1,102 @@
+"""Workload generators: determinism and validity."""
+
+import pytest
+
+from repro.led import LocalEventDetector, ManualClock
+from repro.snoop import parse_event_expression
+from repro.workloads import (
+    EcaWorkload,
+    RandomEventStream,
+    StockWorkload,
+    random_snoop_expression,
+)
+
+
+class TestStockWorkload:
+    def test_deterministic(self):
+        one = StockWorkload(seed=42).operations(50)
+        two = StockWorkload(seed=42).operations(50)
+        assert one == two
+
+    def test_seeds_differ(self):
+        assert StockWorkload(seed=1).operations(30) != \
+            StockWorkload(seed=2).operations(30)
+
+    def test_operations_are_executable(self, conn):
+        workload = StockWorkload()
+        conn.execute(workload.setup_sql())
+        for sql in workload.operations(200):
+            conn.execute(sql)
+        count = conn.execute("select count(*) from stock").last.scalar()
+        assert count > 0
+
+    def test_mix_contains_all_kinds(self):
+        ops = StockWorkload().operations(300)
+        kinds = {op.split()[0] for op in ops}
+        assert kinds == {"insert", "update", "delete"}
+
+    def test_update_and_delete_target_held_positions(self, conn):
+        workload = StockWorkload()
+        conn.execute(workload.setup_sql())
+        deletes_hit = 0
+        for sql in workload.operations(300):
+            result = conn.execute(sql)
+            if sql.startswith("delete"):
+                deletes_hit += result.rowcount
+        assert deletes_hit > 0
+
+
+class TestRandomSnoop:
+    def test_expressions_parse(self):
+        import random
+
+        rng = random.Random(3)
+        leaves = [f"e{i}" for i in range(6)]
+        for depth in range(4):
+            for _ in range(20):
+                text = random_snoop_expression(rng, leaves, depth)
+                parse_event_expression(text)  # must not raise
+
+    def test_depth_zero_is_leaf(self):
+        import random
+
+        rng = random.Random(1)
+        assert random_snoop_expression(rng, ["x"], 0) == "x"
+
+
+class TestEcaWorkload:
+    def test_install_into_led(self):
+        workload = EcaWorkload(n_primitives=5, n_composites=8,
+                               expression_depth=2, rules_per_event=2)
+        led = LocalEventDetector(clock=ManualClock())
+        rules = workload.install(led)
+        assert rules == 16
+        assert len(led.events) >= 13  # 5 primitives + 8 named composites
+
+    def test_event_stream_covers_primitives(self):
+        workload = EcaWorkload(n_primitives=4)
+        stream = workload.event_stream(200)
+        assert set(stream) == set(workload.primitives)
+
+    def test_stream_is_raisable(self):
+        workload = EcaWorkload(n_primitives=4, n_composites=4)
+        led = LocalEventDetector(clock=ManualClock())
+        hits = []
+        workload.install(led, action=lambda occ: hits.append(occ))
+        for name in workload.event_stream(100):
+            led.clock.advance(1)
+            led.raise_event(name)
+        # Some composites must have fired on a 100-event stream.
+        assert hits
+
+    def test_deterministic(self):
+        one = EcaWorkload(seed=5)
+        two = EcaWorkload(seed=5)
+        assert one.composites == two.composites
+
+
+class TestRandomEventStream:
+    def test_deterministic(self):
+        a = RandomEventStream(["x", "y"], seed=9).take(50)
+        b = RandomEventStream(["x", "y"], seed=9).take(50)
+        assert a == b
