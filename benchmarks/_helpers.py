@@ -7,8 +7,13 @@ numbers then measure computation, not sleeping.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 from repro.agent import EcaAgent
 from repro.led import LocalEventDetector, ManualClock
+from repro.obs import summarize
 from repro.sqlengine import SqlServer, connect
 
 STOCK_DDL = (
@@ -75,6 +80,78 @@ def example_2_stack(**agent_kwargs):
 
 def fresh_led() -> LocalEventDetector:
     return LocalEventDetector(clock=ManualClock())
+
+
+def measure_ms(fn, n: int, *args) -> list[float]:
+    """Call ``fn(*args)`` ``n`` times; per-call wall time in milliseconds."""
+    samples = []
+    for _ in range(n):
+        start = time.perf_counter()
+        fn(*args)
+        samples.append((time.perf_counter() - start) * 1e3)
+    return samples
+
+
+def latency_row(label: str, samples_ms: list[float]) -> tuple:
+    """(label, mean, median, p95, p99, max) row — all in milliseconds.
+
+    Reuses the observability layer's histogram summary so benches and
+    ``show agent stats`` report identical statistics.
+    """
+    s = summarize(samples_ms)
+    return (label, f"{s.mean:.3f}", f"{s.p50:.3f}", f"{s.p95:.3f}",
+            f"{s.p99:.3f}", f"{s.max:.3f}")
+
+
+LATENCY_HEADERS = ("series", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                   "max_ms")
+
+
+def write_bench_json(name: str, series: dict[str, list[float]],
+                     extra: dict | None = None) -> str:
+    """Write ``BENCH_<name>.json`` capturing full latency summaries
+    (mean/median/p95/p99/max) per series, next to the repo root."""
+    payload = {"bench": name, "series": {}}
+    for label, samples_ms in series.items():
+        payload["series"][label] = summarize(samples_ms).as_dict()
+    if extra:
+        payload.update(extra)
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def stage_breakdown_rows(metrics) -> list[tuple]:
+    """Per-stage latency rows from an agent's metrics registry
+    (one row per labeled histogram child), for ``--stage-breakdown``."""
+    from repro.obs import HistogramSummary
+
+    rows = []
+    for family in metrics.families():
+        for labels, metric in family.children():
+            value = metric.value()
+            if not isinstance(value, HistogramSummary):
+                continue
+            rendered = ",".join(f"{k}={v}" for k, v in labels.items())
+            label = f"{family.name}{{{rendered}}}" if rendered else family.name
+            rows.append((label, value.count, f"{value.mean * 1e3:.3f}",
+                         f"{value.p50 * 1e3:.3f}", f"{value.p95 * 1e3:.3f}",
+                         f"{value.p99 * 1e3:.3f}", f"{value.max * 1e3:.3f}"))
+    return rows
+
+
+STAGE_HEADERS = ("stage", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                 "max_ms")
+
+
+def print_stage_breakdown(title: str, metrics) -> None:
+    """Print the per-stage latency table collected by an agent's metrics."""
+    rows = stage_breakdown_rows(metrics)
+    if rows:
+        print_series(f"{title} — stage breakdown", rows, STAGE_HEADERS)
 
 
 def print_series(title: str, rows: list[tuple], headers: tuple) -> None:

@@ -7,48 +7,56 @@ paper's "communication ... based on the socket ... efficiency will be
 affected".
 """
 
-import time
+import statistics
 
 from _helpers import (
+    LATENCY_HEADERS,
     agent_stack,
     direct_stack,
     example_1_stack,
     example_2_stack,
+    latency_row,
+    measure_ms,
     print_series,
+    print_stage_breakdown,
+    write_bench_json,
 )
 
 INSERT = "insert stock values ('X', 1.0, 1)"
 
 
-def _cost(conn, sql=INSERT, n=200) -> float:
-    start = time.perf_counter()
-    for _ in range(n):
-        conn.execute(sql)
-    return (time.perf_counter() - start) / n * 1e3
+def _samples(conn, sql=INSERT, n=200) -> list[float]:
+    return measure_ms(conn.execute, n, sql)
 
 
-def test_layer_decomposition_series(benchmark):
+def test_layer_decomposition_series(benchmark, stage_breakdown):
     _s0, direct = direct_stack()
     _s1, _a1, gateway_only = agent_stack()
-    _s2, _a2, with_event = example_1_stack()
+    _s2, a2, with_event = example_1_stack()
     _s3, _a3, with_composite = example_2_stack()
     with_composite.execute("delete stock")  # keep an AND window open
 
-    base = _cost(direct)
-    routed = _cost(gateway_only)
-    evented = _cost(with_event)
-    composed = _cost(with_composite)
+    if stage_breakdown:
+        a2.metrics.enabled = True
 
-    rows = [
-        ("1 engine insert (direct)", f"{base:.3f}", "1.00x"),
-        ("2 + gateway routing", f"{routed:.3f}", f"{routed / base:.2f}x"),
-        ("3 + event machinery (Example 1)", f"{evented:.3f}",
-         f"{evented / base:.2f}x"),
-        ("4 + composite detection (Example 2)", f"{composed:.3f}",
-         f"{composed / base:.2f}x"),
-    ]
+    series = {
+        "1 engine insert (direct)": _samples(direct),
+        "2 + gateway routing": _samples(gateway_only),
+        "3 + event machinery (Example 1)": _samples(with_event),
+        "4 + composite detection (Example 2)": _samples(with_composite),
+    }
+    base = statistics.mean(series["1 engine insert (direct)"])
+    routed = statistics.mean(series["2 + gateway routing"])
+    evented = statistics.mean(series["3 + event machinery (Example 1)"])
+
+    rows = [latency_row(label, samples) + (
+        f"{statistics.mean(samples) / base:.2f}x",)
+        for label, samples in series.items()]
     print_series("E-PERF1 mediator overhead decomposition",
-                 rows, ("layer", "ms/insert", "vs direct"))
+                 rows, LATENCY_HEADERS + ("vs direct",))
+    write_bench_json("overhead", series)
+    if stage_breakdown:
+        print_stage_breakdown("E-PERF1 (Example 1 stack)", a2.metrics)
     # Shape: each layer adds cost; routing alone is nearly free.
     assert routed / base < 1.5
     assert evented > routed

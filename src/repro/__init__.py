@@ -16,11 +16,14 @@ and the server, exactly as the paper describes:
   against qualitatively (polling, embedded situation checks);
 - :mod:`repro.workloads` -- workload generators for the benchmarks;
 - :mod:`repro.ged` -- the Global Event Detector extension (Section 6
-  future work).
+  future work);
+- :mod:`repro.obs` -- the observability layer (metrics registry and
+  span-based pipeline tracing).
 """
 
 from repro.core import ActiveDatabase, Context, Coupling
 from repro.errors import ConfigurationError, NotSupportedError, ReproError
+from repro.obs import get_metrics, get_trace
 
 __version__ = "1.0.0"
 
@@ -32,4 +35,6 @@ __all__ = [
     "NotSupportedError",
     "ReproError",
     "__version__",
+    "get_metrics",
+    "get_trace",
 ]

@@ -23,6 +23,7 @@ Assembly::
 """
 
 from .action_handler import ActionHandler
+from .admin import AgentAdmin
 from .agent import EcaAgent
 from .eca_parser import EcaCommand, LanguageFilter, parse_eca_command
 from .errors import AgentError, EcaSyntaxError, NameError_
@@ -38,10 +39,11 @@ from .notifier import (
     UdpChannel,
 )
 from .persistence import PersistentManager
-from .trace import PipelineTrace, TraceRecord
+from .trace import PipelineTrace, SpanRecord, TraceRecord
 
 __all__ = [
     "ActionHandler",
+    "AgentAdmin",
     "AgentError",
     "CompositeEventDef",
     "EcaAgent",
@@ -58,6 +60,7 @@ __all__ = [
     "PersistentManager",
     "PipelineTrace",
     "PrimitiveEventDef",
+    "SpanRecord",
     "SynchronousChannel",
     "TraceRecord",
     "ThreadedChannel",

@@ -14,6 +14,7 @@ which is exactly what IMMEDIATE coupling means.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.led.detector import RuleFiring
@@ -58,6 +59,12 @@ class ActionHandler:
         self.action_log: list[ActionRecord] = []
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
+        self._m_actions = agent.metrics.counter(
+            "agent_actions_total",
+            "Rule actions executed by the Action Handler", ("status",))
+        self._m_action_seconds = agent.metrics.histogram(
+            "agent_action_seconds",
+            "Rule action execution latency (seconds)")
         #: action execution sessions, one per (database, user): actions run
         #: with the *trigger owner's* identity so unqualified names in the
         #: user's action SQL resolve as they would for that user.
@@ -148,21 +155,41 @@ class ActionHandler:
         statements.append(f"execute {noti.store_proc}")
         script = "\n".join(statements)
         session = self._session_for(trigger.db_name, trigger.user_name)
+        metrics = self.agent.metrics
+        timed = metrics.enabled
+        if timed:
+            start = time.perf_counter()
+        trace = self.agent.trace
+        span = (trace.span(FIG4_ACTION_RUN, trigger.internal)
+                if trace.enabled else None)
         try:
-            result = self.agent.server.execute(script, session)
+            if span is not None:
+                with span:
+                    result = self.agent.server.execute(script, session)
+                    # Figure 16: results flow back to the client through
+                    # the gateway (routing is part of the action span).
+                    self._finish(record, result)
+            else:
+                result = self.agent.server.execute(script, session)
+                self._finish(record, result)
         except Exception as exc:  # record and surface via the LED policy
             record.error = exc
             self.action_log.append(record)
+            if timed:
+                self._m_actions.labels("error").inc()
             if not self.agent.led.swallow_action_errors:
                 raise
             return record
+        if timed:
+            self._m_actions.labels("ok").inc()
+            self._m_action_seconds.observe(time.perf_counter() - start)
+        return record
+
+    def _finish(self, record: ActionRecord, result) -> None:
         record.messages = list(result.messages)
         record.row_sets = len(result.result_sets)
         self.action_log.append(record)
-        self.agent.trace.emit(FIG4_ACTION_RUN, trigger.internal)
-        # Figure 16: results flow back to the client through the gateway.
         self.agent.gateway.push_action_output(result)
-        return record
 
 
 def context_entries(occurrence: Occurrence) -> list[tuple[str, int]]:

@@ -1,0 +1,170 @@
+"""Operator introspection commands — the agent's ``sp_monitor`` analogue.
+
+The Language Filter routes ``show/reset/set agent ...`` commands here;
+answers come back as ordinary result sets and messages, so *any* client
+that can issue SQL can inspect the agent — without touching the DBMS
+engine (the paper's core transparency constraint).
+
+Commands:
+
+- ``show agent stats`` — two result sets: counters/gauges, then latency
+  histogram summaries (count, mean, p50, p95, p99, max in milliseconds);
+- ``show agent trace [N]`` — the most recent N span records (default 50);
+- ``show agent status`` — observability flags and buffer sizes;
+- ``reset agent stats`` / ``reset agent trace`` — zero the registry /
+  clear the span buffer;
+- ``set agent stats on|off`` / ``set agent trace on|off`` — toggle the
+  metrics registry / span tracing at runtime.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import HistogramSummary
+from repro.sqlengine.results import BatchResult, ResultSet
+
+from .errors import AgentError
+
+_USAGE = (
+    "unknown agent command; expected one of: "
+    "show agent stats | show agent trace [N] | show agent status | "
+    "reset agent stats | reset agent trace | "
+    "set agent stats on|off | set agent trace on|off"
+)
+
+_COMMAND = re.compile(
+    r"^\s*(?:"
+    r"(?P<show_stats>show\s+agent\s+stats)"
+    r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>\d+))?)"
+    r"|(?P<show_status>show\s+agent\s+status)"
+    r"|(?P<reset_stats>reset\s+agent\s+stats)"
+    r"|(?P<reset_trace>reset\s+agent\s+trace)"
+    r"|set\s+agent\s+(?P<set_target>stats|trace)\s+(?P<set_value>on|off)"
+    r")\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+#: Default row count for ``show agent trace``.
+DEFAULT_TRACE_ROWS = 50
+
+
+class AgentAdmin:
+    """Executes agent introspection commands against the agent's own
+    metrics registry and pipeline trace."""
+
+    def __init__(self, agent):
+        self.agent = agent
+
+    # ------------------------------------------------------------------
+    # entry point
+
+    def handle(self, sql: str, session=None) -> BatchResult:
+        match = _COMMAND.match(sql)
+        if match is None:
+            raise AgentError(_USAGE)
+        if match.group("show_stats"):
+            return self._show_stats()
+        if match.group("show_trace"):
+            count = int(match.group("trace_n") or DEFAULT_TRACE_ROWS)
+            return self._show_trace(count)
+        if match.group("show_status"):
+            return self._show_status()
+        if match.group("reset_stats"):
+            return self._reset_stats()
+        if match.group("reset_trace"):
+            return self._reset_trace()
+        target = match.group("set_target").lower()
+        value = match.group("set_value").lower() == "on"
+        return self._set_flag(target, value)
+
+    # ------------------------------------------------------------------
+    # show
+
+    def _show_stats(self) -> BatchResult:
+        counters = ResultSet(columns=["metric", "labels", "value"])
+        latency = ResultSet(columns=[
+            "metric", "labels", "count",
+            "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+        ])
+        for family in self.agent.metrics.families():
+            for labels, metric in family.children():
+                rendered = _render_labels(labels)
+                value = metric.value()
+                if isinstance(value, HistogramSummary):
+                    latency.rows.append([
+                        family.name, rendered, value.count,
+                        round(value.mean * 1e3, 4),
+                        round(value.p50 * 1e3, 4),
+                        round(value.p95 * 1e3, 4),
+                        round(value.p99 * 1e3, 4),
+                        round(value.max * 1e3, 4),
+                    ])
+                else:
+                    counters.rows.append([family.name, rendered, value])
+        result = BatchResult(result_sets=[counters, latency])
+        if not self.agent.metrics.enabled:
+            result.messages.append(
+                "Agent stats collection is off; enable with "
+                "'set agent stats on'.")
+        return result
+
+    def _show_trace(self, count: int) -> BatchResult:
+        trace = self.agent.trace
+        rows = ResultSet(columns=[
+            "seq", "parent", "step", "detail", "duration_ms",
+        ])
+        for record in trace.tail(count):
+            duration = record.duration
+            rows.rows.append([
+                record.seq,
+                record.parent,
+                "  " * record.depth + record.step,
+                record.detail,
+                None if duration is None else round(duration * 1e3, 4),
+            ])
+        result = BatchResult(result_sets=[rows])
+        if not trace.enabled:
+            result.messages.append(
+                "Agent tracing is off; enable with 'set agent trace on'.")
+        return result
+
+    def _show_status(self) -> BatchResult:
+        metrics = self.agent.metrics
+        trace = self.agent.trace
+        status = ResultSet(
+            columns=["setting", "value"],
+            rows=[
+                ["stats", "on" if metrics.enabled else "off"],
+                ["trace", "on" if trace.enabled else "off"],
+                ["metric_families", len(metrics.families())],
+                ["trace_records", len(trace.records)],
+                ["trace_capacity", trace.max_records],
+            ],
+        )
+        return BatchResult(result_sets=[status])
+
+    # ------------------------------------------------------------------
+    # reset / set
+
+    def _reset_stats(self) -> BatchResult:
+        self.agent.metrics.reset()
+        return BatchResult(messages=["Agent statistics reset."])
+
+    def _reset_trace(self) -> BatchResult:
+        self.agent.trace.clear()
+        return BatchResult(messages=["Agent trace cleared."])
+
+    def _set_flag(self, target: str, value: bool) -> BatchResult:
+        if target == "stats":
+            self.agent.metrics.enabled = value
+        else:
+            self.agent.trace.enabled = value
+        state = "on" if value else "off"
+        return BatchResult(messages=[f"Agent {target} collection {state}."])
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return ",".join(f"{key}={value}" for key, value in labels.items())

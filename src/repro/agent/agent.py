@@ -54,6 +54,8 @@ from .trace import (
     FIG3_PERSISTED,
     FIG3_SQL_INSTALLED,
     FIG4_NOTIFIED,
+    SPAN_ECA_CODEGEN,
+    SPAN_ECA_PARSE,
     PipelineTrace,
 )
 
@@ -83,20 +85,35 @@ class EcaAgent:
                  clock: VirtualClock | None = None,
                  notify_host: str = "127.0.0.1",
                  notify_port: int = 10006,
-                 swallow_action_errors: bool = False):
+                 swallow_action_errors: bool = False,
+                 metrics: "MetricsRegistry | None" = None):
+        from repro.obs import MetricsRegistry
+
         self.server = server
         self.persistent_manager = PersistentManager(server)
+        #: per-agent observability sinks, both off by default: the whole
+        #: layer costs one branch per hook until an operator turns it on
+        #: (``set agent stats on`` / ``set agent trace on``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=False)
+        self.trace = PipelineTrace()
+        self._m_eca_commands = self.metrics.counter(
+            "agent_eca_commands_total",
+            "ECA commands handled, by command kind", ("kind",))
+        server.attach_metrics(self.metrics)
         self.action_handler = ActionHandler(self)
         self.led = LocalEventDetector(
             clock=clock or ManualClock(),
             detached_dispatcher=self.action_handler.dispatch_detached,
             swallow_action_errors=swallow_action_errors,
         )
+        self.led.attach_observability(self.metrics, self.trace)
         self.language_filter = LanguageFilter()
-        self.trace = PipelineTrace()
+        from .admin import AgentAdmin
         from .gateway import GatewayOpenServer
 
         self.gateway = GatewayOpenServer(self)
+        self.admin = AgentAdmin(self)
         self.notify_host = notify_host
         self.notify_port = notify_port
 
@@ -118,12 +135,16 @@ class EcaAgent:
             self.led,
             event_lookup=self._primitive_lookup,
             v_no_lookup=self._v_no_lookup,
+            metrics=self.metrics,
         )
         self.channel = self._make_channel(channel)
 
         def receive(payload: str) -> None:
-            self.trace.emit(FIG4_NOTIFIED, payload)
-            self.notifier.on_payload(payload)
+            if self.trace.enabled:
+                with self.trace.span(FIG4_NOTIFIED, payload):
+                    self.notifier.on_payload(payload)
+            else:
+                self.notifier.on_payload(payload)
 
         self.channel.attach(receive)
         self.channel.start()
@@ -151,6 +172,7 @@ class EcaAgent:
         self.action_handler.join_detached()
         self.channel.stop()
         self.server.set_datagram_sink(None)
+        self.server.attach_metrics(None)
 
     # ------------------------------------------------------------------
     # public client surface
@@ -203,8 +225,20 @@ class EcaAgent:
 
     def handle_eca(self, sql: str, session: Session) -> BatchResult:
         """Figure 3 steps 3-7: parse, generate, persist, wire."""
-        command = parse_eca_command(sql)
+        if self.trace.enabled:
+            with self.trace.span(SPAN_ECA_PARSE):
+                command = parse_eca_command(sql)
+        else:
+            command = parse_eca_command(sql)
+        if self.metrics.enabled:
+            self._m_eca_commands.labels(command.kind).inc()
         result = BatchResult()
+        with self.trace.span(SPAN_ECA_CODEGEN, command.kind):
+            self._dispatch_eca(command, session, result)
+        return result
+
+    def _dispatch_eca(self, command: EcaCommand, session: Session,
+                      result: BatchResult) -> None:
         if command.kind == CREATE_PRIMITIVE:
             event = self._create_primitive_event(command, session, result)
             self._create_trigger(command, session, event.internal, result)
@@ -226,7 +260,6 @@ class EcaAgent:
             self._alter_trigger(command, session, result)
         else:  # pragma: no cover - parser guarantees the kinds above
             raise AgentError(f"unhandled ECA command kind {command.kind!r}")
-        return result
 
     def after_client_command(self, session: Session) -> None:
         """Statement-end hook: outside a transaction each command is its

@@ -28,6 +28,8 @@ _DROP_EVENT = re.compile(
 _ALTER_TRIGGER = re.compile(
     r"^\s*alter\s+trigger\s+([A-Za-z_#][\w.$#]*)\s+"
     r"(enable|disable)\s*;?\s*$", re.IGNORECASE)
+_AGENT_ADMIN = re.compile(
+    r"^\s*(show|reset|set)\s+agent\b", re.IGNORECASE)
 
 _COUPLING_WORDS = {"IMMEDIATE", "DEFERRED", "DEFERED", "DETACHED"}
 _CONTEXT_WORDS = {"RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
@@ -71,6 +73,7 @@ class LanguageFilter:
     ECA = "eca"
     SQL = "sql"
     MAYBE_DROP_TRIGGER = "maybe_drop_trigger"
+    AGENT_ADMIN = "agent_admin"
 
     def classify(self, sql: str) -> str:
         """Decide where a command goes.
@@ -80,7 +83,12 @@ class LanguageFilter:
         is ordinary SQL.  ``drop trigger`` cannot be classified without
         the agent's registry (the name may be a native trigger), so it is
         reported as :data:`MAYBE_DROP_TRIGGER` for the agent to resolve.
+        ``show agent ...`` / ``reset agent ...`` / ``set agent ...`` are
+        operator introspection commands answered by the agent itself
+        (the server never sees them — Sybase's ``sp_monitor`` analogue).
         """
+        if _AGENT_ADMIN.match(sql):
+            return self.AGENT_ADMIN
         if _DROP_EVENT.match(sql):
             return self.ECA
         if _ALTER_TRIGGER.match(sql):

@@ -3,17 +3,23 @@
 Presents exactly the same endpoint surface as the SQL server
 (:class:`repro.sqlengine.client.SqlEndpoint`), so existing clients connect
 to the agent without modification.  Each incoming command flows through
-the Language Filter: ECA commands go to the agent's ECA parser, plain SQL
-passes straight through to the server (Figure 3 steps 1-3).
+the Language Filter: ECA commands go to the agent's ECA parser, agent
+admin commands (``show agent ...``) to the introspection surface, plain
+SQL passes straight through to the server (Figure 3 steps 1-3).
 
 The gateway also routes the output of IMMEDIATE rule actions back into
 the result stream of the client command that raised the event (Figure 4
 step 6 / Figure 16), via a per-thread slot the action handler writes to.
+
+Observability: every command is wrapped in a root trace span (the whole
+Figure 3/4 tree hangs off it) and, when stats are on, counted and timed
+by classification (``agent_commands_total`` / ``agent_command_seconds``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.sqlengine.results import BatchResult
 from repro.sqlengine.server import Session
@@ -23,6 +29,7 @@ from .trace import (
     FIG3_COMMAND_RECEIVED,
     FIG3_PASSED_THROUGH,
     FIG4_RESULTS_ROUTED,
+    SPAN_CLASSIFY,
 )
 
 
@@ -36,6 +43,15 @@ class GatewayOpenServer:
         self.commands_total = 0
         self.commands_passed_through = 0
         self.commands_eca = 0
+        self.commands_admin = 0
+        self._m_commands = agent.metrics.counter(
+            "agent_commands_total",
+            "Client commands routed by the gateway, by classification",
+            ("kind",))
+        self._m_command_seconds = agent.metrics.histogram(
+            "agent_command_seconds",
+            "End-to-end client command latency through the gateway "
+            "(seconds)", ("kind",))
 
     # ------------------------------------------------------------------
     # SqlEndpoint surface
@@ -48,22 +64,57 @@ class GatewayOpenServer:
     def execute_for(self, session: Session, sql: str) -> BatchResult:
         """Route one client command (Figure 3, steps 1-4)."""
         self.commands_total += 1
-        self.agent.trace.emit(FIG3_COMMAND_RECEIVED, sql.split(chr(10))[0][:60])
+        metrics = self.agent.metrics
+        timed = metrics.enabled
+        if timed:
+            start = time.perf_counter()
+        kind = "error"
+        try:
+            trace = self.agent.trace
+            if trace.enabled:
+                with trace.span(FIG3_COMMAND_RECEIVED,
+                                sql.split(chr(10))[0][:60]):
+                    kind, result = self._route(session, sql)
+            else:
+                kind, result = self._route(session, sql)
+        finally:
+            if timed:
+                self._m_commands.labels(kind).inc()
+                self._m_command_seconds.labels(kind).observe(
+                    time.perf_counter() - start)
+        return result
+
+    def _route(self, session: Session, sql: str) -> tuple[str, BatchResult]:
+        """Classify and dispatch; returns (classification label, result)."""
         filter_ = self.agent.language_filter
-        kind = filter_.classify(sql)
+        trace = self.agent.trace
+        if trace.enabled:
+            with trace.span(SPAN_CLASSIFY):
+                kind = filter_.classify(sql)
+        else:
+            kind = filter_.classify(sql)
+
+        if kind == filter_.AGENT_ADMIN:
+            self.commands_admin += 1
+            return "admin", self.agent.admin.handle(sql, session)
 
         if kind == filter_.ECA:
             self.commands_eca += 1
-            self.agent.trace.emit(FIG3_CLASSIFIED_ECA)
-            return self.agent.handle_eca(sql, session)
+            trace.emit(FIG3_CLASSIFIED_ECA)
+            return "eca", self.agent.handle_eca(sql, session)
 
         if kind == filter_.MAYBE_DROP_TRIGGER:
             if self.agent.owns_drop_trigger(sql, session):
                 self.commands_eca += 1
-                return self.agent.handle_eca(sql, session)
+                return "eca", self.agent.handle_eca(sql, session)
 
         self.commands_passed_through += 1
-        self.agent.trace.emit(FIG3_PASSED_THROUGH)
+        trace.emit(FIG3_PASSED_THROUGH)
+        return "passthrough", self._pass_through(session, sql)
+
+    def _pass_through(self, session: Session, sql: str) -> BatchResult:
+        """Run plain SQL on the server, merging any IMMEDIATE action
+        output raised by it into the client's result stream."""
         owns_slot = not hasattr(self._local, "slot") or self._local.slot is None
         if owns_slot:
             self._local.slot = BatchResult()

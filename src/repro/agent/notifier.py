@@ -195,19 +195,46 @@ class EventNotifier:
         v_no_lookup: fallback used when a notification lacks the
             occurrence number: reads the current ``vNo`` from
             ``SysPrimitiveEvent`` via the Persistent Manager.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; while
+            enabled, decode-and-raise latency and outcomes are recorded
+            (``agent_notification_seconds`` / ``agent_notifications_total``).
     """
 
-    def __init__(self, led, event_lookup, v_no_lookup=None):
+    def __init__(self, led, event_lookup, v_no_lookup=None, metrics=None):
         self.led = led
         self.event_lookup = event_lookup
         self.v_no_lookup = v_no_lookup
         self.received: int = 0
         self.rejected: int = 0
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_notifications = metrics.counter(
+                "agent_notifications_total",
+                "Notifications processed by the Event Notifier",
+                ("status",))
+            self._m_notification_seconds = metrics.histogram(
+                "agent_notification_seconds",
+                "Decode-and-raise latency per notification (seconds)")
+        else:
+            self._m_notifications = None
+            self._m_notification_seconds = None
 
     def on_payload(self, payload: str) -> None:
         """Channel callback: decode and raise."""
-        notification = Notification.decode(payload)
-        self.on_notification(notification)
+        metrics = self.metrics
+        if metrics is None or not metrics.enabled:
+            notification = Notification.decode(payload)
+            self.on_notification(notification)
+            return
+        start = time.perf_counter()
+        try:
+            notification = Notification.decode(payload)
+            self.on_notification(notification)
+        except Exception:
+            self._m_notifications.labels("error").inc()
+            raise
+        self._m_notifications.labels("ok").inc()
+        self._m_notification_seconds.observe(time.perf_counter() - start)
 
     def on_notification(self, notification: Notification) -> None:
         definition = self.event_lookup(notification.event_internal)

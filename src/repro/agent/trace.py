@@ -1,77 +1,60 @@
 """Pipeline tracing: observable Figure 3 / Figure 4 control flows.
 
-When enabled, the agent records one :class:`TraceRecord` per pipeline
-step — command classification, ECA handling, notification receipt, rule
-firing, action execution — so operators (and the control-flow tests) can
-see exactly which of the paper's numbered steps a command took.
+The implementation lives in :mod:`repro.obs.tracing`; this module keeps
+the agent-side import surface (step constants, :class:`PipelineTrace`,
+:class:`TraceRecord`) stable.  The trace generalized from flat step
+records into timed parent/child *spans* — one client command now yields a
+tree: gateway receipt → language-filter classification → ECA parse →
+codegen → LED detection → condition check → action execution → result
+routing — while the Figure 3/4 step names are unchanged.
 
 Tracing is off by default and costs one branch per step when off.
 """
 
 from __future__ import annotations
 
-import itertools
-import threading
-from dataclasses import dataclass, field
+from repro.obs.tracing import (
+    FIG3_CLASSIFIED_ECA,
+    FIG3_COMMAND_RECEIVED,
+    FIG3_GRAPH_CREATED,
+    FIG3_PASSED_THROUGH,
+    FIG3_PERSISTED,
+    FIG3_SQL_INSTALLED,
+    FIG4_ACTION_RUN,
+    FIG4_DETECTED,
+    FIG4_NOTIFIED,
+    FIG4_RESULTS_ROUTED,
+    SPAN_CLASSIFY,
+    SPAN_ECA_CODEGEN,
+    SPAN_ECA_PARSE,
+    SPAN_LED_OP_PREFIX,
+    SPAN_LED_RAISE,
+    SPAN_RULE_ACTION,
+    SPAN_RULE_CONDITION,
+    PipelineTrace,
+    SpanRecord,
+    TraceRecord,
+)
 
-#: Step identifiers, named after the paper's figures.
-FIG3_COMMAND_RECEIVED = "fig3.1-2:command->filter"
-FIG3_CLASSIFIED_ECA = "fig3.3:classified-eca"
-FIG3_PASSED_THROUGH = "fig3.4:passed-through"
-FIG3_GRAPH_CREATED = "fig3.5:event-graph-created"
-FIG3_SQL_INSTALLED = "fig3.5:generated-sql-installed"
-FIG3_PERSISTED = "fig3.7:persisted"
-FIG4_NOTIFIED = "fig4.2-3:notification-received"
-FIG4_DETECTED = "fig4.4:led-detected"
-FIG4_ACTION_RUN = "fig4.5:action-executed"
-FIG4_RESULTS_ROUTED = "fig4.6:results-routed"
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One pipeline step."""
-
-    seq: int
-    step: str
-    detail: str
-
-
-@dataclass
-class PipelineTrace:
-    """Bounded in-memory trace buffer (thread-safe)."""
-
-    enabled: bool = False
-    max_records: int = 10_000
-    records: list[TraceRecord] = field(default_factory=list)
-    _seq: itertools.count = field(default_factory=lambda: itertools.count(1))
-    _lock: threading.Lock = field(default_factory=threading.Lock)
-
-    def emit(self, step: str, detail: str = "") -> None:
-        """Record one step (no-op while disabled)."""
-        if not self.enabled:
-            return
-        with self._lock:
-            if len(self.records) >= self.max_records:
-                del self.records[: self.max_records // 10]
-            self.records.append(
-                TraceRecord(next(self._seq), step, detail))
-
-    def clear(self) -> None:
-        with self._lock:
-            self.records.clear()
-
-    def steps(self) -> list[str]:
-        """The step identifiers, in order."""
-        return [record.step for record in self.records]
-
-    def matching(self, prefix: str) -> list[TraceRecord]:
-        """Records whose step starts with ``prefix`` (e.g. ``"fig4"``)."""
-        return [record for record in self.records
-                if record.step.startswith(prefix)]
-
-    def format(self) -> str:
-        """Render the trace as aligned text."""
-        return "\n".join(
-            f"{record.seq:>5}  {record.step:<34} {record.detail}"
-            for record in self.records
-        )
+__all__ = [
+    "FIG3_COMMAND_RECEIVED",
+    "FIG3_CLASSIFIED_ECA",
+    "FIG3_PASSED_THROUGH",
+    "FIG3_GRAPH_CREATED",
+    "FIG3_SQL_INSTALLED",
+    "FIG3_PERSISTED",
+    "FIG4_NOTIFIED",
+    "FIG4_DETECTED",
+    "FIG4_ACTION_RUN",
+    "FIG4_RESULTS_ROUTED",
+    "SPAN_CLASSIFY",
+    "SPAN_ECA_PARSE",
+    "SPAN_ECA_CODEGEN",
+    "SPAN_LED_RAISE",
+    "SPAN_LED_OP_PREFIX",
+    "SPAN_RULE_CONDITION",
+    "SPAN_RULE_ACTION",
+    "PipelineTrace",
+    "SpanRecord",
+    "TraceRecord",
+]

@@ -28,6 +28,12 @@ from repro.snoop import (
     parse_event_expression,
 )
 
+from repro.obs.tracing import (
+    SPAN_LED_RAISE,
+    SPAN_RULE_ACTION,
+    SPAN_RULE_CONDITION,
+)
+
 from .clock import ManualClock, VirtualClock
 from .errors import ActionError, EventDefinitionError, RuleError
 from .nodes import EventNode, PrimitiveEventNode
@@ -106,6 +112,44 @@ class LocalEventDetector:
         self.history: list[RuleFiring] = []
         self._deferred: list[tuple[Rule, Occurrence, Context]] = []
         self._current_firings: list[RuleFiring] | None = None
+        #: optional observability sinks (the agent attaches its own;
+        #: standalone detectors leave them None -> zero overhead)
+        self.metrics = None
+        self.trace = None
+        self._m_detected = None
+        self._m_rules_fired = None
+        self._m_conditions = None
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def attach_observability(self, metrics=None, trace=None) -> None:
+        """Attach a :class:`~repro.obs.MetricsRegistry` and/or a
+        :class:`~repro.obs.PipelineTrace`.
+
+        Hooks cost one branch per event/rule while the sinks are disabled
+        (or detached); detection counts are labeled by event kind and
+        parameter context, firings by coupling mode.
+        """
+        self.metrics = metrics
+        self.trace = trace
+        if metrics is not None:
+            self._m_detected = metrics.counter(
+                "led_events_detected_total",
+                "Event occurrences detected by the LED",
+                ("kind", "context"))
+            self._m_rules_fired = metrics.counter(
+                "led_rules_fired_total",
+                "Rule firings dispatched by the LED",
+                ("coupling",))
+            self._m_conditions = metrics.counter(
+                "led_conditions_total",
+                "Rule condition evaluations",
+                ("result",))
+        else:
+            self._m_detected = None
+            self._m_rules_fired = None
+            self._m_conditions = None
 
     # ------------------------------------------------------------------
     # event definition
@@ -278,11 +322,19 @@ class LocalEventDetector:
                     "can be raised externally")
             time = self.clock.now() if at is None else at
             occurrence = primitive(name, time, next(self._seq), params)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                self._m_detected.labels("primitive", "-").inc()
             outer = self._current_firings is None
             if outer:
                 self._current_firings = []
             try:
-                node.on_raise(occurrence)
+                trace = self.trace
+                if trace is not None and trace.enabled:
+                    with trace.span(SPAN_LED_RAISE, name):
+                        node.on_raise(occurrence)
+                else:
+                    node.on_raise(occurrence)
                 return list(self._current_firings or [])
             finally:
                 if outer:
@@ -378,6 +430,10 @@ class LocalEventDetector:
         rules = self._rules_by_event.get(node.name)
         if not rules:
             return
+        metrics = self.metrics
+        counted = metrics is not None and metrics.enabled
+        trace = self.trace
+        traced = trace is not None and trace.enabled
         for rule in list(rules):
             if not rule.enabled:
                 continue
@@ -385,15 +441,29 @@ class LocalEventDetector:
                 continue
             effective = context if context is not None else rule.context
             try:
-                if not rule.condition(occurrence):
+                if rule.condition is always_true:
+                    passed = True
+                elif traced:
+                    with trace.span(SPAN_RULE_CONDITION, rule.name):
+                        passed = bool(rule.condition(occurrence))
+                else:
+                    passed = bool(rule.condition(occurrence))
+                if counted:
+                    self._m_conditions.labels(
+                        "true" if passed else "false").inc()
+                if not passed:
                     continue
             except Exception as exc:
+                if counted:
+                    self._m_conditions.labels("error").inc()
                 self._record(RuleFiring(
                     rule.name, node.name, occurrence, effective,
                     rule.coupling, self.clock.now(), error=exc))
                 if not self.swallow_action_errors:
                     raise ActionError(rule.name, exc) from exc
                 continue
+            if counted:
+                self._m_rules_fired.labels(rule.coupling.value).inc()
             if rule.coupling is Coupling.IMMEDIATE:
                 self._run_action(rule, occurrence, effective)
             elif rule.coupling is Coupling.DEFERRED:
@@ -412,7 +482,12 @@ class LocalEventDetector:
             rule.name, rule.event_name, occurrence, context,
             rule.coupling, self.clock.now())
         try:
-            rule.action(occurrence)
+            trace = self.trace
+            if trace is not None and trace.enabled:
+                with trace.span(SPAN_RULE_ACTION, rule.name):
+                    rule.action(occurrence)
+            else:
+                rule.action(occurrence)
         except Exception as exc:
             firing.error = exc
             self._record(firing)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.tracing import FIG4_DETECTED, SPAN_LED_OP_PREFIX
+
 from .occurrences import Occurrence
 from .rules import Context
 
@@ -77,10 +79,24 @@ class EventNode:
     def emit(self, occurrence: Occurrence, context: Context) -> None:
         """Publish an occurrence of this node detected in ``context``:
         fire this node's rules for that context, then feed parents."""
-        self.detector._dispatch_rules(self, occurrence, context)
+        detector = self.detector
+        metrics = detector.metrics
+        if metrics is not None and metrics.enabled:
+            detector._m_detected.labels("composite", context.value).inc()
+        trace = detector.trace
+        traced = trace is not None and trace.enabled
+        if traced:
+            trace.emit(FIG4_DETECTED, f"{self.name} [{context.value}]")
+        detector._dispatch_rules(self, occurrence, context)
         for parent, role in self.parents:
             if context in parent.active_contexts:
-                parent.process(role, occurrence, context)
+                if traced:
+                    with trace.span(
+                            SPAN_LED_OP_PREFIX + type(parent).__name__,
+                            parent.name):
+                        parent.process(role, occurrence, context)
+                else:
+                    parent.process(role, occurrence, context)
 
     def reset(self) -> None:
         """Discard any partial detection state (composites override)."""
@@ -98,10 +114,19 @@ class PrimitiveEventNode(EventNode):
     """
 
     def on_raise(self, occurrence: Occurrence) -> None:
-        self.detector._dispatch_rules(self, occurrence, None)
+        detector = self.detector
+        trace = detector.trace
+        traced = trace is not None and trace.enabled
+        detector._dispatch_rules(self, occurrence, None)
         for parent, role in self.parents:
             for context in tuple(parent.active_contexts):
-                parent.process(role, occurrence, context)
+                if traced:
+                    with trace.span(
+                            SPAN_LED_OP_PREFIX + type(parent).__name__,
+                            parent.name):
+                        parent.process(role, occurrence, context)
+                else:
+                    parent.process(role, occurrence, context)
 
     def process(self, role: str, occurrence: Occurrence, context: Context) -> None:
         raise AssertionError("primitive events have no children")

@@ -1,0 +1,102 @@
+"""``repro.obs`` — the end-to-end observability layer.
+
+Three parts, mirroring what the paper's evaluation (Figures 15-17)
+measures by hand:
+
+- :mod:`repro.obs.metrics` — thread-safe :class:`Counter` / :class:`Gauge`
+  / :class:`Histogram` primitives behind a labeled
+  :class:`MetricsRegistry`, with text and dict exporters;
+- :mod:`repro.obs.tracing` — the span-based :class:`PipelineTrace`
+  (timed, nested records keyed by the paper's Figure 3/4 step names);
+- the process-wide default instances behind :func:`get_metrics` /
+  :func:`get_trace`, for code that wants one shared sink.
+
+The ECA Agent owns a *private* registry and trace per instance (so
+side-by-side agents and tests never share state) and exposes them to
+clients through the ``show agent stats`` / ``show agent trace`` operator
+commands; the defaults here serve standalone LED or engine embeddings.
+
+Everything is off by default and costs one branch per hook when off.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricFamily,
+    MetricsRegistry,
+    percentile,
+    summarize,
+)
+from .tracing import (
+    FIG3_CLASSIFIED_ECA,
+    FIG3_COMMAND_RECEIVED,
+    FIG3_GRAPH_CREATED,
+    FIG3_PASSED_THROUGH,
+    FIG3_PERSISTED,
+    FIG3_SQL_INSTALLED,
+    FIG4_ACTION_RUN,
+    FIG4_DETECTED,
+    FIG4_NOTIFIED,
+    FIG4_RESULTS_ROUTED,
+    SPAN_CLASSIFY,
+    SPAN_ECA_CODEGEN,
+    SPAN_ECA_PARSE,
+    SPAN_LED_OP_PREFIX,
+    SPAN_LED_RAISE,
+    SPAN_RULE_ACTION,
+    SPAN_RULE_CONDITION,
+    PipelineTrace,
+    SpanRecord,
+    TraceRecord,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricFamily",
+    "MetricsRegistry",
+    "PipelineTrace",
+    "SpanRecord",
+    "TraceRecord",
+    "percentile",
+    "summarize",
+    "get_metrics",
+    "get_trace",
+    "FIG3_COMMAND_RECEIVED",
+    "FIG3_CLASSIFIED_ECA",
+    "FIG3_PASSED_THROUGH",
+    "FIG3_GRAPH_CREATED",
+    "FIG3_SQL_INSTALLED",
+    "FIG3_PERSISTED",
+    "FIG4_NOTIFIED",
+    "FIG4_DETECTED",
+    "FIG4_ACTION_RUN",
+    "FIG4_RESULTS_ROUTED",
+    "SPAN_CLASSIFY",
+    "SPAN_ECA_PARSE",
+    "SPAN_ECA_CODEGEN",
+    "SPAN_LED_RAISE",
+    "SPAN_LED_OP_PREFIX",
+    "SPAN_RULE_CONDITION",
+    "SPAN_RULE_ACTION",
+]
+
+#: Process-wide defaults (created eagerly: cheap, and import-order safe).
+_default_metrics = MetricsRegistry(enabled=False)
+_default_trace = PipelineTrace(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _default_metrics
+
+
+def get_trace() -> PipelineTrace:
+    """The process-wide default :class:`PipelineTrace`."""
+    return _default_trace

@@ -1,0 +1,420 @@
+"""Thread-safe metrics primitives and the process-wide registry.
+
+The paper's evaluation (Figures 15-17) is entirely about *where time
+goes* inside the ECA Agent; this module provides the counters, gauges and
+latency histograms the instrumented pipeline reports into, plus the
+summary math the benchmark suite reuses for tail-latency reporting.
+
+Design constraints:
+
+- **Thread-safe**: the agent fires rules from notification-listener and
+  detached-action threads concurrently with client commands; every
+  mutation takes the metric's lock, so increments are never lost.
+- **Bounded**: histograms keep a fixed-size ring of the most recent
+  samples (count/sum/max are exact over *all* observations; percentiles
+  are computed over the retained window).
+- **Cheap when disabled**: every mutator starts with one branch on the
+  registry's ``enabled`` flag and returns immediately when off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricFamily",
+    "MetricsRegistry",
+    "percentile",
+    "summarize",
+]
+
+#: Default number of samples a histogram retains for percentile math.
+DEFAULT_RESERVOIR = 1024
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already *sorted* sample list.
+
+    ``percentile(sorted(range(1, 101)), 95) == 95``.  Raises on an empty
+    sample set (callers guard on count).
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample set")
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Point-in-time summary of one histogram (or raw sample list)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @property
+    def median(self) -> float:
+        return self.p50
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+_EMPTY_SUMMARY = HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(samples: list[float]) -> HistogramSummary:
+    """Summary statistics over a raw sample list (benchmark helper)."""
+    if not samples:
+        return _EMPTY_SUMMARY
+    ordered = sorted(samples)
+    return HistogramSummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile(ordered, 50),
+        p95=percentile(ordered, 95),
+        p99=percentile(ordered, 99),
+        max=ordered[-1],
+    )
+
+
+class _Metric:
+    """Base: one labeled child of a family."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    def value(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (resettable by the operator)."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry"):
+        super().__init__(registry)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, open sessions)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry"):
+        super().__init__(registry)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Metric):
+    """Latency/size distribution with a bounded sample reservoir.
+
+    ``count``/``sum``/``max`` are exact over every observation; the
+    percentile window is a ring of the most recent ``reservoir`` samples
+    (deterministic, allocation-free at steady state).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry",
+                 reservoir: int = DEFAULT_RESERVOIR):
+        super().__init__(registry)
+        if reservoir < 1:
+            raise ValueError("histogram reservoir must be >= 1")
+        self._reservoir_size = reservoir
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            if len(self._samples) < self._reservoir_size:
+                self._samples.append(value)
+            else:
+                self._samples[self._count % self._reservoir_size] = value
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def summary(self) -> HistogramSummary:
+        with self._lock:
+            if not self._count:
+                return _EMPTY_SUMMARY
+            ordered = sorted(self._samples)
+            return HistogramSummary(
+                count=self._count,
+                mean=self._sum / self._count,
+                p50=percentile(ordered, 50),
+                p95=percentile(ordered, 95),
+                p99=percentile(ordered, 99),
+                max=self._max,
+            )
+
+    def value(self) -> HistogramSummary:
+        return self.summary()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples = []
+            self._count = 0
+            self._sum = 0.0
+            self._max = 0.0
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label children.
+
+    An unlabeled family acts as its own single child: ``inc``/``set``/
+    ``observe`` proxy to ``labels()`` with no values.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 metric_cls: type, help: str, labelnames: tuple[str, ...],
+                 **metric_kwargs):
+        self.registry = registry
+        self.name = name
+        self.metric_cls = metric_cls
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._metric_kwargs = metric_kwargs
+        self._children: dict[tuple[str, ...], _Metric] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def kind(self) -> str:
+        return self.metric_cls.kind
+
+    def labels(self, *values) -> _Metric:
+        """The child metric for one label-value tuple (created on demand)."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric '{self.name}' takes {len(self.labelnames)} label "
+                f"values ({', '.join(self.labelnames)}), got {len(values)}"
+            )
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self.metric_cls(self.registry, **self._metric_kwargs)
+                    self._children[key] = child
+        return child
+
+    # -- unlabeled convenience proxies ---------------------------------
+
+    def inc(self, amount=1) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount=1) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value) -> None:
+        self.labels().set(value)
+
+    def observe(self, value) -> None:
+        self.labels().observe(value)
+
+    def value(self):
+        return self.labels().value()
+
+    def summary(self):
+        return self.labels().summary()
+
+    # -- iteration ------------------------------------------------------
+
+    def children(self) -> list[tuple[dict[str, str], _Metric]]:
+        """(labels dict, metric) pairs, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), metric)
+            for key, metric in items
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
+
+
+class MetricsRegistry:
+    """Registry of labeled metric families (one per process or per agent).
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (the kind and label schema must match).  All mutators
+    on child metrics are no-ops while ``enabled`` is False.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+
+    def _family(self, name: str, metric_cls: type, help: str,
+                labelnames: tuple[str, ...], **kwargs) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.metric_cls is not metric_cls:
+                    raise ValueError(
+                        f"metric '{name}' already registered as "
+                        f"{family.kind}, not {metric_cls.kind}")
+                if family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric '{name}' already registered with labels "
+                        f"{family.labelnames}, not {tuple(labelnames)}")
+                return family
+            family = MetricFamily(
+                self, name, metric_cls, help, tuple(labelnames), **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, Counter, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, Gauge, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  reservoir: int = DEFAULT_RESERVOIR) -> MetricFamily:
+        return self._family(
+            name, Histogram, help, labelnames, reservoir=reservoir)
+
+    # -- introspection / export ----------------------------------------
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def as_dict(self) -> dict[str, dict]:
+        """Nested-dict export: ``{name: {type, help, values: [...]}}``."""
+        out: dict[str, dict] = {}
+        for family in self.families():
+            values = []
+            for labels, metric in family.children():
+                value = metric.value()
+                if isinstance(value, HistogramSummary):
+                    value = value.as_dict()
+                values.append({"labels": labels, "value": value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of every family."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, metric in family.children():
+                suffix = _render_labels(labels)
+                value = metric.value()
+                if isinstance(value, HistogramSummary):
+                    for stat, stat_value in value.as_dict().items():
+                        lines.append(
+                            f"{family.name}_{stat}{suffix} {_fmt(stat_value)}")
+                else:
+                    lines.append(f"{family.name}{suffix} {_fmt(value)}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every metric (families and label schemas survive)."""
+        for family in self.families():
+            family.reset()
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)

@@ -1,0 +1,268 @@
+"""Span-based pipeline tracing: timed, nested, thread-safe.
+
+Generalizes the original flat ``PipelineTrace`` step records into *spans*:
+each record carries a start time, an end time (``None`` while open), and a
+link to its parent span, so one client command through the agent yields a
+tree — gateway receipt → language-filter classification → ECA parse →
+codegen → LED detection (per-node operator evaluation) → condition check →
+action execution → result routing.
+
+The Figure 3 / Figure 4 step constants are kept as span names, so the
+original control-flow semantics (and their tests) survive: ``emit()``
+records an instantaneous span, ``span()`` brackets a timed region.
+
+Tracing is off by default and costs one branch per hook when off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PipelineTrace",
+    "SpanRecord",
+    "TraceRecord",
+    "FIG3_COMMAND_RECEIVED",
+    "FIG3_CLASSIFIED_ECA",
+    "FIG3_PASSED_THROUGH",
+    "FIG3_GRAPH_CREATED",
+    "FIG3_SQL_INSTALLED",
+    "FIG3_PERSISTED",
+    "FIG4_NOTIFIED",
+    "FIG4_DETECTED",
+    "FIG4_ACTION_RUN",
+    "FIG4_RESULTS_ROUTED",
+    "SPAN_CLASSIFY",
+    "SPAN_ECA_PARSE",
+    "SPAN_ECA_CODEGEN",
+    "SPAN_LED_RAISE",
+    "SPAN_LED_OP_PREFIX",
+    "SPAN_RULE_CONDITION",
+    "SPAN_RULE_ACTION",
+]
+
+#: Step identifiers, named after the paper's figures (kept verbatim from
+#: the original flat trace so existing tooling and tests keep working).
+FIG3_COMMAND_RECEIVED = "fig3.1-2:command->filter"
+FIG3_CLASSIFIED_ECA = "fig3.3:classified-eca"
+FIG3_PASSED_THROUGH = "fig3.4:passed-through"
+FIG3_GRAPH_CREATED = "fig3.5:event-graph-created"
+FIG3_SQL_INSTALLED = "fig3.5:generated-sql-installed"
+FIG3_PERSISTED = "fig3.7:persisted"
+FIG4_NOTIFIED = "fig4.2-3:notification-received"
+FIG4_DETECTED = "fig4.4:led-detected"
+FIG4_ACTION_RUN = "fig4.5:action-executed"
+FIG4_RESULTS_ROUTED = "fig4.6:results-routed"
+
+#: Additional span names for the finer-grained pipeline stages.
+SPAN_CLASSIFY = "filter:classify"
+SPAN_ECA_PARSE = "eca:parse"
+SPAN_ECA_CODEGEN = "eca:codegen"
+SPAN_LED_RAISE = "led:raise"
+SPAN_LED_OP_PREFIX = "led:op:"
+SPAN_RULE_CONDITION = "rule:condition"
+SPAN_RULE_ACTION = "rule:action"
+
+
+@dataclass
+class SpanRecord:
+    """One span: a named, timed region of the pipeline (or an instant)."""
+
+    seq: int
+    step: str
+    detail: str = ""
+    parent: int | None = None
+    depth: int = 0
+    start: float = 0.0
+    end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        """Elapsed seconds, or None while the span is still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+#: Backwards-compatible alias: flat trace records are point spans.
+TraceRecord = SpanRecord
+
+
+class _NullSpan:
+    """Reusable no-op context manager (tracing disabled)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager opening a span on entry and closing it on exit."""
+
+    __slots__ = ("_trace", "_step", "_detail", "record")
+
+    def __init__(self, trace: "PipelineTrace", step: str, detail: str):
+        self._trace = trace
+        self._step = step
+        self._detail = detail
+        self.record: SpanRecord | None = None
+
+    def __enter__(self) -> SpanRecord:
+        self.record = self._trace._open(self._step, self._detail)
+        return self.record
+
+    def __exit__(self, *_exc) -> bool:
+        if self.record is not None:
+            self._trace._close(self.record)
+        return False
+
+
+class PipelineTrace:
+    """Bounded in-memory span buffer (thread-safe).
+
+    Nesting is tracked per thread: spans opened on one thread become
+    parents of the spans and point records emitted by that thread until
+    they close.  When the buffer is full the oldest tenth of the records
+    is dropped (always at least one, so small buffers stay bounded).
+    """
+
+    def __init__(self, enabled: bool = False, max_records: int = 10_000,
+                 clock=time.perf_counter):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[SpanRecord] = []
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._local = threading.local()
+
+    # -- per-thread span stack ------------------------------------------
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> SpanRecord | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ------------------------------------------------------
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self.records) >= self.max_records:
+                # Always drop at least one record: max_records // 10 is 0
+                # for buffers of fewer than ten records, which previously
+                # let the buffer grow without bound.
+                del self.records[: max(1, self.max_records // 10)]
+            self.records.append(record)
+
+    def emit(self, step: str, detail: str = "") -> None:
+        """Record one instantaneous step (no-op while disabled)."""
+        if not self.enabled:
+            return
+        now = self._clock()
+        parent = self.current()
+        record = SpanRecord(
+            seq=next(self._seq), step=step, detail=detail,
+            parent=parent.seq if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start=now, end=now,
+        )
+        self._append(record)
+
+    def span(self, step: str, detail: str = ""):
+        """A context manager recording a timed span around the ``with``
+        body (the span opens on entry, not at call time).
+
+        Children recorded on the same thread inside the body are linked
+        to this span.  Returns a shared no-op context manager while
+        disabled (one branch, no allocation).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _OpenSpan(self, step, detail)
+
+    def _open(self, step: str, detail: str) -> SpanRecord:
+        parent = self.current()
+        record = SpanRecord(
+            seq=next(self._seq), step=step, detail=detail,
+            parent=parent.seq if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start=self._clock(), end=None,
+        )
+        self._append(record)
+        self._stack().append(record)
+        return record
+
+    def _close(self, record: SpanRecord) -> None:
+        record.end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        elif record in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(record)
+
+    # -- inspection ------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+    def steps(self) -> list[str]:
+        """The span names, in start order."""
+        return [record.step for record in self.records]
+
+    def matching(self, prefix: str) -> list[SpanRecord]:
+        """Records whose step starts with ``prefix`` (e.g. ``"fig4"``)."""
+        return [record for record in self.records
+                if record.step.startswith(prefix)]
+
+    def tail(self, count: int) -> list[SpanRecord]:
+        """The most recent ``count`` records, oldest first."""
+        with self._lock:
+            if count <= 0:
+                return []
+            return list(self.records[-count:])
+
+    def tree(self) -> list[tuple[SpanRecord, list]]:
+        """Nested (record, children) pairs for the retained records."""
+        with self._lock:
+            records = list(self.records)
+        nodes: dict[int, tuple[SpanRecord, list]] = {
+            record.seq: (record, []) for record in records
+        }
+        roots: list[tuple[SpanRecord, list]] = []
+        for record in records:
+            node = nodes[record.seq]
+            parent = nodes.get(record.parent) if record.parent else None
+            if parent is not None:
+                parent[1].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def format(self) -> str:
+        """Render the trace as aligned text (indented by span depth)."""
+        lines = []
+        for record in self.records:
+            duration = record.duration
+            timing = f"{duration * 1e3:9.3f}ms" if duration is not None else "      open"
+            label = "  " * record.depth + record.step
+            lines.append(
+                f"{record.seq:>5}  {timing}  {label:<40} {record.detail}")
+        return "\n".join(lines)

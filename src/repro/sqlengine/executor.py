@@ -10,6 +10,7 @@ control flow, and transaction bracketing.
 from __future__ import annotations
 
 import datetime as _dt
+import time as _time
 
 from .catalog import Database
 from .errors import (
@@ -135,7 +136,18 @@ class Executor:
             raise ExecutionError(
                 f"no executor for statement {type(statement).__name__}"
             )
-        handler(self, statement, state)
+        metrics = self.server.metrics
+        if metrics is None or not metrics.enabled:
+            handler(self, statement, state)
+            return
+        kind = _statement_kind(type(statement))
+        start = _time.perf_counter()
+        try:
+            handler(self, statement, state)
+        finally:
+            self.server._m_statements.labels(kind).inc()
+            self.server._m_statement_seconds.labels(kind).observe(
+                _time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # evaluation plumbing
@@ -1158,6 +1170,31 @@ Executor._HANDLERS = {
     CommitStatement: Executor._execute_commit,
     RollbackStatement: Executor._execute_rollback,
 }
+
+
+#: AST class -> metrics label; irregular names pinned, the rest derived
+#: from the class name (``CreateTableStatement`` -> ``create_table``).
+_STATEMENT_KINDS: dict[type, str] = {
+    InsertValues: "insert",
+    InsertSelect: "insert",
+    AssignSelect: "select_assign",
+    UnionSelect: "select",
+    SelectStatement: "select",
+}
+
+
+def _statement_kind(statement_type: type) -> str:
+    kind = _STATEMENT_KINDS.get(statement_type)
+    if kind is None:
+        name = statement_type.__name__
+        if name.endswith("Statement"):
+            name = name[: -len("Statement")]
+        kind = "".join(
+            ("_" + char.lower()) if char.isupper() else char
+            for char in name
+        ).lstrip("_")
+        _STATEMENT_KINDS[statement_type] = kind
+    return kind
 
 
 def _column_name(item: SelectItem) -> str:

@@ -81,6 +81,11 @@ class SqlServer:
         self._tx_end_listeners: list[Callable[[Session, bool], None]] = []
         #: count of batches executed, for the overhead benches
         self.batches_executed = 0
+        #: optional metrics sink (attach_metrics); like the datagram sink,
+        #: an outward-facing hook that leaves the engine itself passive
+        self.metrics = None
+        self._m_statements = None
+        self._m_statement_seconds = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -88,6 +93,26 @@ class SqlServer:
     def now(self) -> _dt.datetime:
         """Current time per the configured clock."""
         return self.clock()
+
+    def attach_metrics(self, registry) -> None:
+        """Attach (or detach, with ``None``) a metrics registry.
+
+        While attached and enabled, the executor reports statement counts
+        and latency by statement type (``sql_statements_total`` /
+        ``sql_statement_seconds``); otherwise the hook is one branch per
+        statement.
+        """
+        self.metrics = registry
+        if registry is None:
+            self._m_statements = None
+            self._m_statement_seconds = None
+            return
+        self._m_statements = registry.counter(
+            "sql_statements_total",
+            "SQL statements executed by the engine", ("type",))
+        self._m_statement_seconds = registry.histogram(
+            "sql_statement_seconds",
+            "SQL statement execution latency (seconds)", ("type",))
 
     def set_datagram_sink(self, sink: DatagramSink | None) -> None:
         """Attach (or detach) the destination for ``syb_sendmsg`` output."""
