@@ -18,22 +18,36 @@ and the server, exactly as the paper describes:
 - :mod:`repro.ged` -- the Global Event Detector extension (Section 6
   future work);
 - :mod:`repro.obs` -- the observability layer (metrics registry and
-  span-based pipeline tracing).
+  span-based pipeline tracing);
+- :mod:`repro.faults` -- the robustness layer (deterministic fault
+  injection and retry policies, with chaos-tested recovery).
 """
 
 from repro.core import ActiveDatabase, Context, Coupling
 from repro.errors import ConfigurationError, NotSupportedError, ReproError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientFaultError,
+)
 from repro.obs import get_metrics, get_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ActiveDatabase",
     "ConfigurationError",
     "Context",
     "Coupling",
+    "FaultInjector",
+    "FaultPlan",
     "NotSupportedError",
     "ReproError",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TransientFaultError",
     "__version__",
     "get_metrics",
     "get_trace",

@@ -26,7 +26,13 @@ from .action_handler import ActionHandler
 from .admin import AgentAdmin
 from .agent import EcaAgent
 from .eca_parser import EcaCommand, LanguageFilter, parse_eca_command
-from .errors import AgentError, EcaSyntaxError, NameError_
+from .errors import (
+    AgentError,
+    EcaSyntaxError,
+    NameError_,
+    PersistenceError,
+    RecoveryError,
+)
 from .gateway import GatewayOpenServer
 from .messages import Notification, NotiStr
 from .model import CompositeEventDef, EcaTriggerDef, PrimitiveEventDef
@@ -57,7 +63,9 @@ __all__ = [
     "Notification",
     "NotiStr",
     "NotificationChannel",
+    "PersistenceError",
     "PersistentManager",
+    "RecoveryError",
     "PipelineTrace",
     "PrimitiveEventDef",
     "SpanRecord",

@@ -17,6 +17,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.faults import POINT_ACTION_RUN
 from repro.led.detector import RuleFiring
 from repro.led.occurrences import Occurrence
 from repro.led.rules import Coupling, Rule
@@ -130,8 +131,32 @@ class ActionHandler:
     def run_action(self, runtime: TriggerRuntime,
                    occurrence: Occurrence) -> ActionRecord:
         """Run one action: refresh ``sysContext``, execute the procedure,
-        and route its output toward the client (Figure 16)."""
+        and route its output toward the client (Figure 16).
+
+        Failure semantics: any failure — real or injected at the
+        ``action.run`` point — is recorded in the action log; it then
+        propagates (wrapped by the LED in ``ActionError``) unless the
+        agent was built with ``swallow_action_errors``.
+        """
         trigger = runtime.definition
+        faults = self.agent.faults
+        if faults.enabled:
+            try:
+                faults.fire(POINT_ACTION_RUN, trigger.internal)
+            except Exception as exc:
+                record = ActionRecord(
+                    trigger_internal=trigger.internal,
+                    proc_name=trigger.proc_name,
+                    event_internal=trigger.event_internal,
+                    occurrence=occurrence,
+                    error=exc,
+                )
+                self.action_log.append(record)
+                if self.agent.metrics.enabled:
+                    self._m_actions.labels("error").inc()
+                if not self.agent.led.swallow_action_errors:
+                    raise
+                return record
         noti = NotiStr(
             store_proc=trigger.proc_name,
             event_name=trigger.event_internal,

@@ -11,10 +11,14 @@ Commands:
   histogram summaries (count, mean, p50, p95, p99, max in milliseconds);
 - ``show agent trace [N]`` — the most recent N span records (default 50);
 - ``show agent status`` — observability flags and buffer sizes;
+- ``show agent faults`` — armed fault-injection specs, fire counts, and
+  the active retry policy (the robustness layer's knobs);
 - ``reset agent stats`` / ``reset agent trace`` — zero the registry /
   clear the span buffer;
 - ``set agent stats on|off`` / ``set agent trace on|off`` — toggle the
-  metrics registry / span tracing at runtime.
+  metrics registry / span tracing at runtime;
+- ``set agent faults on|off`` — re-arm / disarm the fault injector
+  without forgetting its plan.
 """
 
 from __future__ import annotations
@@ -29,8 +33,10 @@ from .errors import AgentError
 _USAGE = (
     "unknown agent command; expected one of: "
     "show agent stats | show agent trace [N] | show agent status | "
+    "show agent faults | "
     "reset agent stats | reset agent trace | "
-    "set agent stats on|off | set agent trace on|off"
+    "set agent stats on|off | set agent trace on|off | "
+    "set agent faults on|off"
 )
 
 _COMMAND = re.compile(
@@ -38,9 +44,10 @@ _COMMAND = re.compile(
     r"(?P<show_stats>show\s+agent\s+stats)"
     r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>\d+))?)"
     r"|(?P<show_status>show\s+agent\s+status)"
+    r"|(?P<show_faults>show\s+agent\s+faults)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
-    r"|set\s+agent\s+(?P<set_target>stats|trace)\s+(?P<set_value>on|off)"
+    r"|set\s+agent\s+(?P<set_target>stats|trace|faults)\s+(?P<set_value>on|off)"
     r")\s*;?\s*$",
     re.IGNORECASE,
 )
@@ -70,6 +77,8 @@ class AgentAdmin:
             return self._show_trace(count)
         if match.group("show_status"):
             return self._show_status()
+        if match.group("show_faults"):
+            return self._show_faults()
         if match.group("reset_stats"):
             return self._reset_stats()
         if match.group("reset_trace"):
@@ -144,6 +153,36 @@ class AgentAdmin:
         )
         return BatchResult(result_sets=[status])
 
+    def _show_faults(self) -> BatchResult:
+        faults = self.agent.faults
+        specs = ResultSet(
+            columns=["point", "kind", "mode", "times", "match", "seen",
+                     "fired"])
+        for row in faults.describe():
+            specs.rows.append([
+                row["point"], row["kind"], row["mode"], row["times"],
+                row["match"], row["seen"], row["fired"],
+            ])
+        policy = self.agent.retry_policy
+        retry = ResultSet(
+            columns=["setting", "value"],
+            rows=[
+                ["injector", "armed" if faults.armed else "disarmed"],
+                ["faults_injected", faults.injected_count],
+                ["retry_max_attempts", policy.max_attempts],
+                ["retry_backoff_s", policy.backoff],
+                ["retry_multiplier", policy.multiplier],
+                ["retry_timeout_s",
+                 "unbounded" if policy.timeout is None else policy.timeout],
+            ],
+        )
+        result = BatchResult(result_sets=[specs, retry])
+        if not faults.plan.specs:
+            result.messages.append(
+                "No fault plan armed; pass faults=FaultPlan(...) when "
+                "constructing the agent.")
+        return result
+
     # ------------------------------------------------------------------
     # reset / set
 
@@ -158,6 +197,13 @@ class AgentAdmin:
     def _set_flag(self, target: str, value: bool) -> BatchResult:
         if target == "stats":
             self.agent.metrics.enabled = value
+        elif target == "faults":
+            if value:
+                self.agent.faults.arm()
+            else:
+                self.agent.faults.disarm()
+            state = "armed" if value else "disarmed"
+            return BatchResult(messages=[f"Agent fault injection {state}."])
         else:
             self.agent.trace.enabled = value
         state = "on" if value else "off"

@@ -11,6 +11,13 @@ from __future__ import annotations
 
 import re
 
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    POINT_NOTIFIER_DECODE,
+    RetryPolicy,
+    TransientFaultError,
+)
 from repro.led import LocalEventDetector, ManualClock
 from repro.led.clock import VirtualClock
 from repro.led.rules import Context, Coupling
@@ -63,6 +70,12 @@ _DROP_TRIGGER_NAME = re.compile(
     r"^\s*drop\s+trigger\s+([A-Za-z_#][\w.$#]*)", re.IGNORECASE)
 
 
+def _is_transient_notification_fault(exc: BaseException) -> bool:
+    """Retry predicate for notification delivery (decode faults only)."""
+    return (isinstance(exc, TransientFaultError)
+            and exc.point == POINT_NOTIFIER_DECODE)
+
+
 class EcaAgent:
     """A Virtual Active SQL Server (paper Section 3).
 
@@ -78,6 +91,13 @@ class EcaAgent:
             ``128.227.205.215:10006``).
         swallow_action_errors: record failing rule actions instead of
             propagating them into the triggering client command.
+        faults: a :class:`~repro.faults.FaultPlan` or
+            :class:`~repro.faults.FaultInjector` arming the chaos
+            harness; None (the default) disables injection entirely.
+        retry: the :class:`~repro.faults.RetryPolicy` applied to
+            persistence writes and notification delivery; defaults to 3
+            fast attempts with no backoff.  Pass
+            ``RetryPolicy(max_attempts=1)`` to fail fast.
     """
 
     def __init__(self, server: SqlServer,
@@ -86,17 +106,28 @@ class EcaAgent:
                  notify_host: str = "127.0.0.1",
                  notify_port: int = 10006,
                  swallow_action_errors: bool = False,
-                 metrics: "MetricsRegistry | None" = None):
+                 metrics: "MetricsRegistry | None" = None,
+                 faults: "FaultInjector | FaultPlan | None" = None,
+                 retry: RetryPolicy | None = None):
         from repro.obs import MetricsRegistry
 
         self.server = server
-        self.persistent_manager = PersistentManager(server)
         #: per-agent observability sinks, both off by default: the whole
         #: layer costs one branch per hook until an operator turns it on
         #: (``set agent stats on`` / ``set agent trace on``).
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             enabled=False)
         self.trace = PipelineTrace()
+        #: the fault-injection harness (disabled unless a plan was armed)
+        #: and the retry policy shared by the resilient call sites.
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults = faults if faults is not None else FaultInjector()
+        self.faults.attach_metrics(self.metrics)
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.persistent_manager = PersistentManager(
+            server, faults=self.faults, retry=self.retry_policy,
+            metrics=self.metrics)
         self._m_eca_commands = self.metrics.counter(
             "agent_eca_commands_total",
             "ECA commands handled, by command kind", ("kind",))
@@ -108,6 +139,7 @@ class EcaAgent:
             swallow_action_errors=swallow_action_errors,
         )
         self.led.attach_observability(self.metrics, self.trace)
+        self.led.faults = self.faults
         self.language_filter = LanguageFilter()
         from .admin import AgentAdmin
         from .gateway import GatewayOpenServer
@@ -136,15 +168,26 @@ class EcaAgent:
             event_lookup=self._primitive_lookup,
             v_no_lookup=self._v_no_lookup,
             metrics=self.metrics,
+            faults=self.faults,
         )
         self.channel = self._make_channel(channel)
 
-        def receive(payload: str) -> None:
+        def deliver(payload: str) -> None:
             if self.trace.enabled:
                 with self.trace.span(FIG4_NOTIFIED, payload):
                     self.notifier.on_payload(payload)
             else:
                 self.notifier.on_payload(payload)
+
+        def receive(payload: str) -> None:
+            # Delivery is retried only for faults injected at the decode
+            # point itself: decoding is idempotent, whereas replaying a
+            # failure from deeper in the pipeline (LED, action) could
+            # raise the same occurrence twice.
+            self.retry_policy.call(
+                deliver, payload, operation="notification",
+                metrics=self.metrics,
+                retry_if=_is_transient_notification_fault)
 
         self.channel.attach(receive)
         self.channel.start()
@@ -206,9 +249,13 @@ class EcaAgent:
         return self.persistent_manager.current_v_no(db, internal)
 
     def runtime_for_rule(self, rule_name: str) -> TriggerRuntime | None:
+        """The runtime wiring of an ECA trigger by LED rule name (None
+        when the rule is not agent-managed)."""
         return self.trigger_runtime.get(rule_name.lower())
 
     def event_exists(self, internal: str) -> bool:
+        """Whether an internal name denotes a known primitive or
+        composite event."""
         key = internal.lower()
         return key in self.primitive_events or key in self.composite_events
 
@@ -224,7 +271,18 @@ class EcaAgent:
         return internal.lower() in self.eca_triggers
 
     def handle_eca(self, sql: str, session: Session) -> BatchResult:
-        """Figure 3 steps 3-7: parse, generate, persist, wire."""
+        """Figure 3 steps 3-7: parse, generate, persist, wire.
+
+        Failure semantics: a CREATE command that fails part-way (for
+        example an injected persistence fault that outlives its retries)
+        is *compensated* — every registry entry, LED node/rule, and
+        persisted row the command added is rolled back before the error
+        propagates, so the agent's rule base stays consistent and the
+        failure is visible only to the issuing client.  A
+        :class:`~repro.faults.SimulatedCrash` is never compensated: it
+        models process death, and consistency is then restored by
+        :meth:`recover` on the next start.
+        """
         if self.trace.enabled:
             with self.trace.span(SPAN_ECA_PARSE):
                 command = parse_eca_command(sql)
@@ -233,8 +291,16 @@ class EcaAgent:
         if self.metrics.enabled:
             self._m_eca_commands.labels(command.kind).inc()
         result = BatchResult()
+        creates = command.kind in (
+            CREATE_PRIMITIVE, CREATE_COMPOSITE, CREATE_ON_EVENT)
+        snapshot = self._state_snapshot() if creates else None
         with self.trace.span(SPAN_ECA_CODEGEN, command.kind):
-            self._dispatch_eca(command, session, result)
+            try:
+                self._dispatch_eca(command, session, result)
+            except Exception:
+                if snapshot is not None:
+                    self._rollback_to(snapshot)
+                raise
         return result
 
     def _dispatch_eca(self, command: EcaCommand, session: Session,
@@ -260,6 +326,80 @@ class EcaAgent:
             self._alter_trigger(command, session, result)
         else:  # pragma: no cover - parser guarantees the kinds above
             raise AgentError(f"unhandled ECA command kind {command.kind!r}")
+
+    # ------------------------------------------------------------------
+    # compensation (graceful degradation for failed CREATE commands)
+
+    def _state_snapshot(self) -> dict:
+        """Capture the agent's registries before a CREATE command."""
+        return {
+            "primitive": dict(self.primitive_events),
+            "composite": dict(self.composite_events),
+            "triggers": dict(self.eca_triggers),
+            "runtime": dict(self.trigger_runtime),
+            "table_ops": {
+                key: list(reg.event_internals)
+                for key, reg in self.table_ops.items()
+            },
+            "inline": {key: list(val) for key, val in self._inline.items()},
+            "led_events": set(self.led.events),
+            "led_rules": set(self.led.rules),
+        }
+
+    def _rollback_to(self, snapshot: dict) -> None:
+        """Best-effort undo of everything a failed CREATE added.
+
+        Each step is individually guarded: compensation must make
+        maximal progress even when the same fault that broke the command
+        also breaks some undo statements (leftover server-side snapshot
+        tables are harmless — re-creation is idempotent).
+        """
+        pm = self.persistent_manager
+
+        def attempt(fn, *args) -> None:
+            try:
+                fn(*args)
+            except Exception:
+                pass
+
+        # 1. LED rules added by the command, then events (reverse
+        #    insertion order drops composites before their constituents).
+        for name in list(self.led.rules):
+            if name not in snapshot["led_rules"]:
+                attempt(self.led.drop_rule, name)
+        for name in reversed(list(self.led.events)):
+            if name not in snapshot["led_events"]:
+                attempt(self.led.drop_event, name)
+
+        # 2. Persisted rows and generated procedures for new objects.
+        for key, trigger in self.eca_triggers.items():
+            if key in snapshot["triggers"]:
+                continue
+            attempt(pm.delete_trigger, trigger)
+            attempt(pm.execute, trigger.db_name,
+                    f"drop procedure {trigger.proc_name}")
+        for key, event in self.composite_events.items():
+            if key not in snapshot["composite"]:
+                attempt(pm.delete_composite, event)
+        for key, event in self.primitive_events.items():
+            if key not in snapshot["primitive"]:
+                attempt(pm.delete_primitive, event)
+
+        # 3. Restore registries and regenerate affected native triggers.
+        self.primitive_events = snapshot["primitive"]
+        self.composite_events = snapshot["composite"]
+        self.eca_triggers = snapshot["triggers"]
+        self.trigger_runtime = snapshot["runtime"]
+        self._inline = snapshot["inline"]
+        dirty: set[tuple[str, str, str, str]] = set()
+        for key, reg in list(self.table_ops.items()):
+            names = snapshot["table_ops"].get(key)
+            restored = list(names) if names is not None else []
+            if reg.event_internals != restored:
+                reg.event_internals = restored
+                dirty.add(key)
+        for key in dirty:
+            attempt(self._regenerate_native_trigger, key)
 
     def after_client_command(self, session: Session) -> None:
         """Statement-end hook: outside a transaction each command is its
@@ -707,8 +847,21 @@ class EcaAgent:
 
     def recover(self) -> dict[str, int]:
         """Restore events and rules from the system tables of every
-        database that has them; returns counts per category."""
-        counts = {"primitive": 0, "composite": 0, "trigger": 0}
+        database that has them; returns counts per category.
+
+        Hardened against torn writes: before loading, each database's
+        trigger tables are swept by
+        :meth:`~repro.agent.persistence.PersistentManager.repair_orphans`,
+        which removes rows left by a crash between the two inserts of
+        ``persist_trigger`` (or the two deletes of ``delete_trigger``).
+        After recovery every rule therefore either fully exists — it is
+        in the registries, the LED, and both system tables — or fully
+        does not.  Idempotent: calling it again on a live agent recovers
+        nothing and repairs nothing (the ``repaired`` count reports the
+        sweep's work).
+        """
+        counts = {"primitive": 0, "composite": 0, "trigger": 0,
+                  "repaired": 0}
         pm = self.persistent_manager
         # Batch native-trigger regeneration: the generated triggers
         # persisted in the server, so one refresh per (table, op) at the
@@ -718,6 +871,7 @@ class EcaAgent:
             for database in list(self.server.catalog.databases.values()):
                 if not pm.has_system_tables(database.name):
                     continue
+                counts["repaired"] += pm.repair_orphans(database.name)
                 for event in pm.load_primitives(database.name):
                     if event.internal.lower() in self.primitive_events:
                         continue

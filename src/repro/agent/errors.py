@@ -22,5 +22,23 @@ class NotificationError(AgentError):
     """A notification message could not be decoded or delivered."""
 
 
+class PersistenceError(AgentError):
+    """A Persistent Manager statement failed.
+
+    Carries the offending SQL as ``statement`` and names it in the
+    message, so a failure inside a multi-statement operation (e.g. the
+    two inserts of ``persist_trigger``) is attributable from logs alone.
+    """
+
+    def __init__(self, statement: str, cause: BaseException):
+        shown = " ".join(statement.split())
+        if len(shown) > 120:
+            shown = shown[:117] + "..."
+        super().__init__(
+            f"persistence statement failed: [{shown}]: {cause}")
+        self.statement = statement
+        self.cause = cause
+
+
 class RecoveryError(AgentError):
     """Persistent state could not be restored at agent startup."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.faults import FaultError, POINT_GATEWAY_PROCESS
 from repro.sqlengine.results import BatchResult
 from repro.sqlengine.server import Session
 
@@ -62,7 +63,17 @@ class GatewayOpenServer:
         return self.agent.server.create_session(user, database)
 
     def execute_for(self, session: Session, sql: str) -> BatchResult:
-        """Route one client command (Figure 3, steps 1-4)."""
+        """Route one client command (Figure 3, steps 1-4).
+
+        Failure semantics: real errors (SQL errors, name-check failures,
+        :class:`~repro.agent.errors.PersistenceError`) propagate to the
+        issuing client unchanged.  *Injected* faults that survive the
+        retry policies (:class:`~repro.faults.FaultError`, including
+        ``RetryExhaustedError``) degrade gracefully instead: the client
+        receives an error result for this one command and the agent
+        keeps serving — only a :class:`~repro.faults.SimulatedCrash`
+        takes the agent down.
+        """
         self.commands_total += 1
         metrics = self.agent.metrics
         timed = metrics.enabled
@@ -77,6 +88,11 @@ class GatewayOpenServer:
                     kind, result = self._route(session, sql)
             else:
                 kind, result = self._route(session, sql)
+        except FaultError as exc:
+            kind = "degraded"
+            result = BatchResult(messages=[
+                f"Agent error: command not applied ({exc}). "
+                "The agent compensated and remains consistent."])
         finally:
             if timed:
                 self._m_commands.labels(kind).inc()
@@ -95,8 +111,14 @@ class GatewayOpenServer:
             kind = filter_.classify(sql)
 
         if kind == filter_.AGENT_ADMIN:
+            # The admin plane is never faulted: ``set agent faults off``
+            # must remain available while a chaos plan is wreaking havoc.
             self.commands_admin += 1
             return "admin", self.agent.admin.handle(sql, session)
+
+        faults = self.agent.faults
+        if faults.enabled:
+            faults.fire(POINT_GATEWAY_PROCESS, sql)
 
         if kind == filter_.ECA:
             self.commands_eca += 1

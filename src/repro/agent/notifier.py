@@ -25,6 +25,8 @@ import threading
 import time
 from typing import Callable
 
+from repro.faults import Directive, POINT_NOTIFIER_DECODE
+
 from .errors import NotificationError
 from .messages import Notification
 
@@ -198,14 +200,22 @@ class EventNotifier:
         metrics: optional :class:`~repro.obs.MetricsRegistry`; while
             enabled, decode-and-raise latency and outcomes are recorded
             (``agent_notification_seconds`` / ``agent_notifications_total``).
+        faults: optional :class:`~repro.faults.FaultInjector` consulted
+            at the ``notifier.decode`` point before decoding; a DROP
+            directive silently discards the notification (counted in
+            :attr:`dropped`).
     """
 
-    def __init__(self, led, event_lookup, v_no_lookup=None, metrics=None):
+    def __init__(self, led, event_lookup, v_no_lookup=None, metrics=None,
+                 faults=None):
         self.led = led
         self.event_lookup = event_lookup
         self.v_no_lookup = v_no_lookup
         self.received: int = 0
         self.rejected: int = 0
+        #: notifications discarded by an injected DROP fault
+        self.dropped: int = 0
+        self.faults = faults
         self.metrics = metrics
         if metrics is not None:
             self._m_notifications = metrics.counter(
@@ -220,7 +230,20 @@ class EventNotifier:
             self._m_notification_seconds = None
 
     def on_payload(self, payload: str) -> None:
-        """Channel callback: decode and raise."""
+        """Channel callback: decode and raise.
+
+        Failure semantics: an injected transient decode fault raises
+        :class:`~repro.faults.TransientFaultError` (the agent's delivery
+        wrapper retries it); a DROP fault models a lost datagram — the
+        payload is discarded, counted in :attr:`dropped`, and the LED
+        never sees the occurrence.
+        """
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            if faults.fire(POINT_NOTIFIER_DECODE,
+                           payload) is Directive.DROP:
+                self.dropped += 1
+                return
         metrics = self.metrics
         if metrics is None or not metrics.enabled:
             notification = Notification.decode(payload)

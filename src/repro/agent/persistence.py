@@ -15,10 +15,20 @@ paper's Figure 7 omits but recovery requires — a documented extension
 from __future__ import annotations
 
 
+from repro.faults import (
+    Directive,
+    FaultError,
+    FaultInjector,
+    POINT_PERSISTENCE_EXECUTE,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientFaultError,
+)
 from repro.led.rules import Context, Coupling
 from repro.sqlengine import SqlServer
 from repro.sqlengine.types import sql_repr
 
+from .errors import PersistenceError
 from .model import CompositeEventDef, EcaTriggerDef, PrimitiveEventDef
 
 #: (column name, type, length, nullable) — Figure 5.
@@ -92,9 +102,19 @@ class PersistentManager:
     #: owner of the system tables inside each database
     OWNER = "dbo"
 
-    def __init__(self, server: SqlServer, dba_user: str = "sa"):
+    def __init__(self, server: SqlServer, dba_user: str = "sa",
+                 faults: FaultInjector | None = None,
+                 retry: RetryPolicy | None = None,
+                 metrics=None):
         self.server = server
         self.dba_user = dba_user
+        #: fault-injection harness consulted before every statement
+        #: (``persistence.execute`` point); None = no injection.
+        self.faults = faults
+        #: retry policy applied to every statement; None = fail fast.
+        self.retry = retry
+        #: metrics registry the retry policy reports into (may be None).
+        self.metrics = metrics
         self._sessions: dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -108,8 +128,37 @@ class PersistentManager:
         return session
 
     def execute(self, database: str, sql: str):
-        """Run SQL on the manager's privileged connection."""
-        return self.server.execute(sql, self._session(database))
+        """Run SQL on the manager's privileged connection.
+
+        Failure/retry semantics: transient faults (injected at the
+        ``persistence.execute`` point) are retried under :attr:`retry`;
+        once retries are exhausted a :class:`RetryExhaustedError`
+        surfaces.  Any real engine failure is wrapped in
+        :class:`~repro.agent.errors.PersistenceError` naming the exact
+        statement that failed.  A DROP-kind fault silently loses the
+        write and returns ``None``.
+        """
+        session = self._session(database)
+
+        def attempt():
+            faults = self.faults
+            if faults is not None and faults.enabled:
+                if faults.fire(POINT_PERSISTENCE_EXECUTE,
+                               sql) is Directive.DROP:
+                    return None
+            return self.server.execute(sql, session)
+
+        try:
+            if self.retry is None:
+                return attempt()
+            return self.retry.call(
+                attempt, operation="persistence", metrics=self.metrics,
+                retry_if=_is_transient_persistence_fault)
+        except (FaultError, RetryExhaustedError) as exc:
+            exc.statement = sql
+            raise
+        except Exception as exc:
+            raise PersistenceError(sql, exc) from exc
 
     def system_prefix(self, database: str) -> str:
         """Qualified prefix for system tables, e.g. ``sentineldb.dbo``."""
@@ -131,6 +180,7 @@ class PersistentManager:
             self.execute(database, f"create table {table_name} ({columns})")
 
     def has_system_tables(self, database: str) -> bool:
+        """Whether every ECA system table already exists in a database."""
         db = self.server.catalog.get_database(database)
         return all(
             db.get_table(self.OWNER, table_name) is not None
@@ -141,6 +191,7 @@ class PersistentManager:
     # persisting definitions
 
     def persist_primitive(self, event: PrimitiveEventDef) -> None:
+        """Insert one ``SysPrimitiveEvent`` row (atomic: single insert)."""
         self.execute(event.db_name, (
             "insert SysPrimitiveEvent values ("
             f"{sql_repr(event.db_name)}, {sql_repr(event.user_name)}, "
@@ -149,6 +200,7 @@ class PersistentManager:
         ))
 
     def persist_composite(self, event: CompositeEventDef) -> None:
+        """Insert one ``SysCompositeEvent`` row (atomic: single insert)."""
         self.execute(event.db_name, (
             "insert SysCompositeEvent values ("
             f"{sql_repr(event.db_name)}, {sql_repr(event.user_name)}, "
@@ -159,6 +211,12 @@ class PersistentManager:
         ))
 
     def persist_trigger(self, trigger: EcaTriggerDef) -> None:
+        """Insert the ``SysEcaTrigger`` and ``SysEcaAction`` rows.
+
+        NOT atomic: a crash between the two inserts leaves an orphan
+        ``SysEcaTrigger`` row, which :meth:`repair_orphans` deletes on
+        the next recovery (the rule then "fully does not exist").
+        """
         self.execute(trigger.db_name, (
             "insert SysEcaTrigger values ("
             f"{sql_repr(trigger.db_name)}, {sql_repr(trigger.user_name)}, "
@@ -177,6 +235,7 @@ class PersistentManager:
     # removing definitions
 
     def delete_primitive(self, event: PrimitiveEventDef) -> None:
+        """Delete an event's ``SysPrimitiveEvent`` row (idempotent)."""
         self.execute(event.db_name, (
             "delete SysPrimitiveEvent "
             f"where dbName = {sql_repr(event.db_name)} "
@@ -185,6 +244,7 @@ class PersistentManager:
         ))
 
     def delete_composite(self, event: CompositeEventDef) -> None:
+        """Delete an event's ``SysCompositeEvent`` row (idempotent)."""
         self.execute(event.db_name, (
             "delete SysCompositeEvent "
             f"where dbName = {sql_repr(event.db_name)} "
@@ -193,6 +253,11 @@ class PersistentManager:
         ))
 
     def delete_trigger(self, trigger: EcaTriggerDef) -> None:
+        """Delete a trigger's rows from both trigger tables.
+
+        NOT atomic: a crash between the two deletes leaves an orphan
+        ``SysEcaAction`` row, cleaned up by :meth:`repair_orphans`.
+        """
         self.execute(trigger.db_name, (
             "delete SysEcaTrigger "
             f"where dbName = {sql_repr(trigger.db_name)} "
@@ -251,7 +316,87 @@ class PersistentManager:
             ))
         return definitions
 
+    def repair_orphans(self, database: str) -> int:
+        """Delete half-persisted trigger rows left by a mid-write crash.
+
+        Two inconsistencies can exist (see :meth:`persist_trigger` /
+        :meth:`delete_trigger`):
+
+        - a ``SysEcaTrigger`` row with no matching ``SysEcaAction`` row —
+          a create that crashed between its two inserts; the row *and*
+          the already-created action procedure are removed, so the rule
+          fully does not exist after recovery;
+        - a ``SysEcaAction`` row with no matching ``SysEcaTrigger`` row —
+          a drop that crashed between its two deletes; the row is
+          removed, completing the drop.
+
+        Returns the number of repairs performed.  Called by
+        :meth:`EcaAgent.recover` before loading, so a recovered agent
+        never sees a torn rule.
+        """
+        from .naming import internal_name
+
+        triggers = self.execute(database, "select * from SysEcaTrigger")
+        actions = self.execute(database, "select * from SysEcaAction")
+        trigger_rows = triggers.last.as_dicts() if triggers.last else []
+        action_rows = actions.last.as_dicts() if actions.last else []
+        trigger_keys = {
+            internal_name(str(row["dbName"]), str(row["userName"]),
+                          str(row["triggerName"])).lower()
+            for row in trigger_rows
+        }
+        action_keys = {
+            str(row["triggerName"]).lower() for row in action_rows
+        }
+        repaired = 0
+        db_obj = self.server.catalog.get_database(database)
+        for row in trigger_rows:
+            db, user, name = (str(row["dbName"]), str(row["userName"]),
+                              str(row["triggerName"]))
+            if internal_name(db, user, name).lower() in action_keys:
+                continue
+            self.execute(database, (
+                "delete SysEcaTrigger "
+                f"where dbName = {sql_repr(db)} "
+                f"and userName = {sql_repr(user)} "
+                f"and triggerName = {sql_repr(name)}"
+            ))
+            # The action procedure is created before the trigger rows are
+            # persisted, so an orphan row implies the proc may exist.
+            proc = internal_name(db, user, f"{name}__Proc")
+            if db_obj.get_procedure(user, f"{name}__Proc") is not None:
+                self.execute(database, f"drop procedure {proc}")
+            repaired += 1
+        for row in action_rows:
+            key = str(row["triggerName"])
+            if key.lower() in trigger_keys:
+                continue
+            self.execute(database, (
+                "delete SysEcaAction "
+                f"where triggerName = {sql_repr(key)}"
+            ))
+            repaired += 1
+        # Finally, sweep action procedures with no trigger rows at all —
+        # the proc is created before either insert, so a crash before the
+        # ``SysEcaTrigger`` insert leaves only the proc behind.
+        paired = trigger_keys & action_keys
+        suffix = "__proc"
+        for (owner, pname) in list(db_obj.procedures):
+            if not pname.endswith(suffix):
+                continue
+            trig_key = internal_name(
+                database, owner, pname[: -len(suffix)]).lower()
+            if trig_key in paired:
+                continue
+            proc = db_obj.procedures[(owner, pname)]
+            self.execute(
+                database,
+                f"drop procedure {internal_name(database, proc.owner, proc.name)}")
+            repaired += 1
+        return repaired
+
     def load_composites(self, database: str) -> list[CompositeEventDef]:
+        """Rebuild composite event definitions from ``SysCompositeEvent``."""
         result = self.execute(database, "select * from SysCompositeEvent")
         definitions: list[CompositeEventDef] = []
         for row in (result.last.as_dicts() if result.last else []):
@@ -267,6 +412,9 @@ class PersistentManager:
         return definitions
 
     def load_triggers(self, database: str) -> list[EcaTriggerDef]:
+        """Rebuild trigger definitions by joining ``SysEcaTrigger`` with
+        ``SysEcaAction`` (run :meth:`repair_orphans` first so every row
+        pairs up)."""
         result = self.execute(database, "select * from SysEcaTrigger")
         actions = self.execute(database, "select * from SysEcaAction")
         action_by_trigger = {
@@ -295,6 +443,14 @@ class PersistentManager:
                 str(condition_sql) if condition_sql is not None else None)
             definitions.append(trigger)
         return definitions
+
+
+def _is_transient_persistence_fault(exc: BaseException) -> bool:
+    """Retry only faults injected at the persistence point itself, never
+    a transient error that escaped a nested component (re-running that
+    work could duplicate side effects)."""
+    return (isinstance(exc, TransientFaultError)
+            and exc.point == POINT_PERSISTENCE_EXECUTE)
 
 
 def _column_ddl(name: str, type_name: str, length: int | None,

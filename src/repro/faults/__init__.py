@@ -1,0 +1,59 @@
+"""``repro.faults`` — fault injection and retry: the robustness layer.
+
+Two halves:
+
+- :mod:`repro.faults.injector` — a deterministic, seedable chaos harness
+  (:class:`FaultPlan` / :class:`FaultInjector`) consulted at named
+  injection points wired through the ECA Agent pipeline;
+- :mod:`repro.faults.retry` — :class:`RetryPolicy`, bounded retries with
+  exponential backoff and a time budget, applied to persistence writes
+  and notification delivery.
+
+Together they turn the paper's recovery claim ("the agent can crash and
+restart because rule state lives in native system tables") into an
+enforced, injectable contract: chaos tests crash the agent at exact
+pipeline positions and assert that :meth:`EcaAgent.recover` restores a
+consistent rule base.  Operator-facing documentation: docs/OPERATORS.md;
+per-component failure modes: docs/ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+from .injector import (
+    DISABLED,
+    Directive,
+    FaultError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    POINT_ACTION_RUN,
+    POINT_GATEWAY_PROCESS,
+    POINT_LED_RAISE,
+    POINT_NOTIFIER_DECODE,
+    POINT_PERSISTENCE_EXECUTE,
+    SimulatedCrash,
+    TransientFaultError,
+)
+from .retry import RetryExhaustedError, RetryPolicy
+
+__all__ = [
+    "DISABLED",
+    "Directive",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TransientFaultError",
+    "POINT_ACTION_RUN",
+    "POINT_GATEWAY_PROCESS",
+    "POINT_LED_RAISE",
+    "POINT_NOTIFIER_DECODE",
+    "POINT_PERSISTENCE_EXECUTE",
+]

@@ -1,0 +1,327 @@
+"""Deterministic, seedable fault injection for the ECA Agent pipeline.
+
+The paper's reliability claim — the agent can crash and recover because
+every event and rule is persisted in native system tables — is only a
+claim until failures can be *produced on demand*.  This module provides
+the harness: a :class:`FaultPlan` describes which faults to inject where,
+and a :class:`FaultInjector` armed with the plan is consulted at named
+**injection points** wired into the gateway, notifier, persistent
+manager, action handler, and LED raise path.
+
+Everything is deterministic: trigger-after-N-calls mode fires on an exact
+call index, and probability mode draws from a ``random.Random`` seeded by
+the plan, so a chaos run replays identically for a given seed.
+
+Injection points (the contract; see docs/ARCHITECTURE.md):
+
+========================  ====================================================
+``gateway.process``       routing of every non-admin client command
+``notifier.decode``       start of :meth:`EventNotifier.on_payload`
+``persistence.execute``   every :meth:`PersistentManager.execute` statement
+``action.run``            start of :meth:`ActionHandler.run_action`
+``led.raise``             start of :meth:`LocalEventDetector.raise_event`
+========================  ====================================================
+
+Fault kinds:
+
+- ``RAISE`` — raise :class:`TransientFaultError` (retryable);
+- ``LATENCY`` — sleep for ``latency`` seconds, then continue;
+- ``DROP`` — return :data:`Directive.DROP`; the call site abandons the
+  operation (a lost notification, a lost write);
+- ``CRASH`` — raise :class:`SimulatedCrash`, a ``BaseException`` no
+  pipeline handler catches: the agent process "dies" mid-operation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Directive",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "SimulatedCrash",
+    "TransientFaultError",
+    "POINT_ACTION_RUN",
+    "POINT_GATEWAY_PROCESS",
+    "POINT_LED_RAISE",
+    "POINT_NOTIFIER_DECODE",
+    "POINT_PERSISTENCE_EXECUTE",
+]
+
+#: Canonical injection point names (call sites and plans share these).
+POINT_GATEWAY_PROCESS = "gateway.process"
+POINT_NOTIFIER_DECODE = "notifier.decode"
+POINT_PERSISTENCE_EXECUTE = "persistence.execute"
+POINT_ACTION_RUN = "action.run"
+POINT_LED_RAISE = "led.raise"
+
+
+class FaultError(ReproError):
+    """Root of injected-fault errors (never raised by real components)."""
+
+    def __init__(self, message: str, point: str = ""):
+        super().__init__(message)
+        self.point = point
+
+
+class TransientFaultError(FaultError):
+    """An injected *retryable* failure — the retry policies treat it the
+    way they would treat a dropped connection or a lock timeout."""
+
+
+class SimulatedCrash(BaseException):
+    """An injected agent crash.
+
+    Deliberately a ``BaseException``: no ``except Exception`` handler in
+    the pipeline may swallow it, exactly as no handler survives a real
+    process death.  Chaos tests catch it at the harness level, discard
+    the "crashed" agent, and drive :meth:`EcaAgent.recover` on a fresh
+    instance attached to the surviving server.
+    """
+
+    def __init__(self, point: str = "", detail: str = ""):
+        super().__init__(f"simulated crash at {point or '<unknown>'}"
+                         + (f" ({detail})" if detail else ""))
+        self.point = point
+        self.detail = detail
+
+
+class FaultKind(str, enum.Enum):
+    """What an armed fault does when it fires."""
+
+    RAISE = "raise"
+    LATENCY = "latency"
+    DROP = "drop"
+    CRASH = "crash"
+
+
+class Directive(enum.Enum):
+    """What the call site should do after consulting the injector."""
+
+    CONTINUE = "continue"
+    DROP = "drop"
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: where, what, and when it fires.
+
+    Trigger modes (mutually exclusive):
+
+    - **after-N**: starts firing on the ``after``-th *matching* call at
+      the point (0 = the first) and keeps firing on consecutive matching
+      calls until ``times`` is exhausted — so a transient fault can
+      outlast any chosen number of retries;
+    - **probability**: when ``probability`` is set, fires independently on
+      each matching call with that probability, drawn from the plan's
+      seeded generator.
+
+    ``times`` bounds how often the spec fires in total (0 = unlimited);
+    ``match`` restricts firing to calls whose detail string (the SQL
+    statement, payload, or event name at the call site) contains it,
+    case-insensitively.
+    """
+
+    point: str
+    kind: FaultKind = FaultKind.RAISE
+    after: int = 0
+    probability: float | None = None
+    times: int = 1
+    latency: float = 0.0
+    message: str = ""
+    match: str | None = None
+
+    def __post_init__(self):
+        self.kind = FaultKind(self.kind)
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}")
+        if self.after < 0:
+            raise ValueError(f"fault 'after' must be >= 0, got {self.after}")
+        if self.times < 0:
+            raise ValueError(f"fault 'times' must be >= 0, got {self.times}")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Log entry for one fault that actually fired."""
+
+    point: str
+    kind: FaultKind
+    detail: str
+    call_index: int
+
+
+class FaultPlan:
+    """A seedable, ordered collection of :class:`FaultSpec` entries.
+
+    Build one declaratively (``FaultPlan(seed=7, specs=[...])``) or with
+    the fluent :meth:`inject` helper::
+
+        plan = FaultPlan(seed=7)
+        plan.inject("persistence.execute", kind="raise", times=2)
+        plan.inject("notifier.decode", kind="drop", probability=0.2)
+    """
+
+    def __init__(self, seed: int = 0, specs: list[FaultSpec] | None = None):
+        self.seed = seed
+        self.specs: list[FaultSpec] = list(specs or [])
+
+    def inject(self, point: str, **kwargs) -> FaultSpec:
+        """Arm one fault at a point; returns the created spec."""
+        spec = FaultSpec(point=point, **kwargs)
+        self.specs.append(spec)
+        return spec
+
+    def for_point(self, point: str) -> list[FaultSpec]:
+        """The specs armed at one injection point, in arming order."""
+        return [spec for spec in self.specs if spec.point == point]
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at the pipeline's injection points.
+
+    Thread-safe: call counters and the seeded generator are guarded by a
+    lock (notifications and detached actions fire from worker threads).
+    Cheap when idle: call sites guard on :attr:`enabled`, and ``fire`` on
+    a point with no armed specs is one dict lookup.
+
+    Args:
+        plan: the fault plan; ``None`` means a permanently-disabled
+            injector (the agent's default).
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; fired
+            faults increment the ``faults_injected`` counter, labeled by
+            point and kind, while metrics are enabled.
+        sleeper: substitute for ``time.sleep`` (tests pass a recorder so
+            latency faults cost no wall time).
+    """
+
+    def __init__(self, plan: FaultPlan | None = None, metrics=None,
+                 sleeper: Callable[[float], None] = time.sleep):
+        self.plan = plan or FaultPlan()
+        self.armed = True
+        self.sleeper = sleeper
+        self.injected: list[InjectedFault] = []
+        self._lock = threading.Lock()
+        self._rng = random.Random(self.plan.seed)
+        self._by_point: dict[str, list[FaultSpec]] = {}
+        for spec in self.plan.specs:
+            self._by_point.setdefault(spec.point, []).append(spec)
+        #: per-spec counts of matching calls seen and faults fired
+        self._seen: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+        self._m_faults = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can still fire (armed and plan non-empty)."""
+        return self.armed and bool(self.plan.specs)
+
+    def disarm(self) -> None:
+        """Stop injecting without forgetting the plan (``set agent faults
+        off``)."""
+        self.armed = False
+
+    def arm(self) -> None:
+        """Re-enable injection after :meth:`disarm`."""
+        self.armed = True
+
+    def attach_metrics(self, metrics) -> None:
+        """Register the ``faults_injected`` counter on a registry."""
+        self._m_faults = metrics.counter(
+            "faults_injected",
+            "Faults fired by the injection harness", ("point", "kind"))
+
+    @property
+    def injected_count(self) -> int:
+        """Total faults fired so far (independent of the metrics flag)."""
+        return len(self.injected)
+
+    # ------------------------------------------------------------------
+
+    def fire(self, point: str, detail: str = "") -> Directive:
+        """Consult the plan at one injection point.
+
+        Returns :data:`Directive.DROP` when the call site must abandon
+        the operation; raises for RAISE/CRASH kinds; sleeps for LATENCY
+        kinds; otherwise returns :data:`Directive.CONTINUE`.
+        """
+        if not self.armed:
+            return Directive.CONTINUE
+        specs = self._by_point.get(point)
+        if not specs:
+            return Directive.CONTINUE
+        directive = Directive.CONTINUE
+        lowered = detail.lower()
+        for spec in specs:
+            spec_id = id(spec)
+            with self._lock:
+                if spec.times and self._fired.get(spec_id, 0) >= spec.times:
+                    continue
+                if spec.match is not None and spec.match.lower() not in lowered:
+                    continue
+                seen = self._seen.get(spec_id, 0)
+                self._seen[spec_id] = seen + 1
+                if spec.probability is not None:
+                    should_fire = self._rng.random() < spec.probability
+                else:
+                    should_fire = seen >= spec.after
+                if not should_fire:
+                    continue
+                self._fired[spec_id] = self._fired.get(spec_id, 0) + 1
+                self.injected.append(InjectedFault(
+                    point, spec.kind, detail[:120], seen))
+            if self._m_faults is not None:
+                self._m_faults.labels(point, spec.kind.value).inc()
+            if spec.kind is FaultKind.CRASH:
+                raise SimulatedCrash(point, detail[:120])
+            if spec.kind is FaultKind.RAISE:
+                raise TransientFaultError(
+                    spec.message
+                    or f"injected transient fault at {point}", point=point)
+            if spec.kind is FaultKind.LATENCY:
+                self.sleeper(spec.latency)
+            elif spec.kind is FaultKind.DROP:
+                directive = Directive.DROP
+        return directive
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> list[dict[str, object]]:
+        """One summary dict per armed spec (for ``show agent faults``)."""
+        rows: list[dict[str, object]] = []
+        with self._lock:
+            for spec in self.plan.specs:
+                rows.append({
+                    "point": spec.point,
+                    "kind": spec.kind.value,
+                    "mode": (f"p={spec.probability}"
+                             if spec.probability is not None
+                             else f"after={spec.after}"),
+                    "times": spec.times or "unlimited",
+                    "match": spec.match or "",
+                    "seen": self._seen.get(id(spec), 0),
+                    "fired": self._fired.get(id(spec), 0),
+                })
+        return rows
+
+
+#: A process-default disabled injector, shared by components that were
+#: constructed without one (``enabled`` is always False: no specs).
+DISABLED = FaultInjector()

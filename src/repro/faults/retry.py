@@ -1,0 +1,119 @@
+"""Bounded retry with exponential backoff and a per-call time budget.
+
+The resilience half of the robustness layer: :class:`RetryPolicy` wraps
+the pipeline's two externally-observable side-effect paths — persistence
+writes and notification delivery — so that *transient* failures (in this
+repo, faults injected by :mod:`repro.faults.injector`; in the paper's
+deployment, dropped connections to the SQL server) are absorbed instead
+of surfacing to clients.
+
+Retries are observable: each re-attempt increments the
+``retries_attempted`` counter and each give-up increments
+``retry_exhausted``, both labeled by operation, on whatever
+:class:`~repro.obs.MetricsRegistry` the caller passes.  Metric lookups
+happen only on the failure path, so a successful first attempt costs
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .injector import FaultError, TransientFaultError
+
+__all__ = ["RetryExhaustedError", "RetryPolicy"]
+
+
+class RetryExhaustedError(FaultError):
+    """Every allowed attempt failed (or the time budget ran out).
+
+    Carries the last underlying error as ``last_error`` and the number of
+    attempts made as ``attempts``; ``__cause__`` is also set so the chain
+    shows up in tracebacks.
+    """
+
+    def __init__(self, operation: str, attempts: int,
+                 last_error: BaseException):
+        super().__init__(
+            f"retry exhausted for {operation!r} after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {last_error}")
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries + exponential backoff + a total time budget.
+
+    Args:
+        max_attempts: total tries, including the first (1 = no retries).
+        backoff: delay before the first retry, in seconds (0 = none —
+            the deterministic default used in tests).
+        multiplier: backoff growth factor per retry.
+        timeout: total time budget across all attempts, in seconds;
+            once exceeded, no further attempt starts and the call fails
+            with :class:`RetryExhaustedError` (``None`` = unbounded).
+        retry_on: exception types considered transient.
+        sleeper / clock: injectable ``time.sleep`` / ``time.monotonic``
+            substitutes, so tests control both time axes.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    timeout: float | None = None
+    retry_on: tuple[type[BaseException], ...] = (TransientFaultError,)
+    sleeper: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def call(self, fn: Callable, *args, operation: str = "call",
+             metrics=None,
+             retry_if: Callable[[BaseException], bool] | None = None,
+             **kwargs):
+        """Run ``fn(*args, **kwargs)``, retrying transient failures.
+
+        Non-transient exceptions propagate unchanged on the first raise.
+        A transient failure is retried until the attempt or time budget
+        is exhausted, then wrapped in :class:`RetryExhaustedError`.
+        ``retry_if`` further restricts which transient exceptions are
+        retried (e.g. only faults injected at one specific point).
+        """
+        start = self.clock()
+        delay = self.backoff
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                if retry_if is not None and not retry_if(exc):
+                    raise
+                out_of_attempts = attempts >= self.max_attempts
+                out_of_time = (
+                    self.timeout is not None
+                    and self.clock() - start >= self.timeout
+                )
+                if out_of_attempts or out_of_time:
+                    if metrics is not None:
+                        metrics.counter(
+                            "retry_exhausted",
+                            "Operations that failed every allowed retry",
+                            ("operation",)).labels(operation).inc()
+                    raise RetryExhaustedError(
+                        operation, attempts, exc) from exc
+                if metrics is not None:
+                    metrics.counter(
+                        "retries_attempted",
+                        "Retries performed after transient failures",
+                        ("operation",)).labels(operation).inc()
+                if delay > 0:
+                    self.sleeper(delay)
+                    delay *= self.multiplier

@@ -116,6 +116,9 @@ class LocalEventDetector:
         #: standalone detectors leave them None -> zero overhead)
         self.metrics = None
         self.trace = None
+        #: optional fault-injection harness (``led.raise`` point); the
+        #: agent attaches its injector, standalone detectors leave None
+        self.faults = None
         self._m_detected = None
         self._m_rules_fired = None
         self._m_conditions = None
@@ -320,6 +323,12 @@ class LocalEventDetector:
                 raise EventDefinitionError(
                     f"'{name}' is a composite event; only primitive events "
                     "can be raised externally")
+            faults = self.faults
+            if faults is not None and faults.enabled:
+                from repro.faults import Directive
+
+                if faults.fire("led.raise", name) is Directive.DROP:
+                    return []
             time = self.clock.now() if at is None else at
             occurrence = primitive(name, time, next(self._seq), params)
             metrics = self.metrics

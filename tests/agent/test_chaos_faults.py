@@ -1,0 +1,332 @@
+"""Chaos suite: injected crashes, transient faults, retries, recovery.
+
+Acceptance tests for the fault-injection hardening layer (see
+docs/OPERATORS.md).  The headline contract: a crash injected around the
+two ``persist_trigger`` inserts must leave the rule base all-or-nothing
+after :meth:`EcaAgent.recover` — the rule either fully exists (fires on
+its event) or fully does not (no orphan system-table rows, no orphan
+action procedure, no LED rule).  Transient faults must be retried and
+observable through ``repro.obs`` metrics, and injected failures that
+survive the retry policy must degrade into a client-visible error
+instead of killing the agent.
+
+Seeds are fixed for CI; set ``CHAOS_SEED`` to replay a single seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.agent.persistence import PersistentManager
+from repro.faults import (
+    FaultPlan,
+    POINT_ACTION_RUN,
+    POINT_GATEWAY_PROCESS,
+    POINT_NOTIFIER_DECODE,
+    POINT_PERSISTENCE_EXECUTE,
+    SimulatedCrash,
+)
+from repro.obs import MetricsRegistry
+from repro.sqlengine import SqlServer
+
+STOCK_DDL = (
+    "create table stock (symbol varchar(10) not null, price float null, "
+    "qty int null)")
+
+#: Fixed seeds for the CI chaos job; CHAOS_SEED overrides for a repro run.
+SEEDS = ([int(os.environ["CHAOS_SEED"])] if os.environ.get("CHAOS_SEED")
+         else [7, 101, 2026])
+
+T2 = "sentineldb.sharma.t2"
+
+
+def seeded_server() -> SqlServer:
+    """A server holding the stock table and one healthy rule (t1 on the
+    primitive event addStk), prepared by a clean agent that then closes."""
+    server = SqlServer(default_database="sentineldb")
+    agent = EcaAgent(server)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    conn.execute(
+        "create trigger t1 on stock for insert event addStk as print 'one'")
+    agent.close()
+    return server
+
+
+def composite_server() -> SqlServer:
+    """A server with primitive events addStk/delStk and the composite
+    rule t_and (delStk ^ addStk), plus one seed row to delete."""
+    server = SqlServer(default_database="sentineldb")
+    agent = EcaAgent(server)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    conn.execute(
+        "create trigger t_add on stock for insert event addStk as "
+        "print 'add'")
+    conn.execute(
+        "create trigger t_del on stock for delete event delStk as "
+        "print 'del'")
+    conn.execute(
+        "create trigger t_and event addDel = delStk ^ addStk RECENT as "
+        "print 'and!'")
+    conn.execute("insert stock values ('SEED', 1, 1)")
+    agent.close()
+    return server
+
+
+def syscount(server: SqlServer, table: str) -> int:
+    """Row count of one agent system table, read through a bare
+    persistent manager (no recovery side effects)."""
+    pm = PersistentManager(server)
+    return pm.execute(
+        "sentineldb", f"select count(*) from {table}").last.scalar()
+
+
+def crash_create_t2(server: SqlServer, seed: int, match: str) -> SqlServer:
+    """Open a chaos agent whose next persistence statement containing
+    ``match`` crashes, attempt to create trigger t2 on addStk, and
+    return the surviving server (the crashed agent runs no cleanup)."""
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_PERSISTENCE_EXECUTE, kind="crash", match=match)
+    agent = EcaAgent(server, faults=plan)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    with pytest.raises(SimulatedCrash):
+        conn.execute("create trigger t2 event addStk as print 'two'")
+    return server
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCrashMidCreateTrigger:
+    """Crash around the persist step: the rule is all-or-nothing."""
+
+    def _assert_t2_fully_absent(self, restarted: EcaAgent) -> None:
+        assert T2 not in restarted.eca_triggers
+        assert restarted.runtime_for_rule(T2) is None
+        assert T2 not in restarted.led.rules
+        assert syscount(restarted.server, "SysEcaTrigger") == 1
+        assert syscount(restarted.server, "SysEcaAction") == 1
+        db = restarted.server.catalog.get_database("sentineldb")
+        assert db.get_procedure("sharma", "t2__Proc") is None
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('A', 1, 1)")
+        assert "one" in result.messages
+        assert "two" not in result.messages
+
+    def test_crash_before_trigger_row_rule_fully_absent(self, seed):
+        server = crash_create_t2(
+            seeded_server(), seed, match="insert SysEcaTrigger")
+        # Torn state: no rows were written, but the action procedure was
+        # already created (it precedes both inserts).
+        assert syscount(server, "SysEcaTrigger") == 1
+        db = server.catalog.get_database("sentineldb")
+        assert db.get_procedure("sharma", "t2__Proc") is not None
+
+        restarted = EcaAgent(server)       # recovery repairs on attach
+        assert restarted.recover() == {    # and a second pass finds nothing
+            "primitive": 0, "composite": 0, "trigger": 0, "repaired": 0}
+        self._assert_t2_fully_absent(restarted)
+        restarted.close()
+
+    def test_crash_between_inserts_rule_fully_absent(self, seed):
+        server = crash_create_t2(
+            seeded_server(), seed, match="insert SysEcaAction")
+        # Torn state: the SysEcaTrigger row exists with no action row.
+        assert syscount(server, "SysEcaTrigger") == 2
+        assert syscount(server, "SysEcaAction") == 1
+
+        restarted = EcaAgent(server)
+        self._assert_t2_fully_absent(restarted)
+        restarted.close()
+
+    def test_crash_after_create_completed_rule_fully_present(self, seed):
+        server = seeded_server()
+        plan = FaultPlan(seed=seed)
+        plan.inject(POINT_GATEWAY_PROCESS, kind="crash", after=1)
+        agent = EcaAgent(server, faults=plan)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        conn.execute("create trigger t2 event addStk as print 'two'")
+        with pytest.raises(SimulatedCrash):
+            conn.execute("insert stock values ('A', 1, 1)")
+
+        restarted = EcaAgent(server)
+        assert restarted.recover()["repaired"] == 0
+        assert T2 in restarted.eca_triggers
+        assert syscount(server, "SysEcaTrigger") == 2
+        assert syscount(server, "SysEcaAction") == 2
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('B', 2, 2)")
+        assert "one" in result.messages and "two" in result.messages
+        restarted.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_mid_rule_firing_recovers_intact(seed):
+    """An agent dying inside a rule action loses nothing persistent."""
+    server = composite_server()
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_ACTION_RUN, kind="crash", match="t_and")
+    agent = EcaAgent(server, faults=plan)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute("delete stock")                    # delStk
+    with pytest.raises(SimulatedCrash):
+        conn.execute("insert stock values ('A', 1, 1)")   # completes t_and
+
+    restarted = EcaAgent(server)
+    assert restarted.recover()["repaired"] == 0
+    assert len(restarted.eca_triggers) == 3
+    assert syscount(server, "SysEcaTrigger") == 3
+    assert syscount(server, "SysEcaAction") == 3
+    conn = restarted.connect(user="sharma", database="sentineldb")
+    conn.execute("insert stock values ('B', 2, 2)")
+    conn.execute("delete stock")
+    result = conn.execute("insert stock values ('C', 3, 3)")
+    assert "and!" in result.messages
+    restarted.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transient_persistence_fault_retried_to_success(seed):
+    """Two injected write failures, three allowed attempts: the command
+    succeeds and the whole episode is visible in the metrics."""
+    server = SqlServer(default_database="sentineldb")
+    metrics = MetricsRegistry(enabled=True)
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_PERSISTENCE_EXECUTE, kind="raise", times=2,
+                match="insert SysEcaTrigger")
+    agent = EcaAgent(server, faults=plan, metrics=metrics)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    result = conn.execute(
+        "create trigger t1 on stock for insert event addStk as print 'one'")
+    assert any("created" in message for message in result.messages)
+
+    injected = metrics.get("faults_injected")
+    assert injected.labels(POINT_PERSISTENCE_EXECUTE, "raise").value() == 2
+    assert metrics.get("retries_attempted").labels("persistence").value() == 2
+    assert metrics.get("retry_exhausted") is None  # never exhausted
+
+    result = conn.execute("insert stock values ('A', 1, 1)")
+    assert "one" in result.messages
+    assert syscount(server, "SysEcaTrigger") == 1
+    agent.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_retry_exhaustion_degrades_and_compensates(seed):
+    """A persistent write failure exhausts the retry budget: the client
+    sees one failed command, the agent compensates and keeps serving."""
+    server = SqlServer(default_database="sentineldb")
+    metrics = MetricsRegistry(enabled=True)
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_PERSISTENCE_EXECUTE, kind="raise", times=0,
+                match="insert SysEcaTrigger")
+    agent = EcaAgent(server, faults=plan, metrics=metrics)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    result = conn.execute(
+        "create trigger t1 on stock for insert event addStk as print 'one'")
+    assert any("command not applied" in m for m in result.messages)
+    assert metrics.get("retry_exhausted").labels("persistence").value() == 1
+
+    # Compensation: the half-created rule and its event are fully undone.
+    assert agent.eca_triggers == {}
+    assert agent.primitive_events == {}
+    assert syscount(server, "SysPrimitiveEvent") == 0
+    assert syscount(server, "SysEcaTrigger") == 0
+    db = server.catalog.get_database("sentineldb")
+    assert db.get_procedure("sharma", "t1__Proc") is None
+
+    # The agent survived; with the plan disarmed the same command works.
+    conn.execute("set agent faults off")
+    result = conn.execute(
+        "create trigger t1 on stock for insert event addStk as print 'one'")
+    assert any("created" in message for message in result.messages)
+    result = conn.execute("insert stock values ('A', 1, 1)")
+    assert "one" in result.messages
+    agent.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dropped_notification_loses_one_firing_only(seed):
+    """A dropped payload suppresses exactly one detection; the next
+    occurrence flows normally and the rule base is untouched."""
+    server = composite_server()
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_NOTIFIER_DECODE, kind="drop", times=1)
+    agent = EcaAgent(server, faults=plan)
+    conn = agent.connect(user="sharma", database="sentineldb")
+
+    conn.execute("delete stock")                        # delStk dropped
+    result = conn.execute("insert stock values ('A', 1, 1)")
+    assert "and!" not in result.messages                # pair incomplete
+    assert agent.notifier.dropped == 1
+
+    conn.execute("delete stock")                        # delivered now
+    result = conn.execute("insert stock values ('B', 2, 2)")
+    assert "and!" in result.messages
+    assert len(agent.eca_triggers) == 3
+    agent.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gateway_fault_degrades_single_command(seed):
+    """A fault at the gateway costs the client one command, not the
+    session: the follow-up retry of the same statement succeeds."""
+    server = SqlServer(default_database="sentineldb")
+    plan = FaultPlan(seed=seed)
+    plan.inject(POINT_GATEWAY_PROCESS, kind="raise", times=1)
+    agent = EcaAgent(server, faults=plan)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    result = conn.execute(STOCK_DDL)
+    assert any("command not applied" in m for m in result.messages)
+    result = conn.execute(STOCK_DDL)                    # client retries
+    assert not any("command not applied" in m for m in result.messages)
+    agent.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_probability_storm_is_deterministic_and_consistent(seed):
+    """A seeded random drop storm replays identically and never corrupts
+    the rule base (paper claim: reliability via persisted rules)."""
+
+    def run() -> tuple[int, int]:
+        server = composite_server()
+        plan = FaultPlan(seed=seed)
+        plan.inject(POINT_NOTIFIER_DECODE, kind="drop",
+                    probability=0.4, times=0)
+        agent = EcaAgent(server, faults=plan)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        fired = 0
+        for i in range(12):
+            conn.execute("delete stock")
+            result = conn.execute(f"insert stock values ('S{i}', 1, 1)")
+            fired += "and!" in result.messages
+        dropped = agent.notifier.dropped
+        assert len(agent.eca_triggers) == 3
+        assert syscount(server, "SysEcaTrigger") == 3
+        agent.close()
+        return fired, dropped
+
+    first, second = run(), run()
+    assert first == second
+    assert first[1] > 0           # the storm actually dropped payloads
+    assert first[0] < 12          # and suppressed at least one firing
+
+
+def test_admin_surface_reports_fired_faults():
+    """``show agent faults`` exposes the armed plan and its counters."""
+    server = SqlServer(default_database="sentineldb")
+    plan = FaultPlan(seed=7)
+    plan.inject(POINT_GATEWAY_PROCESS, kind="raise", times=1)
+    agent = EcaAgent(server, faults=plan)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)                             # consumed the fault
+    result = conn.execute("show agent faults")
+    specs = result.result_sets[0].rows
+    assert any("gateway.process" in str(row) for row in specs)
+    (fired,) = [row for row in specs if "gateway.process" in str(row)]
+    assert fired[-1] == 1                               # fired column
+    agent.close()

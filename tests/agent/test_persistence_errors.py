@@ -1,0 +1,76 @@
+"""Regression: persistence failures name the statement that failed.
+
+Historically ``PersistentManager.execute`` let the engine's error bubble
+up bare, so a failure inside the multi-statement ``persist_trigger``
+gave no hint *which* insert died.  Now every real failure is wrapped in
+:class:`~repro.agent.errors.PersistenceError` carrying the statement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent import EcaAgent, PersistenceError
+from repro.agent.persistence import PersistentManager
+from repro.sqlengine import SqlServer
+
+from .test_chaos_faults import STOCK_DDL
+
+
+@pytest.fixture
+def stack():
+    server = SqlServer(default_database="sentineldb")
+    agent = EcaAgent(server)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    yield server, agent, conn
+    agent.close()
+
+
+class TestPersistenceError:
+    def test_failed_statement_is_named(self, stack):
+        server, _agent, _conn = stack
+        pm = PersistentManager(server)
+        with pytest.raises(PersistenceError) as excinfo:
+            pm.execute("sentineldb", "insert NoSuchTable values (1)")
+        error = excinfo.value
+        assert "insert NoSuchTable values (1)" in str(error)
+        assert error.statement == "insert NoSuchTable values (1)"
+        assert error.cause is error.__cause__
+        assert error.cause is not None
+
+    def test_long_statements_truncated_in_message_only(self, stack):
+        server, _agent, _conn = stack
+        pm = PersistentManager(server)
+        sql = ("insert NoSuchTable values (" + ", ".join(
+            f"'col{i}'" for i in range(40)) + ")")
+        with pytest.raises(PersistenceError) as excinfo:
+            pm.execute("sentineldb", sql)
+        assert "..." in str(excinfo.value)
+        assert len(str(excinfo.value)) < len(sql) + 120
+        assert excinfo.value.statement == sql  # untruncated for tooling
+
+    def test_persist_trigger_failure_names_the_insert(self, stack):
+        server, agent, conn = stack
+        # Sabotage exactly one of persist_trigger's two targets: swap in
+        # a SysEcaAction table whose arity no insert can satisfy, so the
+        # trigger-row insert succeeds and the action-row insert cannot.
+        pm = agent.persistent_manager
+        pm.ensure_system_tables("sentineldb")
+        db = server.catalog.get_database("sentineldb")
+        db.drop_table("dbo", "SysEcaAction")
+        pm.execute("sentineldb",
+                   "create table SysEcaAction (onlyColumn int null)")
+        with pytest.raises(PersistenceError) as excinfo:
+            conn.execute(
+                "create trigger t1 on stock for insert event addStk as "
+                "print 'one'")
+        assert "insert SysEcaAction" in str(excinfo.value)
+        assert "insert SysEcaTrigger" not in str(excinfo.value)
+
+    def test_whitespace_collapsed_in_message(self, stack):
+        server, _agent, _conn = stack
+        pm = PersistentManager(server)
+        with pytest.raises(PersistenceError) as excinfo:
+            pm.execute("sentineldb", "insert NoSuchTable\n   values\t(1)")
+        assert "insert NoSuchTable values (1)" in str(excinfo.value)

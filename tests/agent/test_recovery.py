@@ -31,7 +31,8 @@ class TestRecovery:
     def test_counts(self, populated):
         restarted = EcaAgent(populated)
         counts = restarted.recover()  # idempotent second call
-        assert counts == {"primitive": 0, "composite": 0, "trigger": 0}
+        assert counts == {"primitive": 0, "composite": 0, "trigger": 0,
+                          "repaired": 0}
         assert len(restarted.primitive_events) == 2
         assert len(restarted.composite_events) == 1
         assert len(restarted.eca_triggers) == 3

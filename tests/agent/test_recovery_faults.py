@@ -1,0 +1,119 @@
+"""Recovery hardening: empty rule bases, dropped rules, idempotence.
+
+Companions to tests/agent/test_chaos_faults.py: these cover the
+*boring* recovery paths that a fault-hardened agent must still get
+right — recovering nothing, recovering after a clean drop, recovering
+twice, and completing a drop that crashed between its two deletes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.faults import (
+    FaultPlan,
+    POINT_PERSISTENCE_EXECUTE,
+    SimulatedCrash,
+)
+from repro.sqlengine import SqlServer
+
+from .test_chaos_faults import STOCK_DDL, seeded_server, syscount
+
+
+class TestRecoveryWithZeroRules:
+    def test_fresh_store_recovers_nothing(self):
+        server = SqlServer(default_database="sentineldb")
+        first = EcaAgent(server)          # creates the system tables
+        first.close()
+        restarted = EcaAgent(server)
+        counts = restarted.recover()
+        assert counts == {"primitive": 0, "composite": 0, "trigger": 0,
+                          "repaired": 0}
+        assert restarted.eca_triggers == {}
+        assert restarted.primitive_events == {}
+        assert restarted.led.rules == {}
+        restarted.close()
+
+    def test_plain_tables_without_rules_survive(self):
+        server = SqlServer(default_database="sentineldb")
+        agent = EcaAgent(server)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        conn.execute(STOCK_DDL)
+        agent.close()
+        restarted = EcaAgent(server)
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('A', 1, 1)")
+        assert result.rowcount == 1
+        assert result.messages == []      # no phantom rules fired
+        restarted.close()
+
+
+class TestRecoveryAfterDrop:
+    def test_cleanly_dropped_trigger_stays_dropped(self):
+        server = seeded_server()
+        agent = EcaAgent(server)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        conn.execute("drop trigger t1")
+        agent.close()
+
+        restarted = EcaAgent(server)
+        assert restarted.recover()["repaired"] == 0
+        assert restarted.eca_triggers == {}
+        assert syscount(server, "SysEcaTrigger") == 0
+        assert syscount(server, "SysEcaAction") == 0
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('A', 1, 1)")
+        assert "one" not in result.messages
+        restarted.close()
+
+    def test_drop_crashed_between_deletes_is_completed(self):
+        server = seeded_server()
+        plan = FaultPlan(seed=7)
+        plan.inject(POINT_PERSISTENCE_EXECUTE, kind="crash",
+                    match="delete SysEcaAction")
+        agent = EcaAgent(server, faults=plan)
+        conn = agent.connect(user="sharma", database="sentineldb")
+        with pytest.raises(SimulatedCrash):
+            conn.execute("drop trigger t1")
+        # Torn state: the trigger row is gone, its action row is not.
+        assert syscount(server, "SysEcaTrigger") == 0
+        assert syscount(server, "SysEcaAction") == 1
+
+        restarted = EcaAgent(server)      # repair completes the drop
+        assert restarted.eca_triggers == {}
+        assert syscount(server, "SysEcaAction") == 0
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('A', 1, 1)")
+        assert "one" not in result.messages
+        restarted.close()
+
+
+class TestDoubleRecovery:
+    def test_recover_twice_is_idempotent(self):
+        server = seeded_server()
+        restarted = EcaAgent(server)
+        before_rules = dict(restarted.led.rules)
+        for _ in range(2):
+            counts = restarted.recover()
+            assert counts == {"primitive": 0, "composite": 0,
+                              "trigger": 0, "repaired": 0}
+        assert restarted.led.rules.keys() == before_rules.keys()
+        assert len(restarted.eca_triggers) == 1
+        conn = restarted.connect(user="sharma", database="sentineldb")
+        result = conn.execute("insert stock values ('A', 1, 1)")
+        # the rule fired exactly once, not once per recovery pass
+        assert result.messages.count("one") == 1
+        restarted.close()
+
+    def test_chain_of_restarts_preserves_rule_base(self):
+        server = seeded_server()
+        for generation in range(3):
+            agent = EcaAgent(server)
+            conn = agent.connect(user="sharma", database="sentineldb")
+            result = conn.execute(
+                f"insert stock values ('G{generation}', 1, 1)")
+            assert result.messages.count("one") == 1
+            agent.close()
+        assert syscount(server, "SysEcaTrigger") == 1
+        assert syscount(server, "SysEcaAction") == 1

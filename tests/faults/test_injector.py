@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.faults import (
+    Directive,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+    TransientFaultError,
+)
+
+
+class TestFaultSpec:
+    def test_kind_coerced_from_string(self):
+        spec = FaultSpec(point="p", kind="crash")
+        assert spec.kind is FaultKind.CRASH
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="p", probability=1.5)
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="p", after=-1)
+
+
+class TestAfterNMode:
+    def test_fires_on_exact_call_index(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise", after=2)
+        injector = FaultInjector(plan)
+        injector.fire("p")
+        injector.fire("p")
+        with pytest.raises(TransientFaultError):
+            injector.fire("p")
+        # times=1 default: exhausted afterwards
+        injector.fire("p")
+        assert injector.injected_count == 1
+
+    def test_times_bounds_total_firings(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise", after=0, times=2)
+        injector = FaultInjector(plan)
+        with pytest.raises(TransientFaultError):
+            injector.fire("p")
+        with pytest.raises(TransientFaultError):
+            injector.fire("p")
+        # after-N mode fires on consecutive calls until times runs out.
+        injector.fire("p")
+        assert injector.injected_count == 2
+
+    def test_unlimited_probability_faults(self):
+        plan = FaultPlan(seed=3)
+        plan.inject("p", kind="drop", probability=1.0, times=0)
+        injector = FaultInjector(plan)
+        for _ in range(5):
+            assert injector.fire("p") is Directive.DROP
+        assert injector.injected_count == 5
+
+
+class TestMatchFilter:
+    def test_match_restricts_to_substring(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise", match="SysEcaAction")
+        injector = FaultInjector(plan)
+        injector.fire("p", "insert SysEcaTrigger values (...)")
+        with pytest.raises(TransientFaultError):
+            injector.fire("p", "insert sysecaaction values (...)")
+
+    def test_after_counts_matching_calls_only(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise", match="target", after=1)
+        injector = FaultInjector(plan)
+        injector.fire("p", "other")
+        injector.fire("p", "target one")   # matching call 0
+        with pytest.raises(TransientFaultError):
+            injector.fire("p", "target two")  # matching call 1
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        plan = FaultPlan(seed=seed)
+        plan.inject("p", kind="drop", probability=0.5, times=0)
+        injector = FaultInjector(plan)
+        return [injector.fire("p") is Directive.DROP for _ in range(32)]
+
+    def test_same_seed_same_sequence(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_different_sequence(self):
+        assert self._run(7) != self._run(8)
+
+
+class TestKinds:
+    def test_crash_is_base_exception(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="crash")
+        injector = FaultInjector(plan)
+        with pytest.raises(SimulatedCrash):
+            injector.fire("p")
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_latency_uses_sleeper(self):
+        slept = []
+        plan = FaultPlan()
+        plan.inject("p", kind="latency", latency=0.25)
+        injector = FaultInjector(plan, sleeper=slept.append)
+        assert injector.fire("p") is Directive.CONTINUE
+        assert slept == [0.25]
+
+    def test_raise_carries_point(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise")
+        injector = FaultInjector(plan)
+        with pytest.raises(TransientFaultError) as excinfo:
+            injector.fire("p")
+        assert excinfo.value.point == "p"
+
+
+class TestArming:
+    def test_disarm_and_rearm(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="raise")
+        injector = FaultInjector(plan)
+        injector.disarm()
+        assert injector.fire("p") is Directive.CONTINUE
+        injector.arm()
+        with pytest.raises(TransientFaultError):
+            injector.fire("p")
+
+    def test_empty_plan_never_enabled(self):
+        injector = FaultInjector()
+        assert not injector.enabled
+        assert injector.fire("anything") is Directive.CONTINUE
+
+
+class TestMetricsAndDescribe:
+    def test_faults_injected_counter(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=True)
+        plan = FaultPlan()
+        plan.inject("p", kind="drop")
+        injector = FaultInjector(plan, metrics=metrics)
+        injector.fire("p")
+        family = metrics.get("faults_injected")
+        assert family.labels("p", "drop").value() == 1
+
+    def test_describe_reports_counts(self):
+        plan = FaultPlan()
+        plan.inject("p", kind="drop", times=1)
+        injector = FaultInjector(plan)
+        injector.fire("p")
+        injector.fire("p")
+        (row,) = injector.describe()
+        assert row["point"] == "p"
+        assert row["fired"] == 1
+        assert row["seen"] >= 1

@@ -1,0 +1,109 @@
+"""Unit tests for the retry policy (bounded retries, backoff, budget)."""
+
+import pytest
+
+from repro.faults import (
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientFaultError,
+)
+from repro.obs import MetricsRegistry
+
+
+class Flaky:
+    """Callable that fails transiently N times, then succeeds."""
+
+    def __init__(self, failures, exc=TransientFaultError):
+        self.failures = failures
+        self.calls = 0
+        self.exc = exc
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}")
+        return "ok"
+
+
+class TestRetryLoop:
+    def test_success_after_transient_failures(self):
+        flaky = Flaky(2)
+        assert RetryPolicy(max_attempts=3).call(flaky) == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_wraps_last_error(self):
+        flaky = Flaky(5)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            RetryPolicy(max_attempts=3).call(flaky, operation="persistence")
+        assert excinfo.value.attempts == 3
+        assert "persistence" in str(excinfo.value)
+        assert isinstance(excinfo.value.last_error, TransientFaultError)
+        assert excinfo.value.__cause__ is excinfo.value.last_error
+
+    def test_non_transient_errors_propagate_unchanged(self):
+        def broken():
+            raise ValueError("real bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(broken)
+
+    def test_retry_if_predicate_restricts(self):
+        flaky = Flaky(1)
+        with pytest.raises(TransientFaultError):
+            RetryPolicy(max_attempts=3).call(
+                flaky, retry_if=lambda exc: False)
+        assert flaky.calls == 1
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestBackoff:
+    def test_exponential_backoff_sequence(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=4, backoff=0.1, multiplier=2.0,
+                             sleeper=slept.append)
+        flaky = Flaky(3)
+        assert policy.call(flaky) == "ok"
+        assert slept == [0.1, 0.2, 0.4]
+
+    def test_zero_backoff_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff=0.0,
+                             sleeper=slept.append)
+        policy.call(Flaky(2))
+        assert slept == []
+
+
+class TestTimeBudget:
+    def test_budget_exhaustion_stops_retrying(self):
+        fake_now = [0.0]
+
+        def clock():
+            fake_now[0] += 10.0
+            return fake_now[0]
+
+        policy = RetryPolicy(max_attempts=100, timeout=5.0, clock=clock)
+        flaky = Flaky(50)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(flaky)
+        assert excinfo.value.attempts == 1  # budget gone before retry 1
+
+
+class TestRetryMetrics:
+    def test_retries_attempted_and_exhausted_counters(self):
+        metrics = MetricsRegistry(enabled=True)
+        policy = RetryPolicy(max_attempts=3)
+        policy.call(Flaky(2), operation="persistence", metrics=metrics)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(Flaky(9), operation="persistence", metrics=metrics)
+        attempted = metrics.get("retries_attempted")
+        exhausted = metrics.get("retry_exhausted")
+        assert attempted.labels("persistence").value() == 2 + 2
+        assert exhausted.labels("persistence").value() == 1
+
+    def test_no_metric_families_registered_on_success(self):
+        metrics = MetricsRegistry(enabled=True)
+        RetryPolicy().call(lambda: "ok", metrics=metrics)
+        assert metrics.get("retries_attempted") is None

@@ -1,0 +1,49 @@
+"""The docstring CI gate passes on the declared public API surface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docstrings.py"
+
+
+def run_checker(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def test_public_api_surface_is_documented():
+    result = run_checker()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_checker_flags_missing_docstrings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Module docstring present."""\n'
+        "class Public:\n"
+        "    def method(self):\n"
+        "        return 1\n")
+    result = run_checker(str(bad))
+    assert result.returncode == 1
+    assert "class Public docstring missing" in result.stdout
+    assert "def Public.method docstring missing" in result.stdout
+
+
+def test_checker_ignores_private_and_nested(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        '"""Module docstring present."""\n'
+        "def _helper():\n"
+        "    return 1\n"
+        "def public():\n"
+        '    """Documented; the closure below is implementation."""\n'
+        "    def inner():\n"
+        "        return 2\n"
+        "    return inner\n")
+    result = run_checker(str(ok))
+    assert result.returncode == 0, result.stdout
