@@ -4,9 +4,14 @@ Breaks the active-statement cost into its layers: engine execution,
 gateway routing, generated-trigger bookkeeping, notification transport,
 LED detection, and action execution — the quantified version of the
 paper's "communication ... based on the socket ... efficiency will be
-affected".
+affected".  A fifth series re-runs the composite stack with the full
+observability plane on (stats + trace + provenance journal) and exports
+its telemetry snapshot to ``BENCH_telemetry.jsonl`` so CI archives one
+real artifact per run; ``tools/check_overhead.py`` guards the ratio
+between series 4 and 5.
 """
 
+import os
 import statistics
 
 from _helpers import (
@@ -21,12 +26,29 @@ from _helpers import (
     print_stage_breakdown,
     write_bench_json,
 )
+from repro.obs import ProvenanceJournal, TelemetryExporter
 
 INSERT = "insert stock values ('X', 1.0, 1)"
+
+TELEMETRY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_telemetry.jsonl")
 
 
 def _samples(conn, sql=INSERT, n=200) -> list[float]:
     return measure_ms(conn.execute, n, sql)
+
+
+def _observed_stack():
+    """The Example 2 stack with every observability sink enabled and a
+    telemetry exporter attached."""
+    server, agent, conn = example_2_stack(
+        journal=ProvenanceJournal(enabled=True),
+        exporter=TelemetryExporter(TELEMETRY_PATH, max_bytes=0),
+    )
+    agent.metrics.enabled = True
+    agent.trace.enabled = True
+    return server, agent, conn
 
 
 def test_layer_decomposition_series(benchmark, stage_breakdown):
@@ -34,7 +56,9 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
     _s1, _a1, gateway_only = agent_stack()
     _s2, a2, with_event = example_1_stack()
     _s3, _a3, with_composite = example_2_stack()
+    _s4, a4, with_obs = _observed_stack()
     with_composite.execute("delete stock")  # keep an AND window open
+    with_obs.execute("delete stock")
 
     if stage_breakdown:
         a2.metrics.enabled = True
@@ -44,6 +68,7 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
         "2 + gateway routing": _samples(gateway_only),
         "3 + event machinery (Example 1)": _samples(with_event),
         "4 + composite detection (Example 2)": _samples(with_composite),
+        "5 + observability on (stats+trace+provenance)": _samples(with_obs),
     }
     base = statistics.mean(series["1 engine insert (direct)"])
     routed = statistics.mean(series["2 + gateway routing"])
@@ -55,11 +80,14 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
     print_series("E-PERF1 mediator overhead decomposition",
                  rows, LATENCY_HEADERS + ("vs direct",))
     write_bench_json("overhead", series)
+    telemetry_lines = a4.export_telemetry(label="bench_overhead")
+    print(f"\n[telemetry] {telemetry_lines} lines -> {TELEMETRY_PATH}")
     if stage_breakdown:
         print_stage_breakdown("E-PERF1 (Example 1 stack)", a2.metrics)
     # Shape: each layer adds cost; routing alone is nearly free.
     assert routed / base < 1.5
     assert evented > routed
+    assert telemetry_lines > 0
     benchmark(lambda: None)
 
 

@@ -154,6 +154,11 @@ class ActionHandler:
                 self.action_log.append(record)
                 if self.agent.metrics.enabled:
                     self._m_actions.labels("error").inc()
+                journal = self.agent.journal
+                if journal is not None and journal.enabled:
+                    journal.record_action(
+                        trigger.internal, trigger.context.value,
+                        occurrence, error=exc)
                 if not self.agent.led.swallow_action_errors:
                     raise
                 return record
@@ -182,7 +187,9 @@ class ActionHandler:
         session = self._session_for(trigger.db_name, trigger.user_name)
         metrics = self.agent.metrics
         timed = metrics.enabled
-        if timed:
+        journal = self.agent.journal
+        journaled = journal is not None and journal.enabled
+        if timed or journaled:
             start = time.perf_counter()
         trace = self.agent.trace
         span = (trace.span(FIG4_ACTION_RUN, trigger.internal)
@@ -202,12 +209,20 @@ class ActionHandler:
             self.action_log.append(record)
             if timed:
                 self._m_actions.labels("error").inc()
+            if journaled:
+                journal.record_action(
+                    trigger.internal, trigger.context.value, occurrence,
+                    error=exc, duration=time.perf_counter() - start)
             if not self.agent.led.swallow_action_errors:
                 raise
             return record
         if timed:
             self._m_actions.labels("ok").inc()
             self._m_action_seconds.observe(time.perf_counter() - start)
+        if journaled:
+            journal.record_action(
+                trigger.internal, trigger.context.value, occurrence,
+                duration=time.perf_counter() - start)
         return record
 
     def _finish(self, record: ActionRecord, result) -> None:

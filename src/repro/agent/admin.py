@@ -1,24 +1,38 @@
 """Operator introspection commands — the agent's ``sp_monitor`` analogue.
 
-The Language Filter routes ``show/reset/set agent ...`` commands here;
-answers come back as ordinary result sets and messages, so *any* client
-that can issue SQL can inspect the agent — without touching the DBMS
-engine (the paper's core transparency constraint).
+The Language Filter routes ``show/reset/set/export agent ...`` and
+``explain trigger ...`` commands here; answers come back as ordinary
+result sets and messages, so *any* client that can issue SQL can inspect
+the agent — without touching the DBMS engine (the paper's core
+transparency constraint).
 
 Commands:
 
 - ``show agent stats`` — two result sets: counters/gauges, then latency
   histogram summaries (count, mean, p50, p95, p99, max in milliseconds);
 - ``show agent trace [N]`` — the most recent N span records (default 50);
+- ``show agent events [N]`` — the most recent N provenance records as
+  lineage trees (default 20);
+- ``show agent graph`` — the full LED event graph: every node, its
+  operator kind, children, active contexts, rules, and fire counts;
 - ``show agent status`` — observability flags and buffer sizes;
 - ``show agent faults`` — armed fault-injection specs, fire counts, and
   the active retry policy (the robustness layer's knobs);
-- ``reset agent stats`` / ``reset agent trace`` — zero the registry /
-  clear the span buffer;
-- ``set agent stats on|off`` / ``set agent trace on|off`` — toggle the
-  metrics registry / span tracing at runtime;
+- ``explain trigger <name>`` — the trigger's rule attributes plus its
+  event subgraph with per-node stats (fires, consumed occurrences, p95
+  propagation latency) from the provenance journal;
+- ``reset agent stats|trace|provenance`` — zero the registry / clear the
+  span buffer / clear the journal;
+- ``set agent stats|trace|provenance on|off`` — toggle each sink at
+  runtime;
 - ``set agent faults on|off`` — re-arm / disarm the fault injector
-  without forgetting its plan.
+  without forgetting its plan;
+- ``export agent telemetry`` — snapshot metrics + spans + provenance
+  into the attached :class:`~repro.obs.TelemetryExporter`'s JSONL file.
+
+Numeric ``[N]`` arguments are validated: a non-numeric value yields a
+one-row error result set (not a raised exception), and values are
+clamped to the underlying buffer's capacity.
 """
 
 from __future__ import annotations
@@ -29,36 +43,68 @@ from repro.obs.metrics import HistogramSummary
 from repro.sqlengine.results import BatchResult, ResultSet
 
 from .errors import AgentError
+from .naming import expand_name
 
 _USAGE = (
     "unknown agent command; expected one of: "
-    "show agent stats | show agent trace [N] | show agent status | "
-    "show agent faults | "
-    "reset agent stats | reset agent trace | "
+    "show agent stats | show agent trace [N] | show agent events [N] | "
+    "show agent graph | show agent status | show agent faults | "
+    "explain trigger <name> | "
+    "reset agent stats | reset agent trace | reset agent provenance | "
     "set agent stats on|off | set agent trace on|off | "
-    "set agent faults on|off"
+    "set agent provenance on|off | set agent faults on|off | "
+    "export agent telemetry"
 )
 
 _COMMAND = re.compile(
     r"^\s*(?:"
     r"(?P<show_stats>show\s+agent\s+stats)"
-    r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>\d+))?)"
+    r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>[^\s;]+))?)"
+    r"|(?P<show_events>show\s+agent\s+events(?:\s+(?P<events_n>[^\s;]+))?)"
+    r"|(?P<show_graph>show\s+agent\s+graph)"
     r"|(?P<show_status>show\s+agent\s+status)"
     r"|(?P<show_faults>show\s+agent\s+faults)"
+    r"|explain\s+trigger\s+(?P<explain_name>[A-Za-z_#][\w.$#]*)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
-    r"|set\s+agent\s+(?P<set_target>stats|trace|faults)\s+(?P<set_value>on|off)"
+    r"|(?P<reset_prov>reset\s+agent\s+provenance)"
+    r"|set\s+agent\s+(?P<set_target>stats|trace|provenance|faults)"
+    r"\s+(?P<set_value>on|off)"
+    r"|(?P<export>export\s+agent\s+telemetry)"
     r")\s*;?\s*$",
     re.IGNORECASE,
 )
 
 #: Default row count for ``show agent trace``.
 DEFAULT_TRACE_ROWS = 50
+#: Default row count for ``show agent events``.
+DEFAULT_EVENT_ROWS = 20
+
+#: Operator-node class -> the Snoop operator it implements.
+_NODE_KINDS = {
+    "PrimitiveEventNode": "primitive",
+    "OrNode": "OR",
+    "AndNode": "AND",
+    "SeqNode": "SEQ",
+    "NotNode": "NOT",
+    "AperiodicNode": "A",
+    "AperiodicStarNode": "A*",
+    "PeriodicNode": "P",
+    "PeriodicStarNode": "P*",
+    "PlusNode": "PLUS",
+}
+
+
+def _error_result(message: str) -> BatchResult:
+    """A one-row error result set (argument problems are answered, not
+    raised: the client's batch keeps working)."""
+    return BatchResult(result_sets=[
+        ResultSet(columns=["error"], rows=[[message]])])
 
 
 class AgentAdmin:
     """Executes agent introspection commands against the agent's own
-    metrics registry and pipeline trace."""
+    metrics registry, pipeline trace, and provenance journal."""
 
     def __init__(self, agent):
         self.agent = agent
@@ -73,19 +119,51 @@ class AgentAdmin:
         if match.group("show_stats"):
             return self._show_stats()
         if match.group("show_trace"):
-            count = int(match.group("trace_n") or DEFAULT_TRACE_ROWS)
-            return self._show_trace(count)
+            count, error = self._parse_count(
+                match.group("trace_n"), DEFAULT_TRACE_ROWS,
+                self.agent.trace.max_records, "show agent trace")
+            return error if error is not None else self._show_trace(count)
+        if match.group("show_events"):
+            count, error = self._parse_count(
+                match.group("events_n"), DEFAULT_EVENT_ROWS,
+                self.agent.journal.capacity, "show agent events")
+            return error if error is not None else self._show_events(count)
+        if match.group("show_graph"):
+            return self._show_graph()
         if match.group("show_status"):
             return self._show_status()
         if match.group("show_faults"):
             return self._show_faults()
+        if match.group("explain_name"):
+            return self._explain_trigger(match.group("explain_name"), session)
         if match.group("reset_stats"):
             return self._reset_stats()
         if match.group("reset_trace"):
             return self._reset_trace()
+        if match.group("reset_prov"):
+            return self._reset_provenance()
+        if match.group("export"):
+            return self._export_telemetry()
         target = match.group("set_target").lower()
         value = match.group("set_value").lower() == "on"
         return self._set_flag(target, value)
+
+    @staticmethod
+    def _parse_count(text: str | None, default: int, capacity: int,
+                     command: str) -> tuple[int, BatchResult | None]:
+        """Validate an optional ``[N]`` argument: non-numeric input is
+        answered with a one-row error result set; values are clamped to
+        ``[1, capacity]``."""
+        if text is None:
+            return default, None
+        try:
+            count = int(text)
+        except ValueError:
+            return 0, _error_result(
+                f"'{command}' expects a row count, got {text!r}")
+        if count < 1:
+            count = 1
+        return min(count, capacity), None
 
     # ------------------------------------------------------------------
     # show
@@ -138,17 +216,83 @@ class AgentAdmin:
                 "Agent tracing is off; enable with 'set agent trace on'.")
         return result
 
+    def _show_events(self, count: int) -> BatchResult:
+        """The most recent provenance records, indented into lineage
+        trees (a record nests under its first parent when that parent is
+        within the displayed window)."""
+        journal = self.agent.journal
+        window = journal.tail(count)
+        depths: dict[int, int] = {}
+        rows = ResultSet(columns=[
+            "seq", "kind", "record", "context", "detail", "parents",
+        ])
+        for record in window:
+            parent_depth = (
+                depths.get(record.parents[0]) if record.parents else None)
+            depth = 0 if parent_depth is None else parent_depth + 1
+            depths[record.seq] = depth
+            rows.rows.append([
+                record.seq,
+                record.kind,
+                "  " * depth + record.name,
+                record.context,
+                record.detail,
+                ",".join(str(parent) for parent in record.parents),
+            ])
+        result = BatchResult(result_sets=[rows])
+        if not journal.enabled:
+            result.messages.append(
+                "Agent provenance is off; enable with "
+                "'set agent provenance on'.")
+        return result
+
+    def _show_graph(self) -> BatchResult:
+        """Dump the full LED event graph: one row per (node, context)."""
+        journal = self.agent.journal
+        rows = ResultSet(columns=[
+            "event", "kind", "children", "context", "fires", "consumed",
+            "rules",
+        ])
+        led = self.agent.led
+        for name in sorted(led.events):
+            node = led.events[name]
+            kind = _NODE_KINDS.get(type(node).__name__, type(node).__name__)
+            children = ", ".join(
+                f"{role}={child.name}" for role, child in node.role_children())
+            rules = ", ".join(rule.name for rule in led.rules_for(node.name))
+            for context in _node_contexts(node):
+                summary = journal.node_summary(node.name, context)
+                rows.rows.append([
+                    node.name, kind, children, context,
+                    summary["fires"] if summary else 0,
+                    summary["consumed"] if summary else 0,
+                    rules,
+                ])
+        result = BatchResult(result_sets=[rows])
+        if not journal.enabled:
+            result.messages.append(
+                "Agent provenance is off; enable with "
+                "'set agent provenance on'.")
+        return result
+
     def _show_status(self) -> BatchResult:
         metrics = self.agent.metrics
         trace = self.agent.trace
+        journal = self.agent.journal
+        exporter = self.agent.exporter
         status = ResultSet(
             columns=["setting", "value"],
             rows=[
                 ["stats", "on" if metrics.enabled else "off"],
                 ["trace", "on" if trace.enabled else "off"],
+                ["provenance", "on" if journal.enabled else "off"],
                 ["metric_families", len(metrics.families())],
                 ["trace_records", len(trace.records)],
                 ["trace_capacity", trace.max_records],
+                ["journal_records", len(journal)],
+                ["journal_capacity", journal.capacity],
+                ["exporter",
+                 "none" if exporter is None else exporter.path],
             ],
         )
         return BatchResult(result_sets=[status])
@@ -184,7 +328,103 @@ class AgentAdmin:
         return result
 
     # ------------------------------------------------------------------
-    # reset / set
+    # explain trigger
+
+    def _explain_trigger(self, name: str, session) -> BatchResult:
+        trigger = self._find_trigger(name, session)
+        if trigger is None:
+            return _error_result(f"ECA trigger '{name}' does not exist")
+        journal = self.agent.journal
+        led = self.agent.led
+        rule = led.rules.get(trigger.rule_name)
+        runtime = self.agent.runtime_for_rule(trigger.rule_name)
+
+        summary = ResultSet(
+            columns=["setting", "value"],
+            rows=[
+                ["trigger", trigger.internal],
+                ["event", trigger.event_internal],
+                ["context", trigger.context.value],
+                ["coupling", trigger.coupling.value],
+                ["priority", trigger.priority],
+                ["enabled", "yes" if runtime is None or runtime.enabled
+                 else "no"],
+                ["inline", "yes" if runtime is not None and runtime.inline
+                 else "no"],
+                ["fire_count", rule.fire_count if rule is not None else 0],
+                ["last_fired_at",
+                 rule.last_fired_at if rule is not None else None],
+            ],
+        )
+
+        nodes = ResultSet(columns=[
+            "node", "kind", "role", "context", "fires", "consumed",
+            "latency_n", "p95_ms", "rules",
+        ])
+        root = led.events.get(trigger.event_internal)
+        if root is not None:
+            self._walk_subgraph(root, "", 0, nodes, journal, set())
+        result = BatchResult(result_sets=[summary, nodes])
+        if root is None:
+            # An inline IMMEDIATE trigger on a primitive event runs inside
+            # the generated native trigger; there is no LED subgraph.
+            result.messages.append(
+                f"Event {trigger.event_internal} has no LED node "
+                "(inline native-trigger execution).")
+        if not journal.enabled:
+            result.messages.append(
+                "Agent provenance is off; per-node statistics need "
+                "'set agent provenance on'.")
+        return result
+
+    def _find_trigger(self, name: str, session):
+        """Resolve a trigger by client-visible name: expanded through the
+        session first, then as-written, then by unique short name."""
+        triggers = self.agent.eca_triggers
+        candidates = [name]
+        if session is not None:
+            candidates.insert(
+                0, expand_name(name, session.database, session.user))
+        for candidate in candidates:
+            trigger = triggers.get(candidate.lower())
+            if trigger is not None:
+                return trigger
+        short = name.split(".")[-1].lower()
+        matches = [
+            trigger for trigger in triggers.values()
+            if trigger.trigger_name.lower() == short
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def _walk_subgraph(self, node, role: str, depth: int,
+                       rows: ResultSet, journal, seen: set) -> None:
+        """DFS over a trigger's event subgraph: one row per
+        (node, context) with the journal's per-node aggregates."""
+        led = self.agent.led
+        kind = _NODE_KINDS.get(type(node).__name__, type(node).__name__)
+        rules = ", ".join(rule.name for rule in led.rules_for(node.name))
+        for context in _node_contexts(node):
+            summary = journal.node_summary(node.name, context)
+            rows.rows.append([
+                "  " * depth + node.name,
+                kind,
+                role,
+                context,
+                summary["fires"] if summary else 0,
+                summary["consumed"] if summary else 0,
+                summary["latency_count"] if summary else 0,
+                round(summary["p95_ms"], 4) if summary else 0.0,
+                rules,
+            ])
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child_role, child in node.role_children():
+            self._walk_subgraph(child, child_role, depth + 1, rows,
+                                journal, seen)
+
+    # ------------------------------------------------------------------
+    # reset / set / export
 
     def _reset_stats(self) -> BatchResult:
         self.agent.metrics.reset()
@@ -194,9 +434,26 @@ class AgentAdmin:
         self.agent.trace.clear()
         return BatchResult(messages=["Agent trace cleared."])
 
+    def _reset_provenance(self) -> BatchResult:
+        self.agent.journal.clear()
+        return BatchResult(messages=["Agent provenance journal cleared."])
+
+    def _export_telemetry(self) -> BatchResult:
+        if self.agent.exporter is None:
+            return _error_result(
+                "no telemetry exporter attached; pass "
+                "exporter=TelemetryExporter(path) when constructing the "
+                "agent")
+        lines = self.agent.export_telemetry(label="admin")
+        return BatchResult(messages=[
+            f"Telemetry snapshot written: {lines} lines to "
+            f"{self.agent.exporter.path}."])
+
     def _set_flag(self, target: str, value: bool) -> BatchResult:
         if target == "stats":
             self.agent.metrics.enabled = value
+        elif target == "provenance":
+            self.agent.journal.enabled = value
         elif target == "faults":
             if value:
                 self.agent.faults.arm()
@@ -208,6 +465,15 @@ class AgentAdmin:
             self.agent.trace.enabled = value
         state = "on" if value else "off"
         return BatchResult(messages=[f"Agent {target} collection {state}."])
+
+
+def _node_contexts(node) -> list[str]:
+    """The context rows a node contributes: ``-`` for primitives (raises
+    are context-independent), the active contexts for composites."""
+    if not node.role_children():
+        return ["-"]
+    contexts = sorted(context.value for context in node.active_contexts)
+    return contexts or ["-"]
 
 
 def _render_labels(labels: dict[str, str]) -> str:

@@ -98,6 +98,13 @@ class EcaAgent:
             persistence writes and notification delivery; defaults to 3
             fast attempts with no backoff.  Pass
             ``RetryPolicy(max_attempts=1)`` to fail fast.
+        journal: a :class:`~repro.obs.ProvenanceJournal` recording the
+            causal lineage of every firing; defaults to a disabled
+            journal an operator can turn on with
+            ``set agent provenance on``.
+        exporter: an optional :class:`~repro.obs.TelemetryExporter`; when
+            attached, ``export agent telemetry`` snapshots metrics,
+            spans, and provenance into its JSONL file.
     """
 
     def __init__(self, server: SqlServer,
@@ -108,16 +115,21 @@ class EcaAgent:
                  swallow_action_errors: bool = False,
                  metrics: "MetricsRegistry | None" = None,
                  faults: "FaultInjector | FaultPlan | None" = None,
-                 retry: RetryPolicy | None = None):
-        from repro.obs import MetricsRegistry
+                 retry: RetryPolicy | None = None,
+                 journal: "ProvenanceJournal | None" = None,
+                 exporter: "TelemetryExporter | None" = None):
+        from repro.obs import MetricsRegistry, ProvenanceJournal
 
         self.server = server
-        #: per-agent observability sinks, both off by default: the whole
+        #: per-agent observability sinks, all off by default: the whole
         #: layer costs one branch per hook until an operator turns it on
-        #: (``set agent stats on`` / ``set agent trace on``).
+        #: (``set agent stats|trace|provenance on``).
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             enabled=False)
         self.trace = PipelineTrace()
+        self.journal = journal if journal is not None else ProvenanceJournal(
+            enabled=False)
+        self.exporter = exporter
         #: the fault-injection harness (disabled unless a plan was armed)
         #: and the retry policy shared by the resilient call sites.
         if isinstance(faults, FaultPlan):
@@ -138,7 +150,7 @@ class EcaAgent:
             detached_dispatcher=self.action_handler.dispatch_detached,
             swallow_action_errors=swallow_action_errors,
         )
-        self.led.attach_observability(self.metrics, self.trace)
+        self.led.attach_observability(self.metrics, self.trace, self.journal)
         self.led.faults = self.faults
         self.language_filter = LanguageFilter()
         from .admin import AgentAdmin
@@ -169,6 +181,7 @@ class EcaAgent:
             v_no_lookup=self._v_no_lookup,
             metrics=self.metrics,
             faults=self.faults,
+            journal=self.journal,
         )
         self.channel = self._make_channel(channel)
 
@@ -237,6 +250,17 @@ class EcaAgent:
     def flush_deferred(self):
         """Run queued DEFERRED actions now."""
         return self.led.flush_deferred()
+
+    def export_telemetry(self, label: str = "") -> int:
+        """Snapshot metrics + spans + provenance into the attached
+        :class:`~repro.obs.TelemetryExporter`'s JSONL file; returns the
+        number of lines written.  Raises :class:`AgentError` when no
+        exporter is attached."""
+        if self.exporter is None:
+            raise AgentError("no telemetry exporter attached to this agent")
+        return self.exporter.export_snapshot(
+            metrics=self.metrics, trace=self.trace, journal=self.journal,
+            label=label)
 
     # ------------------------------------------------------------------
     # lookups used by the notifier / action handler

@@ -29,7 +29,8 @@ _ALTER_TRIGGER = re.compile(
     r"^\s*alter\s+trigger\s+([A-Za-z_#][\w.$#]*)\s+"
     r"(enable|disable)\s*;?\s*$", re.IGNORECASE)
 _AGENT_ADMIN = re.compile(
-    r"^\s*(show|reset|set)\s+agent\b", re.IGNORECASE)
+    r"^\s*(?:(?:show|reset|set|export)\s+agent\b|explain\s+trigger\b)",
+    re.IGNORECASE)
 
 _COUPLING_WORDS = {"IMMEDIATE", "DEFERRED", "DEFERED", "DETACHED"}
 _CONTEXT_WORDS = {"RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
@@ -83,9 +84,10 @@ class LanguageFilter:
         is ordinary SQL.  ``drop trigger`` cannot be classified without
         the agent's registry (the name may be a native trigger), so it is
         reported as :data:`MAYBE_DROP_TRIGGER` for the agent to resolve.
-        ``show agent ...`` / ``reset agent ...`` / ``set agent ...`` are
-        operator introspection commands answered by the agent itself
-        (the server never sees them — Sybase's ``sp_monitor`` analogue).
+        ``show agent ...`` / ``reset agent ...`` / ``set agent ...`` /
+        ``export agent ...`` / ``explain trigger ...`` are operator
+        introspection commands answered by the agent itself (the server
+        never sees them — Sybase's ``sp_monitor`` analogue).
         """
         if _AGENT_ADMIN.match(sql):
             return self.AGENT_ADMIN

@@ -26,6 +26,7 @@ import time
 from typing import Callable
 
 from repro.faults import Directive, POINT_NOTIFIER_DECODE
+from repro.obs.provenance import KIND_NOTIFICATION
 
 from .errors import NotificationError
 from .messages import Notification
@@ -204,10 +205,14 @@ class EventNotifier:
             at the ``notifier.decode`` point before decoding; a DROP
             directive silently discards the notification (counted in
             :attr:`dropped`).
+        journal: optional :class:`~repro.obs.ProvenanceJournal`; while
+            enabled, each payload is journaled as a ``notification``
+            record that becomes the causal parent of the raise (and
+            everything downstream of it).
     """
 
     def __init__(self, led, event_lookup, v_no_lookup=None, metrics=None,
-                 faults=None):
+                 faults=None, journal=None):
         self.led = led
         self.event_lookup = event_lookup
         self.v_no_lookup = v_no_lookup
@@ -217,6 +222,7 @@ class EventNotifier:
         self.dropped: int = 0
         self.faults = faults
         self.metrics = metrics
+        self.journal = journal
         if metrics is not None:
             self._m_notifications = metrics.counter(
                 "agent_notifications_total",
@@ -244,20 +250,35 @@ class EventNotifier:
                            payload) is Directive.DROP:
                 self.dropped += 1
                 return
-        metrics = self.metrics
-        if metrics is None or not metrics.enabled:
-            notification = Notification.decode(payload)
-            self.on_notification(notification)
-            return
-        start = time.perf_counter()
+        journal = self.journal
+        journaled = journal is not None and journal.enabled
+        if journaled:
+            # The 5th payload token is the internal event name (see
+            # Notification.encode); malformed payloads are journaled too.
+            parts = payload.split()
+            record = journal.append(
+                KIND_NOTIFICATION,
+                parts[4] if len(parts) >= 5 else "malformed",
+                detail=payload)
+            journal.push(record.seq)
         try:
-            notification = Notification.decode(payload)
-            self.on_notification(notification)
-        except Exception:
-            self._m_notifications.labels("error").inc()
-            raise
-        self._m_notifications.labels("ok").inc()
-        self._m_notification_seconds.observe(time.perf_counter() - start)
+            metrics = self.metrics
+            if metrics is None or not metrics.enabled:
+                notification = Notification.decode(payload)
+                self.on_notification(notification)
+                return
+            start = time.perf_counter()
+            try:
+                notification = Notification.decode(payload)
+                self.on_notification(notification)
+            except Exception:
+                self._m_notifications.labels("error").inc()
+                raise
+            self._m_notifications.labels("ok").inc()
+            self._m_notification_seconds.observe(time.perf_counter() - start)
+        finally:
+            if journaled:
+                journal.pop()
 
     def on_notification(self, notification: Notification) -> None:
         definition = self.event_lookup(notification.event_internal)

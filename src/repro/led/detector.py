@@ -28,6 +28,12 @@ from repro.snoop import (
     parse_event_expression,
 )
 
+from repro.obs.provenance import (
+    KIND_CONDITION,
+    KIND_FIRING,
+    KIND_RAISE,
+    KIND_TIMER,
+)
 from repro.obs.tracing import (
     SPAN_LED_RAISE,
     SPAN_RULE_ACTION,
@@ -116,6 +122,7 @@ class LocalEventDetector:
         #: standalone detectors leave them None -> zero overhead)
         self.metrics = None
         self.trace = None
+        self.journal = None
         #: optional fault-injection harness (``led.raise`` point); the
         #: agent attaches its injector, standalone detectors leave None
         self.faults = None
@@ -126,16 +133,20 @@ class LocalEventDetector:
     # ------------------------------------------------------------------
     # observability
 
-    def attach_observability(self, metrics=None, trace=None) -> None:
-        """Attach a :class:`~repro.obs.MetricsRegistry` and/or a
-        :class:`~repro.obs.PipelineTrace`.
+    def attach_observability(self, metrics=None, trace=None,
+                             journal=None) -> None:
+        """Attach a :class:`~repro.obs.MetricsRegistry`, a
+        :class:`~repro.obs.PipelineTrace`, and/or a
+        :class:`~repro.obs.ProvenanceJournal`.
 
         Hooks cost one branch per event/rule while the sinks are disabled
         (or detached); detection counts are labeled by event kind and
-        parameter context, firings by coupling mode.
+        parameter context, firings by coupling mode.  The journal records
+        the causal lineage of every raise, detection, condition and firing.
         """
         self.metrics = metrics
         self.trace = trace
+        self.journal = journal
         if metrics is not None:
             self._m_detected = metrics.counter(
                 "led_events_detected_total",
@@ -334,6 +345,15 @@ class LocalEventDetector:
             metrics = self.metrics
             if metrics is not None and metrics.enabled:
                 self._m_detected.labels("primitive", "-").inc()
+            journal = self.journal
+            journaled = journal is not None and journal.enabled
+            if journaled:
+                record = journal.append(
+                    KIND_RAISE, name, detail=f"t={time:g}",
+                    parents=journal.ambient_parents())
+                journal.register(occurrence, record.seq)
+                journal.observe_node(name, "-", fires=1)
+                journal.push(record.seq)
             outer = self._current_firings is None
             if outer:
                 self._current_firings = []
@@ -346,6 +366,8 @@ class LocalEventDetector:
                     node.on_raise(occurrence)
                 return list(self._current_firings or [])
             finally:
+                if journaled:
+                    journal.pop()
                 if outer:
                     self._current_firings = None
 
@@ -432,7 +454,14 @@ class LocalEventDetector:
         params: dict[str, object] = {"time": fire_time}
         if parameter:
             params["parameter"] = parameter
-        return primitive(name, fire_time, next(self._seq), params)
+        occurrence = primitive(name, fire_time, next(self._seq), params)
+        journal = self.journal
+        if journal is not None and journal.enabled:
+            record = journal.append(
+                KIND_TIMER, name, detail=f"t={fire_time:g}",
+                parents=journal.ambient_parents())
+            journal.register(occurrence, record.seq)
+        return occurrence
 
     def _dispatch_rules(self, node: EventNode, occurrence: Occurrence,
                         context: Context | None) -> None:
@@ -443,6 +472,8 @@ class LocalEventDetector:
         counted = metrics is not None and metrics.enabled
         trace = self.trace
         traced = trace is not None and trace.enabled
+        journal = self.journal
+        journaled = journal is not None and journal.enabled
         for rule in list(rules):
             if not rule.enabled:
                 continue
@@ -460,11 +491,24 @@ class LocalEventDetector:
                 if counted:
                     self._m_conditions.labels(
                         "true" if passed else "false").inc()
+                if journaled and rule.condition is not always_true:
+                    journal.append(
+                        KIND_CONDITION, rule.name,
+                        context=effective.value,
+                        detail="passed" if passed else "failed",
+                        parents=journal.ids_for((occurrence,))
+                        or journal.ambient_parents())
                 if not passed:
                     continue
             except Exception as exc:
                 if counted:
                     self._m_conditions.labels("error").inc()
+                if journaled:
+                    journal.append(
+                        KIND_CONDITION, rule.name,
+                        context=effective.value, detail=f"error: {exc}",
+                        parents=journal.ids_for((occurrence,))
+                        or journal.ambient_parents())
                 self._record(RuleFiring(
                     rule.name, node.name, occurrence, effective,
                     rule.coupling, self.clock.now(), error=exc))
@@ -473,6 +517,8 @@ class LocalEventDetector:
                 continue
             if counted:
                 self._m_rules_fired.labels(rule.coupling.value).inc()
+            if journaled:
+                rule.note_fired(self.clock.now())
             if rule.coupling is Coupling.IMMEDIATE:
                 self._run_action(rule, occurrence, effective)
             elif rule.coupling is Coupling.DEFERRED:
@@ -511,8 +557,23 @@ class LocalEventDetector:
         completion of a DETACHED action into the shared history."""
         with self._lock:
             self.history.append(firing)
+            self._journal_firing(firing)
 
     def _record(self, firing: RuleFiring) -> None:
         self.history.append(firing)
         if self._current_firings is not None:
             self._current_firings.append(firing)
+        self._journal_firing(firing)
+
+    def _journal_firing(self, firing: RuleFiring) -> None:
+        journal = self.journal
+        if journal is None or not journal.enabled:
+            return
+        detail = firing.coupling.value.lower()
+        if firing.error is not None:
+            detail = f"{detail}; error: {firing.error}"
+        journal.append(
+            KIND_FIRING, firing.rule_name, context=firing.context.value,
+            detail=detail,
+            parents=journal.ids_for((firing.occurrence,))
+            or journal.ambient_parents())

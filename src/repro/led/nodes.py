@@ -62,6 +62,11 @@ class EventNode:
         """Direct constituents (empty for primitives)."""
         return []
 
+    def role_children(self) -> list[tuple[str, "EventNode"]]:
+        """(role, child) pairs (empty for primitives) — introspection
+        surface for the ``explain trigger`` event-subgraph walk."""
+        return []
+
     def activate(self, context: Context) -> None:
         """Enable detection in ``context`` for this node and its subtree."""
         if context in self.active_contexts:
@@ -87,16 +92,39 @@ class EventNode:
         traced = trace is not None and trace.enabled
         if traced:
             trace.emit(FIG4_DETECTED, f"{self.name} [{context.value}]")
+        journal = detector.journal
+        journaled = journal is not None and journal.enabled
+        if journaled:
+            # RECENT keeps its initiators for reuse; every other context
+            # consumes the occurrences incorporated into a detection.
+            journal.record_detection(
+                self.name, context.value, occurrence,
+                consuming=context is not Context.RECENT)
         detector._dispatch_rules(self, occurrence, context)
         for parent, role in self.parents:
             if context in parent.active_contexts:
-                if traced:
-                    with trace.span(
-                            SPAN_LED_OP_PREFIX + type(parent).__name__,
-                            parent.name):
-                        parent.process(role, occurrence, context)
+                if traced or journaled:
+                    self._feed_slow(parent, role, occurrence, context,
+                                    trace if traced else None,
+                                    journal if journaled else None)
                 else:
                     parent.process(role, occurrence, context)
+
+    def _feed_slow(self, parent: "EventNode", role: str,
+                   occurrence: Occurrence, context: Context,
+                   trace, journal) -> None:
+        """Traced/journaled propagation of one occurrence into one parent
+        (spans the hop; times it into the parent's latency window)."""
+        start = journal.now() if journal is not None else 0.0
+        if trace is not None:
+            with trace.span(SPAN_LED_OP_PREFIX + type(parent).__name__,
+                            parent.name):
+                parent.process(role, occurrence, context)
+        else:
+            parent.process(role, occurrence, context)
+        if journal is not None:
+            journal.observe_node(parent.name, context.value,
+                                 latency=journal.now() - start)
 
     def reset(self) -> None:
         """Discard any partial detection state (composites override)."""
@@ -117,14 +145,15 @@ class PrimitiveEventNode(EventNode):
         detector = self.detector
         trace = detector.trace
         traced = trace is not None and trace.enabled
+        journal = detector.journal
+        journaled = journal is not None and journal.enabled
         detector._dispatch_rules(self, occurrence, None)
         for parent, role in self.parents:
             for context in tuple(parent.active_contexts):
-                if traced:
-                    with trace.span(
-                            SPAN_LED_OP_PREFIX + type(parent).__name__,
-                            parent.name):
-                        parent.process(role, occurrence, context)
+                if traced or journaled:
+                    self._feed_slow(parent, role, occurrence, context,
+                                    trace if traced else None,
+                                    journal if journaled else None)
                 else:
                     parent.process(role, occurrence, context)
 

@@ -44,6 +44,9 @@ class CompositeNode(EventNode):
     def children(self) -> list[EventNode]:
         return list(self._children.values())
 
+    def role_children(self) -> list[tuple[str, EventNode]]:
+        return list(self._children.items())
+
     def child(self, role: str) -> EventNode:
         return self._children[role]
 
@@ -59,7 +62,14 @@ class CompositeNode(EventNode):
         self._state.clear()
 
     def _compose(self, parts: list[Occurrence]) -> Occurrence:
-        return compose(self.name, parts)
+        composed = compose(self.name, parts)
+        journal = self.detector.journal
+        if journal is not None and journal.enabled:
+            # Stage the direct parts' record ids now: composition flattens
+            # constituents to primitives, so operator-level lineage edges
+            # (this composite <- that composite) exist only here.
+            journal.note_parts(composed, parts)
+        return composed
 
 
 class OrNode(CompositeNode):

@@ -104,7 +104,16 @@ class Rule:
     coupling: Coupling = DEFAULT_COUPLING
     priority: int = DEFAULT_PRIORITY
     enabled: bool = True
+    #: Provenance bookkeeping (only maintained while the journal is on;
+    #: surfaced by the ``explain trigger`` admin command).
+    fire_count: int = field(default=0, compare=False)
+    last_fired_at: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.priority < 1:
             raise ValueError("priority must be a positive integer")
+
+    def note_fired(self, at: float) -> None:
+        """Record one dispatch of this rule (provenance bookkeeping)."""
+        self.fire_count += 1
+        self.last_fired_at = at

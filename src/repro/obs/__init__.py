@@ -8,6 +8,12 @@ measures by hand:
   :class:`MetricsRegistry`, with text and dict exporters;
 - :mod:`repro.obs.tracing` — the span-based :class:`PipelineTrace`
   (timed, nested records keyed by the paper's Figure 3/4 step names);
+- :mod:`repro.obs.provenance` — the causality-aware
+  :class:`ProvenanceJournal` (every notification, raise, detection,
+  condition, firing and action as a parent-linked record, plus exact
+  per-(node, context) fire/consumption aggregates);
+- :mod:`repro.obs.export` — the :class:`TelemetryExporter` snapshotting
+  all three surfaces into rotating, size-bounded JSONL;
 - the process-wide default instances behind :func:`get_metrics` /
   :func:`get_trace`, for code that wants one shared sink.
 
@@ -21,6 +27,7 @@ Everything is off by default and costs one branch per hook when off.
 
 from __future__ import annotations
 
+from .export import TelemetryExporter
 from .metrics import (
     Counter,
     Gauge,
@@ -31,6 +38,7 @@ from .metrics import (
     percentile,
     summarize,
 )
+from .provenance import NodeStat, ProvenanceJournal, ProvenanceRecord
 from .tracing import (
     FIG3_CLASSIFIED_ECA,
     FIG3_COMMAND_RECEIVED,
@@ -61,8 +69,12 @@ __all__ = [
     "HistogramSummary",
     "MetricFamily",
     "MetricsRegistry",
+    "NodeStat",
     "PipelineTrace",
+    "ProvenanceJournal",
+    "ProvenanceRecord",
     "SpanRecord",
+    "TelemetryExporter",
     "TraceRecord",
     "percentile",
     "summarize",

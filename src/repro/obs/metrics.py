@@ -388,7 +388,8 @@ class MetricsRegistry:
         lines: list[str] = []
         for family in self.families():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for labels, metric in family.children():
                 suffix = _render_labels(labels)
@@ -407,10 +408,26 @@ class MetricsRegistry:
             family.reset()
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote, and line feed."""
+    return (value.replace("\\", r"\\")
+                 .replace('"', r"\"")
+                 .replace("\n", r"\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash, line feed)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _render_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
     return "{" + inner + "}"
 
 

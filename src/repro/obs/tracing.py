@@ -239,6 +239,11 @@ class PipelineTrace:
                 return []
             return list(self.records[-count:])
 
+    def snapshot(self) -> list[SpanRecord]:
+        """A consistent copy of every retained record (export surface)."""
+        with self._lock:
+            return list(self.records)
+
     def tree(self) -> list[tuple[SpanRecord, list]]:
         """Nested (record, children) pairs for the retained records."""
         with self._lock:

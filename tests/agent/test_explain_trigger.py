@@ -1,0 +1,216 @@
+"""E2E: event-graph introspection commands through the gateway.
+
+Four composite triggers — one per parameter context — watch the same
+``delStk ^ addStk`` pattern while a fixed insert/delete workload runs.
+``explain trigger`` must render each trigger's event subgraph with the
+per-node fire counts the Snoop semantics predict:
+
+workload ``add, del, add, del`` on an AND node =>
+RECENT 3 detections (initiators are reused), CHRONICLE 2 (FIFO pairs),
+CONTINUOUS 2, CUMULATIVE 2.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import TelemetryExporter
+
+EX_ADD = (
+    "create trigger t_add on stock for insert event addStk as print 'add'")
+EX_DEL = (
+    "create trigger t_del on stock for delete event delStk as print 'del'")
+
+CONTEXTS = ["RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"]
+EXPECTED_FIRES = {"RECENT": 3, "CHRONICLE": 2, "CONTINUOUS": 2,
+                  "CUMULATIVE": 2}
+# Every context but RECENT consumes both constituents of each detection.
+EXPECTED_CONSUMED = {"RECENT": 0, "CHRONICLE": 4, "CONTINUOUS": 4,
+                     "CUMULATIVE": 4}
+
+
+@pytest.fixture
+def provenant(astock):
+    """Stock table + four per-context AND triggers + the workload, with
+    provenance collection on throughout."""
+    astock.execute("set agent provenance on")
+    astock.execute(EX_ADD)
+    astock.execute(EX_DEL)
+    for context in CONTEXTS:
+        astock.execute(
+            f"create trigger t_{context.lower()} event "
+            f"and_{context.lower()} = delStk ^ addStk {context}\n"
+            f"as print '{context}'")
+    astock.execute("insert stock values ('IBM', 101.5, 10)")
+    astock.execute("delete stock where symbol = 'IBM'")
+    astock.execute("insert stock values ('HP', 59.0, 5)")
+    astock.execute("delete stock where symbol = 'HP'")
+    return astock
+
+
+def _node_rows(result):
+    return result.result_sets[1].as_dicts()
+
+
+class TestExplainTrigger:
+    @pytest.mark.parametrize("context", CONTEXTS)
+    def test_subgraph_and_fire_counts_per_context(self, provenant, context):
+        result = provenant.execute(f"explain trigger t_{context.lower()}")
+        summary = dict(result.result_sets[0].rows)
+        assert summary["context"] == context
+        assert summary["event"].endswith(f"and_{context.lower()}")
+        assert summary["fire_count"] == EXPECTED_FIRES[context]
+
+        rows = _node_rows(result)
+        root = [row for row in rows if row["kind"] == "AND"]
+        assert len(root) == 1, result.result_sets[1].format_table()
+        assert root[0]["context"] == context
+        assert root[0]["fires"] == EXPECTED_FIRES[context]
+        assert root[0]["consumed"] == EXPECTED_CONSUMED[context]
+        assert f"t_{context.lower()}" in root[0]["rules"]
+
+        primitives = {
+            row["node"].strip(): row for row in rows
+            if row["kind"] == "primitive"
+        }
+        assert len(primitives) == 2
+        for row in primitives.values():
+            assert row["context"] == "-"
+            assert row["fires"] == 2
+        roles = {row["role"] for row in primitives.values()}
+        assert roles == {"left", "right"}
+
+    def test_short_and_qualified_names_resolve(self, provenant):
+        short = provenant.execute("explain trigger t_recent")
+        qualified = provenant.execute(
+            "explain trigger sentineldb.sharma.t_recent")
+        assert dict(short.result_sets[0].rows)["trigger"] == \
+            dict(qualified.result_sets[0].rows)["trigger"]
+
+    def test_unknown_trigger_yields_error_result_set(self, provenant):
+        result = provenant.execute("explain trigger no_such_trigger")
+        assert result.result_sets[0].columns == ["error"]
+        assert "no_such_trigger" in result.result_sets[0].rows[0][0]
+
+    def test_inline_primitive_trigger_explains_its_primitive(
+            self, provenant):
+        result = provenant.execute("explain trigger t_add")
+        summary = dict(result.result_sets[0].rows)
+        assert summary["inline"] == "yes"
+        rows = _node_rows(result)
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "primitive"
+        assert rows[0]["fires"] == 2
+
+
+class TestShowAgentEvents:
+    def test_lineage_trees_cover_the_pipeline(self, provenant):
+        result = provenant.execute("show agent events 200")
+        rows = result.result_sets[0].as_dicts()
+        kinds = {row["kind"] for row in rows}
+        assert {"notification", "raise", "detection", "firing"} <= kinds
+        by_seq = {row["seq"]: row for row in rows}
+        # Every detection in the window links back to retained parents.
+        for row in rows:
+            if row["kind"] != "detection":
+                continue
+            assert row["parents"], row
+            for parent in row["parents"].split(","):
+                parent_row = by_seq.get(int(parent))
+                if parent_row is not None:
+                    assert parent_row["seq"] < row["seq"]
+
+    def test_default_row_count_is_bounded(self, provenant):
+        result = provenant.execute("show agent events")
+        assert len(result.result_sets[0].rows) <= 20
+
+    def test_non_numeric_count_is_an_error_row(self, provenant):
+        result = provenant.execute("show agent events lots")
+        assert result.result_sets[0].columns == ["error"]
+        assert "lots" in result.result_sets[0].rows[0][0]
+
+    def test_oversized_count_is_clamped_not_an_error(self, provenant):
+        result = provenant.execute("show agent events 999999999")
+        assert result.result_sets[0].columns != ["error"]
+
+
+class TestShowAgentGraph:
+    def test_graph_lists_every_node_with_stats(self, provenant):
+        result = provenant.execute("show agent graph")
+        rows = result.result_sets[0].as_dicts()
+        by_event = {}
+        for row in rows:
+            by_event.setdefault(row["event"], []).append(row)
+        and_events = [name for name in by_event if "and_" in name]
+        assert len(and_events) == 4
+        for name in and_events:
+            (row,) = by_event[name]
+            assert row["kind"] == "AND"
+            assert "left=" in row["children"]
+            assert "right=" in row["children"]
+            assert row["fires"] == EXPECTED_FIRES[row["context"]]
+        primitive_rows = [row for row in rows if row["kind"] == "primitive"]
+        assert {row["fires"] for row in primitive_rows} == {2}
+
+
+class TestProvenanceToggles:
+    def test_status_reports_provenance_and_journal(self, provenant):
+        result = provenant.execute("show agent status")
+        status = dict(result.result_sets[0].rows)
+        assert status["provenance"] == "on"
+        assert status["journal_records"] > 0
+        assert status["exporter"] == "none"
+
+    def test_reset_provenance_clears_journal(self, provenant):
+        provenant.execute("reset agent provenance")
+        result = provenant.execute("show agent status")
+        status = dict(result.result_sets[0].rows)
+        assert status["journal_records"] == 0
+        assert status["provenance"] == "on"
+
+    def test_provenance_off_notes_in_events_output(self, astock):
+        result = astock.execute("show agent events")
+        assert any("provenance" in message for message in result.messages)
+
+
+class TestTraceArgHardening:
+    def test_non_numeric_trace_count_is_an_error_row(self, astock):
+        result = astock.execute("show agent trace abc")
+        assert result.result_sets[0].columns == ["error"]
+        assert "abc" in result.result_sets[0].rows[0][0]
+
+    def test_huge_trace_count_is_clamped(self, astock):
+        astock.execute("set agent trace on")
+        astock.execute("insert stock values ('IBM', 1.0, 1)")
+        result = astock.execute("show agent trace 999999999")
+        assert result.result_sets[0].columns != ["error"]
+
+
+class TestExportThroughGateway:
+    def test_export_without_exporter_is_an_error_row(self, astock):
+        result = astock.execute("export agent telemetry")
+        assert result.result_sets[0].columns == ["error"]
+
+    def test_export_with_exporter_writes_jsonl(self, server, tmp_path):
+        from repro.agent import EcaAgent
+
+        path = str(tmp_path / "telemetry.jsonl")
+        agent = EcaAgent(server, exporter=TelemetryExporter(path))
+        try:
+            conn = agent.connect(user="sharma", database="sentineldb")
+            conn.execute(
+                "create table stock (symbol varchar(10) not null, "
+                "price float null, qty int null)")
+            conn.execute("set agent provenance on")
+            conn.execute(EX_ADD)
+            conn.execute("insert stock values ('IBM', 1.0, 1)")
+            result = conn.execute("export agent telemetry")
+            assert any("Telemetry snapshot" in message
+                       for message in result.messages)
+            with open(path, encoding="utf-8") as handle:
+                lines = [json.loads(line) for line in handle]
+            assert lines[0]["type"] == "snapshot"
+            assert {"provenance", "node_stat"} <= {
+                line["type"] for line in lines}
+        finally:
+            agent.close()

@@ -199,3 +199,41 @@ class TestRegistry:
         assert 'hits{kind="a"} 3' in text
         assert "latency_count 1" in text
         assert "latency_p99 2" in text
+
+    def test_render_text_escapes_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", "operations", ("detail",))
+        family.labels('back\\slash "quoted"\nnewline').inc(2)
+        text = registry.render_text()
+        assert (r'ops{detail="back\\slash \"quoted\"\nnewline"} 2'
+                in text.splitlines())
+        # The escaped line must stay on one physical line.
+        for line in text.splitlines():
+            if line.startswith("ops{"):
+                assert "\n" not in line
+
+    def test_render_text_escapes_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", 'multi\nline \\ help').inc()
+        text = registry.render_text()
+        assert r"# HELP ops multi\nline \\ help" in text.splitlines()
+
+    def test_render_text_deterministic_sorted_order(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name in order:
+                family = registry.counter(name, f"{name} help", ("k",))
+                for value in ("b", "a", "c"):
+                    family.labels(value).inc()
+            return registry.render_text()
+
+        first = build(["zeta", "alpha", "mid"])
+        second = build(["mid", "zeta", "alpha"])
+        assert first == second
+        names = [line.split()[2] for line in first.splitlines()
+                 if line.startswith("# TYPE")]
+        assert names == sorted(names)
+        # Children render sorted by label value within each family.
+        values = [line.split('"')[1] for line in first.splitlines()
+                  if line.startswith('alpha{')]
+        assert values == ["a", "b", "c"]

@@ -1,0 +1,114 @@
+"""Provenance under concurrency: multi-threaded overlapping composites.
+
+Eight client threads raise interleaved ``a``/``b`` occurrences into four
+AND composites — one per parameter context — while the journal records
+everything.  The journal must stay sound: parent links never dangle
+(every parent id resolves within the retained window or predates it),
+and the per-(node, context) aggregates must match the LED's own firing
+history exactly.
+"""
+
+import threading
+
+from repro.led import LocalEventDetector
+from repro.led.rules import Context
+from repro.obs import ProvenanceJournal
+
+THREADS = 8
+RAISES_PER_THREAD = 50
+
+CONTEXTS = [Context.RECENT, Context.CHRONICLE, Context.CONTINUOUS,
+            Context.CUMULATIVE]
+
+
+def _build():
+    journal = ProvenanceJournal(enabled=True, capacity=2_000)
+    led = LocalEventDetector(swallow_action_errors=True)
+    led.attach_observability(journal=journal)
+    led.define_primitive("a")
+    led.define_primitive("b")
+    for context in CONTEXTS:
+        name = f"ab_{context.value.lower()}"
+        led.define_composite(name, "a ^ b")
+        led.add_rule(f"r_{context.value.lower()}", name,
+                     action=lambda occ: None, context=context)
+    return led, journal
+
+
+def _hammer(led):
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def worker(index):
+        try:
+            barrier.wait()
+            for turn in range(RAISES_PER_THREAD):
+                led.raise_event("a" if (index + turn) % 2 else "b",
+                                {"thread": index, "turn": turn})
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+class TestConcurrentProvenance:
+    def test_parent_links_never_dangle(self):
+        led, journal = _build()
+        _hammer(led)
+        records = journal.snapshot()
+        assert records, "journal must have retained records"
+        retained = {record.seq for record in records}
+        oldest = records[0].seq
+        for record in records:
+            for parent in record.parents:
+                assert parent < record.seq, (
+                    f"record {record.seq} has a forward parent {parent}")
+                assert parent in retained or parent < oldest, (
+                    f"record {record.seq} links to {parent}, which is "
+                    "neither retained nor older than the window")
+
+    def test_consumption_matches_led_history(self):
+        led, journal = _build()
+        _hammer(led)
+        for context in CONTEXTS:
+            node_name = f"ab_{context.value.lower()}"
+            rule_name = f"r_{context.value.lower()}"
+            firings = [firing for firing in led.history
+                       if firing.rule_name == rule_name]
+            summary = journal.node_summary(node_name, context.value)
+            assert summary is not None, f"no stats for {node_name}"
+            assert summary["fires"] == len(firings), (
+                f"{node_name}: journal says {summary['fires']} fires, "
+                f"LED history has {len(firings)}")
+            if context is Context.RECENT:
+                expected_consumed = 0
+            else:
+                expected_consumed = sum(
+                    len(firing.occurrence.flatten()) for firing in firings)
+            assert summary["consumed"] == expected_consumed, (
+                f"{node_name}: journal consumed {summary['consumed']}, "
+                f"history implies {expected_consumed}")
+
+    def test_primitive_fires_match_raise_totals(self):
+        led, journal = _build()
+        _hammer(led)
+        total = journal.node_summary("a", "-")["fires"] + \
+            journal.node_summary("b", "-")["fires"]
+        assert total == THREADS * RAISES_PER_THREAD
+
+    def test_rule_fire_counts_match_history(self):
+        led, journal = _build()
+        _hammer(led)
+        for context in CONTEXTS:
+            rule_name = f"r_{context.value.lower()}"
+            firings = [firing for firing in led.history
+                       if firing.rule_name == rule_name]
+            assert led.rules[rule_name].fire_count == len(firings)

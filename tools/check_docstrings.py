@@ -31,6 +31,8 @@ DEFAULT_SURFACE = [
     "src/repro/faults/__init__.py",
     "src/repro/faults/injector.py",
     "src/repro/faults/retry.py",
+    "src/repro/obs/provenance.py",
+    "src/repro/obs/export.py",
 ]
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI gate: the observability plane must stay cheap.
+
+Reads the ``BENCH_overhead.json`` artifact produced by
+``benchmarks/bench_overhead.py`` and compares the fully-observed series
+(stats + trace + provenance journal on) against the same stack with the
+observability plane off.  The mean-latency ratio between the two must
+stay under a threshold (default 2.0x, overridable through the
+``OBS_OVERHEAD_RATIO`` environment variable) — catching any change that
+moves real work onto the instrumented hot path.
+
+Usage::
+
+    python tools/check_overhead.py                   # ./BENCH_overhead.json
+    python tools/check_overhead.py path/to/BENCH_overhead.json
+    OBS_OVERHEAD_RATIO=1.5 python tools/check_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Series labels written by benchmarks/bench_overhead.py.
+BASELINE_SERIES = "4 + composite detection (Example 2)"
+OBSERVED_SERIES = "5 + observability on (stats+trace+provenance)"
+
+#: Default ceiling for observed/baseline mean latency.
+DEFAULT_RATIO = 2.0
+
+
+def check(path: Path, max_ratio: float) -> list[str]:
+    """Validate one overhead artifact; returns the list of problems."""
+    if not path.exists():
+        return [f"{path}: artifact not found (run benchmarks/"
+                "bench_overhead.py first)"]
+    payload = json.loads(path.read_text())
+    series = payload.get("series", {})
+    problems = []
+    for label in (BASELINE_SERIES, OBSERVED_SERIES):
+        if label not in series:
+            problems.append(f"{path}: series {label!r} missing")
+    if problems:
+        return problems
+    baseline = series[BASELINE_SERIES]["mean"]
+    observed = series[OBSERVED_SERIES]["mean"]
+    if baseline <= 0:
+        return [f"{path}: baseline mean is {baseline}; artifact corrupt"]
+    ratio = observed / baseline
+    print(f"observability overhead: {observed:.4f}ms / {baseline:.4f}ms "
+          f"= {ratio:.2f}x (limit {max_ratio:.2f}x)")
+    if ratio > max_ratio:
+        problems.append(
+            f"{path}: observability-on mean latency is {ratio:.2f}x the "
+            f"baseline, over the {max_ratio:.2f}x limit")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    path = Path(argv[0]) if argv else REPO_ROOT / "BENCH_overhead.json"
+    max_ratio = float(os.environ.get("OBS_OVERHEAD_RATIO", DEFAULT_RATIO))
+    problems = check(path, max_ratio)
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    print("overhead check: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
