@@ -52,11 +52,11 @@ def _observed_stack():
 
 
 def test_layer_decomposition_series(benchmark, stage_breakdown):
-    _s0, direct = direct_stack()
-    _s1, _a1, gateway_only = agent_stack()
-    _s2, a2, with_event = example_1_stack()
-    _s3, _a3, with_composite = example_2_stack()
-    _s4, a4, with_obs = _observed_stack()
+    s0, direct = direct_stack()
+    s1, _a1, gateway_only = agent_stack()
+    s2, a2, with_event = example_1_stack()
+    s3, _a3, with_composite = example_2_stack()
+    s4, a4, with_obs = _observed_stack()
     with_composite.execute("delete stock")  # keep an AND window open
     with_obs.execute("delete stock")
 
@@ -70,16 +70,29 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
         "4 + composite detection (Example 2)": _samples(with_composite),
         "5 + observability on (stats+trace+provenance)": _samples(with_obs),
     }
+    servers = {
+        "1 engine insert (direct)": s0,
+        "2 + gateway routing": s1,
+        "3 + event machinery (Example 1)": s2,
+        "4 + composite detection (Example 2)": s3,
+        "5 + observability on (stats+trace+provenance)": s4,
+    }
+    hit_rates = {
+        label: server.plan_cache.stats()["hit_rate"]
+        for label, server in servers.items()
+    }
     base = statistics.mean(series["1 engine insert (direct)"])
     routed = statistics.mean(series["2 + gateway routing"])
     evented = statistics.mean(series["3 + event machinery (Example 1)"])
 
     rows = [latency_row(label, samples) + (
-        f"{statistics.mean(samples) / base:.2f}x",)
+        f"{statistics.mean(samples) / base:.2f}x",
+        f"{hit_rates[label]:.3f}")
         for label, samples in series.items()]
     print_series("E-PERF1 mediator overhead decomposition",
-                 rows, LATENCY_HEADERS + ("vs direct",))
-    write_bench_json("overhead", series)
+                 rows, LATENCY_HEADERS + ("vs direct", "cache_hit"))
+    write_bench_json("overhead", series,
+                     extra={"plan_cache_hit_rate": hit_rates})
     telemetry_lines = a4.export_telemetry(label="bench_overhead")
     print(f"\n[telemetry] {telemetry_lines} lines -> {TELEMETRY_PATH}")
     if stage_breakdown:

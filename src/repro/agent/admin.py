@@ -18,6 +18,11 @@ Commands:
 - ``show agent status`` — observability flags and buffer sizes;
 - ``show agent faults`` — armed fault-injection specs, fire counts, and
   the active retry policy (the robustness layer's knobs);
+- ``show agent cache [N]`` — the server's statement-plan cache counters
+  (hits, misses, evictions, epoch invalidations, hit rate), index-scan
+  and notification-coalescing totals, then the N busiest table indexes;
+- ``reset agent cache`` — clear the plan cache and zero its counters
+  (the hot-path equivalent of ``reset agent stats``);
 - ``explain trigger <name>`` — the trigger's rule attributes plus its
   event subgraph with per-node stats (fires, consumed occurrences, p95
   propagation latency) from the provenance journal;
@@ -49,8 +54,10 @@ _USAGE = (
     "unknown agent command; expected one of: "
     "show agent stats | show agent trace [N] | show agent events [N] | "
     "show agent graph | show agent status | show agent faults | "
+    "show agent cache [N] | "
     "explain trigger <name> | "
     "reset agent stats | reset agent trace | reset agent provenance | "
+    "reset agent cache | "
     "set agent stats on|off | set agent trace on|off | "
     "set agent provenance on|off | set agent faults on|off | "
     "export agent telemetry"
@@ -64,10 +71,12 @@ _COMMAND = re.compile(
     r"|(?P<show_graph>show\s+agent\s+graph)"
     r"|(?P<show_status>show\s+agent\s+status)"
     r"|(?P<show_faults>show\s+agent\s+faults)"
+    r"|(?P<show_cache>show\s+agent\s+cache(?:\s+(?P<cache_n>[^\s;]+))?)"
     r"|explain\s+trigger\s+(?P<explain_name>[A-Za-z_#][\w.$#]*)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
     r"|(?P<reset_prov>reset\s+agent\s+provenance)"
+    r"|(?P<reset_cache>reset\s+agent\s+cache)"
     r"|set\s+agent\s+(?P<set_target>stats|trace|provenance|faults)"
     r"\s+(?P<set_value>on|off)"
     r"|(?P<export>export\s+agent\s+telemetry)"
@@ -79,6 +88,8 @@ _COMMAND = re.compile(
 DEFAULT_TRACE_ROWS = 50
 #: Default row count for ``show agent events``.
 DEFAULT_EVENT_ROWS = 20
+#: Default row count for the index listing of ``show agent cache``.
+DEFAULT_INDEX_ROWS = 20
 
 #: Operator-node class -> the Snoop operator it implements.
 _NODE_KINDS = {
@@ -134,6 +145,11 @@ class AgentAdmin:
             return self._show_status()
         if match.group("show_faults"):
             return self._show_faults()
+        if match.group("show_cache"):
+            count, error = self._parse_count(
+                match.group("cache_n"), DEFAULT_INDEX_ROWS,
+                max(1, self._count_indexes()), "show agent cache")
+            return error if error is not None else self._show_cache(count)
         if match.group("explain_name"):
             return self._explain_trigger(match.group("explain_name"), session)
         if match.group("reset_stats"):
@@ -142,6 +158,8 @@ class AgentAdmin:
             return self._reset_trace()
         if match.group("reset_prov"):
             return self._reset_provenance()
+        if match.group("reset_cache"):
+            return self._reset_cache()
         if match.group("export"):
             return self._export_telemetry()
         target = match.group("set_target").lower()
@@ -327,6 +345,61 @@ class AgentAdmin:
                 "constructing the agent.")
         return result
 
+    def _count_indexes(self) -> int:
+        """Total table indexes across every database on the server."""
+        total = 0
+        for database in self.agent.server.catalog.databases.values():
+            for table in database.tables.values():
+                total += len(table.indexes)
+        return total
+
+    def _show_cache(self, count: int) -> BatchResult:
+        """Hot-path introspection: plan-cache counters, index-scan and
+        coalescing totals, then the ``count`` busiest table indexes."""
+        server = self.agent.server
+        stats = server.plan_cache.stats()
+        summary = ResultSet(
+            columns=["setting", "value"],
+            rows=[
+                ["plan_cache", "on" if stats["enabled"] else "off"],
+                ["plan_cache_size", stats["size"]],
+                ["plan_cache_capacity", stats["capacity"]],
+                ["plan_cache_hits", stats["hits"]],
+                ["plan_cache_misses", stats["misses"]],
+                ["plan_cache_evictions", stats["evictions"]],
+                ["plan_cache_invalidations", stats["invalidations"]],
+                ["plan_cache_hit_rate", stats["hit_rate"]],
+                ["schema_epoch", server.catalog.schema_epoch],
+                ["index_scans", server.index_scans],
+                ["coalesced_payloads", self.agent.notifier.coalesced_payloads],
+                ["coalesced_events", self.agent.notifier.coalesced_events],
+            ],
+        )
+        entries = []
+        for db_name in sorted(server.catalog.databases):
+            database = server.catalog.databases[db_name]
+            for table in database.tables.values():
+                for index in table.indexes.values():
+                    entries.append([
+                        f"{database.name}.{table.qualified_name}",
+                        index.name,
+                        index.column,
+                        "yes" if index.unique else "no",
+                        index.rebuild_count,
+                    ])
+        # The busiest (most-rebuilt) indexes are the interesting ones.
+        entries.sort(key=lambda entry: (-entry[4], entry[0], entry[1]))
+        indexes = ResultSet(
+            columns=["table", "index", "column", "unique", "rebuilds"],
+            rows=entries[:count],
+        )
+        result = BatchResult(result_sets=[summary, indexes])
+        if len(entries) > count:
+            result.messages.append(
+                f"Showing {count} of {len(entries)} indexes; "
+                f"'show agent cache {len(entries)}' lists all.")
+        return result
+
     # ------------------------------------------------------------------
     # explain trigger
 
@@ -437,6 +510,12 @@ class AgentAdmin:
     def _reset_provenance(self) -> BatchResult:
         self.agent.journal.clear()
         return BatchResult(messages=["Agent provenance journal cleared."])
+
+    def _reset_cache(self) -> BatchResult:
+        server = self.agent.server
+        server.plan_cache.clear()
+        server.index_scans = 0
+        return BatchResult(messages=["Agent plan cache cleared."])
 
     def _export_telemetry(self) -> BatchResult:
         if self.agent.exporter is None:

@@ -39,12 +39,19 @@ TMP_SUFFIX = "_tmp"
 
 def snapshot_table_sql(event: PrimitiveEventDef, direction: str,
                        source_table: str) -> str:
-    """DDL for one snapshot table (Figure 11's 'create two tables')."""
+    """DDL for one snapshot table (Figure 11's 'create two tables').
+
+    The ``vNo`` key column gets an index: every context-processing join
+    and parameter lookup probes the snapshot by occurrence number, and
+    the snapshot grows with every event occurrence.
+    """
     snapshot = event.snapshot_table(direction)
     return (
         f"select * into {snapshot} from {source_table} where 1 = 2\n"
         f"go\n"
         f"alter table {snapshot} add vNo int null\n"
+        f"go\n"
+        f"create index ECA_vNo on {snapshot} (vNo)\n"
         f"go"
     )
 
@@ -69,7 +76,12 @@ def native_trigger_sql(registration: TableOpRegistration,
 
     One block per primitive event (several named events may watch the
     same table and operation — something native triggers cannot express,
-    Section 2.2), then the inline IMMEDIATE action procedures.
+    Section 2.2), then ONE coalesced ``syb_sendmsg`` carrying every
+    event's segment (``;``-separated), then the inline IMMEDIATE action
+    procedures.  A single-event trigger sends the paper's exact Figure 11
+    payload; coalescing only changes the wire format when several named
+    events share one (table, operation) — and then one datagram replaces
+    N, so the agent decodes, journals, and locks once per statement.
     """
     table = f"{registration.db_name}.{registration.table_owner}.{registration.table_name}"
     trigger_name = (
@@ -81,9 +93,9 @@ def native_trigger_sql(registration: TableOpRegistration,
         f"on {table}",
         f"for {registration.operation}",
         "as",
-        "declare @v int, @r int",
+        "declare @v int, @r int, @msg varchar(2048)",
     ]
-    for event in events:
+    for position, event in enumerate(events):
         internal = event.internal
         version = event.version_table
         row_filter = (
@@ -107,13 +119,18 @@ def native_trigger_sql(registration: TableOpRegistration,
                 f"from {direction}, {version}"
             )
         lines.append(f"select @v = vNo from {version}")
-        payload = (
+        segment = (
             f'"{event.user_name} {event.table_name} {event.operation} '
             f'begin {internal} " + convert(varchar, @v)'
         )
+        if position == 0:
+            lines.append(f"select @msg = {segment}")
+        else:
+            lines.append(f'select @msg = @msg + ";" + {segment}')
+    if events:
         lines.append(
             f'select @r = syb_sendmsg("{notify_host}", {notify_port}, '
-            f"{payload}) /* Notification */"
+            f"@msg) /* Notification */"
         )
     for proc in inline_procs:
         lines.append(f"/* action function */")
@@ -145,6 +162,12 @@ def context_processing_sql(snapshot_tables: list[str], context: Context,
     For each snapshot table the event may draw parameters from, refresh
     its ``_tmp`` table with the rows whose ``vNo`` matches the current
     ``sysContext`` entries for this parameter context.
+
+    ``sysContext`` is listed first in the FROM clause so the (growing)
+    snapshot table is the inner, index-probed side of the join: with the
+    outer ``sysContext`` row bound, ``<snapshot>.vNo = sysContext.vNo``
+    becomes an indexed probe instead of a scan.  The projection stays
+    ``<snapshot>.*`` so the output is unchanged.
     """
     statements: list[str] = []
     for snapshot in snapshot_tables:
@@ -153,7 +176,7 @@ def context_processing_sql(snapshot_tables: list[str], context: Context,
         statements.append(
             f"insert {tmp}\n"
             f"select {snapshot}.*\n"
-            f"from {snapshot}, {system_db_prefix}.{SYS_CONTEXT}\n"
+            f"from {system_db_prefix}.{SYS_CONTEXT}, {snapshot}\n"
             f'where {system_db_prefix}.{SYS_CONTEXT}.context = "{context.value}"\n'
             f'  and {system_db_prefix}.{SYS_CONTEXT}.tableName = "{snapshot}"\n'
             f"  and {snapshot}.vNo = {system_db_prefix}.{SYS_CONTEXT}.vNo"

@@ -65,6 +65,23 @@ class Notification:
             v_no=v_no,
         )
 
+    @classmethod
+    def decode_batch(cls, payload: str) -> "list[Notification]":
+        """Parse a (possibly coalesced) datagram payload.
+
+        A native trigger serving several events on one (table, operation)
+        sends a single datagram with ``;``-separated segments; a plain
+        single-event payload is the degenerate one-segment case and
+        decodes exactly as :meth:`decode` would.
+        """
+        segments = [part for part in
+                    (segment.strip() for segment in payload.split(";"))
+                    if part]
+        if not segments:
+            raise NotificationError(
+                f"malformed notification payload {payload!r}")
+        return [cls.decode(segment) for segment in segments]
+
 
 @dataclass
 class NotiStr:

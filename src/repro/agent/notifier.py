@@ -220,6 +220,9 @@ class EventNotifier:
         self.rejected: int = 0
         #: notifications discarded by an injected DROP fault
         self.dropped: int = 0
+        #: coalesced payloads (>1 event per datagram) and the events in them
+        self.coalesced_payloads: int = 0
+        self.coalesced_events: int = 0
         self.faults = faults
         self.metrics = metrics
         self.journal = journal
@@ -231,9 +234,13 @@ class EventNotifier:
             self._m_notification_seconds = metrics.histogram(
                 "agent_notification_seconds",
                 "Decode-and-raise latency per notification (seconds)")
+            self._m_batch_events = metrics.histogram(
+                "agent_notification_batch_events",
+                "Primitive events carried per notification payload")
         else:
             self._m_notifications = None
             self._m_notification_seconds = None
+            self._m_batch_events = None
 
     def on_payload(self, payload: str) -> None:
         """Channel callback: decode and raise.
@@ -253,9 +260,11 @@ class EventNotifier:
         journal = self.journal
         journaled = journal is not None and journal.enabled
         if journaled:
-            # The 5th payload token is the internal event name (see
-            # Notification.encode); malformed payloads are journaled too.
-            parts = payload.split()
+            # The 5th token of the (first) segment is the internal event
+            # name (see Notification.encode); malformed payloads are
+            # journaled too.  One record parents every raise the payload
+            # carries, so a coalesced datagram has one causal root.
+            parts = payload.split(";", 1)[0].split()
             record = journal.append(
                 KIND_NOTIFICATION,
                 parts[4] if len(parts) >= 5 else "malformed",
@@ -264,23 +273,50 @@ class EventNotifier:
         try:
             metrics = self.metrics
             if metrics is None or not metrics.enabled:
-                notification = Notification.decode(payload)
-                self.on_notification(notification)
+                self._raise_all(Notification.decode_batch(payload))
                 return
             start = time.perf_counter()
             try:
-                notification = Notification.decode(payload)
-                self.on_notification(notification)
+                notifications = Notification.decode_batch(payload)
+                self._raise_all(notifications)
             except Exception:
                 self._m_notifications.labels("error").inc()
                 raise
             self._m_notifications.labels("ok").inc()
             self._m_notification_seconds.observe(time.perf_counter() - start)
+            self._m_batch_events.observe(len(notifications))
         finally:
             if journaled:
                 journal.pop()
 
     def on_notification(self, notification: Notification) -> None:
+        """Raise one already-decoded notification (non-batched entry)."""
+        self._raise_all([notification])
+
+    def _raise_all(self, notifications: list[Notification]) -> None:
+        """Resolve every notification, then raise them as one LED batch.
+
+        Resolution happens before any raise so an unknown event rejects
+        the whole payload without a partial batch.  Single-notification
+        payloads (the overwhelmingly common case) take the plain
+        :meth:`~repro.led.detector.LocalEventDetector.raise_event` path;
+        coalesced payloads amortize the LED's locking and firing-scope
+        bookkeeping through ``raise_events``.
+        """
+        batch = [
+            (notification.event_internal, self._params_for(notification))
+            for notification in notifications
+        ]
+        self.received += len(batch)
+        if len(batch) == 1:
+            name, params = batch[0]
+            self.led.raise_event(name, params)
+            return
+        self.coalesced_payloads += 1
+        self.coalesced_events += len(batch)
+        self.led.raise_events(batch)
+
+    def _params_for(self, notification: Notification) -> dict[str, object]:
         definition = self.event_lookup(notification.event_internal)
         if definition is None:
             self.rejected += 1
@@ -291,7 +327,7 @@ class EventNotifier:
         v_no = notification.v_no
         if v_no is None and self.v_no_lookup is not None:
             v_no = self.v_no_lookup(notification.event_internal)
-        params: dict[str, object] = {
+        return {
             "user": notification.user,
             "table": notification.table,
             "operation": notification.operation,
@@ -301,5 +337,3 @@ class EventNotifier:
                 for direction in definition.snapshot_directions
             },
         }
-        self.received += 1
-        self.led.raise_event(notification.event_internal, params)

@@ -90,6 +90,16 @@ _SYSTEM_TABLES = {
     "SysEcaAction": SYS_ACTION_LAYOUT,
 }
 
+#: Hot lookup column per system table; the generated native triggers and
+#: the context-processing joins filter on these, so each gets an index.
+_SYSTEM_INDEXES = {
+    "SysPrimitiveEvent": "eventName",
+    "SysCompositeEvent": "eventName",
+    "SysEcaTrigger": "triggerName",
+    "sysContext": "tableName",
+    "SysEcaAction": "triggerName",
+}
+
 
 class PersistentManager:
     """Owns the agent's DBA connection and the ECA system tables.
@@ -168,16 +178,26 @@ class PersistentManager:
     # table lifecycle
 
     def ensure_system_tables(self, database: str) -> None:
-        """Create any missing ECA system tables in a database."""
+        """Create any missing ECA system tables (and their hot-path
+        indexes) in a database.  Idempotent: re-running after recovery
+        only fills in whatever is absent."""
         db = self.server.catalog.get_database(database)
         for table_name, layout in _SYSTEM_TABLES.items():
-            if db.get_table(self.OWNER, table_name) is not None:
-                continue
-            columns = ", ".join(
-                _column_ddl(name, type_name, length, nullable)
-                for name, type_name, length, nullable in layout
-            )
-            self.execute(database, f"create table {table_name} ({columns})")
+            if db.get_table(self.OWNER, table_name) is None:
+                columns = ", ".join(
+                    _column_ddl(name, type_name, length, nullable)
+                    for name, type_name, length, nullable in layout
+                )
+                self.execute(database, f"create table {table_name} ({columns})")
+            table = db.get_table(self.OWNER, table_name)
+            column = _SYSTEM_INDEXES[table_name]
+            if (table is not None and table.index_on(column) is None
+                    and table.schema.index_of(column, required=False)
+                    is not None):
+                self.execute(database, (
+                    f"create index ECA_{table_name}_{column} "
+                    f"on {table_name} ({column})"
+                ))
 
     def has_system_tables(self, database: str) -> bool:
         """Whether every ECA system table already exists in a database."""

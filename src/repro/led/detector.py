@@ -109,6 +109,11 @@ class LocalEventDetector:
         self.events: dict[str, EventNode] = {}
         self.rules: dict[str, Rule] = {}
         self._rules_by_event: dict[str, list[Rule]] = {}
+        #: immutable per-event snapshots of the sorted rule buckets;
+        #: dispatch iterates these without copying (a rule action that
+        #: adds/drops rules mid-dispatch replaces the snapshot, it never
+        #: mutates the tuple being iterated)
+        self._rules_snapshot: dict[str, tuple[Rule, ...]] = {}
         self._timers = TimerQueue()
         self._seq = itertools.count(1)
         self._anon = itertools.count(1)
@@ -301,6 +306,7 @@ class LocalEventDetector:
             bucket = self._rules_by_event.setdefault(event_name, [])
             bucket.append(rule)
             bucket.sort(key=lambda r: (-r.priority, r.name))
+            self._rules_snapshot[event_name] = tuple(bucket)
             node.activate(context)
             return rule
 
@@ -312,10 +318,18 @@ class LocalEventDetector:
             bucket = self._rules_by_event.get(rule.event_name, [])
             if rule in bucket:
                 bucket.remove(rule)
+            if bucket:
+                self._rules_snapshot[rule.event_name] = tuple(bucket)
+            else:
+                self._rules_snapshot.pop(rule.event_name, None)
 
     def rules_for(self, event_name: str) -> list[Rule]:
-        """The rules attached to an event, highest priority first."""
-        return list(self._rules_by_event.get(event_name, []))
+        """The rules attached to an event, highest priority first.
+
+        Served from the precomputed snapshot — no per-call sorting or
+        bucket copying on the dispatch path.
+        """
+        return list(self._rules_snapshot.get(event_name, ()))
 
     # ------------------------------------------------------------------
     # raising events and time
@@ -329,47 +343,76 @@ class LocalEventDetector:
         when they are later executed, not here).
         """
         with self._lock:
-            node = self.get_event(name)
-            if not isinstance(node, PrimitiveEventNode):
-                raise EventDefinitionError(
-                    f"'{name}' is a composite event; only primitive events "
-                    "can be raised externally")
-            faults = self.faults
-            if faults is not None and faults.enabled:
-                from repro.faults import Directive
-
-                if faults.fire("led.raise", name) is Directive.DROP:
-                    return []
-            time = self.clock.now() if at is None else at
-            occurrence = primitive(name, time, next(self._seq), params)
-            metrics = self.metrics
-            if metrics is not None and metrics.enabled:
-                self._m_detected.labels("primitive", "-").inc()
-            journal = self.journal
-            journaled = journal is not None and journal.enabled
-            if journaled:
-                record = journal.append(
-                    KIND_RAISE, name, detail=f"t={time:g}",
-                    parents=journal.ambient_parents())
-                journal.register(occurrence, record.seq)
-                journal.observe_node(name, "-", fires=1)
-                journal.push(record.seq)
             outer = self._current_firings is None
             if outer:
                 self._current_firings = []
             try:
-                trace = self.trace
-                if trace is not None and trace.enabled:
-                    with trace.span(SPAN_LED_RAISE, name):
-                        node.on_raise(occurrence)
-                else:
-                    node.on_raise(occurrence)
+                self._raise_locked(name, params, at)
                 return list(self._current_firings or [])
             finally:
-                if journaled:
-                    journal.pop()
                 if outer:
                     self._current_firings = None
+
+    def raise_events(self, batch) -> list[RuleFiring]:
+        """Raise several primitive occurrences under one lock acquisition.
+
+        ``batch`` is an iterable of ``(name, params)`` pairs, raised in
+        order at the current clock time.  Semantically identical to
+        calling :meth:`raise_event` for each pair, but the locking and
+        firing-scope bookkeeping is paid once per batch — this is the
+        path a coalesced multi-event notification takes.  Returns the
+        combined synchronous firings, in raise order.
+        """
+        with self._lock:
+            outer = self._current_firings is None
+            if outer:
+                self._current_firings = []
+            try:
+                for name, params in batch:
+                    self._raise_locked(name, params, None)
+                return list(self._current_firings or [])
+            finally:
+                if outer:
+                    self._current_firings = None
+
+    def _raise_locked(self, name: str, params: dict[str, object] | None,
+                      at: float | None) -> None:
+        """One raise, with the lock held and a firing scope in place."""
+        node = self.get_event(name)
+        if not isinstance(node, PrimitiveEventNode):
+            raise EventDefinitionError(
+                f"'{name}' is a composite event; only primitive events "
+                "can be raised externally")
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            from repro.faults import Directive
+
+            if faults.fire("led.raise", name) is Directive.DROP:
+                return
+        time = self.clock.now() if at is None else at
+        occurrence = primitive(name, time, next(self._seq), params)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            self._m_detected.labels("primitive", "-").inc()
+        journal = self.journal
+        journaled = journal is not None and journal.enabled
+        if journaled:
+            record = journal.append(
+                KIND_RAISE, name, detail=f"t={time:g}",
+                parents=journal.ambient_parents())
+            journal.register(occurrence, record.seq)
+            journal.observe_node(name, "-", fires=1)
+            journal.push(record.seq)
+        try:
+            trace = self.trace
+            if trace is not None and trace.enabled:
+                with trace.span(SPAN_LED_RAISE, name):
+                    node.on_raise(occurrence)
+            else:
+                node.on_raise(occurrence)
+        finally:
+            if journaled:
+                journal.pop()
 
     def process_timers(self) -> list[RuleFiring]:
         """Run all timers due at the current clock time; returns firings."""
@@ -465,7 +508,7 @@ class LocalEventDetector:
 
     def _dispatch_rules(self, node: EventNode, occurrence: Occurrence,
                         context: Context | None) -> None:
-        rules = self._rules_by_event.get(node.name)
+        rules = self._rules_snapshot.get(node.name)
         if not rules:
             return
         metrics = self.metrics
@@ -474,7 +517,7 @@ class LocalEventDetector:
         traced = trace is not None and trace.enabled
         journal = self.journal
         journaled = journal is not None and journal.enabled
-        for rule in list(rules):
+        for rule in rules:
             if not rule.enabled:
                 continue
             if context is not None and rule.context is not context:

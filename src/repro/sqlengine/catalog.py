@@ -187,6 +187,15 @@ class Catalog:
     """All databases on one server."""
 
     databases: dict[str, Database] = field(default_factory=dict)
+    #: Monotonic schema version; every DDL statement bumps it (even a DDL
+    #: that fails part-way), and the server's plan cache refuses to serve
+    #: any plan parsed under an older epoch.
+    schema_epoch: int = 0
+
+    def bump_schema_epoch(self) -> int:
+        """Advance the schema epoch (called around every DDL statement)."""
+        self.schema_epoch += 1
+        return self.schema_epoch
 
     def create_database(self, name: str) -> Database:
         key = name.lower()

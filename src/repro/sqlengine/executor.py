@@ -33,6 +33,7 @@ from .expressions import (
     ColumnRef,
     Expression,
     FunctionCall,
+    InList,
     Literal,
     Star,
     contains_aggregate,
@@ -136,6 +137,19 @@ class Executor:
             raise ExecutionError(
                 f"no executor for statement {type(statement).__name__}"
             )
+        if type(statement) in _DDL_TYPES:
+            # Bump in a finally so even a DDL that fails (or crashes via
+            # fault injection) part-way invalidates every cached plan —
+            # the catalog may have partially changed.
+            try:
+                self._timed_execute(handler, statement, state)
+            finally:
+                self.server.catalog.bump_schema_epoch()
+            return
+        self._timed_execute(handler, statement, state)
+
+    def _timed_execute(self, handler, statement: Statement,
+                       state: ExecutionState) -> None:
         metrics = self.server.metrics
         if metrics is None or not metrics.enabled:
             handler(self, statement, state)
@@ -259,8 +273,8 @@ class Executor:
 
         env = RowEnvironment(sources, parent=outer_env)
         ctx = self._eval_context(state)
-        row_overrides = self._index_overrides(
-            statement.where, sources, tables, env, state)
+        row_overrides = self._scan_plan(
+            statement.where, sources, tables, env, ctx, state)
 
         grouped = bool(statement.group_by) or any(
             contains_aggregate(item.expr) for item in statement.items
@@ -289,6 +303,9 @@ class Executor:
         """Yield once per qualifying cross-product row (rows bound in-place).
 
         ``row_overrides`` narrows a source's candidate rows (index scans).
+        An override may be a list, or a zero-argument callable producing
+        one — a join probe, evaluated fresh each time the outer sources
+        it depends on are rebound.
         """
         if not sources:
             if where is None or is_true(evaluate(where, env, ctx)):
@@ -307,55 +324,150 @@ class Executor:
                     yield
                 return
             source = sources[depth]
-            for row in row_lists[depth]:
+            candidates = row_lists[depth]
+            if callable(candidates):
+                candidates = candidates()
+            for row in candidates:
                 source.row = row
                 yield from recurse(depth + 1)
             source.row = None
 
         yield from recurse(0)
 
-    def _index_overrides(self, where: Expression | None,
-                         sources: list[RowSource], tables: list[Table],
-                         env: RowEnvironment,
-                         state: ExecutionState) -> dict[int, list] | None:
-        """Candidate-row narrowing from equality predicates over indexed
-        columns: for each top-level conjunct ``col = <row-free expr>``
-        where ``col`` resolves to an indexed column of one source, use
-        the index instead of a full scan."""
+    def _indexed_position(self, column: Expression,
+                          sources: list[RowSource], tables: list[Table],
+                          env: RowEnvironment,
+                          overrides: dict) -> tuple[int, TableIndex] | None:
+        """Resolve a column reference to an un-overridden source position
+        whose table has an index on that column."""
+        if not isinstance(column, ColumnRef):
+            return None
+        try:
+            source, _column_index = env.resolve(column)
+        except Exception:
+            return None
+        for position, candidate in enumerate(sources):
+            if candidate is source:
+                break
+        else:
+            return None  # resolved into an outer query's sources
+        if position in overrides:
+            return None
+        table_index = tables[position].index_on(column.column_name)
+        if table_index is None:
+            return None
+        return position, table_index
+
+    def _scan_plan(self, where: Expression | None,
+                   sources: list[RowSource], tables: list[Table],
+                   env: RowEnvironment, ctx: EvalContext,
+                   state: ExecutionState) -> dict[int, object] | None:
+        """Index-driven scan narrowing from the WHERE's top-level conjuncts.
+
+        Per source position this installs at most one override:
+
+        - a static candidate list, from ``col = <row-free expr>`` or
+          ``col IN (<row-free exprs>)`` over an indexed column; or
+        - a probe callable, from an equi-join conjunct ``a.x = b.y``
+          whose later-bound side is indexed; the probe runs at iteration
+          time, after the earlier side's row is bound.
+
+        Soundness: each override comes from one conjunct, and the full
+        WHERE is still evaluated per candidate row — the index only
+        skips rows that cannot satisfy that conjunct.
+        """
         if where is None or not sources:
             return None
-        overrides: dict[int, list] = {}
+        overrides: dict[int, object] = {}
         for conjunct in _conjuncts(where):
+            if isinstance(conjunct, InList) and not conjunct.negated:
+                if any(_expr_has_columns(item) for item in conjunct.items):
+                    continue
+                resolved = self._indexed_position(
+                    conjunct.operand, sources, tables, env, overrides)
+                if resolved is None:
+                    continue
+                position, table_index = resolved
+                candidates: list = []
+                seen: set[int] = set()
+                for item in conjunct.items:
+                    value = self._eval_scalar(item, state)
+                    for row in table_index.lookup(tables[position], value):
+                        if id(row) not in seen:
+                            seen.add(id(row))
+                            candidates.append(row)
+                overrides[position] = candidates
+                self._note_index_scan("in")
+                continue
             if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
                 continue
-            for column_side, value_side in (
-                (conjunct.left, conjunct.right),
-                (conjunct.right, conjunct.left),
-            ):
-                if not isinstance(column_side, ColumnRef):
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+                resolved_left = self._indexed_position(
+                    left, sources, tables, env, {})
+                resolved_right = self._indexed_position(
+                    right, sources, tables, env, {})
+                # Probe the later-bound side with the earlier side's value.
+                best = None
+                for own, other in ((resolved_right, left),
+                                   (resolved_left, right)):
+                    if own is None:
+                        continue
+                    position, table_index = own
+                    if position in overrides:
+                        continue
+                    other_source = self._source_position(other, sources, env)
+                    if other_source is None or other_source >= position:
+                        continue
+                    best = (position, table_index, other)
+                    break
+                if best is None:
                     continue
+                position, table_index, probe_expr = best
+
+                def probe(index=table_index, table=tables[position],
+                          expr=probe_expr):
+                    return index.lookup(table, evaluate(expr, env, ctx))
+
+                overrides[position] = probe
+                self._note_index_scan("join")
+                continue
+            for column_side, value_side in ((left, right), (right, left)):
                 if _expr_has_columns(value_side):
                     continue
-                try:
-                    source, _column_index = env.resolve(column_side)
-                except Exception:
+                resolved = self._indexed_position(
+                    column_side, sources, tables, env, overrides)
+                if resolved is None:
                     continue
-                try:
-                    position = next(
-                        index for index, candidate in enumerate(sources)
-                        if candidate is source)
-                except StopIteration:
-                    continue
-                if position in overrides:
-                    continue
-                table = tables[position]
-                table_index = table.index_on(column_side.column_name)
-                if table_index is None:
-                    continue
+                position, table_index = resolved
                 value = self._eval_scalar(value_side, state)
-                overrides[position] = table_index.lookup(table, value)
+                overrides[position] = table_index.lookup(
+                    tables[position], value)
+                self._note_index_scan("eq")
                 break
         return overrides or None
+
+    @staticmethod
+    def _source_position(column: Expression, sources: list[RowSource],
+                         env: RowEnvironment) -> int | None:
+        """The position of the source a column reference binds to."""
+        if not isinstance(column, ColumnRef):
+            return None
+        try:
+            source, _column_index = env.resolve(column)
+        except Exception:
+            return None
+        for position, candidate in enumerate(sources):
+            if candidate is source:
+                return position
+        return None
+
+    def _note_index_scan(self, kind: str) -> None:
+        """Count one index-backed narrowing (plain counter + metrics)."""
+        server = self.server
+        server.index_scans += 1
+        if server._m_index_scans is not None:
+            server._m_index_scans.labels(kind).inc()
 
     def _execute_union(self, statement: UnionSelect,
                        state: ExecutionState) -> None:
@@ -734,9 +846,11 @@ class Executor:
             (table.schema.index_of(column), expr)
             for column, expr in statement.assignments
         ]
+        candidates = self._dml_candidates(
+            statement.where, source, table, env, ctx, state)
         deleted: list[list[object]] = []
         inserted: list[list[object]] = []
-        for row in table.rows:
+        for row in candidates:
             source.row = row
             if statement.where is not None and not is_true(
                     evaluate(statement.where, env, ctx)):
@@ -757,7 +871,8 @@ class Executor:
             inserted.append(list(row))
         source.row = None
         if inserted:
-            table.mark_modified()
+            table.mark_modified(
+                {column for column, _ in statement.assignments})
             for table_index in table.indexes.values():
                 table_index.check_unique(table)
         self._after_dml(state, len(inserted))
@@ -774,25 +889,46 @@ class Executor:
         env = RowEnvironment([source])
         ctx = self._eval_context(state)
         state.session.tx_log.before_table_mutation(table)
+        candidates = self._dml_candidates(
+            statement.where, source, table, env, ctx, state)
+        if candidates is table.rows:
+            def predicate(row: list[object]) -> bool:
+                if statement.where is None:
+                    return True
+                source.row = row
+                return is_true(evaluate(statement.where, env, ctx))
 
-        def predicate(row: list[object]) -> bool:
-            if statement.where is None:
-                return True
-            source.row = row
-            return is_true(evaluate(statement.where, env, ctx))
-
-        deleted = table.delete_rows(predicate)
+            deleted = table.delete_rows(predicate)
+        else:
+            # Index-narrowed: qualify the candidates first, then delete
+            # by row identity in one pass over the heap.
+            doomed: set[int] = set()
+            for row in candidates:
+                source.row = row
+                if is_true(evaluate(statement.where, env, ctx)):
+                    doomed.add(id(row))
+            deleted = table.delete_rows(lambda row: id(row) in doomed)
         source.row = None
         self._after_dml(state, len(deleted))
         self._fire_trigger(database, table, "delete", [], deleted, state)
+
+    def _dml_candidates(self, where: Expression | None, source: RowSource,
+                        table: Table, env: RowEnvironment, ctx: EvalContext,
+                        state: ExecutionState):
+        """Candidate rows for single-table DML: an index-narrowed list
+        when the WHERE permits, else the table's live row list."""
+        plan = self._scan_plan(where, [source], [table], env, ctx, state)
+        if plan and 0 in plan:
+            candidates = plan[0]
+            return candidates() if callable(candidates) else candidates
+        return table.rows
 
     def _execute_truncate(self, statement: TruncateStatement,
                           state: ExecutionState) -> None:
         table = self._resolve_table(statement.table, state)
         assert table is not None
         state.session.tx_log.before_table_mutation(table)
-        count = len(table.rows)
-        table.rows = []
+        count = table.truncate()
         # TRUNCATE skips triggers, like Sybase's fast path.
         self._after_dml(state, count)
 
@@ -1170,6 +1306,29 @@ Executor._HANDLERS = {
     CommitStatement: Executor._execute_commit,
     RollbackStatement: Executor._execute_rollback,
 }
+
+
+#: Statements that change the catalog's shape (tables, columns, views,
+#: procedures, triggers, indexes, databases).  Each bumps the schema
+#: epoch, invalidating every cached plan parsed before it.
+_DDL_TYPES: frozenset[type] = frozenset({
+    CreateTableStatement,
+    DropTableStatement,
+    AlterTableAddStatement,
+    CreateDatabaseStatement,
+    DropDatabaseStatement,
+    CreateProcedureStatement,
+    DropProcedureStatement,
+    CreateTriggerStatement,
+    DropTriggerStatement,
+    CreateViewStatement,
+    DropViewStatement,
+    CreateIndexStatement,
+    DropIndexStatement,
+    # ROLLBACK can resurrect dropped objects via recorded undos, so it
+    # counts as a catalog change for invalidation purposes.
+    RollbackStatement,
+})
 
 
 #: AST class -> metrics label; irregular names pinned, the rest derived

@@ -25,6 +25,7 @@ from .catalog import Catalog
 from .errors import SqlError
 from .executor import Executor
 from .parser import parse_batch, split_batches
+from .plancache import PlanCache
 from .results import BatchResult
 from .transactions import TransactionLog
 
@@ -81,11 +82,17 @@ class SqlServer:
         self._tx_end_listeners: list[Callable[[Session, bool], None]] = []
         #: count of batches executed, for the overhead benches
         self.batches_executed = 0
+        #: parsed-batch cache; epoch-checked against catalog.schema_epoch
+        self.plan_cache = PlanCache()
+        #: count of index-backed scan narrowings (eq/IN/join probes)
+        self.index_scans = 0
         #: optional metrics sink (attach_metrics); like the datagram sink,
         #: an outward-facing hook that leaves the engine itself passive
         self.metrics = None
         self._m_statements = None
         self._m_statement_seconds = None
+        self._m_plan_cache = None
+        self._m_index_scans = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -106,6 +113,8 @@ class SqlServer:
         if registry is None:
             self._m_statements = None
             self._m_statement_seconds = None
+            self._m_plan_cache = None
+            self._m_index_scans = None
             return
         self._m_statements = registry.counter(
             "sql_statements_total",
@@ -113,6 +122,12 @@ class SqlServer:
         self._m_statement_seconds = registry.histogram(
             "sql_statement_seconds",
             "SQL statement execution latency (seconds)", ("type",))
+        self._m_plan_cache = registry.counter(
+            "sql_plan_cache_total",
+            "Plan cache lookups by outcome", ("outcome",))
+        self._m_index_scans = registry.counter(
+            "sql_index_scans_total",
+            "Index-backed scan narrowings by predicate kind", ("kind",))
 
     def set_datagram_sink(self, sink: DatagramSink | None) -> None:
         """Attach (or detach) the destination for ``syb_sendmsg`` output."""
@@ -160,10 +175,37 @@ class SqlServer:
         result = BatchResult()
         with self._lock:
             for batch_text in split_batches(sql):
-                statements = parse_batch(batch_text)
+                statements = self._parse_cached(batch_text)
                 self.batches_executed += 1
                 self.executor.execute_batch(statements, session, result)
         return result
+
+    def _parse_cached(self, batch_text: str):
+        """Parse one batch, consulting the plan cache when enabled.
+
+        Parsing stays interleaved with execution — a later batch's syntax
+        error must still surface only after the earlier batches ran — so
+        caching happens per batch inside the script loop, not per script.
+        Statements are late-bound (names resolve at execution), so a hit
+        is semantically identical to a fresh parse at the same epoch.
+        """
+        cache = self.plan_cache
+        if not cache.enabled:
+            return parse_batch(batch_text)
+        epoch = self.catalog.schema_epoch
+        statements = cache.get(batch_text, epoch)
+        if statements is not None:
+            if self._m_plan_cache is not None:
+                self._m_plan_cache.labels("hit").inc()
+            return statements
+        if self._m_plan_cache is not None:
+            self._m_plan_cache.labels("miss").inc()
+        statements = tuple(parse_batch(batch_text))
+        # Only cache under an unchanged epoch: if parsing itself executed
+        # nothing, the epoch cannot move, but guard anyway for safety.
+        if self.catalog.schema_epoch == epoch:
+            cache.put(batch_text, epoch, statements)
+        return statements
 
     # ------------------------------------------------------------------
     # convenience introspection (used by tests, benches, and the agent)

@@ -1,0 +1,20 @@
+"""Run every agent test twice: plan cache force-on and force-off.
+
+The agent's hot path (generated triggers, context processing, system
+table writes) leans hardest on the server's statement/plan cache, so the
+whole agent suite runs in both modes to prove the cache never changes
+observable behaviour (see tests/sqlengine/conftest.py for the engine
+half of the same guarantee).
+"""
+
+import pytest
+
+from repro.sqlengine import plancache
+
+
+@pytest.fixture(autouse=True, params=["plan-cache-on", "plan-cache-off"])
+def plan_cache_mode(request, monkeypatch):
+    """Force the default plan-cache mode for servers built in this test."""
+    monkeypatch.setattr(
+        plancache, "DEFAULT_ENABLED", request.param == "plan-cache-on")
+    return request.param

@@ -156,6 +156,56 @@ class TestResetAndToggle:
         assert status["trace_records"] > 0
 
 
+class TestShowAgentCache:
+    def test_counters_and_index_listing(self, active):
+        server = active.endpoint.agent.server
+        server.plan_cache.enabled = True
+        active.execute("select * from stock")
+        active.execute("select * from stock")
+        result = active.execute("show agent cache")
+        summary = dict(result.result_sets[0].rows)
+        assert summary["plan_cache"] == "on"
+        assert summary["plan_cache_hits"] >= 1
+        assert summary["plan_cache_size"] >= 1
+        assert summary["schema_epoch"] == server.catalog.schema_epoch
+        # system-table auto-indexes appear in the listing
+        indexes = result.result_sets[1]
+        assert indexes.columns == [
+            "table", "index", "column", "unique", "rebuilds"]
+        names = [row[1] for row in indexes.rows]
+        assert any(name.startswith("ECA_") for name in names)
+
+    def test_row_limit_and_truncation_notice(self, active):
+        result = active.execute("show agent cache 1")
+        assert len(result.result_sets[1]) == 1
+        assert any("show agent cache" in m for m in result.messages)
+
+    def test_bad_count_answered_not_raised(self, active):
+        result = active.execute("show agent cache nope")
+        assert result.result_sets[0].columns == ["error"]
+        assert "row count" in result.result_sets[0].rows[0][0]
+
+    def test_reset_agent_cache(self, active):
+        server = active.endpoint.agent.server
+        server.plan_cache.enabled = True
+        active.execute("select * from stock")
+        active.execute("select * from stock")
+        active.execute("reset agent cache")
+        stats = server.plan_cache.stats()
+        assert stats["size"] == 0
+        assert stats["hits"] == 0
+        assert server.index_scans == 0
+
+    def test_coalescing_counters_surface(self, active):
+        # EX_ADD and EX_DEL watch different operations, so this insert
+        # notifies one event per datagram: no coalescing yet, but the
+        # counters exist and read zero.
+        result = active.execute("show agent cache")
+        summary = dict(result.result_sets[0].rows)
+        assert summary["coalesced_payloads"] == 0
+        assert summary["coalesced_events"] == 0
+
+
 class TestErrors:
     def test_unknown_agent_command_raises_usage(self, astock):
         with pytest.raises(AgentError, match="show agent stats"):

@@ -80,7 +80,9 @@ class TestNativeTriggerSql:
             registration, [event, second], [], "sentineldb.dbo",
             "127.0.0.1", 10006)
         assert sql.count("/* event ") == 2
-        assert sql.count("syb_sendmsg") == 2
+        # Both events' segments travel in ONE coalesced datagram.
+        assert sql.count("syb_sendmsg") == 1
+        assert 'select @msg = @msg + ";"' in sql
 
     def test_inline_procs_appended_in_order(self, event):
         registration = TableOpRegistration(

@@ -1,0 +1,57 @@
+"""A crash part-way through a DDL flow must leave no poisoned plan-cache
+entry: the epoch bump happens in a ``finally``, so even DDL that dies
+mid-statement (or a multi-statement persistence script that dies between
+statements) invalidates every plan parsed under the old schema.
+"""
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.faults import FaultPlan, POINT_PERSISTENCE_EXECUTE, SimulatedCrash
+from repro.sqlengine import SqlServer, connect
+
+STOCK_DDL = (
+    "create table stock ("
+    "symbol varchar(10) not null, price float null, qty int null)"
+)
+
+
+def test_crash_mid_ddl_leaves_no_poisoned_plan(plan_cache_mode):
+    server = SqlServer(default_database="sentineldb")
+    server.plan_cache.enabled = True
+
+    agent = EcaAgent(server)
+    conn = agent.connect(user="sharma", database="sentineldb")
+    conn.execute(STOCK_DDL)
+    conn.execute(
+        "create trigger t1 on stock for insert event addStk as print 'one'")
+    agent.close()
+
+    # Prime the cache: the second execution is a hit.
+    probe = connect(server, user="sharma", database="sentineldb")
+    server.plan_cache.clear()
+    probe.execute("select * from stock")
+    probe.execute("select * from stock")
+    assert server.plan_cache.hits == 1
+    epoch_before = server.catalog.schema_epoch
+
+    # Crash the agent between the action procedure's CREATE PROCEDURE
+    # (which already ran) and the SysEcaTrigger row insert.
+    plan = FaultPlan(seed=7)
+    plan.inject(POINT_PERSISTENCE_EXECUTE, kind="crash",
+                match="insert SysEcaTrigger")
+    chaos = EcaAgent(server, faults=plan)
+    chaos_conn = chaos.connect(user="sharma", database="sentineldb")
+    with pytest.raises(SimulatedCrash):
+        chaos_conn.execute("create trigger t2 event addStk as print 'two'")
+
+    # The interrupted flow still moved the epoch past every cached plan.
+    assert server.catalog.schema_epoch > epoch_before
+
+    # The primed entry is stale: re-executing it must invalidate and
+    # re-parse, never serve the pre-crash plan.
+    invalidations = server.plan_cache.invalidations
+    hits = server.plan_cache.hits
+    probe.execute("select * from stock")
+    assert server.plan_cache.invalidations == invalidations + 1
+    assert server.plan_cache.hits == hits

@@ -1,0 +1,19 @@
+"""Run every sqlengine test twice: plan cache force-on and force-off.
+
+The statement/plan cache must be semantically transparent — a cached
+batch has to behave exactly like a freshly parsed one.  Parametrizing
+the whole directory over both modes proves it: any test that passes only
+in one mode is a transparency bug.
+"""
+
+import pytest
+
+from repro.sqlengine import plancache
+
+
+@pytest.fixture(autouse=True, params=["plan-cache-on", "plan-cache-off"])
+def plan_cache_mode(request, monkeypatch):
+    """Force the default plan-cache mode for servers built in this test."""
+    monkeypatch.setattr(
+        plancache, "DEFAULT_ENABLED", request.param == "plan-cache-on")
+    return request.param

@@ -1,0 +1,153 @@
+"""The statement/plan cache: LRU behaviour, epoch invalidation, and the
+guarantee that DDL — successful or failed — never lets a stale plan run.
+"""
+
+import pytest
+
+from repro.sqlengine import SqlServer, connect
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.plancache import PlanCache
+
+
+class TestPlanCacheUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_miss_then_hit(self):
+        cache = PlanCache(enabled=True)
+        assert cache.get("select 1", 0) is None
+        cache.put("select 1", 0, [("stmt",)])
+        assert cache.get("select 1", 0) == (("stmt",),)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_drops_coldest(self):
+        cache = PlanCache(capacity=2, enabled=True)
+        cache.put("a", 0, [1])
+        cache.put("b", 0, [2])
+        cache.get("a", 0)              # refresh "a": "b" is now coldest
+        cache.put("c", 0, [3])
+        assert cache.evictions == 1
+        assert cache.get("a", 0) is not None
+        assert cache.get("b", 0) is None
+
+    def test_epoch_mismatch_invalidates(self):
+        cache = PlanCache(enabled=True)
+        cache.put("select 1", 3, [1])
+        assert cache.get("select 1", 4) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0         # the stale entry is gone for good
+
+    def test_stats_snapshot(self):
+        cache = PlanCache(capacity=8, enabled=True)
+        cache.put("a", 0, [1])
+        cache.get("a", 0)
+        cache.get("b", 0)
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["capacity"] == 8
+        assert stats["hit_rate"] == 0.5
+
+    def test_clear_resets_counters(self):
+        cache = PlanCache(enabled=True)
+        cache.put("a", 0, [1])
+        cache.get("a", 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+
+@pytest.fixture
+def cached(stock, server):
+    """The stock connection with the plan cache force-enabled and empty
+    (independent of the suite-wide on/off parametrization)."""
+    server.plan_cache.enabled = True
+    server.plan_cache.clear()
+    return stock
+
+
+class TestServerCaching:
+    def test_repeated_batch_hits(self, cached, server):
+        cached.execute("select * from stock")
+        cached.execute("select * from stock")
+        assert server.plan_cache.hits == 1
+        assert server.plan_cache.misses == 1
+
+    def test_distinct_text_misses(self, cached, server):
+        cached.execute("select * from stock")
+        cached.execute("select *  from stock")   # whitespace = new text
+        assert server.plan_cache.hits == 0
+        assert server.plan_cache.misses == 2
+
+    def test_cached_plan_sees_current_rows(self, cached, server):
+        cached.execute("select * from stock")
+        cached.execute("insert stock values ('IBM', 50, 10)")
+        result = cached.execute("select * from stock")
+        assert server.plan_cache.hits >= 1
+        assert len(result.result_sets[0]) == 1
+
+    def test_disabled_cache_never_populates(self, stock, server):
+        server.plan_cache.enabled = False
+        server.plan_cache.clear()
+        stock.execute("select * from stock")
+        stock.execute("select * from stock")
+        assert len(server.plan_cache) == 0
+        assert server.plan_cache.hits == 0
+
+
+class TestDdlInvalidation:
+    def test_alter_table_bumps_epoch_and_invalidates(self, cached, server):
+        cached.execute("select * from stock")
+        cached.execute("select * from stock")
+        epoch = server.catalog.schema_epoch
+        cached.execute("alter table stock add rating int null")
+        assert server.catalog.schema_epoch > epoch
+        result = cached.execute("select * from stock")
+        assert server.plan_cache.invalidations == 1
+        # the re-parsed plan sees the widened schema
+        assert "rating" in result.result_sets[0].columns
+
+    def test_create_procedure_bumps_epoch(self, cached, server):
+        epoch = server.catalog.schema_epoch
+        cached.execute("create procedure p_one as select * from stock")
+        assert server.catalog.schema_epoch > epoch
+
+    def test_drop_trigger_bumps_epoch(self, cached, server):
+        cached.execute("create trigger tr_x on stock for insert as print 'x'")
+        epoch = server.catalog.schema_epoch
+        cached.execute("drop trigger tr_x")
+        assert server.catalog.schema_epoch > epoch
+
+    def test_failed_ddl_still_bumps_epoch(self, cached, server):
+        epoch = server.catalog.schema_epoch
+        with pytest.raises(SqlError):
+            cached.execute("create table stock (symbol varchar(10) null)")
+        assert server.catalog.schema_epoch > epoch
+
+    def test_dml_does_not_bump_epoch(self, cached, server):
+        epoch = server.catalog.schema_epoch
+        cached.execute("insert stock values ('A', 1, 1)")
+        cached.execute("update stock set qty = 2")
+        cached.execute("delete stock")
+        assert server.catalog.schema_epoch == epoch
+
+
+def test_transparency_same_results_both_modes():
+    """The same workload, cache on vs cache off, byte-identical output."""
+    outputs = []
+    for enabled in (True, False):
+        server = SqlServer(default_database="sentineldb")
+        server.plan_cache.enabled = enabled
+        server.plan_cache.clear()
+        conn = connect(server, user="sharma", database="sentineldb")
+        conn.execute("create table t (k int null, v varchar(10) null)")
+        for i in range(5):
+            conn.execute(f"insert t values ({i}, 'v{i}')")
+        rows = []
+        for _ in range(3):
+            result = conn.execute("select k, v from t where k >= 1")
+            rows.append([list(row) for row in result.result_sets[0].rows])
+        outputs.append(rows)
+        if enabled:
+            assert server.plan_cache.hits >= 2
+    assert outputs[0] == outputs[1]
