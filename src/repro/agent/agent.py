@@ -251,6 +251,21 @@ class EcaAgent:
         """Run queued DEFERRED actions now."""
         return self.led.flush_deferred()
 
+    def start_detection_log(self) -> list:
+        """Begin recording the LED's detection history (primitive raises
+        and composite detections in propagation order) for differential
+        comparison; returns the live log list."""
+        return self.led.start_detection_log()
+
+    def stop_detection_log(self) -> list:
+        """Stop recording and return the captured detection history."""
+        return self.led.stop_detection_log()
+
+    def firing_history(self) -> list:
+        """The LED's rule-firing history (a list of
+        :class:`~repro.led.detector.RuleFiring`), in execution order."""
+        return list(self.led.history)
+
     def export_telemetry(self, label: str = "") -> int:
         """Snapshot metrics + spans + provenance into the attached
         :class:`~repro.obs.TelemetryExporter`'s JSONL file; returns the

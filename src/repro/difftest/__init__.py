@@ -1,0 +1,55 @@
+"""Differential testing harness for the ECA agent's Snoop semantics.
+
+Cross-checks three independent executions of the same seeded scenario —
+the full gateway/agent/LED stack, the reference Snoop interpreter
+(:mod:`repro.difftest.reference`), and the :mod:`repro.baselines`
+polling/embedded oracles — then shrinks any divergence to a minimal
+reproduction and replays it forever from ``tests/difftest/corpus/``.
+A chaos mode layers seeded fault schedules and plan-cache on/off over
+the same scenarios, asserting match-or-fail-loudly.
+"""
+
+from .chaos import ChaosReport, ChaosSchedule, run_chaos
+from .compare import (
+    Divergence,
+    compare_runs,
+    compare_stack_runs,
+    render_report,
+)
+from .mutations import MUTATIONS, apply_mutation
+from .reference import ReferenceDetector, ReferenceError
+from .runner import (
+    run_baselines,
+    run_reference,
+    run_scenario,
+    run_stack,
+)
+from .scenario import Scenario, generate_scenario
+from .shrink import (
+    load_corpus,
+    shrink_scenario,
+    write_corpus,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSchedule",
+    "Divergence",
+    "MUTATIONS",
+    "ReferenceDetector",
+    "ReferenceError",
+    "Scenario",
+    "apply_mutation",
+    "compare_runs",
+    "compare_stack_runs",
+    "generate_scenario",
+    "load_corpus",
+    "render_report",
+    "run_baselines",
+    "run_chaos",
+    "run_reference",
+    "run_scenario",
+    "run_stack",
+    "shrink_scenario",
+    "write_corpus",
+]

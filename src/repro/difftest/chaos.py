@@ -1,0 +1,140 @@
+"""Chaos differential runs: seeded fault schedules over scenarios.
+
+Layering a :class:`~repro.faults.FaultPlan` over a differential run
+splits the contract in two (match-or-fail-loudly; nothing silent):
+
+- *semantics-preserving* schedules (latency-only faults, transient
+  raises absorbed by the retry policies) must still match every oracle
+  exactly — a divergence is a real bug;
+- *lossy* schedules (dropped notifications, dropped raises, degraded
+  commands) may diverge from the oracle, but only **loudly**: the
+  injector must show the fault fired (or a command visibly degraded),
+  and the two stack configurations (plan cache on/off) must still agree
+  with each other, since the cache must be semantically invisible under
+  any schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.faults import (
+    FaultPlan,
+    POINT_ACTION_RUN,
+    POINT_GATEWAY_PROCESS,
+    POINT_LED_RAISE,
+    POINT_NOTIFIER_DECODE,
+)
+
+from .compare import Divergence, compare_runs, compare_stack_runs
+from .runner import run_reference, run_stack
+from .scenario import Scenario
+
+#: (name, lossy?, spec-builder) catalogue of chaos fault templates.
+#: Preserving entries must be absorbed by the pipeline's retry/latency
+#: tolerance; lossy entries visibly lose or refuse work.
+_CATALOGUE = (
+    ("gateway-latency", False,
+     lambda rng: dict(point=POINT_GATEWAY_PROCESS, kind="latency",
+                      latency=0.0, after=rng.randrange(3), times=3)),
+    ("action-latency", False,
+     lambda rng: dict(point=POINT_ACTION_RUN, kind="latency",
+                      latency=0.0, after=rng.randrange(3), times=3)),
+    ("notifier-transient-raise", False,
+     lambda rng: dict(point=POINT_NOTIFIER_DECODE, kind="raise",
+                      after=rng.randrange(5), times=1)),
+    ("notifier-drop", True,
+     lambda rng: dict(point=POINT_NOTIFIER_DECODE, kind="drop",
+                      after=rng.randrange(8), times=1)),
+    ("led-raise-drop", True,
+     lambda rng: dict(point=POINT_LED_RAISE, kind="drop",
+                      after=rng.randrange(8), times=1)),
+    ("gateway-degrade", True,
+     lambda rng: dict(point=POINT_GATEWAY_PROCESS, kind="raise",
+                      after=rng.randrange(8), times=1, match="insert")),
+)
+
+
+@dataclass
+class ChaosSchedule:
+    """One seeded chaos schedule: which templates were armed."""
+
+    seed: int
+    names: list[str]
+    lossy: bool
+
+    def build_plan(self) -> FaultPlan:
+        """A fresh :class:`FaultPlan` for this schedule (each stack run
+        gets its own injector; same seed, same firing pattern)."""
+        rng = random.Random(self.seed)
+        chosen = {name for name in self.names}
+        plan = FaultPlan(seed=self.seed)
+        for name, _, build in _CATALOGUE:
+            kwargs = build(rng)       # always draw: keeps rng aligned
+            if name in chosen:
+                plan.inject(**kwargs)
+        return plan
+
+
+def random_chaos_schedule(seed: int) -> ChaosSchedule:
+    """Pick one or two fault templates from the catalogue, seeded."""
+    rng = random.Random(seed)
+    count = rng.choice((1, 1, 2))
+    picks = rng.sample(range(len(_CATALOGUE)), count)
+    names = [_CATALOGUE[i][0] for i in sorted(picks)]
+    lossy = any(_CATALOGUE[i][1] for i in sorted(picks))
+    return ChaosSchedule(seed=seed, names=names, lossy=lossy)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos differential run."""
+
+    schedule: ChaosSchedule
+    divergences: list[Divergence] = field(default_factory=list)
+    faults_injected: int = 0
+    notifications_dropped: int = 0
+    commands_degraded: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+
+def run_chaos(scenario: Scenario, chaos_seed: int) -> ChaosReport:
+    """One chaos differential run of a scenario.
+
+    Executes the stack twice (plan cache on and off) under identical
+    seeded fault schedules and applies the match-or-fail-loudly
+    contract described in the module docstring.
+    """
+    schedule = random_chaos_schedule(chaos_seed)
+    on = run_stack(scenario, plan_cache=True, faults=schedule.build_plan())
+    off = run_stack(scenario, plan_cache=False,
+                    faults=schedule.build_plan())
+    report = ChaosReport(
+        schedule=schedule,
+        faults_injected=on.faults_injected,
+        notifications_dropped=on.notifications_dropped,
+        commands_degraded=len(on.degraded),
+    )
+    # The plan cache must be invisible under any schedule.
+    report.divergences.extend(compare_stack_runs(on, off))
+    reference = run_reference(scenario)
+    oracle_divergences = compare_runs(scenario, on, reference)
+    if not schedule.lossy:
+        # Preserving schedules must match the oracle exactly.
+        report.divergences.extend(oracle_divergences)
+    elif oracle_divergences:
+        # Lossy schedules may diverge — but never silently: demand
+        # visible fault evidence for the loss.
+        loud = (on.faults_injected > 0 or on.notifications_dropped > 0
+                or on.degraded)
+        if not loud:
+            report.divergences.append(Divergence(
+                "silent-divergence",
+                f"outputs diverge from the oracle under schedule "
+                f"{schedule.names} but no fault fired"))
+            report.divergences.extend(oracle_divergences)
+    return report

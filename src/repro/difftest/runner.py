@@ -1,0 +1,239 @@
+"""Execute one scenario three ways and collect comparison surfaces.
+
+The three executions of a :class:`~repro.difftest.scenario.Scenario`:
+
+1. :func:`run_stack` — the full gateway/agent/LED stack over a live
+   :class:`~repro.sqlengine.SqlServer`, with the plan cache on or off
+   and an optional seeded fault plan;
+2. :func:`run_reference` — the paper-literal reference interpreter fed
+   the primitive-occurrence stream the scenario's triggers notify;
+3. :func:`run_baselines` — a passive shadow replay cross-checked by the
+   :mod:`repro.baselines` polling monitor and embedded situation client.
+
+Each returns a plain observation dataclass; :mod:`repro.difftest.compare`
+diffs them.  All names in observations are *short* (the last segment of
+the agent's internal dotted names), so the stack and the reference are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.agent import EcaAgent
+from repro.baselines.embedded import EmbeddedSituationClient
+from repro.baselines.polling import PollingMonitor
+from repro.sqlengine import SqlServer, connect
+
+from .reference import ReferenceDetector
+from .scenario import AUDIT_DDL, DATABASE, Scenario, TABLE_DDL, USER
+
+#: Detections are compared as (event, context, constituent-seq-tuple);
+#: firings add the rule name and coupling mode.
+Detection = tuple[str, str | None, tuple[int, ...]]
+Firing = tuple[str, str, str, str, tuple[int, ...]]
+
+
+def _short(name: str) -> str:
+    """``difftest.dbo.c0`` -> ``c0`` (already-short names pass through)."""
+    return name.rsplit(".", 1)[-1]
+
+
+@dataclass
+class StackRun:
+    """Observation of one full-stack execution."""
+
+    primitives: list[tuple[str, int]] = field(default_factory=list)
+    detections: list[Detection] = field(default_factory=list)
+    firings: list[Firing] = field(default_factory=list)
+    audit: Counter = field(default_factory=Counter)
+    tables: dict[str, list[tuple]] = field(default_factory=dict)
+    #: (statement index, message) for statements the gateway degraded
+    degraded: list[tuple[int, str]] = field(default_factory=list)
+    faults_injected: int = 0
+    notifications_dropped: int = 0
+
+
+@dataclass
+class ReferenceRun:
+    """Observation of the reference-interpreter execution."""
+
+    primitives: list[tuple[str, int]] = field(default_factory=list)
+    detections: list[Detection] = field(default_factory=list)
+    firings: list[Firing] = field(default_factory=list)
+    audit: Counter = field(default_factory=Counter)
+
+
+@dataclass
+class BaselineRun:
+    """Observation of the passive shadow replay + baseline oracles."""
+
+    tables: dict[str, list[tuple]] = field(default_factory=dict)
+    #: every change the polling monitor inferred, in poll order
+    polling_changes: list[tuple[str, str, tuple]] = field(
+        default_factory=list)
+    #: final row count each embedded check reported, per table
+    embedded_counts: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioRun:
+    """All observations of one scenario execution."""
+
+    stack: StackRun
+    reference: ReferenceRun
+    baseline: BaselineRun
+
+
+def _read_rows(conn, table: str) -> list[tuple]:
+    result = conn.execute(f"select * from {table}")
+    rows = result.last.rows if result.last else []
+    return sorted(tuple(row) for row in rows)
+
+
+def run_stack(scenario: Scenario, *, plan_cache: bool = True,
+              faults=None) -> StackRun:
+    """Execute the scenario on the full gateway/agent/LED stack.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan` (or
+    injector) applied to the *statement stream only* — the injector is
+    disarmed while tables and rules are created, so every chaos run
+    starts from an identical installed rule set and the seeded schedule
+    is counted from the first streamed statement.  The stream keeps
+    going after degraded commands so chaos runs observe the agent's
+    graceful-degradation contract.
+    """
+    server = SqlServer(default_database=DATABASE)
+    server.plan_cache.enabled = bool(plan_cache)
+    agent = EcaAgent(server, channel="sync", faults=faults)
+    run = StackRun()
+    try:
+        agent.faults.armed = False
+        conn = agent.connect(user=USER, database=DATABASE)
+        for table in scenario.tables:
+            conn.execute(TABLE_DDL.format(name=table))
+        conn.execute(AUDIT_DDL)
+        for spec in scenario.primitives:
+            conn.execute(spec.to_sql())
+        for rule in scenario.rules:
+            conn.execute(rule.to_sql())
+        log = agent.start_detection_log()
+        agent.faults.armed = True
+        for index, statement in enumerate(scenario.statements):
+            result = conn.execute(statement.sql)
+            for message in result.messages:
+                if message.startswith("Agent error:"):
+                    run.degraded.append((index, message))
+        agent.faults.armed = False
+        agent.stop_detection_log()
+
+        composites = set(scenario.composite_events())
+        for name, context, occurrence in log:
+            short = _short(name)
+            if context is None:
+                run.primitives.append((short, occurrence.seq))
+            elif short in composites:
+                run.detections.append((
+                    short, context.value,
+                    tuple(occ.seq for occ in occurrence.flatten())))
+        for firing in agent.firing_history():
+            run.firings.append((
+                _short(firing.rule_name), _short(firing.event_name),
+                firing.context.value, firing.coupling.value,
+                tuple(occ.seq for occ in firing.occurrence.flatten())))
+        audit_result = conn.execute("select * from audit")
+        rows = audit_result.last.rows if audit_result.last else []
+        run.audit = Counter(row[0] for row in rows)
+        for table in scenario.tables:
+            run.tables[table] = _read_rows(conn, table)
+        run.faults_injected = agent.faults.injected_count
+        run.notifications_dropped = agent.notifier.dropped
+    finally:
+        agent.close()
+    return run
+
+
+def run_reference(scenario: Scenario) -> ReferenceRun:
+    """Execute the scenario on the reference Snoop interpreter.
+
+    The primitive-occurrence stream is derived from the scenario alone:
+    each statement raises the events registered on its (table,
+    operation), in trigger-creation order — exactly the segment order of
+    the stack's coalesced notification datagram.  DEFERRED rules flush
+    at statement end (no open transactions in generated streams).
+    """
+    ref = ReferenceDetector()
+    audit_rules = {rule.trigger for rule in scenario.rules}
+    for spec in scenario.primitives:
+        ref.define_primitive(spec.event)
+        if spec.coupling != "IMMEDIATE":
+            # IMMEDIATE primitive rules run inline inside the native
+            # trigger (no LED rule); every other coupling is LED-managed.
+            ref.add_rule(spec.trigger, spec.event,
+                         context="RECENT", coupling=spec.coupling)
+    for rule in scenario.rules:
+        if rule.expression is not None:
+            ref.define_composite(rule.event, rule.expression)
+        ref.add_rule(rule.trigger, rule.event, context=rule.context,
+                     coupling=rule.coupling, priority=rule.priority)
+    for statement in scenario.statements:
+        for event in scenario.raises_for(statement):
+            ref.raise_event(event)
+        ref.flush_deferred()
+
+    run = ReferenceRun()
+    composites = set(scenario.composite_events())
+    for detection in ref.detections:
+        if detection.context is None:
+            run.primitives.append(
+                (detection.event_name, detection.occurrence.seqs()[0]))
+        elif detection.event_name in composites:
+            run.detections.append((
+                detection.event_name, detection.context,
+                detection.occurrence.seqs()))
+    for firing in ref.firings:
+        run.firings.append((
+            firing.rule_name, firing.event_name, firing.context,
+            firing.coupling, firing.occurrence.seqs()))
+        if firing.rule_name in audit_rules:
+            run.audit[firing.rule_name] += 1
+    return run
+
+
+def run_baselines(scenario: Scenario) -> BaselineRun:
+    """Replay the DML stream on a passive shadow server, watched by the
+    polling and embedded-situation baseline oracles."""
+    shadow = SqlServer(default_database=DATABASE)
+    conn = connect(shadow, user=USER, database=DATABASE)
+    for table in scenario.tables:
+        conn.execute(TABLE_DDL.format(name=table))
+    run = BaselineRun()
+    counts: dict[str, list[int]] = {table: [] for table in scenario.tables}
+    client = EmbeddedSituationClient(conn)
+    for table in scenario.tables:
+        client.add_check(
+            table, f"select count(*) from {table}",
+            lambda rows, table=table: counts[table].append(rows[0][0]))
+    monitor = PollingMonitor(
+        shadow, list(scenario.tables), DATABASE, USER)
+    monitor.prime()
+    for statement in scenario.statements:
+        client.execute(statement.sql)
+        for change in monitor.poll():
+            run.polling_changes.append(
+                (change.table, change.kind, tuple(change.row)))
+    for table in scenario.tables:
+        run.tables[table] = _read_rows(conn, table)
+        run.embedded_counts[table] = counts[table][-1] if counts[table] else 0
+    return run
+
+
+def run_scenario(scenario: Scenario, *, plan_cache: bool = True,
+                 faults=None) -> ScenarioRun:
+    """Run all three executions of one scenario."""
+    return ScenarioRun(
+        stack=run_stack(scenario, plan_cache=plan_cache, faults=faults),
+        reference=run_reference(scenario),
+        baseline=run_baselines(scenario),
+    )

@@ -1,0 +1,208 @@
+"""Seeded differential-test scenarios: rules + DML, SQL + JSON forms.
+
+A :class:`Scenario` is the unit the harness runs, shrinks, and persists:
+monitored tables, primitive-event triggers, composite-event rules (with
+full parameter-context coverage), and a DML statement stream.  Every
+scenario is generated from a single seed via :func:`generate_scenario`
+and serialises losslessly to JSON, which is the format of the regression
+corpus under ``tests/difftest/corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.workloads.generators import (
+    DmlStatement,
+    PARAMETER_CONTEXTS,
+    random_dml_stream,
+    random_rule_set,
+)
+
+#: Identity every scenario runs under; all generated object names are
+#: lowercase, so LED-internal names (``difftest.dbo.<name>``) sort the
+#: same as the short names the reference interpreter uses.
+DATABASE = "difftest"
+USER = "dbo"
+
+#: Schema of every monitored table.
+TABLE_DDL = "create table {name} (k int not null, v int null)"
+
+#: The audit table collects composite-rule action effects; it has no
+#: triggers of its own, so actions never feed back into detection.
+AUDIT_DDL = "create table audit (rule varchar(40) not null, n int null)"
+
+
+@dataclass(frozen=True)
+class PrimitiveSpec:
+    """One primitive event: a trigger on ``(table, operation)``.
+
+    ``coupling`` decides the execution path: IMMEDIATE primitive rules
+    are *inline* (the generated native trigger executes the action
+    procedure directly, bypassing the LED), DEFERRED ones become LED
+    rules flushed at statement end — both paths are exercised.
+    """
+
+    event: str
+    table: str
+    operation: str
+    coupling: str = "IMMEDIATE"
+
+    @property
+    def trigger(self) -> str:
+        return f"t_{self.event}"
+
+    def to_sql(self) -> str:
+        return (f"create trigger {self.trigger} on {self.table} "
+                f"for {self.operation} event {self.event} "
+                f"{self.coupling} as print '{self.event}'")
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One composite-event rule.
+
+    The first rule naming an event carries its Snoop ``expression``;
+    extra rules on an already-defined event leave it ``None``.  Every
+    rule's action is one audit insert tagged with the trigger name, so
+    final table state reflects the firing multiset.
+    """
+
+    trigger: str
+    event: str
+    expression: str | None
+    context: str
+    coupling: str
+    priority: int
+
+    def to_sql(self) -> str:
+        event_clause = f"event {self.event}"
+        if self.expression is not None:
+            event_clause += f" = {self.expression}"
+        return (f"create trigger {self.trigger} {event_clause} "
+                f"{self.coupling} {self.context} {self.priority} "
+                f"as insert audit values ('{self.trigger}', 0)")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete differential-test scenario."""
+
+    seed: int
+    tables: tuple[str, ...]
+    primitives: tuple[PrimitiveSpec, ...]
+    rules: tuple[RuleSpec, ...]
+    statements: tuple[DmlStatement, ...]
+
+    def composite_events(self) -> list[str]:
+        """Names of the composite events this scenario defines."""
+        return [rule.event for rule in self.rules
+                if rule.expression is not None]
+
+    def contexts_covered(self) -> set[str]:
+        return {rule.context for rule in self.rules}
+
+    def raises_for(self, statement: DmlStatement) -> list[str]:
+        """The primitive events one statement notifies, in registration
+        (trigger-creation) order — the coalesced datagram's segment
+        order."""
+        return [p.event for p in self.primitives
+                if (p.table, p.operation) ==
+                (statement.table, statement.operation)]
+
+    def describe(self) -> str:
+        return (f"scenario seed={self.seed}: {len(self.tables)} tables, "
+                f"{len(self.primitives)} primitive events, "
+                f"{len(self.rules)} rules, "
+                f"{len(self.statements)} statements")
+
+    # -- serialization (the corpus format) ------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "tables": list(self.tables),
+            "primitives": [asdict(p) for p in self.primitives],
+            "rules": [asdict(r) for r in self.rules],
+            "statements": [asdict(s) for s in self.statements],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        payload = json.loads(text)
+        return cls(
+            seed=payload["seed"],
+            tables=tuple(payload["tables"]),
+            primitives=tuple(
+                PrimitiveSpec(**p) for p in payload["primitives"]),
+            rules=tuple(RuleSpec(**r) for r in payload["rules"]),
+            statements=tuple(
+                DmlStatement(**s) for s in payload["statements"]),
+        )
+
+    def with_statements(self, statements) -> "Scenario":
+        return replace(self, statements=tuple(statements))
+
+    def with_rules(self, rules) -> "Scenario":
+        return replace(self, rules=tuple(rules))
+
+    def with_primitives(self, primitives) -> "Scenario":
+        return replace(self, primitives=tuple(primitives))
+
+
+def generate_scenario(seed: int, *, n_tables: int = 2,
+                      n_primitives: int = 5, n_composites: int = 5,
+                      n_extra_rules: int = 2,
+                      n_statements: int = 30) -> Scenario:
+    """Generate the seeded scenario for one differential run.
+
+    ``n_composites`` must be at least four so the cycled contexts cover
+    every Snoop parameter context (:data:`PARAMETER_CONTEXTS`).
+    """
+    if n_composites < len(PARAMETER_CONTEXTS):
+        raise ValueError("need at least four composites for full "
+                         "parameter-context coverage")
+    rng = random.Random(seed)
+    tables = tuple(f"t{i}" for i in range(n_tables))
+    operations = ("insert", "update", "delete")
+    primitives = tuple(
+        PrimitiveSpec(
+            event=f"p{i}",
+            table=rng.choice(tables),
+            operation=rng.choice(operations),
+            coupling=rng.choice(("IMMEDIATE", "DEFERRED")),
+        )
+        for i in range(n_primitives)
+    )
+    rules: list[RuleSpec] = []
+    composites = random_rule_set(
+        rng, [p.event for p in primitives], n_composites)
+    for spec in composites:
+        rules.append(RuleSpec(
+            trigger=f"trg_{spec.event}",
+            event=spec.event,
+            expression=spec.expression,
+            context=spec.context,
+            coupling=spec.coupling,
+            priority=spec.priority,
+        ))
+    for index in range(n_extra_rules):
+        target = rng.choice(composites)
+        rules.append(RuleSpec(
+            trigger=f"xr{index}_{target.event}",
+            event=target.event,
+            expression=None,
+            context=rng.choice(PARAMETER_CONTEXTS),
+            coupling=rng.choice(("IMMEDIATE", "DEFERRED")),
+            priority=rng.choice([1, 1, 2]),
+        ))
+    statements = tuple(random_dml_stream(rng, list(tables), n_statements))
+    return Scenario(
+        seed=seed,
+        tables=tables,
+        primitives=primitives,
+        rules=tuple(rules),
+        statements=statements,
+    )

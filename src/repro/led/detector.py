@@ -131,6 +131,12 @@ class LocalEventDetector:
         #: optional fault-injection harness (``led.raise`` point); the
         #: agent attaches its injector, standalone detectors leave None
         self.faults = None
+        #: optional detection log: when a list, every primitive raise
+        #: (context ``None``) and composite detection is appended as a
+        #: ``(event_name, context, occurrence)`` triple in propagation
+        #: order.  The differential-test harness turns this on around a
+        #: scenario run; ``None`` (the default) costs one branch.
+        self.detection_log: list[tuple[str, Context | None, Occurrence]] | None = None
         self._m_detected = None
         self._m_rules_fired = None
         self._m_conditions = None
@@ -169,6 +175,25 @@ class LocalEventDetector:
             self._m_detected = None
             self._m_rules_fired = None
             self._m_conditions = None
+
+    def start_detection_log(self) -> list:
+        """Begin recording detections for differential comparison.
+
+        Resets and returns the live log list; every subsequent primitive
+        raise is appended as ``(name, None, occurrence)`` and every
+        composite detection as ``(name, context, occurrence)``, in exact
+        propagation order.  Used by :mod:`repro.difftest` to compare the
+        LED against the reference interpreter.
+        """
+        with self._lock:
+            self.detection_log = []
+            return self.detection_log
+
+    def stop_detection_log(self) -> list:
+        """Stop recording and return the captured detection log."""
+        with self._lock:
+            log, self.detection_log = self.detection_log, None
+            return log if log is not None else []
 
     # ------------------------------------------------------------------
     # event definition
@@ -391,6 +416,9 @@ class LocalEventDetector:
                 return
         time = self.clock.now() if at is None else at
         occurrence = primitive(name, time, next(self._seq), params)
+        log = self.detection_log
+        if log is not None:
+            log.append((name, None, occurrence))
         metrics = self.metrics
         if metrics is not None and metrics.enabled:
             self._m_detected.labels("primitive", "-").inc()

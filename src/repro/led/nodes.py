@@ -100,6 +100,9 @@ class EventNode:
             journal.record_detection(
                 self.name, context.value, occurrence,
                 consuming=context is not Context.RECENT)
+        log = detector.detection_log
+        if log is not None:
+            log.append((self.name, context, occurrence))
         detector._dispatch_rules(self, occurrence, context)
         for parent, role in self.parents:
             if context in parent.active_contexts:
@@ -149,7 +152,14 @@ class PrimitiveEventNode(EventNode):
         journaled = journal is not None and journal.enabled
         detector._dispatch_rules(self, occurrence, None)
         for parent, role in self.parents:
-            for context in tuple(parent.active_contexts):
+            # Canonical Context definition order, not set order: Enum
+            # members hash by identity, so iterating the set directly
+            # would feed multi-context parents in an order that varies
+            # between interpreter runs — unacceptable for seed-exact
+            # reproduction (difftest corpus replay).
+            for context in Context:
+                if context not in parent.active_contexts:
+                    continue
                 if traced or journaled:
                     self._feed_slow(parent, role, occurrence, context,
                                     trace if traced else None,

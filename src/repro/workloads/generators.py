@@ -11,6 +11,11 @@ from dataclasses import dataclass, field
 
 _BINARY_OPS = ["OR", "AND", "SEQ"]
 
+#: The four Snoop parameter contexts, in canonical order; context-coverage
+#: generation cycles through these so every seeded scenario exercises all
+#: of them.
+PARAMETER_CONTEXTS = ("RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE")
+
 
 def random_snoop_expression(rng: random.Random, leaves: list[str],
                             depth: int) -> str:
@@ -98,3 +103,92 @@ class EcaWorkload:
     def event_stream(self, count: int, seed: int = 23) -> list[str]:
         """A stream of primitive raises exercising the installed graph."""
         return RandomEventStream(self.primitives, seed).take(count)
+
+
+@dataclass(frozen=True)
+class DmlStatement:
+    """One generated DML statement against a monitored table."""
+
+    table: str
+    operation: str      # insert | update | delete
+    sql: str
+
+
+def random_dml_stream(rng: random.Random, tables: list[str],
+                      count: int) -> list[DmlStatement]:
+    """A seeded DML stream over ``(k int, v int)`` tables.
+
+    Roughly 50% inserts / 30% updates / 20% deletes; updates and deletes
+    mostly target live keys but occasionally a missing one, so zero-row
+    statements (whose statement-level triggers still fire) are covered.
+    """
+    next_key = {table: 0 for table in tables}
+    live: dict[str, list[int]] = {table: [] for table in tables}
+    statements: list[DmlStatement] = []
+    for _ in range(count):
+        table = rng.choice(tables)
+        roll = rng.random()
+        keys = live[table]
+        if roll < 0.5 or not keys:
+            key = next_key[table]
+            next_key[table] += 1
+            keys.append(key)
+            sql = f"insert {table} values ({key}, {rng.randrange(100)})"
+            operation = "insert"
+        elif roll < 0.8:
+            key = (rng.choice(keys) if rng.random() < 0.8
+                   else next_key[table] + 50)
+            sql = (f"update {table} set v = {rng.randrange(100)} "
+                   f"where k = {key}")
+            operation = "update"
+        else:
+            key = (rng.choice(keys) if rng.random() < 0.8
+                   else next_key[table] + 50)
+            if key in keys:
+                keys.remove(key)
+            sql = f"delete {table} where k = {key}"
+            operation = "delete"
+        statements.append(DmlStatement(table, operation, sql))
+    return statements
+
+
+@dataclass(frozen=True)
+class CompositeRuleSpec:
+    """One generated composite event + its defining rule parameters."""
+
+    event: str
+    expression: str
+    context: str
+    coupling: str
+    priority: int
+
+
+def random_rule_set(rng: random.Random, primitives: list[str],
+                    n_composites: int,
+                    couplings: tuple[str, ...] = ("IMMEDIATE", "DEFERRED"),
+                    ) -> list[CompositeRuleSpec]:
+    """A seeded set of composite-event rules with full context coverage.
+
+    Contexts cycle through :data:`PARAMETER_CONTEXTS`, so any set of four
+    or more composites exercises every Snoop parameter context.  Later
+    composites may reference earlier ones as leaves (event reuse — shared
+    subgraphs in the LED).
+    """
+    specs: list[CompositeRuleSpec] = []
+    leaves = list(primitives)
+    for index in range(n_composites):
+        expression = random_snoop_expression(
+            rng, leaves, rng.choice([1, 2, 2, 3]))
+        if "(" not in expression:
+            # A bare name does not define a new event; promote it.
+            expression = f"({expression} OR {expression})"
+        name = f"c{index}"
+        specs.append(CompositeRuleSpec(
+            event=name,
+            expression=expression,
+            context=PARAMETER_CONTEXTS[index % len(PARAMETER_CONTEXTS)],
+            coupling=rng.choice(couplings),
+            priority=rng.choice([1, 1, 1, 2, 3]),
+        ))
+        leaves.append(name)
+    return specs

@@ -36,6 +36,61 @@ class TestNotificationCodec:
             Notification.decode(bad)
 
 
+GOOD_SEGMENT = "sharma stock insert begin sentineldb.sharma.e1 1"
+
+
+class TestDecodeBatchMalformed:
+    """Coalesced datagrams with truncated or garbage segments must fail
+    with the typed error — never decode into phantom notifications."""
+
+    def test_single_segment_matches_decode(self):
+        assert Notification.decode_batch(GOOD_SEGMENT) == [
+            Notification.decode(GOOD_SEGMENT)]
+
+    @pytest.mark.parametrize("bad", [
+        "",                      # empty datagram
+        ";",                     # separators only
+        " ; ;  ; ",
+        "u t op begin",          # truncated mid-segment
+        f"{GOOD_SEGMENT}; u t op begin",          # good then truncated
+        f"u t op; {GOOD_SEGMENT}",                # truncated then good
+        f"{GOOD_SEGMENT}; u t op begin ev junk",  # garbage vNo
+        "\x00\x01 garbage \x02",                  # binary noise
+    ])
+    def test_malformed_batch_raises_typed_error(self, bad):
+        with pytest.raises(NotificationError):
+            Notification.decode_batch(bad)
+
+    def test_trailing_separator_is_not_a_phantom_segment(self):
+        decoded = Notification.decode_batch(f"{GOOD_SEGMENT};")
+        assert len(decoded) == 1
+
+    def test_malformed_payload_raises_no_phantom_event(self, agent, astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'x'")
+        log = agent.start_detection_log()
+        with pytest.raises(NotificationError):
+            agent.notifier.on_payload(
+                f"{GOOD_SEGMENT}; truncated segment")
+        agent.stop_detection_log()
+        # The bad segment rejects the whole datagram before any raise:
+        # the LED never sees an occurrence, not even the good segment's.
+        assert log == []
+        assert agent.notifier.received == 0
+
+    def test_unknown_event_in_batch_rejects_whole_payload(self, agent,
+                                                          astock):
+        astock.execute(
+            "create trigger t1 on stock for insert event e1 as print 'x'")
+        log = agent.start_detection_log()
+        with pytest.raises(NotificationError):
+            agent.notifier.on_payload(
+                f"{GOOD_SEGMENT}; sharma stock insert begin no.such.ev 2")
+        agent.stop_detection_log()
+        assert log == []
+        assert agent.notifier.rejected == 1
+
+
 class TestSynchronousChannel:
     def test_delivers_inline(self):
         channel = SynchronousChannel()

@@ -1,12 +1,42 @@
-"""Shared fixtures: a fresh server, direct and mediated connections."""
+"""Shared fixtures: a fresh server, direct and mediated connections,
+and the suite-wide randomness seed."""
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
 from repro.agent import EcaAgent
 from repro.core import ActiveDatabase
 from repro.sqlengine import SqlServer, connect
+
+#: Default seed for every seeded test; override with REPRO_TEST_SEED=n
+#: to rotate the whole suite's randomised coverage in one move.
+DEFAULT_TEST_SEED = 7
+
+
+@pytest.fixture
+def rng_seed(request) -> int:
+    """The suite's randomness seed (env-overridable, echoed on failure).
+
+    Seeded tests take this instead of hard-coding a literal, so
+    ``REPRO_TEST_SEED=n pytest`` re-rolls every randomised test at once
+    and a red test's report always names the seed that reproduces it.
+    """
+    seed = int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+    # Echo into the failure report: pytest prints captured output for
+    # failing tests, so the reproducing seed is always in the log.
+    print(f"[rng_seed] {request.node.name} running with seed {seed} "
+          f"(override with REPRO_TEST_SEED)")
+    return seed
+
+
+@pytest.fixture
+def rng(rng_seed) -> random.Random:
+    """A fresh ``random.Random`` seeded with :func:`rng_seed`."""
+    return random.Random(rng_seed)
 
 STOCK_DDL = (
     "create table stock ("

@@ -1,0 +1,47 @@
+"""Chaos differential runs: match-or-fail-loudly.
+
+Seeded fault schedules over the same scenarios the clean sweep uses.
+Preserving schedules must still match the reference oracle; lossy ones
+may diverge but only with visible fault evidence, and the plan cache
+must stay invisible under every schedule.
+"""
+
+import pytest
+
+from repro.difftest import generate_scenario, run_chaos
+from repro.difftest.chaos import ChaosSchedule, random_chaos_schedule
+
+
+@pytest.mark.parametrize("chaos_seed", range(100, 108))
+def test_chaos_schedules_are_clean(chaos_seed):
+    scenario = generate_scenario(chaos_seed - 100)
+    report = run_chaos(scenario, chaos_seed)
+    assert report.clean, (
+        f"schedule {report.schedule.names}:\n"
+        + "\n".join(map(str, report.divergences)))
+
+
+def test_chaos_runs_actually_inject(rng_seed):
+    # A chaos suite whose faults never fire is indistinguishable from
+    # the clean sweep; demand evidence across a small schedule sample.
+    injected = 0
+    for offset in range(4):
+        report = run_chaos(
+            generate_scenario(offset), 100 + rng_seed + offset)
+        injected += report.faults_injected
+    assert injected > 0
+
+
+def test_schedule_is_seed_deterministic():
+    assert random_chaos_schedule(42) == random_chaos_schedule(42)
+
+
+def test_schedule_plans_are_independent_instances():
+    schedule = random_chaos_schedule(5)
+    assert schedule.build_plan() is not schedule.build_plan()
+
+
+def test_lossy_flag_tracks_catalogue():
+    schedule = ChaosSchedule(seed=1, names=["notifier-drop"], lossy=True)
+    plan = schedule.build_plan()
+    assert plan.specs, "chosen template must arm at least one fault"

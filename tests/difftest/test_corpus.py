@@ -1,0 +1,34 @@
+"""Replay every committed regression corpus entry.
+
+Each ``tests/difftest/corpus/*.json`` file is a minimised scenario the
+shrinker produced from a past divergence (or a mutation self-check).
+They must replay with zero divergences on the healthy stack, forever —
+one failing again means the bug it pins has come back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.difftest import compare_runs, load_corpus, run_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, (
+        f"no corpus entries under {CORPUS_DIR}; regenerate with "
+        "`python tools/check_difftest.py mutate seq-chronicle-newest "
+        "--write-corpus`")
+
+
+@pytest.mark.parametrize(
+    "path,scenario", ENTRIES, ids=[path.name for path, _ in ENTRIES])
+def test_corpus_entry_replays_clean(path, scenario):
+    run = run_scenario(scenario)
+    divergences = compare_runs(
+        scenario, run.stack, run.reference, run.baseline)
+    assert divergences == [], (
+        f"{path.name} diverges again:\n" + "\n".join(map(str, divergences)))

@@ -1,0 +1,214 @@
+"""The reference interpreter against hand-computed Snoop examples and,
+property-style, against the raw LED over seeded random graphs."""
+
+import random
+
+import pytest
+
+from repro.difftest.reference import (
+    CONTEXTS,
+    ReferenceDetector,
+    ReferenceError,
+)
+from repro.led import LocalEventDetector
+from repro.workloads.generators import random_snoop_expression
+
+
+def _ref(*prims):
+    ref = ReferenceDetector()
+    for name in prims:
+        ref.define_primitive(name)
+    return ref
+
+
+def _detected(ref, name):
+    """(context, constituent-seq-tuple) pairs detected for ``name``."""
+    return [(d.context, d.occurrence.seqs())
+            for d in ref.detections if d.event_name == name]
+
+
+class TestReferenceByHand:
+    """Context semantics spot-checked against the paper's definitions."""
+
+    def test_or_passes_everything_through(self):
+        ref = _ref("a", "b")
+        ref.define_composite("c", "a OR b")
+        ref.add_rule("r", "c", context="RECENT")
+        ref.raise_event("a")
+        ref.raise_event("b")
+        assert _detected(ref, "c") == [("RECENT", (1,)), ("RECENT", (2,))]
+
+    def test_and_recent_keeps_latest_initiator(self):
+        # a1 a2 b3 b4 -> RECENT pairs (a2,b3) then (b3? no: a2,b4): the
+        # retained latest of each side pairs with each new arrival.
+        ref = _ref("a", "b")
+        ref.define_composite("c", "a AND b")
+        ref.add_rule("r", "c", context="RECENT")
+        for name in ("a", "a", "b", "b"):
+            ref.raise_event(name)
+        assert _detected(ref, "c") == [
+            ("RECENT", (2, 3)), ("RECENT", (2, 4))]
+
+    def test_and_chronicle_pairs_fifo(self):
+        ref = _ref("a", "b")
+        ref.define_composite("c", "a AND b")
+        ref.add_rule("r", "c", context="CHRONICLE")
+        for name in ("a", "a", "b", "b", "b"):
+            ref.raise_event(name)
+        # (a1,b3), (a2,b4); b5 waits for a partner.
+        assert _detected(ref, "c") == [
+            ("CHRONICLE", (1, 3)), ("CHRONICLE", (2, 4))]
+
+    def test_seq_continuous_one_detection_per_open_window(self):
+        ref = _ref("a", "b")
+        ref.define_composite("c", "a SEQ b")
+        ref.add_rule("r", "c", context="CONTINUOUS")
+        for name in ("a", "a", "b", "b"):
+            ref.raise_event(name)
+        # b3 terminates both open windows (consumed); b4 finds none.
+        assert _detected(ref, "c") == [
+            ("CONTINUOUS", (1, 3)), ("CONTINUOUS", (2, 3))]
+
+    def test_seq_cumulative_accumulates_all_initiators(self):
+        ref = _ref("a", "b")
+        ref.define_composite("c", "a SEQ b")
+        ref.add_rule("r", "c", context="CUMULATIVE")
+        for name in ("a", "a", "b", "b"):
+            ref.raise_event(name)
+        assert _detected(ref, "c") == [("CUMULATIVE", (1, 2, 3))]
+
+    def test_not_middle_cancels_window(self):
+        ref = _ref("a", "b", "x")
+        ref.define_composite("c", "NOT(a, x, b)")
+        ref.add_rule("r", "c", context="CHRONICLE")
+        for name in ("a", "x", "b", "a", "b"):
+            ref.raise_event(name)
+        # The first window dies at x2; the second (a4..b5) survives.
+        assert _detected(ref, "c") == [("CHRONICLE", (4, 5))]
+
+    def test_aperiodic_signals_every_middle_without_consuming(self):
+        ref = _ref("a", "m", "t")
+        ref.define_composite("c", "A(a, m, t)")
+        ref.add_rule("r", "c", context="CHRONICLE")
+        for name in ("a", "m", "m", "t", "m"):
+            ref.raise_event(name)
+        # Each m inside the open window signals; t closes it; the last m
+        # finds no window.
+        assert _detected(ref, "c") == [
+            ("CHRONICLE", (1, 2)), ("CHRONICLE", (1, 3))]
+
+    def test_aperiodic_star_fires_once_at_terminator(self):
+        ref = _ref("a", "m", "t")
+        ref.define_composite("c", "A*(a, m, t)")
+        ref.add_rule("r", "c", context="CHRONICLE")
+        for name in ("a", "m", "m", "t", "t"):
+            ref.raise_event(name)
+        assert _detected(ref, "c") == [("CHRONICLE", (1, 2, 3, 4))]
+
+    def test_deferred_rules_fire_in_flush_order(self):
+        ref = _ref("a")
+        ref.define_composite("c", "a OR a")
+        ref.add_rule("r1", "c", context="RECENT", coupling="DEFERRED")
+        ref.add_rule("r2", "c", context="RECENT", priority=5)
+        ref.raise_event("a")
+        assert [f.rule_name for f in ref.firings] == ["r2", "r2"]
+        ref.flush_deferred()
+        assert [f.rule_name for f in ref.firings] == [
+            "r2", "r2", "r1", "r1"]
+
+    def test_temporal_operators_rejected(self):
+        ref = _ref("a", "b")
+        with pytest.raises(ReferenceError):
+            ref.define_composite("c", "P(a, [3 sec], b)")
+        with pytest.raises(ReferenceError):
+            ref.define_composite("c", "a PLUS [1 sec]")
+
+    def test_detached_rules_rejected(self):
+        ref = _ref("a")
+        ref.define_composite("c", "a OR a")
+        with pytest.raises(ReferenceError):
+            ref.add_rule("r", "c", coupling="DETACHED")
+
+
+def _build_pair(seed):
+    """The same random graph + rules installed in a LED and a reference."""
+    rng = random.Random(seed)
+    prims = [f"e{i}" for i in range(5)]
+    led = LocalEventDetector()
+    ref = ReferenceDetector()
+    for name in prims:
+        led.define_primitive(name)
+        ref.define_primitive(name)
+    leaves = list(prims)
+    for index in range(4):
+        name = f"c{index}"
+        expression = random_snoop_expression(
+            rng, leaves, rng.choice([1, 2, 2, 3]))
+        if "(" not in expression:
+            expression = f"({expression} OR {expression})"
+        led.define_composite(name, expression)
+        ref.define_composite(name, expression)
+        leaves.append(name)   # event reuse: later composites may nest it
+        for rule_index in range(rng.choice([1, 1, 2])):
+            context = rng.choice(CONTEXTS)
+            coupling = rng.choice(["IMMEDIATE", "DEFERRED"])
+            priority = rng.choice([1, 1, 1, 2, 3])
+            rule = f"r_{name}_{rule_index}"
+            led.add_rule(rule, name, action=lambda occ: None,
+                         context=context, coupling=coupling,
+                         priority=priority)
+            ref.add_rule(rule, name, context=context, coupling=coupling,
+                         priority=priority)
+    statements = []
+    for _ in range(rng.randrange(10, 18)):
+        statements.append(
+            [rng.choice(prims) for _ in range(rng.randrange(1, 4))])
+    return led, ref, statements
+
+
+def _led_surfaces(led, log, named):
+    detections = [
+        (name, context.value if context is not None else None,
+         tuple(occ.seq for occ in occurrence.flatten()))
+        for name, context, occurrence in log if name in named
+    ]
+    firings = [
+        (f.rule_name, f.event_name, f.context.value, f.coupling.value,
+         tuple(occ.seq for occ in f.occurrence.flatten()))
+        for f in led.history
+    ]
+    return detections, firings
+
+
+def _ref_surfaces(ref, named):
+    detections = [
+        (d.event_name, d.context, d.occurrence.seqs())
+        for d in ref.detections if d.event_name in named
+    ]
+    firings = [
+        (f.rule_name, f.event_name, f.context, f.coupling,
+         f.occurrence.seqs())
+        for f in ref.firings
+    ]
+    return detections, firings
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_reference_matches_raw_led(seed):
+    """Property: on seeded random graphs and streams, the LED and the
+    reference produce identical detection and firing histories."""
+    led, ref, statements = _build_pair(seed)
+    log = led.start_detection_log()
+    for batch in statements:
+        led.raise_events((name, None) for name in batch)
+        led.flush_deferred()
+        for name in batch:
+            ref.raise_event(name)
+        ref.flush_deferred()
+    led.stop_detection_log()
+    named = set(led.events) - {
+        name for name in led.events if name.startswith("_anon")}
+    led_detections, led_firings = _led_surfaces(led, log, named)
+    ref_detections, ref_firings = _ref_surfaces(ref, named)
+    assert led_detections == ref_detections, f"seed={seed}"
+    assert led_firings == ref_firings, f"seed={seed}"

@@ -1,0 +1,61 @@
+"""Seeded differential runs: stack == reference == baselines.
+
+The heavy sweep lives in ``tools/check_difftest.py`` (CI's difftest
+job); this suite keeps a small always-on sample in tier-1 so a
+semantics regression fails ``pytest`` directly, not just the gate.
+"""
+
+import pytest
+
+from repro.difftest import (
+    compare_runs,
+    compare_stack_runs,
+    generate_scenario,
+    run_scenario,
+    run_stack,
+)
+from repro.difftest.scenario import Scenario
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_three_way_agreement(seed):
+    scenario = generate_scenario(seed)
+    run = run_scenario(scenario)
+    divergences = compare_runs(
+        scenario, run.stack, run.reference, run.baseline)
+    assert divergences == [], "\n".join(map(str, divergences))
+
+
+@pytest.mark.parametrize("seed", (0, 3))
+def test_plan_cache_is_semantically_invisible(seed):
+    scenario = generate_scenario(seed)
+    on = run_stack(scenario, plan_cache=True)
+    off = run_stack(scenario, plan_cache=False)
+    divergences = compare_stack_runs(on, off)
+    assert divergences == [], "\n".join(map(str, divergences))
+
+
+def test_scenario_covers_all_four_contexts(rng_seed):
+    scenario = generate_scenario(rng_seed)
+    assert scenario.contexts_covered() == {
+        "RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
+
+
+def test_scenario_json_roundtrip(rng_seed):
+    scenario = generate_scenario(rng_seed)
+    clone = Scenario.from_json(scenario.to_json())
+    assert clone == scenario
+
+
+def test_generation_is_seed_deterministic(rng_seed):
+    assert generate_scenario(rng_seed) == generate_scenario(rng_seed)
+
+
+def test_stack_run_observations_are_nonempty(rng_seed):
+    # A sweep that compares empty surfaces to empty surfaces proves
+    # nothing; the generated workload must exercise the pipeline.
+    stack = run_stack(generate_scenario(rng_seed))
+    assert stack.primitives
+    assert stack.detections
+    assert stack.firings
+    assert stack.audit

@@ -52,8 +52,8 @@ class TestAfterNMode:
         injector.fire("p")
         assert injector.injected_count == 2
 
-    def test_unlimited_probability_faults(self):
-        plan = FaultPlan(seed=3)
+    def test_unlimited_probability_faults(self, rng_seed):
+        plan = FaultPlan(seed=rng_seed)
         plan.inject("p", kind="drop", probability=1.0, times=0)
         injector = FaultInjector(plan)
         for _ in range(5):

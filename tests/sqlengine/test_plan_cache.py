@@ -2,6 +2,9 @@
 guarantee that DDL — successful or failed — never lets a stale plan run.
 """
 
+import random
+import threading
+
 import pytest
 
 from repro.sqlengine import SqlServer, connect
@@ -130,6 +133,67 @@ class TestDdlInvalidation:
         cached.execute("update stock set qty = 2")
         cached.execute("delete stock")
         assert server.catalog.schema_epoch == epoch
+
+
+class TestConcurrentDdlRace:
+    def test_epoch_bump_racing_cached_selects_never_serves_stale_plan(
+            self, rng_seed):
+        """Property test: readers hammering a cached ``select *`` while a
+        writer widens the table must only ever observe schema growth.
+
+        A stale plan would replay the pre-ALTER parse and a reader would
+        see the column set *shrink* between two of its own selects — the
+        schema here only ever grows, so any non-monotonic observation is
+        a cache-coherence bug.
+        """
+        server = SqlServer(default_database="sentineldb")
+        server.plan_cache.enabled = True
+        server.plan_cache.clear()
+        writer_conn = connect(server, user="sharma", database="sentineldb")
+        writer_conn.execute("create table t (k int null)")
+        writer_conn.execute("insert t values (1)")
+
+        n_alters = 12
+        rng = random.Random(rng_seed)
+        errors: list[BaseException] = []
+        observations: dict[int, list[int]] = {}
+        start = threading.Barrier(4)
+
+        def writer():
+            start.wait()
+            for index in range(n_alters):
+                writer_conn.execute(f"alter table t add c{index} int null")
+
+        def reader(slot):
+            conn = connect(server, user="sharma", database="sentineldb")
+            seen = observations.setdefault(slot, [])
+            start.wait()
+            for _ in range(40):
+                result = conn.execute("select * from t")
+                seen.append(len(result.result_sets[0].columns))
+
+        def run(target):
+            try:
+                target()
+            except BaseException as exc:      # surfaced after join
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=run, args=(writer,))]
+                   + [threading.Thread(target=run,
+                                       args=(lambda s=s: reader(s),))
+                      for s in range(3)])
+        rng.shuffle(threads)
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        for slot, seen in observations.items():
+            assert seen == sorted(seen), (
+                f"reader {slot} observed the schema shrink — a stale "
+                f"cached plan was served: {seen}")
+        final = writer_conn.execute("select * from t")
+        assert len(final.result_sets[0].columns) == 1 + n_alters
 
 
 def test_transparency_same_results_both_modes():

@@ -1,0 +1,46 @@
+"""Guard: tests must not couple to the wall clock.
+
+Earlier revisions of the LED and trace suites asserted on
+``time.time()`` deltas and slept to let timers fire, which made them
+both slow and flaky.  Everything timing-related now runs on the
+injectable :mod:`repro.led.clock` (``ManualClock``/``advance_time``) or
+an injected ``clock=`` callable (obs spans, provenance).  This test
+scans the suite so a wall-clock assertion cannot sneak back in.
+
+Bounded *waits* (``drain(timeout=...)``, ``thread.join(timeout=...)``)
+are fine — they bound latency without asserting on it.  The explicit
+allowlist below names the only sanctioned direct uses.
+"""
+
+import re
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).parent
+
+#: (file, pattern) pairs that are intentionally exempt.
+ALLOWED = {
+    # Error-path check: advance_time must reject a non-manual clock.
+    ("led/test_temporal.py", "SystemClock"),
+    # This guard names the patterns it hunts.
+    ("test_clock_hygiene.py", "time.time("),
+    ("test_clock_hygiene.py", "time.sleep("),
+    ("test_clock_hygiene.py", "SystemClock"),
+    ("test_clock_hygiene.py", "perf_counter"),
+}
+
+BANNED = ("time.time(", "time.sleep(", "SystemClock", "perf_counter")
+
+
+def test_no_wall_clock_in_tests():
+    offenders = []
+    for path in sorted(TESTS_DIR.rglob("*.py")):
+        rel = path.relative_to(TESTS_DIR).as_posix()
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            if re.match(r"\s*#", line):
+                continue
+            for pattern in BANNED:
+                if pattern in line and (rel, pattern) not in ALLOWED:
+                    offenders.append(f"{rel}:{number}: {line.strip()}")
+    assert offenders == [], (
+        "wall-clock coupling in tests (route through repro.led.clock "
+        "or an injected clock= callable):\n" + "\n".join(offenders))

@@ -47,20 +47,14 @@ class TestStockWorkload:
 
 
 class TestRandomSnoop:
-    def test_expressions_parse(self):
-        import random
-
-        rng = random.Random(3)
+    def test_expressions_parse(self, rng):
         leaves = [f"e{i}" for i in range(6)]
         for depth in range(4):
             for _ in range(20):
                 text = random_snoop_expression(rng, leaves, depth)
                 parse_event_expression(text)  # must not raise
 
-    def test_depth_zero_is_leaf(self):
-        import random
-
-        rng = random.Random(1)
+    def test_depth_zero_is_leaf(self, rng):
         assert random_snoop_expression(rng, ["x"], 0) == "x"
 
 

@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""CI gate: the differential harness must find zero real divergences —
+and must provably still be able to find one.
+
+Three sub-commands over :mod:`repro.difftest` (all run by the CI
+``difftest`` job; see docs/TESTING.md):
+
+``sweep`` (default)
+    Generate ``--seeds`` scenarios, execute each on the full stack with
+    the plan cache on and off, the reference Snoop interpreter, and the
+    baseline oracles, and cross-check every surface.  Also replays the
+    committed regression corpus and runs a seeded chaos sweep.  On any
+    divergence the failing seed is echoed, the scenario is shrunk, and
+    the minimised reproduction is written to ``--artifacts`` for upload.
+
+``mutate``
+    Harness self-check: arm a named intentional LED semantics bug
+    (``repro.difftest.mutations``), prove the sweep catches it within
+    the seed budget, and shrink the catch to a small reproduction
+    (``--max-statements`` cap, default 10).  Exits nonzero if the bug
+    is NOT caught — a harness that cannot see a planted bug gates
+    nothing.  ``--write-corpus`` persists the shrunk reproduction into
+    the committed corpus (it replays clean on the unmutated stack).
+
+``corpus``
+    Replay only the committed regression corpus.
+
+Usage::
+
+    python tools/check_difftest.py --seeds 25
+    python tools/check_difftest.py mutate seq-chronicle-newest
+    python tools/check_difftest.py corpus
+    DIFFTEST_SEEDS=50 python tools/check_difftest.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.difftest import (  # noqa: E402  (path bootstrap above)
+    MUTATIONS,
+    apply_mutation,
+    compare_runs,
+    compare_stack_runs,
+    generate_scenario,
+    load_corpus,
+    render_report,
+    run_baselines,
+    run_chaos,
+    run_reference,
+    run_stack,
+    shrink_scenario,
+    write_corpus,
+)
+
+DEFAULT_SEEDS = int(os.environ.get("DIFFTEST_SEEDS", "25"))
+DEFAULT_CHAOS_SEEDS = int(os.environ.get("DIFFTEST_CHAOS_SEEDS", "10"))
+CORPUS_DIR = REPO_ROOT / "tests" / "difftest" / "corpus"
+ARTIFACTS_DIR = REPO_ROOT / "difftest-artifacts"
+
+
+def _check_scenario(scenario) -> list:
+    """Full cross-check of one scenario; returns divergences."""
+    on = run_stack(scenario, plan_cache=True)
+    off = run_stack(scenario, plan_cache=False)
+    reference = run_reference(scenario)
+    baseline = run_baselines(scenario)
+    divergences = compare_runs(scenario, on, reference, baseline)
+    divergences += compare_stack_runs(on, off)
+    return divergences
+
+
+def _oracle_diverges(scenario) -> bool:
+    """Shrink predicate: does the stack still diverge from the oracle?
+
+    A crash during re-execution counts as a divergence too — shrinking
+    toward a crash is exactly as useful as shrinking toward a mismatch.
+    """
+    try:
+        stack = run_stack(scenario, plan_cache=True)
+        reference = run_reference(scenario)
+    except Exception:
+        return True
+    return bool(compare_runs(scenario, stack, reference))
+
+
+def _report_and_shrink(scenario, divergences, artifacts: Path) -> None:
+    """Echo a divergence, shrink it, and persist the reproduction."""
+    print(render_report(scenario, divergences))
+    print(f"shrinking seed {scenario.seed} "
+          f"(re-run with: generate_scenario({scenario.seed}))...")
+    small = shrink_scenario(scenario, _oracle_diverges)
+    path = write_corpus(small, artifacts)
+    print(f"minimised: {small.describe()}")
+    print(f"reproduction written to {path}")
+
+
+def cmd_sweep(args) -> int:
+    problems = 0
+    for seed in range(args.start, args.start + args.seeds):
+        scenario = generate_scenario(seed)
+        divergences = _check_scenario(scenario)
+        if divergences:
+            problems += 1
+            print(f"FAIL seed={seed}")
+            _report_and_shrink(scenario, divergences, args.artifacts)
+        else:
+            print(f"ok seed={seed} ({scenario.describe()})")
+    problems += _replay_corpus(args)
+    for offset in range(args.chaos):
+        seed = args.start + offset
+        chaos_seed = args.chaos_base + offset
+        scenario = generate_scenario(seed)
+        report = run_chaos(scenario, chaos_seed)
+        if report.clean:
+            print(f"ok chaos seed={seed} schedule={chaos_seed} "
+                  f"{report.schedule.names} "
+                  f"injected={report.faults_injected}")
+        else:
+            problems += 1
+            print(f"FAIL chaos seed={seed} schedule={chaos_seed} "
+                  f"{report.schedule.names}")
+            print(render_report(scenario, report.divergences))
+    if problems:
+        print(f"difftest: {problems} failing sweep item(s)")
+        return 1
+    print(f"difftest: clean ({args.seeds} seeds, cache on+off, "
+          f"{args.chaos} chaos schedules, corpus replayed)")
+    return 0
+
+
+def _replay_corpus(args) -> int:
+    problems = 0
+    entries = load_corpus(args.corpus)
+    for path, scenario in entries:
+        divergences = _check_scenario(scenario)
+        if divergences:
+            problems += 1
+            print(f"FAIL corpus {path.name}")
+            print(render_report(scenario, divergences))
+        else:
+            print(f"ok corpus {path.name}")
+    if not entries:
+        print(f"corpus: no entries under {args.corpus}")
+    return problems
+
+
+def cmd_corpus(args) -> int:
+    problems = _replay_corpus(args)
+    if problems:
+        return 1
+    print("corpus replay: clean")
+    return 0
+
+
+def cmd_mutate(args) -> int:
+    restore = apply_mutation(args.name)
+    try:
+        caught = None
+        for seed in range(args.start, args.start + args.seeds):
+            scenario = generate_scenario(seed)
+            if _oracle_diverges(scenario):
+                caught = scenario
+                break
+        if caught is None:
+            print(f"mutation {args.name!r} NOT caught in "
+                  f"{args.seeds} seeds — the harness is blind")
+            return 1
+        print(f"mutation {args.name!r} caught at seed {caught.seed}")
+        small = shrink_scenario(caught, _oracle_diverges)
+        print(f"shrunk to: {small.describe()}")
+        if len(small.statements) > args.max_statements:
+            print(f"reproduction has {len(small.statements)} statements, "
+                  f"over the {args.max_statements}-statement cap")
+            return 1
+    finally:
+        restore()
+    # The reproduction must replay clean on the unmutated stack — that
+    # is what makes it safe to commit as a regression corpus entry.
+    clean = _check_scenario(small)
+    if clean:
+        print("shrunk reproduction does NOT replay clean unmutated:")
+        print(render_report(small, clean))
+        return 1
+    if args.write_corpus:
+        path = write_corpus(small, args.corpus)
+        print(f"corpus entry written: {path}")
+    print(f"mutation check: caught and shrunk to "
+          f"{len(small.statements)} statements")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        help="scenario seeds to sweep (env DIFFTEST_SEEDS)")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first scenario seed")
+    parser.add_argument("--chaos", type=int, default=DEFAULT_CHAOS_SEEDS,
+                        help="chaos schedules to run "
+                             "(env DIFFTEST_CHAOS_SEEDS)")
+    parser.add_argument("--chaos-base", type=int, default=100,
+                        help="first chaos-schedule seed")
+    parser.add_argument("--corpus", type=Path, default=CORPUS_DIR,
+                        help="regression corpus directory")
+    parser.add_argument("--artifacts", type=Path, default=ARTIFACTS_DIR,
+                        help="where divergence reproductions are written")
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("sweep", add_help=False)
+    subparsers.add_parser("corpus", add_help=False)
+    mutate = subparsers.add_parser("mutate")
+    mutate.add_argument("name", choices=sorted(MUTATIONS))
+    mutate.add_argument("--max-statements", type=int, default=10,
+                        help="cap on the shrunk reproduction's stream")
+    mutate.add_argument("--write-corpus", action="store_true",
+                        help="persist the shrunk reproduction to --corpus")
+    args = parser.parse_args(argv)
+    if args.command == "mutate":
+        return cmd_mutate(args)
+    if args.command == "corpus":
+        return cmd_corpus(args)
+    return cmd_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
