@@ -137,7 +137,21 @@ class ActionHandler:
         ``action.run`` point — is recorded in the action log; it then
         propagates (wrapped by the LED in ``ActionError``) unless the
         agent was built with ``swallow_action_errors``.
+
+        The whole action is charged to the trigger's rule frame (and any
+        enclosing command frame) in the agent's accounting plane; errors
+        count whether they propagate or are swallowed.
         """
+        scope = self.agent.accounting.rule_scope(
+            runtime.definition.internal)
+        with scope:
+            record = self._run_action(runtime, occurrence)
+            if record.error is not None:
+                scope.mark_error()
+            return record
+
+    def _run_action(self, runtime: TriggerRuntime,
+                    occurrence: Occurrence) -> ActionRecord:
         trigger = runtime.definition
         faults = self.agent.faults
         if faults.enabled:

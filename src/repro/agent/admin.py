@@ -8,8 +8,18 @@ transparency constraint).
 
 Commands:
 
-- ``show agent stats`` — two result sets: counters/gauges, then latency
-  histogram summaries (count, mean, p50, p95, p99, max in milliseconds);
+- ``show agent stats [top [N]]`` — two result sets: counters/gauges,
+  then latency histogram summaries (count, mean, p50, p95, p99, max in
+  milliseconds); ``top N`` sorts by value/count and keeps the N largest
+  rows of each set;
+- ``show agent top [rules|sessions] [N]`` — the N most expensive rules
+  and/or sessions from the resource-accounting plane (rows scanned,
+  cache hits, events, actions, wall time);
+- ``show agent slow [N]`` — the flight recorder's most recent N slow
+  operations (arm with ``set agent slowlog <ms>``), each with its span
+  and provenance slice sizes;
+- ``show agent health`` — the watchdog's ok/degraded/critical report:
+  per-rule findings plus the sampled values they were judged on;
 - ``show agent trace [N]`` — the most recent N span records (default 50);
 - ``show agent events [N]`` — the most recent N provenance records as
   lineage trees (default 20);
@@ -28,8 +38,14 @@ Commands:
   propagation latency) from the provenance journal;
 - ``reset agent stats|trace|provenance`` — zero the registry / clear the
   span buffer / clear the journal;
+- ``reset agent accounting`` — drop the per-session/per-rule totals;
+- ``reset agent slow`` — clear the flight recorder's ring;
 - ``set agent stats|trace|provenance on|off`` — toggle each sink at
   runtime;
+- ``set agent accounting on|off`` — toggle the resource-accounting
+  plane (on by default; plain int adds per hook);
+- ``set agent slowlog <ms>|off`` — arm the flight recorder at a
+  threshold in milliseconds (fractions allowed), or disarm it;
 - ``set agent faults on|off`` — re-arm / disarm the fault injector
   without forgetting its plan;
 - ``export agent telemetry`` — snapshot metrics + spans + provenance
@@ -52,33 +68,45 @@ from .naming import expand_name
 
 _USAGE = (
     "unknown agent command; expected one of: "
-    "show agent stats | show agent trace [N] | show agent events [N] | "
+    "show agent stats [top [N]] | show agent trace [N] | "
+    "show agent events [N] | "
     "show agent graph | show agent status | show agent faults | "
     "show agent cache [N] | "
+    "show agent top [rules|sessions] [N] | show agent slow [N] | "
+    "show agent health | "
     "explain trigger <name> | "
     "reset agent stats | reset agent trace | reset agent provenance | "
-    "reset agent cache | "
+    "reset agent cache | reset agent accounting | reset agent slow | "
     "set agent stats on|off | set agent trace on|off | "
     "set agent provenance on|off | set agent faults on|off | "
+    "set agent accounting on|off | set agent slowlog <ms>|off | "
     "export agent telemetry"
 )
 
 _COMMAND = re.compile(
     r"^\s*(?:"
-    r"(?P<show_stats>show\s+agent\s+stats)"
+    r"(?P<show_stats>show\s+agent\s+stats"
+    r"(?:\s+(?P<stats_top>top)(?:\s+(?P<stats_n>[^\s;]+))?)?)"
     r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>[^\s;]+))?)"
     r"|(?P<show_events>show\s+agent\s+events(?:\s+(?P<events_n>[^\s;]+))?)"
     r"|(?P<show_graph>show\s+agent\s+graph)"
     r"|(?P<show_status>show\s+agent\s+status)"
     r"|(?P<show_faults>show\s+agent\s+faults)"
     r"|(?P<show_cache>show\s+agent\s+cache(?:\s+(?P<cache_n>[^\s;]+))?)"
+    r"|(?P<show_top>show\s+agent\s+top"
+    r"(?:\s+(?P<top_scope>rules|sessions))?(?:\s+(?P<top_n>[^\s;]+))?)"
+    r"|(?P<show_slow>show\s+agent\s+slow(?:\s+(?P<slow_n>[^\s;]+))?)"
+    r"|(?P<show_health>show\s+agent\s+health)"
     r"|explain\s+trigger\s+(?P<explain_name>[A-Za-z_#][\w.$#]*)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
     r"|(?P<reset_prov>reset\s+agent\s+provenance)"
     r"|(?P<reset_cache>reset\s+agent\s+cache)"
-    r"|set\s+agent\s+(?P<set_target>stats|trace|provenance|faults)"
-    r"\s+(?P<set_value>on|off)"
+    r"|(?P<reset_accounting>reset\s+agent\s+accounting)"
+    r"|(?P<reset_slow>reset\s+agent\s+slow)"
+    r"|set\s+agent\s+slowlog\s+(?P<slowlog_value>[^\s;]+)"
+    r"|set\s+agent\s+(?P<set_target>stats|trace|provenance|faults"
+    r"|accounting)\s+(?P<set_value>on|off)"
     r"|(?P<export>export\s+agent\s+telemetry)"
     r")\s*;?\s*$",
     re.IGNORECASE,
@@ -90,6 +118,10 @@ DEFAULT_TRACE_ROWS = 50
 DEFAULT_EVENT_ROWS = 20
 #: Default row count for the index listing of ``show agent cache``.
 DEFAULT_INDEX_ROWS = 20
+#: Default row count for ``show agent top`` and ``show agent stats top``.
+DEFAULT_TOP_ROWS = 10
+#: Default row count for ``show agent slow``.
+DEFAULT_SLOW_ROWS = 10
 
 #: Operator-node class -> the Snoop operator it implements.
 _NODE_KINDS = {
@@ -128,7 +160,12 @@ class AgentAdmin:
         if match is None:
             raise AgentError(_USAGE)
         if match.group("show_stats"):
-            return self._show_stats()
+            if match.group("stats_top") is None:
+                return self._show_stats()
+            count, error = self._parse_count(
+                match.group("stats_n"), DEFAULT_TOP_ROWS,
+                max(1, self._count_metric_rows()), "show agent stats top")
+            return error if error is not None else self._show_stats(count)
         if match.group("show_trace"):
             count, error = self._parse_count(
                 match.group("trace_n"), DEFAULT_TRACE_ROWS,
@@ -150,6 +187,24 @@ class AgentAdmin:
                 match.group("cache_n"), DEFAULT_INDEX_ROWS,
                 max(1, self._count_indexes()), "show agent cache")
             return error if error is not None else self._show_cache(count)
+        if match.group("show_top"):
+            scope = (match.group("top_scope") or "").lower()
+            accounting = self.agent.accounting
+            tracked = max(
+                accounting.rule_count() if scope != "sessions" else 0,
+                accounting.session_count() if scope != "rules" else 0)
+            count, error = self._parse_count(
+                match.group("top_n"), DEFAULT_TOP_ROWS,
+                max(1, tracked), "show agent top")
+            return error if error is not None else self._show_top(
+                scope, count)
+        if match.group("show_slow"):
+            count, error = self._parse_count(
+                match.group("slow_n"), DEFAULT_SLOW_ROWS,
+                self.agent.flightrec.capacity, "show agent slow")
+            return error if error is not None else self._show_slow(count)
+        if match.group("show_health"):
+            return self._show_health()
         if match.group("explain_name"):
             return self._explain_trigger(match.group("explain_name"), session)
         if match.group("reset_stats"):
@@ -160,8 +215,14 @@ class AgentAdmin:
             return self._reset_provenance()
         if match.group("reset_cache"):
             return self._reset_cache()
+        if match.group("reset_accounting"):
+            return self._reset_accounting()
+        if match.group("reset_slow"):
+            return self._reset_slow()
         if match.group("export"):
             return self._export_telemetry()
+        if match.group("slowlog_value") is not None:
+            return self._set_slowlog(match.group("slowlog_value"))
         target = match.group("set_target").lower()
         value = match.group("set_value").lower() == "on"
         return self._set_flag(target, value)
@@ -186,7 +247,14 @@ class AgentAdmin:
     # ------------------------------------------------------------------
     # show
 
-    def _show_stats(self) -> BatchResult:
+    def _count_metric_rows(self) -> int:
+        """Total metric children across every family (the ``stats top``
+        clamp capacity)."""
+        return sum(
+            len(family.children())
+            for family in self.agent.metrics.families())
+
+    def _show_stats(self, top: int | None = None) -> BatchResult:
         counters = ResultSet(columns=["metric", "labels", "value"])
         latency = ResultSet(columns=[
             "metric", "labels", "count",
@@ -207,6 +275,13 @@ class AgentAdmin:
                     ])
                 else:
                     counters.rows.append([family.name, rendered, value])
+        if top is not None:
+            # Busiest first: counters by value, histograms by sample
+            # count (ties break on name/labels for determinism).
+            counters.rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+            latency.rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+            counters.rows = counters.rows[:top]
+            latency.rows = latency.rows[:top]
         result = BatchResult(result_sets=[counters, latency])
         if not self.agent.metrics.enabled:
             result.messages.append(
@@ -309,6 +384,14 @@ class AgentAdmin:
                 ["trace_capacity", trace.max_records],
                 ["journal_records", len(journal)],
                 ["journal_capacity", journal.capacity],
+                ["accounting",
+                 "on" if self.agent.accounting.enabled else "off"],
+                ["accounted_sessions", self.agent.accounting.session_count()],
+                ["accounted_rules", self.agent.accounting.rule_count()],
+                ["slowlog_ms",
+                 "off" if not self.agent.flightrec.armed
+                 else self.agent.flightrec.threshold_ms],
+                ["slow_ops", len(self.agent.flightrec)],
                 ["exporter",
                  "none" if exporter is None else exporter.path],
             ],
@@ -369,6 +452,11 @@ class AgentAdmin:
                 ["plan_cache_evictions", stats["evictions"]],
                 ["plan_cache_invalidations", stats["invalidations"]],
                 ["plan_cache_hit_rate", stats["hit_rate"]],
+                *[
+                    [f"plan_cache_{origin}_{field}", data[field]]
+                    for origin, data in stats["origins"].items()
+                    for field in ("hits", "misses", "hit_rate")
+                ],
                 ["schema_epoch", server.catalog.schema_epoch],
                 ["index_scans", server.index_scans],
                 ["coalesced_payloads", self.agent.notifier.coalesced_payloads],
@@ -399,6 +487,100 @@ class AgentAdmin:
                 f"Showing {count} of {len(entries)} indexes; "
                 f"'show agent cache {len(entries)}' lists all.")
         return result
+
+    # ------------------------------------------------------------------
+    # health plane
+
+    def _show_top(self, scope: str, count: int) -> BatchResult:
+        """The most expensive rules and/or sessions by wall time."""
+        accounting = self.agent.accounting
+        sets: list[ResultSet] = []
+        if scope in ("", "rules"):
+            rules = ResultSet(columns=[
+                "rule", "actions", "errors", "action_ms", "max_ms",
+                "sql_statements", "rows_scanned", "plan_hits",
+                "plan_misses", "events", "detections",
+            ])
+            for totals in accounting.top_rules(count):
+                rules.rows.append([
+                    totals.rule, totals.actions, totals.action_errors,
+                    round(totals.seconds * 1e3, 4),
+                    round(totals.max_seconds * 1e3, 4),
+                    totals.sql_statements, totals.rows_scanned,
+                    totals.plan_cache_hits, totals.plan_cache_misses,
+                    totals.events_raised, totals.detections,
+                ])
+            sets.append(rules)
+        if scope in ("", "sessions"):
+            sessions = ResultSet(columns=[
+                "session", "user", "database", "commands", "total_ms",
+                "max_ms", "sql_statements", "rows_scanned", "plan_hits",
+                "plan_misses", "events", "actions", "action_ms",
+            ])
+            for totals in accounting.top_sessions(count):
+                sessions.rows.append([
+                    totals.session_id, totals.user, totals.database,
+                    totals.commands,
+                    round(totals.seconds * 1e3, 4),
+                    round(totals.max_seconds * 1e3, 4),
+                    totals.sql_statements, totals.rows_scanned,
+                    totals.plan_cache_hits, totals.plan_cache_misses,
+                    totals.events_raised, totals.actions,
+                    round(totals.action_seconds * 1e3, 4),
+                ])
+            sets.append(sessions)
+        result = BatchResult(result_sets=sets)
+        if not accounting.enabled:
+            result.messages.append(
+                "Agent accounting is off; enable with "
+                "'set agent accounting on'.")
+        return result
+
+    def _show_slow(self, count: int) -> BatchResult:
+        """The flight recorder's most recent slow operations."""
+        flightrec = self.agent.flightrec
+        rows = ResultSet(columns=[
+            "seq", "kind", "duration_ms", "threshold_ms", "session",
+            "user", "statement", "rows_scanned", "actions", "spans",
+            "provenance",
+        ])
+        for record in flightrec.tail(count):
+            counters = record.counters
+            rows.rows.append([
+                record.seq, record.kind, record.duration_ms,
+                record.threshold_ms, record.session_id, record.user,
+                record.statement, counters.get("rows_scanned", 0),
+                counters.get("actions", 0), len(record.spans),
+                len(record.provenance),
+            ])
+        result = BatchResult(result_sets=[rows])
+        if not flightrec.armed:
+            result.messages.append(
+                "Slow-op capture is disarmed; arm with "
+                "'set agent slowlog <ms>'.")
+        return result
+
+    def _show_health(self) -> BatchResult:
+        """The watchdog report: status, findings, sampled values."""
+        report = self.agent.health()
+        status = ResultSet(columns=["status"], rows=[[report.status]])
+        findings = ResultSet(columns=[
+            "rule", "severity", "status", "value", "threshold",
+            "direction", "description",
+        ])
+        for finding in report.findings:
+            findings.rows.append([
+                finding.rule, finding.severity, finding.status,
+                round(finding.value, 4), finding.threshold,
+                finding.direction, finding.description,
+            ])
+        sample = ResultSet(
+            columns=["sample", "value"],
+            rows=[[key, round(value, 6) if isinstance(value, float)
+                   else value]
+                  for key, value in sorted(report.sample.items())],
+        )
+        return BatchResult(result_sets=[status, findings, sample])
 
     # ------------------------------------------------------------------
     # explain trigger
@@ -517,6 +699,33 @@ class AgentAdmin:
         server.index_scans = 0
         return BatchResult(messages=["Agent plan cache cleared."])
 
+    def _reset_accounting(self) -> BatchResult:
+        self.agent.accounting.reset()
+        return BatchResult(messages=["Agent accounting totals reset."])
+
+    def _reset_slow(self) -> BatchResult:
+        self.agent.flightrec.clear()
+        return BatchResult(messages=["Agent slow-op recorder cleared."])
+
+    def _set_slowlog(self, value: str) -> BatchResult:
+        flightrec = self.agent.flightrec
+        if value.lower() == "off":
+            flightrec.threshold_ms = None
+            return BatchResult(messages=["Agent slow-op capture disarmed."])
+        try:
+            threshold = float(value)
+        except ValueError:
+            return _error_result(
+                f"'set agent slowlog' expects a threshold in ms or "
+                f"'off', got {value!r}")
+        if threshold < 0:
+            return _error_result(
+                f"'set agent slowlog' threshold must be >= 0, "
+                f"got {value}")
+        flightrec.threshold_ms = threshold
+        return BatchResult(messages=[
+            f"Agent slow-op capture armed at {threshold:g} ms."])
+
     def _export_telemetry(self) -> BatchResult:
         if self.agent.exporter is None:
             return _error_result(
@@ -533,6 +742,8 @@ class AgentAdmin:
             self.agent.metrics.enabled = value
         elif target == "provenance":
             self.agent.journal.enabled = value
+        elif target == "accounting":
+            self.agent.accounting.enabled = value
         elif target == "faults":
             if value:
                 self.agent.faults.arm()

@@ -105,6 +105,18 @@ class EcaAgent:
         exporter: an optional :class:`~repro.obs.TelemetryExporter`; when
             attached, ``export agent telemetry`` snapshots metrics,
             spans, and provenance into its JSONL file.
+        accounting: an optional :class:`~repro.obs.OpAccounting`; by
+            default a fresh always-on plane (plain int adds per hook)
+            charging every command to its session and every action to
+            its rule — ``show agent top [rules|sessions]``.  Pass
+            ``OpAccounting(enabled=False)`` to reduce each hook to one
+            branch.
+        flightrec: an optional :class:`~repro.obs.FlightRecorder`; by
+            default an unarmed recorder (``set agent slowlog <ms>`` arms
+            it, ``show agent slow`` dumps it).
+        health_rules: override the watchdog's rule set (default:
+            :data:`~repro.obs.DEFAULT_HEALTH_RULES`) behind
+            ``show agent health``.
     """
 
     def __init__(self, server: SqlServer,
@@ -117,8 +129,17 @@ class EcaAgent:
                  faults: "FaultInjector | FaultPlan | None" = None,
                  retry: RetryPolicy | None = None,
                  journal: "ProvenanceJournal | None" = None,
-                 exporter: "TelemetryExporter | None" = None):
-        from repro.obs import MetricsRegistry, ProvenanceJournal
+                 exporter: "TelemetryExporter | None" = None,
+                 accounting: "OpAccounting | None" = None,
+                 flightrec: "FlightRecorder | None" = None,
+                 health_rules=None):
+        from repro.obs import (
+            FlightRecorder,
+            HealthEvaluator,
+            MetricsRegistry,
+            OpAccounting,
+            ProvenanceJournal,
+        )
 
         self.server = server
         #: per-agent observability sinks, all off by default: the whole
@@ -130,6 +151,14 @@ class EcaAgent:
         self.journal = journal if journal is not None else ProvenanceJournal(
             enabled=False)
         self.exporter = exporter
+        #: the health plane: resource accounting (always-on), the slow-op
+        #: flight recorder (armed via ``set agent slowlog``), and the
+        #: watchdog evaluating declarative health rules on demand.
+        self.accounting = accounting if accounting is not None else (
+            OpAccounting())
+        self.flightrec = flightrec if flightrec is not None else (
+            FlightRecorder())
+        self.health_evaluator = HealthEvaluator(health_rules)
         #: the fault-injection harness (disabled unless a plan was armed)
         #: and the retry policy shared by the resilient call sites.
         if isinstance(faults, FaultPlan):
@@ -144,6 +173,7 @@ class EcaAgent:
             "agent_eca_commands_total",
             "ECA commands handled, by command kind", ("kind",))
         server.attach_metrics(self.metrics)
+        server.attach_accounting(self.accounting)
         self.action_handler = ActionHandler(self)
         self.led = LocalEventDetector(
             clock=clock or ManualClock(),
@@ -151,6 +181,7 @@ class EcaAgent:
             swallow_action_errors=swallow_action_errors,
         )
         self.led.attach_observability(self.metrics, self.trace, self.journal)
+        self.led.attach_accounting(self.accounting)
         self.led.faults = self.faults
         self.language_filter = LanguageFilter()
         from .admin import AgentAdmin
@@ -229,6 +260,7 @@ class EcaAgent:
         self.channel.stop()
         self.server.set_datagram_sink(None)
         self.server.attach_metrics(None)
+        self.server.attach_accounting(None)
 
     # ------------------------------------------------------------------
     # public client surface
@@ -267,15 +299,24 @@ class EcaAgent:
         return list(self.led.history)
 
     def export_telemetry(self, label: str = "") -> int:
-        """Snapshot metrics + spans + provenance into the attached
-        :class:`~repro.obs.TelemetryExporter`'s JSONL file; returns the
-        number of lines written.  Raises :class:`AgentError` when no
-        exporter is attached."""
+        """Snapshot metrics + spans + provenance + slow ops + accounting
+        totals into the attached :class:`~repro.obs.TelemetryExporter`'s
+        JSONL file; returns the number of lines written.  Raises
+        :class:`AgentError` when no exporter is attached."""
         if self.exporter is None:
             raise AgentError("no telemetry exporter attached to this agent")
         return self.exporter.export_snapshot(
             metrics=self.metrics, trace=self.trace, journal=self.journal,
+            flightrec=self.flightrec, accounting=self.accounting,
             label=label)
+
+    def health(self) -> "HealthReport":
+        """Evaluate the watchdog rules against the agent's live
+        telemetry; returns a deterministic
+        :class:`~repro.obs.HealthReport` (``show agent health``)."""
+        from repro.obs import collect_sample
+
+        return self.health_evaluator.evaluate(collect_sample(self))
 
     # ------------------------------------------------------------------
     # lookups used by the notifier / action handler

@@ -75,13 +75,23 @@ class GatewayOpenServer:
         takes the agent down.
         """
         self.commands_total += 1
-        metrics = self.agent.metrics
+        agent = self.agent
+        metrics = agent.metrics
         timed = metrics.enabled
-        if timed:
-            start = time.perf_counter()
+        accounting = agent.accounting
+        frame = accounting.begin(session)
+        flightrec = agent.flightrec
+        # Snapshot the threshold with the marks: ``set agent slowlog off``
+        # issued *by this command* must not null the threshold under us.
+        slow_threshold = flightrec.threshold_ms if flightrec.armed else None
+        marks = (flightrec.marks(agent.trace, agent.journal)
+                 if slow_threshold is not None else None)
+        # The health and accounting planes need wall time even with
+        # stats off; one perf_counter pair per command is in the noise.
+        start = time.perf_counter()
         kind = "error"
         try:
-            trace = self.agent.trace
+            trace = agent.trace
             if trace.enabled:
                 with trace.span(FIG3_COMMAND_RECEIVED,
                                 sql.split(chr(10))[0][:60]):
@@ -94,10 +104,17 @@ class GatewayOpenServer:
                 f"Agent error: command not applied ({exc}). "
                 "The agent compensated and remains consistent."])
         finally:
+            duration = time.perf_counter() - start
             if timed:
                 self._m_commands.labels(kind).inc()
-                self._m_command_seconds.labels(kind).observe(
-                    time.perf_counter() - start)
+                self._m_command_seconds.labels(kind).observe(duration)
+            if (marks is not None
+                    and duration * 1e3 >= slow_threshold):
+                flightrec.capture(
+                    kind=kind, statement=sql, session=session,
+                    duration=duration, frame=frame, trace=agent.trace,
+                    journal=agent.journal, marks=marks)
+            accounting.finish(frame, duration)
         return result
 
     def _route(self, session: Session, sql: str) -> tuple[str, BatchResult]:

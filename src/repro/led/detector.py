@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time as _time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -140,6 +141,12 @@ class LocalEventDetector:
         self._m_detected = None
         self._m_rules_fired = None
         self._m_conditions = None
+        self._m_raise_seconds = None
+        self._m_lock_wait = None
+        self._m_lock_hold = None
+        #: optional resource-accounting plane (the agent attaches its
+        #: own; raises and detections charge the ambient OpContext)
+        self.accounting = None
 
     # ------------------------------------------------------------------
     # observability
@@ -171,10 +178,28 @@ class LocalEventDetector:
                 "led_conditions_total",
                 "Rule condition evaluations",
                 ("result",))
+            self._m_raise_seconds = metrics.histogram(
+                "led_raise_seconds",
+                "Wall time of one raise_event/raise_events call (seconds)")
+            self._m_lock_wait = metrics.histogram(
+                "led_lock_wait_seconds",
+                "Time spent waiting for the LED dispatch lock (seconds)")
+            self._m_lock_hold = metrics.histogram(
+                "led_lock_hold_seconds",
+                "Time the LED dispatch lock is held per raise (seconds)")
         else:
             self._m_detected = None
             self._m_rules_fired = None
             self._m_conditions = None
+            self._m_raise_seconds = None
+            self._m_lock_wait = None
+            self._m_lock_hold = None
+
+    def attach_accounting(self, accounting) -> None:
+        """Attach (or detach, with ``None``) the agent's resource
+        accounting; raises and composite detections then charge the
+        ambient per-session / per-rule frames."""
+        self.accounting = accounting
 
     def start_detection_log(self) -> list:
         """Begin recording detections for differential comparison.
@@ -367,7 +392,17 @@ class LocalEventDetector:
         (immediate actions run; deferred/detached are recorded as firings
         when they are later executed, not here).
         """
-        with self._lock:
+        metrics = self.metrics
+        timed = (metrics is not None and metrics.enabled
+                 and self._m_lock_wait is not None)
+        acquired = 0.0
+        if timed:
+            wait_start = _time.perf_counter()
+        self._lock.acquire()
+        if timed:
+            acquired = _time.perf_counter()
+            self._m_lock_wait.observe(acquired - wait_start)
+        try:
             outer = self._current_firings is None
             if outer:
                 self._current_firings = []
@@ -377,6 +412,12 @@ class LocalEventDetector:
             finally:
                 if outer:
                     self._current_firings = None
+        finally:
+            if timed:
+                end = _time.perf_counter()
+                self._m_lock_hold.observe(end - acquired)
+                self._m_raise_seconds.observe(end - wait_start)
+            self._lock.release()
 
     def raise_events(self, batch) -> list[RuleFiring]:
         """Raise several primitive occurrences under one lock acquisition.
@@ -388,7 +429,17 @@ class LocalEventDetector:
         path a coalesced multi-event notification takes.  Returns the
         combined synchronous firings, in raise order.
         """
-        with self._lock:
+        metrics = self.metrics
+        timed = (metrics is not None and metrics.enabled
+                 and self._m_lock_wait is not None)
+        acquired = 0.0
+        if timed:
+            wait_start = _time.perf_counter()
+        self._lock.acquire()
+        if timed:
+            acquired = _time.perf_counter()
+            self._m_lock_wait.observe(acquired - wait_start)
+        try:
             outer = self._current_firings is None
             if outer:
                 self._current_firings = []
@@ -399,6 +450,12 @@ class LocalEventDetector:
             finally:
                 if outer:
                     self._current_firings = None
+        finally:
+            if timed:
+                end = _time.perf_counter()
+                self._m_lock_hold.observe(end - acquired)
+                self._m_raise_seconds.observe(end - wait_start)
+            self._lock.release()
 
     def _raise_locked(self, name: str, params: dict[str, object] | None,
                       at: float | None) -> None:
@@ -414,6 +471,9 @@ class LocalEventDetector:
 
             if faults.fire("led.raise", name) is Directive.DROP:
                 return
+        accounting = self.accounting
+        if accounting is not None and accounting.active():
+            accounting.note_event()
         time = self.clock.now() if at is None else at
         occurrence = primitive(name, time, next(self._seq), params)
         log = self.detection_log

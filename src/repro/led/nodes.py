@@ -88,6 +88,9 @@ class EventNode:
         metrics = detector.metrics
         if metrics is not None and metrics.enabled:
             detector._m_detected.labels("composite", context.value).inc()
+        accounting = detector.accounting
+        if accounting is not None and accounting.active():
+            accounting.note_detection()
         trace = detector.trace
         traced = trace is not None and trace.enabled
         if traced:

@@ -13,7 +13,13 @@ measures by hand:
   condition, firing and action as a parent-linked record, plus exact
   per-(node, context) fire/consumption aggregates);
 - :mod:`repro.obs.export` — the :class:`TelemetryExporter` snapshotting
-  all three surfaces into rotating, size-bounded JSONL;
+  all surfaces into rotating, size-bounded JSONL;
+- :mod:`repro.obs.opcontext` — ambient per-session / per-rule resource
+  accounting (:class:`OpAccounting`, surfaced by ``show agent top``);
+- :mod:`repro.obs.flightrec` — the slow-op :class:`FlightRecorder`
+  (``set agent slowlog <ms>`` / ``show agent slow``);
+- :mod:`repro.obs.health` — the declarative watchdog
+  (:class:`HealthEvaluator` behind ``show agent health``);
 - the process-wide default instances behind :func:`get_metrics` /
   :func:`get_trace`, for code that wants one shared sink.
 
@@ -28,16 +34,29 @@ Everything is off by default and costs one branch per hook when off.
 from __future__ import annotations
 
 from .export import TelemetryExporter
+from .flightrec import FlightRecorder, SlowOp
+from .health import (
+    DEFAULT_HEALTH_RULES,
+    HealthEvaluator,
+    HealthFinding,
+    HealthReport,
+    HealthRule,
+    collect_sample,
+)
 from .metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     HistogramSummary,
     MetricFamily,
     MetricsRegistry,
+    bucket_bounds,
     percentile,
+    quantile_from_buckets,
     summarize,
 )
+from .opcontext import OpAccounting, OpContext, RuleTotals, SessionTotals
 from .provenance import NodeStat, ProvenanceJournal, ProvenanceRecord
 from .tracing import (
     FIG3_CLASSIFIED_ECA,
@@ -64,19 +83,34 @@ from .tracing import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_HEALTH_RULES",
+    "FlightRecorder",
     "Gauge",
+    "HealthEvaluator",
+    "HealthFinding",
+    "HealthReport",
+    "HealthRule",
     "Histogram",
     "HistogramSummary",
     "MetricFamily",
     "MetricsRegistry",
     "NodeStat",
+    "OpAccounting",
+    "OpContext",
     "PipelineTrace",
     "ProvenanceJournal",
     "ProvenanceRecord",
+    "RuleTotals",
+    "SessionTotals",
+    "SlowOp",
     "SpanRecord",
     "TelemetryExporter",
     "TraceRecord",
+    "bucket_bounds",
+    "collect_sample",
     "percentile",
+    "quantile_from_buckets",
     "summarize",
     "get_metrics",
     "get_trace",

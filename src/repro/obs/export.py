@@ -20,11 +20,16 @@ Line schema — every line is one JSON object with a ``type`` field:
   "parents", "at", "duration"}`` — one per journal record.
 - ``{"type": "node_stat", "name", "context", "fires", "consumed",
   "latency": {...summary...}}`` — one per (event node, context).
+- ``{"type": "slow_op", ...}`` — one per flight-recorder capture (the
+  full :meth:`~repro.obs.flightrec.SlowOp.as_dict` payload).
+- ``{"type": "op_totals", "scope": "session"|"rule", "key", ...}`` —
+  one per tracked session / rule in the accounting plane.
 
-Spans and provenance export *incrementally*: each snapshot only writes
-records newer than the previous snapshot's high-water mark, optionally
-thinned by deterministic stride sampling (``sample=0.1`` keeps every
-10th record by sequence number — reproducible, no RNG).
+Spans, provenance and slow ops export *incrementally*: each snapshot
+only writes records newer than the previous snapshot's high-water mark,
+spans and provenance optionally thinned by deterministic stride sampling
+(``sample=0.1`` keeps every 10th record by sequence number —
+reproducible, no RNG).
 """
 
 from __future__ import annotations
@@ -74,16 +79,19 @@ class TelemetryExporter:
         # above these are written by the next snapshot.
         self._last_span_seq = 0
         self._last_prov_seq = 0
+        self._last_slow_seq = 0
         self.snapshots_written = 0
 
     # ------------------------------------------------------------------
 
     def export_snapshot(self, metrics=None, trace=None, journal=None,
+                        flightrec=None, accounting=None,
                         label: str = "") -> int:
         """Write one snapshot of the given surfaces; returns lines written.
 
-        Any subset of ``metrics`` / ``trace`` / ``journal`` may be None.
-        Thread-safe; concurrent snapshots serialize on the exporter lock.
+        Any subset of ``metrics`` / ``trace`` / ``journal`` /
+        ``flightrec`` / ``accounting`` may be None.  Thread-safe;
+        concurrent snapshots serialize on the exporter lock.
         """
         lines: list[str] = []
         metric_lines = self._metric_lines(metrics) if metrics is not None else []
@@ -92,18 +100,27 @@ class TelemetryExporter:
         prov_lines, node_lines, prov_mark = (
             self._provenance_lines(journal) if journal is not None
             else ([], [], None))
+        slow_lines, slow_mark = (
+            self._slow_op_lines(flightrec) if flightrec is not None
+            else ([], None))
+        totals_lines = (
+            self._op_totals_lines(accounting) if accounting is not None
+            else [])
         header = {
             "type": "snapshot",
             "label": label,
             "at": self._clock(),
             "lines": (len(metric_lines) + len(span_lines)
-                      + len(prov_lines) + len(node_lines)),
+                      + len(prov_lines) + len(node_lines)
+                      + len(slow_lines) + len(totals_lines)),
         }
         lines.append(json.dumps(header, sort_keys=True))
         lines.extend(metric_lines)
         lines.extend(span_lines)
         lines.extend(prov_lines)
         lines.extend(node_lines)
+        lines.extend(slow_lines)
+        lines.extend(totals_lines)
         payload = "\n".join(lines) + "\n"
         with self._lock:
             self._rotate_if_needed(len(payload.encode("utf-8")))
@@ -113,6 +130,8 @@ class TelemetryExporter:
                 self._last_span_seq = max(self._last_span_seq, span_mark)
             if prov_mark is not None:
                 self._last_prov_seq = max(self._last_prov_seq, prov_mark)
+            if slow_mark is not None:
+                self._last_slow_seq = max(self._last_slow_seq, slow_mark)
             self.snapshots_written += 1
         return len(lines)
 
@@ -184,6 +203,32 @@ class TelemetryExporter:
                 "latency": stat.summary().as_dict(),
             }, sort_keys=True))
         return records, nodes, mark
+
+    def _slow_op_lines(self, flightrec) -> tuple[list[str], int]:
+        out: list[str] = []
+        mark = self._last_slow_seq
+        for record in flightrec.snapshot():
+            if record.seq <= self._last_slow_seq:
+                continue
+            mark = max(mark, record.seq)
+            payload = record.as_dict()
+            payload["type"] = "slow_op"
+            out.append(json.dumps(payload, sort_keys=True, default=str))
+        return out, mark
+
+    def _op_totals_lines(self, accounting) -> list[str]:
+        out: list[str] = []
+        for totals in accounting.top_sessions(accounting.max_sessions):
+            payload = totals.as_dict()
+            payload["type"] = "op_totals"
+            payload["scope"] = "session"
+            out.append(json.dumps(payload, sort_keys=True, default=str))
+        for totals in accounting.top_rules(accounting.max_rules):
+            payload = totals.as_dict()
+            payload["type"] = "op_totals"
+            payload["scope"] = "rule"
+            out.append(json.dumps(payload, sort_keys=True, default=str))
+        return out
 
     # ------------------------------------------------------------------
     # rotation

@@ -10,32 +10,111 @@ Design constraints:
 - **Thread-safe**: the agent fires rules from notification-listener and
   detached-action threads concurrently with client commands; every
   mutation takes the metric's lock, so increments are never lost.
-- **Bounded**: histograms keep a fixed-size ring of the most recent
-  samples (count/sum/max are exact over *all* observations; percentiles
-  are computed over the retained window).
+- **Bounded**: histograms are *log-bucketed* — a fixed 1-2-5 decade
+  series of upper bounds from 1µs to 10s by default — so memory is
+  constant regardless of observation count.  ``count``/``sum``/``max``
+  are exact; p50/p95/p99 are estimated by cumulative walk with linear
+  interpolation inside the selected bucket, clamped to the observed
+  maximum (so a quantile never exceeds any real observation).
 - **Cheap when disabled**: every mutator starts with one branch on the
   registry's ``enabled`` flag and returns immediately when off.
+
+The text exposition renders histograms in the Prometheus native format —
+cumulative ``_bucket{le="..."}`` lines ending at ``le="+Inf"`` plus
+``_sum`` — alongside the pre-digested ``_count``/``_mean``/``_p50``/
+``_p95``/``_p99``/``_max`` summary lines the admin plane shows.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from dataclasses import dataclass
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "HistogramSummary",
     "MetricFamily",
     "MetricsRegistry",
+    "bucket_bounds",
     "percentile",
+    "quantile_from_buckets",
     "summarize",
 ]
 
-#: Default number of samples a histogram retains for percentile math.
-DEFAULT_RESERVOIR = 1024
+
+def _one_two_five(low_exp: int = -6, high_exp: int = 1) -> tuple[float, ...]:
+    """A 1-2-5 decade series of bucket upper bounds: 1e<low_exp> ..
+    1e<high_exp> (each bound parsed from its decimal literal, so the
+    rendered ``le`` labels are the familiar short forms)."""
+    bounds = [
+        float(f"{mantissa}e{exponent}")
+        for exponent in range(low_exp, high_exp)
+        for mantissa in (1, 2, 5)
+    ]
+    bounds.append(float(f"1e{high_exp}"))
+    return tuple(bounds)
+
+
+#: Default latency bucket upper bounds (seconds): 1µs .. 10s in 1-2-5
+#: steps, 22 buckets plus the implicit +Inf overflow bucket.
+DEFAULT_BUCKETS = _one_two_five()
+
+
+def quantile_from_buckets(bounds: tuple[float, ...], counts,
+                          q: float, maximum: float | None = None) -> float:
+    """Estimate the q-th percentile from per-bucket counts.
+
+    ``bounds`` are ascending upper bounds; ``counts`` has one entry per
+    bucket plus a trailing overflow count.  The estimator finds the
+    nearest-rank bucket in the cumulative distribution, then linearly
+    interpolates between the bucket's lower and upper bound (the first
+    bucket interpolates up from 0; the overflow bucket reports
+    ``maximum``).  The result is clamped to ``maximum`` so an estimate
+    never exceeds a real observation.  Returns 0.0 for empty counts.
+    """
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    total = sum(counts)
+    if not total:
+        return 0.0
+    rank = math.ceil(q / 100.0 * total)
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        seen += bucket_count
+        if seen < rank:
+            continue
+        if index == len(bounds):  # overflow bucket: no finite upper bound
+            return maximum if maximum is not None else bounds[-1]
+        lower = bounds[index - 1] if index else 0.0
+        upper = bounds[index]
+        fraction = (rank - (seen - bucket_count)) / bucket_count
+        estimate = lower + fraction * (upper - lower)
+        if maximum is not None and estimate > maximum:
+            return maximum
+        return estimate
+    return maximum if maximum is not None else bounds[-1]
+
+
+def bucket_bounds(value: float,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> tuple[float, float]:
+    """The (lower, upper) bounds of the bucket ``value`` falls into.
+
+    The benchmark suite uses the returned width as the agreement
+    tolerance between histogram-estimated and wall-clock quantiles.
+    The overflow bucket's upper bound is ``+Inf``.
+    """
+    index = bisect.bisect_left(bounds, value)
+    if index >= len(bounds):
+        return bounds[-1], math.inf
+    return (bounds[index - 1] if index else 0.0, bounds[index])
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -168,22 +247,31 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Latency/size distribution with a bounded sample reservoir.
+    """Log-bucketed latency/size distribution.
 
-    ``count``/``sum``/``max`` are exact over every observation; the
-    percentile window is a ring of the most recent ``reservoir`` samples
-    (deterministic, allocation-free at steady state).
+    Observations land in the first bucket whose upper bound is >= the
+    value (Prometheus ``le`` semantics); values above the last bound go
+    to the implicit +Inf overflow bucket.  ``count``/``sum``/``max`` are
+    exact; quantiles are bucket-interpolated estimates (see
+    :func:`quantile_from_buckets`), so memory stays O(buckets) at any
+    observation rate.
     """
 
     kind = "histogram"
 
     def __init__(self, registry: "MetricsRegistry",
-                 reservoir: int = DEFAULT_RESERVOIR):
+                 buckets: tuple[float, ...] | None = None):
         super().__init__(registry)
-        if reservoir < 1:
-            raise ValueError("histogram reservoir must be >= 1")
-        self._reservoir_size = reservoir
-        self._samples: list[float] = []
+        bounds = tuple(
+            float(bound)
+            for bound in (DEFAULT_BUCKETS if buckets is None else buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(upper <= lower for lower, upper in zip(bounds, bounds[1:])):
+            raise ValueError(
+                "histogram bucket boundaries must be strictly increasing")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf overflow
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
@@ -192,10 +280,7 @@ class Histogram(_Metric):
         if not self._registry.enabled:
             return
         with self._lock:
-            if len(self._samples) < self._reservoir_size:
-                self._samples.append(value)
-            else:
-                self._samples[self._count % self._reservoir_size] = value
+            self._counts[bisect.bisect_left(self.buckets, value)] += 1
             self._count += 1
             self._sum += value
             if value > self._max:
@@ -205,17 +290,42 @@ class Histogram(_Metric):
     def count(self) -> int:
         return self._count
 
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (0.0 when empty)."""
+        with self._lock:
+            return quantile_from_buckets(
+                self.buckets, self._counts, q, self._max)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(upper bound, cumulative count)`` pairs,
+        ending with the ``(+Inf, total)`` overflow bucket."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, cumulative + counts[-1]))
+        return out
+
     def summary(self) -> HistogramSummary:
         with self._lock:
             if not self._count:
                 return _EMPTY_SUMMARY
-            ordered = sorted(self._samples)
             return HistogramSummary(
                 count=self._count,
                 mean=self._sum / self._count,
-                p50=percentile(ordered, 50),
-                p95=percentile(ordered, 95),
-                p99=percentile(ordered, 99),
+                p50=quantile_from_buckets(
+                    self.buckets, self._counts, 50, self._max),
+                p95=quantile_from_buckets(
+                    self.buckets, self._counts, 95, self._max),
+                p99=quantile_from_buckets(
+                    self.buckets, self._counts, 99, self._max),
                 max=self._max,
             )
 
@@ -224,7 +334,7 @@ class Histogram(_Metric):
 
     def reset(self) -> None:
         with self._lock:
-            self._samples = []
+            self._counts = [0] * (len(self.buckets) + 1)
             self._count = 0
             self._sum = 0.0
             self._max = 0.0
@@ -290,6 +400,9 @@ class MetricFamily:
     def summary(self):
         return self.labels().summary()
 
+    def quantile(self, q):
+        return self.labels().quantile(q)
+
     # -- iteration ------------------------------------------------------
 
     def children(self) -> list[tuple[dict[str, str], _Metric]]:
@@ -352,9 +465,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   labelnames: tuple[str, ...] = (),
-                  reservoir: int = DEFAULT_RESERVOIR) -> MetricFamily:
+                  buckets: tuple[float, ...] | None = None) -> MetricFamily:
         return self._family(
-            name, Histogram, help, labelnames, reservoir=reservoir)
+            name, Histogram, help, labelnames, buckets=buckets)
 
     # -- introspection / export ----------------------------------------
 
@@ -375,6 +488,12 @@ class MetricsRegistry:
                 value = metric.value()
                 if isinstance(value, HistogramSummary):
                     value = value.as_dict()
+                    if isinstance(metric, Histogram):
+                        value["buckets"] = [
+                            [_le_text(bound), cumulative]
+                            for bound, cumulative
+                            in metric.cumulative_buckets()
+                        ]
                 values.append({"labels": labels, "value": value})
             out[family.name] = {
                 "type": family.kind,
@@ -395,6 +514,16 @@ class MetricsRegistry:
                 suffix = _render_labels(labels)
                 value = metric.value()
                 if isinstance(value, HistogramSummary):
+                    if isinstance(metric, Histogram):
+                        for bound, cumulative in metric.cumulative_buckets():
+                            bucket_labels = dict(labels)
+                            bucket_labels["le"] = _le_text(bound)
+                            lines.append(
+                                f"{family.name}_bucket"
+                                f"{_render_labels(bucket_labels)} "
+                                f"{cumulative}")
+                        lines.append(
+                            f"{family.name}_sum{suffix} {_fmt(metric.sum)}")
                     for stat, stat_value in value.as_dict().items():
                         lines.append(
                             f"{family.name}_{stat}{suffix} {_fmt(stat_value)}")
@@ -406,6 +535,12 @@ class MetricsRegistry:
         """Zero every metric (families and label schemas survive)."""
         for family in self.families():
             family.reset()
+
+
+def _le_text(bound: float) -> str:
+    """The ``le`` label text for one bucket bound (``+Inf`` for the
+    overflow bucket)."""
+    return "+Inf" if bound == math.inf else _fmt(bound)
 
 
 def _escape_label_value(value: str) -> str:

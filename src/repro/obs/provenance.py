@@ -329,6 +329,28 @@ class ProvenanceJournal:
         with self._lock:
             return list(self.records)
 
+    def last_seq(self) -> int:
+        """The newest retained record's sequence number (0 when empty) —
+        the flight recorder's high-water mark."""
+        with self._lock:
+            return self.records[-1].seq if self.records else 0
+
+    def since(self, seq: int,
+              limit: int | None = None) -> list[ProvenanceRecord]:
+        """Retained records with sequence numbers above ``seq``, oldest
+        first (at most ``limit``).  Scans backwards from the tail, so
+        the cost is proportional to the slice, not the journal."""
+        with self._lock:
+            out: list[ProvenanceRecord] = []
+            for record in reversed(self.records):
+                if record.seq <= seq:
+                    break
+                out.append(record)
+                if limit is not None and len(out) >= limit:
+                    break
+        out.reverse()
+        return out
+
     def resolve(self, record_id: int) -> ProvenanceRecord | None:
         """The retained record with ``seq == record_id``, if any."""
         with self._lock:

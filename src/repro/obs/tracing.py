@@ -244,6 +244,27 @@ class PipelineTrace:
         with self._lock:
             return list(self.records)
 
+    def last_seq(self) -> int:
+        """The newest retained record's sequence number (0 when empty) —
+        the flight recorder's high-water mark."""
+        with self._lock:
+            return self.records[-1].seq if self.records else 0
+
+    def since(self, seq: int, limit: int | None = None) -> list[SpanRecord]:
+        """Retained records with sequence numbers above ``seq``, oldest
+        first (at most ``limit``).  Scans backwards from the tail, so
+        the cost is proportional to the slice, not the buffer."""
+        with self._lock:
+            out: list[SpanRecord] = []
+            for record in reversed(self.records):
+                if record.seq <= seq:
+                    break
+                out.append(record)
+                if limit is not None and len(out) >= limit:
+                    break
+        out.reverse()
+        return out
+
     def tree(self) -> list[tuple[SpanRecord, list]]:
         """Nested (record, children) pairs for the retained records."""
         with self._lock:

@@ -150,6 +150,9 @@ class Executor:
 
     def _timed_execute(self, handler, statement: Statement,
                        state: ExecutionState) -> None:
+        accounting = self.server.accounting
+        if accounting is not None and accounting.active():
+            accounting.note_statement()
         metrics = self.server.metrics
         if metrics is None or not metrics.enabled:
             handler(self, statement, state)
@@ -318,6 +321,18 @@ class Executor:
             for position, table in enumerate(tables)
         ]
 
+        accounting = self.server.accounting
+        track = accounting is not None and accounting.active()
+        if track:
+            # Charge materialized candidates once per scan setup (probe
+            # callables are charged below, when they actually run), and
+            # classify each source as index-narrowed or full scan.
+            index_sources = len(row_overrides) if row_overrides else 0
+            accounting.note_scan(
+                sum(len(rows) for rows in row_lists if not callable(rows)),
+                index_sources,
+                len(sources) - index_sources)
+
         def recurse(depth: int):
             if depth == len(sources):
                 if where is None or is_true(evaluate(where, env, ctx)):
@@ -327,6 +342,8 @@ class Executor:
             candidates = row_lists[depth]
             if callable(candidates):
                 candidates = candidates()
+                if track:
+                    accounting.note_rows(len(candidates))
             for row in candidates:
                 source.row = row
                 yield from recurse(depth + 1)
@@ -917,10 +934,18 @@ class Executor:
                         state: ExecutionState):
         """Candidate rows for single-table DML: an index-narrowed list
         when the WHERE permits, else the table's live row list."""
+        accounting = self.server.accounting
+        track = accounting is not None and accounting.active()
         plan = self._scan_plan(where, [source], [table], env, ctx, state)
         if plan and 0 in plan:
             candidates = plan[0]
-            return candidates() if callable(candidates) else candidates
+            if callable(candidates):
+                candidates = candidates()
+            if track:
+                accounting.note_scan(len(candidates), 1, 0)
+            return candidates
+        if track:
+            accounting.note_scan(len(table.rows), 0, 1)
         return table.rows
 
     def _execute_truncate(self, statement: TruncateStatement,

@@ -54,29 +54,44 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: per-origin hit/miss tallies ("client" batches vs LED-generated
+        #: "rule" SQL vs "system"), so the composite-loop hit-rate gap
+        #: (ROADMAP: ~0.45) can be attributed to a statement population
+        self.origin_hits: dict[str, int] = {}
+        self.origin_misses: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, text: str, epoch: int):
+    def get(self, text: str, epoch: int, origin: str | None = None):
         """The cached statements for ``text`` at ``epoch``, else None.
 
         An entry parsed under an older epoch is dropped (counted as an
         invalidation *and* a miss: the caller re-parses either way).
+        ``origin`` classifies the lookup for the per-origin tallies.
         """
         with self._lock:
             entry = self._entries.get(text)
             if entry is None:
                 self.misses += 1
+                if origin is not None:
+                    self.origin_misses[origin] = (
+                        self.origin_misses.get(origin, 0) + 1)
                 return None
             entry_epoch, statements = entry
             if entry_epoch != epoch:
                 del self._entries[text]
                 self.invalidations += 1
                 self.misses += 1
+                if origin is not None:
+                    self.origin_misses[origin] = (
+                        self.origin_misses.get(origin, 0) + 1)
                 return None
             self._entries.move_to_end(text)
             self.hits += 1
+            if origin is not None:
+                self.origin_hits[origin] = (
+                    self.origin_hits.get(origin, 0) + 1)
             return statements
 
     def put(self, text: str, epoch: int, statements) -> None:
@@ -97,6 +112,8 @@ class PlanCache:
                 self.misses = 0
                 self.evictions = 0
                 self.invalidations = 0
+                self.origin_hits.clear()
+                self.origin_misses.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -107,6 +124,17 @@ class PlanCache:
     def stats(self) -> dict[str, object]:
         """A snapshot of the cache's counters and occupancy."""
         with self._lock:
+            origins = {}
+            for origin in sorted(set(self.origin_hits)
+                                 | set(self.origin_misses)):
+                hits = self.origin_hits.get(origin, 0)
+                misses = self.origin_misses.get(origin, 0)
+                total = hits + misses
+                origins[origin] = {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": round(hits / total, 4) if total else 0.0,
+                }
             return {
                 "enabled": self.enabled,
                 "size": len(self._entries),
@@ -116,4 +144,5 @@ class PlanCache:
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "hit_rate": round(self.hit_rate, 4),
+                "origins": origins,
             }

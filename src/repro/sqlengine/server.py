@@ -92,7 +92,12 @@ class SqlServer:
         self._m_statements = None
         self._m_statement_seconds = None
         self._m_plan_cache = None
+        self._m_plan_cache_origin = None
         self._m_index_scans = None
+        #: optional resource-accounting sink (attach_accounting); the
+        #: executor charges row scans and cache lookups to whatever
+        #: per-session/per-rule frames the agent has open
+        self.accounting = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -114,6 +119,7 @@ class SqlServer:
             self._m_statements = None
             self._m_statement_seconds = None
             self._m_plan_cache = None
+            self._m_plan_cache_origin = None
             self._m_index_scans = None
             return
         self._m_statements = registry.counter(
@@ -125,9 +131,32 @@ class SqlServer:
         self._m_plan_cache = registry.counter(
             "sql_plan_cache_total",
             "Plan cache lookups by outcome", ("outcome",))
+        self._m_plan_cache_origin = registry.counter(
+            "sql_plan_cache_origin_total",
+            "Plan cache lookups by statement origin and outcome",
+            ("origin", "outcome"))
         self._m_index_scans = registry.counter(
             "sql_index_scans_total",
             "Index-backed scan narrowings by predicate kind", ("kind",))
+
+    def attach_accounting(self, accounting) -> None:
+        """Attach (or detach, with ``None``) a resource-accounting plane.
+
+        While attached, the executor and plan cache charge rows scanned,
+        scan kinds, and cache outcomes to the ambient
+        :class:`~repro.obs.opcontext.OpContext` frames the agent opened;
+        detached, every hook is one ``None`` check.
+        """
+        self.accounting = accounting
+
+    def _statement_origin(self) -> str:
+        """Classify the statement being parsed for cache accounting:
+        LED-generated per-occurrence ``rule`` SQL, a ``client`` batch
+        inside a gateway command, or agent-internal ``system`` SQL."""
+        accounting = self.accounting
+        if accounting is None:
+            return "system"
+        return accounting.origin()
 
     def set_datagram_sink(self, sink: DatagramSink | None) -> None:
         """Attach (or detach) the destination for ``syb_sendmsg`` output."""
@@ -193,13 +222,19 @@ class SqlServer:
         if not cache.enabled:
             return parse_batch(batch_text)
         epoch = self.catalog.schema_epoch
-        statements = cache.get(batch_text, epoch)
+        accounting = self.accounting
+        origin = "system" if accounting is None else accounting.origin()
+        statements = cache.get(batch_text, epoch, origin=origin)
+        if origin != "system":
+            accounting.note_plan_cache(statements is not None)
         if statements is not None:
             if self._m_plan_cache is not None:
                 self._m_plan_cache.labels("hit").inc()
+                self._m_plan_cache_origin.labels(origin, "hit").inc()
             return statements
         if self._m_plan_cache is not None:
             self._m_plan_cache.labels("miss").inc()
+            self._m_plan_cache_origin.labels(origin, "miss").inc()
         statements = tuple(parse_batch(batch_text))
         # Only cache under an unchanged epoch: if parsing itself executed
         # nothing, the epoch cannot move, but guard anyway for safety.

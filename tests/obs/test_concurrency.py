@@ -46,7 +46,7 @@ class TestMetricsConcurrency:
 
     def test_no_lost_histogram_observations(self):
         registry = MetricsRegistry()
-        histogram = registry.histogram("latency", reservoir=64)
+        histogram = registry.histogram("latency")
 
         def worker(index):
             child = histogram.labels()

@@ -138,3 +138,62 @@ class TestRotation:
             exporter.export_snapshot(metrics=metrics)
         assert not os.path.exists(path + ".1")
         assert exporter.snapshots_written == 5
+
+
+class TestHealthPlaneLines:
+    def _slow_surfaces(self):
+        from repro.obs import FlightRecorder, OpAccounting
+
+        class _Session:
+            session_id = 3
+            user = "sharma"
+            database = "sentineldb"
+
+        accounting = OpAccounting()
+        frame = accounting.begin(_Session())
+        accounting.note_statement()
+        recorder = FlightRecorder(threshold_ms=0.0)
+        trace = PipelineTrace()
+        journal = ProvenanceJournal()
+        marks = recorder.marks(trace, journal)
+        recorder.capture(
+            kind="passthrough", statement="select 1", session=_Session(),
+            duration=0.02, frame=frame, trace=trace, journal=journal,
+            marks=marks)
+        accounting.finish(frame, 0.02)
+        with accounting.rule_scope("db.u.r"):
+            pass
+        return recorder, accounting
+
+    def test_slow_op_and_op_totals_lines(self, tmp_path):
+        recorder, accounting = self._slow_surfaces()
+        path = str(tmp_path / "telemetry.jsonl")
+        exporter = TelemetryExporter(path)
+        exporter.export_snapshot(flightrec=recorder, accounting=accounting)
+        lines = _read_lines(path)
+        by_type = {}
+        for line in lines:
+            by_type.setdefault(line["type"], []).append(line)
+        [slow] = by_type["slow_op"]
+        assert slow["statement"] == "select 1"
+        assert slow["counters"]["sql_statements"] == 1
+        scopes = {line["scope"] for line in by_type["op_totals"]}
+        assert scopes == {"session", "rule"}
+        session_line = next(line for line in by_type["op_totals"]
+                            if line["scope"] == "session")
+        assert session_line["session_id"] == 3
+        assert session_line["commands"] == 1
+
+    def test_slow_op_lines_are_incremental(self, tmp_path):
+        recorder, accounting = self._slow_surfaces()
+        path = str(tmp_path / "telemetry.jsonl")
+        exporter = TelemetryExporter(path)
+        exporter.export_snapshot(flightrec=recorder, accounting=accounting)
+        exporter.export_snapshot(flightrec=recorder, accounting=accounting)
+        lines = _read_lines(path)
+        slow = [line for line in lines if line["type"] == "slow_op"]
+        # The same slow op is never exported twice...
+        assert len(slow) == 1
+        # ...while op_totals lines are full snapshots each time.
+        totals = [line for line in lines if line["type"] == "op_totals"]
+        assert len(totals) == 4

@@ -1,0 +1,123 @@
+"""Unit tests for the watchdog rules and evaluator."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_HEALTH_RULES,
+    HealthEvaluator,
+    HealthRule,
+)
+
+
+def _rule(**overrides):
+    base = dict(
+        name="r", key="k", direction="ceiling", threshold=1.0,
+        severity="degraded", description="d")
+    base.update(overrides)
+    return HealthRule(**base)
+
+
+def test_rule_validates_direction_and_severity():
+    with pytest.raises(ValueError):
+        _rule(direction="sideways")
+    with pytest.raises(ValueError):
+        _rule(severity="ok")
+
+
+def test_ceiling_breaches_above_threshold_only():
+    evaluator = HealthEvaluator((_rule(),))
+    assert evaluator.evaluate({"k": 1.0}).status == "ok"  # inclusive
+    report = evaluator.evaluate({"k": 1.5})
+    assert report.status == "degraded"
+    [finding] = report.breaches()
+    assert finding.rule == "r"
+    assert finding.value == 1.5
+
+
+def test_floor_breaches_below_threshold_only():
+    evaluator = HealthEvaluator((_rule(direction="floor"),))
+    assert evaluator.evaluate({"k": 1.0}).status == "ok"
+    assert evaluator.evaluate({"k": 0.5}).status == "degraded"
+
+
+def test_missing_key_reads_as_zero():
+    evaluator = HealthEvaluator((_rule(),))
+    report = evaluator.evaluate({})
+    assert report.status == "ok"
+    assert report.findings[0].value == 0.0
+
+
+def test_activity_guard_skips_until_min_value():
+    evaluator = HealthEvaluator(
+        (_rule(direction="floor", min_key="n", min_value=100),))
+    quiet = evaluator.evaluate({"k": 0.0, "n": 5})
+    assert quiet.status == "ok"
+    assert quiet.findings[0].status == "skipped"
+    busy = evaluator.evaluate({"k": 0.0, "n": 100})
+    assert busy.status == "degraded"
+    assert busy.findings[0].status == "breach"
+
+
+def test_status_folds_to_worst_severity():
+    evaluator = HealthEvaluator((
+        _rule(name="soft", severity="degraded"),
+        _rule(name="hard", severity="critical", threshold=2.0),
+    ))
+    assert evaluator.evaluate({"k": 1.5}).status == "degraded"
+    assert evaluator.evaluate({"k": 2.5}).status == "critical"
+    # An ok rule after a critical one never lowers the fold.
+    evaluator = HealthEvaluator((
+        _rule(name="hard", severity="critical"),
+        _rule(name="fine", threshold=100.0),
+    ))
+    assert evaluator.evaluate({"k": 5.0}).status == "critical"
+
+
+def test_findings_are_deterministic_and_in_rule_order():
+    evaluator = HealthEvaluator((
+        _rule(name="a"), _rule(name="b"), _rule(name="c")))
+    report = evaluator.evaluate({"k": 0.0})
+    assert [f.rule for f in report.findings] == ["a", "b", "c"]
+    again = evaluator.evaluate({"k": 0.0})
+    assert report.as_dict() == again.as_dict()
+
+
+def test_report_as_dict_round_trips_sample():
+    evaluator = HealthEvaluator((_rule(),))
+    payload = evaluator.evaluate({"k": 2.0, "extra": 9}).as_dict()
+    assert payload["status"] == "degraded"
+    assert payload["sample"] == {"k": 2.0, "extra": 9}
+    assert payload["findings"][0]["status"] == "breach"
+
+
+def test_default_rules_are_healthy_on_an_idle_sample():
+    report = HealthEvaluator().evaluate({})
+    assert report.status == "ok"
+    assert report.breaches() == []
+
+
+def test_default_rules_catch_the_known_failure_axes():
+    evaluator = HealthEvaluator()
+    critical = evaluator.evaluate({
+        "actions_total": 20,
+        "action_error_rate": 0.5,
+        "notification_backlog": 20000,
+    })
+    assert critical.status == "critical"
+    breached = {f.rule for f in critical.breaches()}
+    assert "action-error-rate-critical" in breached
+    assert "notification-backlog-critical" in breached
+
+    degraded = evaluator.evaluate({
+        "plan_cache_lookups": 500,
+        "plan_cache_hit_rate": 0.2,
+        "retry_exhausted_total": 3,
+    })
+    assert degraded.status == "degraded"
+    breached = {f.rule for f in degraded.breaches()}
+    assert breached == {"plan-cache-hit-rate", "retry-exhaustion"}
+
+
+def test_default_rule_names_are_unique():
+    names = [rule.name for rule in DEFAULT_HEALTH_RULES]
+    assert len(names) == len(set(names))

@@ -97,8 +97,10 @@ class TestCounterAndGauge:
 
 class TestHistogram:
     def test_percentiles_on_known_distribution(self):
+        # Unit-width buckets make the interpolated estimates exact.
         registry = MetricsRegistry()
-        histogram = registry.histogram("latency")
+        histogram = registry.histogram(
+            "latency", buckets=tuple(float(v) for v in range(1, 101)))
         for value in range(1, 101):
             histogram.observe(float(value))
         summary = histogram.summary()
@@ -109,19 +111,22 @@ class TestHistogram:
         assert summary.p99 == 99.0
         assert summary.max == 100.0
 
-    def test_reservoir_keeps_most_recent_window(self):
+    def test_default_buckets_estimate_within_one_bucket(self):
+        from repro.obs.metrics import bucket_bounds
+
         registry = MetricsRegistry()
-        histogram = registry.histogram("latency", reservoir=10)
-        for value in range(1, 101):
-            histogram.observe(float(value))
+        histogram = registry.histogram("latency")
+        samples = [v / 1000.0 for v in range(1, 101)]  # 1ms .. 100ms
+        for value in samples:
+            histogram.observe(value)
         summary = histogram.summary()
-        # count/mean/max are exact over all 100 observations...
         assert summary.count == 100
-        assert summary.max == 100.0
-        assert summary.mean == pytest.approx(50.5)
-        # ...percentiles cover the newest ten samples (91..100).
-        assert summary.p50 == 95.0
-        assert summary.p99 == 100.0
+        assert summary.max == 0.1
+        for q, exact in ((50, 0.050), (95, 0.095), (99, 0.099)):
+            lower, upper = bucket_bounds(exact)
+            estimate = histogram.quantile(q)
+            assert abs(estimate - exact) <= upper - lower
+            assert estimate <= summary.max
 
     def test_empty_histogram_summary_is_zeroed(self):
         registry = MetricsRegistry()

@@ -9,6 +9,11 @@ stay under a threshold (default 2.0x, overridable through the
 ``OBS_OVERHEAD_RATIO`` environment variable) — catching any change that
 moves real work onto the instrumented hot path.
 
+The health-plane series (stats + accounting + slow-op capture armed,
+trace and provenance off) is gated against the same baseline under the
+same ceiling, so the always-on health surface can never quietly grow
+more expensive than the full debugging plane is allowed to be.
+
 Usage::
 
     python tools/check_overhead.py                   # ./BENCH_overhead.json
@@ -28,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Series labels written by benchmarks/bench_overhead.py.
 BASELINE_SERIES = "4 + composite detection (Example 2)"
 OBSERVED_SERIES = "5 + observability on (stats+trace+provenance)"
+HEALTH_SERIES = "6 + health plane (accounting+slowlog+stats)"
 
 #: Default ceiling for observed/baseline mean latency.
 DEFAULT_RATIO = 2.0
@@ -41,22 +47,24 @@ def check(path: Path, max_ratio: float) -> list[str]:
     payload = json.loads(path.read_text())
     series = payload.get("series", {})
     problems = []
-    for label in (BASELINE_SERIES, OBSERVED_SERIES):
+    for label in (BASELINE_SERIES, OBSERVED_SERIES, HEALTH_SERIES):
         if label not in series:
             problems.append(f"{path}: series {label!r} missing")
     if problems:
         return problems
     baseline = series[BASELINE_SERIES]["mean"]
-    observed = series[OBSERVED_SERIES]["mean"]
     if baseline <= 0:
         return [f"{path}: baseline mean is {baseline}; artifact corrupt"]
-    ratio = observed / baseline
-    print(f"observability overhead: {observed:.4f}ms / {baseline:.4f}ms "
-          f"= {ratio:.2f}x (limit {max_ratio:.2f}x)")
-    if ratio > max_ratio:
-        problems.append(
-            f"{path}: observability-on mean latency is {ratio:.2f}x the "
-            f"baseline, over the {max_ratio:.2f}x limit")
+    for name, label in (("observability", OBSERVED_SERIES),
+                        ("health plane", HEALTH_SERIES)):
+        observed = series[label]["mean"]
+        ratio = observed / baseline
+        print(f"{name} overhead: {observed:.4f}ms / {baseline:.4f}ms "
+              f"= {ratio:.2f}x (limit {max_ratio:.2f}x)")
+        if ratio > max_ratio:
+            problems.append(
+                f"{path}: {name} mean latency is {ratio:.2f}x the "
+                f"baseline, over the {max_ratio:.2f}x limit")
     return problems
 
 
