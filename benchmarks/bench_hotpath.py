@@ -10,9 +10,16 @@ Three paired series quantify each layer of the PR:
 5.   An active insert whose table carries TWO primitive events on the
      same (table, operation): the generated trigger coalesces both
      segments into one datagram, so the agent decodes/locks once.
+6.   A composite rule fired repeatedly: the ``sysContext`` refresh the
+     action handler generates per firing uses ``@eca_vno<i>`` parameter
+     slots instead of inlined occurrence numbers, so its batch *text*
+     is constant across firings and the rule-origin cache hit rate must
+     be as healthy as the client-origin one (it languished near 0.45
+     when every firing inlined a fresh ``vNo`` literal).
 
-The artifact ``BENCH_hotpath.json`` also records the plan-cache stats,
-index-scan totals, and coalescing counters each series produced.
+The artifact ``BENCH_hotpath.json`` also records the plan-cache stats
+(with per-origin hit rates), index-scan totals, and coalescing counters
+each series produced.
 """
 
 from _helpers import (
@@ -76,14 +83,44 @@ def _coalesced_stack():
     return server, agent, conn
 
 
+def _rule_firing_stack():
+    """An agent stack with a composite rule whose action joins contexts.
+
+    Every ``^`` detection makes the action handler emit the sysContext
+    refresh + procedure call — the generated, rule-origin hot path the
+    parameter-slot keying exists for.
+    """
+    server, agent, conn = agent_stack()
+    conn.execute(
+        "create trigger t_add on stock for insert event hpAdd as print 'a'")
+    conn.execute(
+        "create trigger t_del on stock for delete event hpDel as print 'd'")
+    conn.execute(
+        "create trigger t_pair\n"
+        "event hpPair = hpDel ^ hpAdd\n"
+        "RECENT\n"
+        "as\n"
+        "select symbol from stock.inserted")
+    return server, agent, conn
+
+
+def _fire_rule(conn, state=[0]):
+    """One insert+delete pair — raises both primitives, fires the rule."""
+    state[0] += 1
+    conn.execute(f"insert stock values ('R{state[0]}', 1.0, {state[0]})")
+    conn.execute(f"delete stock where symbol = 'R{state[0]}'")
+
+
 def test_hotpath_series(benchmark):
     server_off, conn_off = _cached_stack(enabled=False)
     server_on, conn_on = _cached_stack(enabled=True)
     server_scan, conn_scan = _scan_stack(indexed=False)
     server_idx, conn_idx = _scan_stack(indexed=True)
     server_act, agent, conn_act = _coalesced_stack()
+    server_rule, agent_rule, conn_rule = _rule_firing_stack()
 
     conn_on.execute(HOT_BATCH)  # warm: the one unavoidable miss
+    _fire_rule(conn_rule)  # warm: the refresh/proc batches' first miss
 
     series = {
         "1 repeated batch, plan cache off": measure_ms(
@@ -96,6 +133,8 @@ def test_hotpath_series(benchmark):
             conn_idx.execute, 200, POINT_SELECT),
         "5 active insert, 2 events coalesced": measure_ms(
             conn_act.execute, 200, "insert stock values ('X', 1.0, 1)"),
+        "6 composite rule firing, slotted refresh": measure_ms(
+            _fire_rule, 100, conn_rule),
     }
 
     off_p50 = summarize(series["1 repeated batch, plan cache off"]).p50
@@ -113,12 +152,17 @@ def test_hotpath_series(benchmark):
           f"({server_idx.index_scans} indexed scans)")
     print(f"[coalescing]  {agent.notifier.coalesced_payloads} payloads "
           f"carried {agent.notifier.coalesced_events} events")
+    rule_origins = server_rule.plan_cache.stats()["origins"]
+    rule_hit_rate = rule_origins.get("rule", {}).get("hit_rate", 0.0)
+    print(f"[rule origin] cache hit rate {rule_hit_rate:.3f} "
+          f"({rule_origins})")
 
     write_bench_json("hotpath", series, extra={
         "plan_cache": {
             "off": server_off.plan_cache.stats(),
             "on": server_on.plan_cache.stats(),
             "speedup_p50": round(off_p50 / on_p50, 4),
+            "rule_origin": rule_origins,
         },
         "index": {
             "scan_p50_ms": round(scan_p50, 4),
@@ -137,6 +181,10 @@ def test_hotpath_series(benchmark):
     # where CI can tune it for noisy runners):
     assert server_on.plan_cache.hit_rate > 0.9
     assert server_off.plan_cache.hits == 0
+    # The parameter-slot keying of the generated sysContext refresh must
+    # keep rule-origin SQL as cacheable as client-origin SQL (it sat
+    # near 0.45 when occurrence numbers were inlined as literals).
+    assert rule_hit_rate > 0.9, rule_origins
     assert idx_p50 < scan_p50
     assert agent.notifier.coalesced_events == 2 * agent.notifier.coalesced_payloads
     benchmark(lambda: None)

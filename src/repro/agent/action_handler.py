@@ -9,12 +9,23 @@ In the paper a new Open Server thread is spawned per action; here the
 ``threaded`` mode does the same with Python threads (used for DETACHED
 coupling), while the default synchronous path runs the action inline —
 which is exactly what IMMEDIATE coupling means.
+
+Concurrency: actions whose parameter contexts touch disjoint snapshot
+tables run fully in parallel (the engine's lock manager arbitrates the
+data below); actions sharing a snapshot table are serialized here, by
+sorted per-table locks, because their ``sysContext`` refresh +
+context-processing join is a multi-batch read-modify-write over shared
+rows.  Actions sharing an execution session (same database and owner)
+additionally serialize on that session — engine sessions hold
+per-session state (``@@rowcount``, transaction log) and are not
+reentrant.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from repro.faults import POINT_ACTION_RUN
@@ -68,16 +79,42 @@ class ActionHandler:
             "Rule action execution latency (seconds)")
         #: action execution sessions, one per (database, user): actions run
         #: with the *trigger owner's* identity so unqualified names in the
-        #: user's action SQL resolve as they would for that user.
-        self._sessions: dict[tuple[str, str], object] = {}
+        #: user's action SQL resolve as they would for that user.  Each
+        #: session carries a lock: concurrent actions sharing an identity
+        #: must not interleave on one engine session.
+        self._sessions: dict[tuple[str, str], tuple[object, threading.RLock]] = {}
+        #: serialization locks for actions touching the same snapshot
+        #: table (sysContext refresh is a read-modify-write across batches)
+        self._table_locks: dict[str, threading.Lock] = {}
 
     def _session_for(self, database: str, user: str):
+        """The (engine session, session lock) pair for one identity."""
         key = (database.lower(), user.lower())
-        session = self._sessions.get(key)
-        if session is None:
-            session = self.agent.server.create_session(user, database)
-            self._sessions[key] = session
-        return session
+        with self._lock:
+            entry = self._sessions.get(key)
+            if entry is None:
+                entry = (self.agent.server.create_session(user, database),
+                         threading.RLock())
+                self._sessions[key] = entry
+        return entry
+
+    def _serialization_locks(self, runtime: "TriggerRuntime") -> list:
+        """Sorted per-table locks covering the action's snapshot tables.
+
+        Sorting gives a global acquisition order, so two actions with
+        overlapping table sets cannot deadlock; disjoint actions share no
+        locks and run concurrently.
+        """
+        names = sorted({t.lower() for t in runtime.snapshot_tables})
+        locks = []
+        with self._lock:
+            for name in names:
+                lock = self._table_locks.get(name)
+                if lock is None:
+                    lock = threading.Lock()
+                    self._table_locks[name] = lock
+                locks.append(lock)
+        return locks
 
     # ------------------------------------------------------------------
     # LED integration
@@ -188,17 +225,34 @@ class ActionHandler:
             occurrence=occurrence,
         )
         statements: list[str] = []
+        params: dict[str, object] = {}
         if runtime.uses_context:
             entries = context_entries(occurrence)
-            statements.extend(sys_context_refresh_sql(
+            refresh, params = sys_context_refresh_sql(
                 entries,
                 runtime.snapshot_tables,
                 trigger.context,
                 self.agent.persistent_manager.system_prefix(trigger.db_name),
-            ))
+            )
+            statements.extend(refresh)
         statements.append(f"execute {noti.store_proc}")
         script = "\n".join(statements)
-        session = self._session_for(trigger.db_name, trigger.user_name)
+        # An IMMEDIATE action runs nested inside the client's engine
+        # batch, which holds the exclusive gate: it is already serialized
+        # against every other action and must not block on handler locks
+        # (a lock held by an action waiting for the gate would deadlock).
+        # It gets a throwaway session for the same reason — the cached
+        # identity session might be mid-script on another thread.
+        nested = self.agent.server.lock_manager.in_batch()
+        if nested:
+            session = self.agent.server.create_session(
+                trigger.user_name, trigger.db_name)
+            locks: list = []
+        else:
+            session, session_lock = self._session_for(
+                trigger.db_name, trigger.user_name)
+            locks = [session_lock]
+            locks.extend(self._serialization_locks(runtime))
         metrics = self.agent.metrics
         timed = metrics.enabled
         journal = self.agent.journal
@@ -209,15 +263,21 @@ class ActionHandler:
         span = (trace.span(FIG4_ACTION_RUN, trigger.internal)
                 if trace.enabled else None)
         try:
-            if span is not None:
-                with span:
-                    result = self.agent.server.execute(script, session)
-                    # Figure 16: results flow back to the client through
-                    # the gateway (routing is part of the action span).
+            with ExitStack() as stack:
+                for lock in locks:
+                    stack.enter_context(lock)
+                if span is not None:
+                    with span:
+                        result = self.agent.server.execute(
+                            script, session, params=params)
+                        # Figure 16: results flow back to the client
+                        # through the gateway (routing is part of the
+                        # action span).
+                        self._finish(record, result)
+                else:
+                    result = self.agent.server.execute(
+                        script, session, params=params)
                     self._finish(record, result)
-            else:
-                result = self.agent.server.execute(script, session)
-                self._finish(record, result)
         except Exception as exc:  # record and surface via the LED policy
             record.error = exc
             self.action_log.append(record)

@@ -48,6 +48,12 @@ Commands:
   threshold in milliseconds (fractions allowed), or disarm it;
 - ``set agent faults on|off`` — re-arm / disarm the fault injector
   without forgetting its plan;
+- ``show agent sessions [N]`` — the newest N gateway sessions with their
+  scheduling state, queue depth, and per-session command counters;
+- ``show agent workers`` — the gateway worker pool (size, live threads,
+  completed commands) and the engine lock manager's batch counters;
+- ``set agent workers <N>`` — resize the worker pool by replacement
+  (0 removes it: commands run inline on the client's thread);
 - ``export agent telemetry`` — snapshot metrics + spans + provenance
   into the attached :class:`~repro.obs.TelemetryExporter`'s JSONL file.
 
@@ -73,14 +79,14 @@ _USAGE = (
     "show agent graph | show agent status | show agent faults | "
     "show agent cache [N] | "
     "show agent top [rules|sessions] [N] | show agent slow [N] | "
-    "show agent health | "
+    "show agent health | show agent sessions [N] | show agent workers | "
     "explain trigger <name> | "
     "reset agent stats | reset agent trace | reset agent provenance | "
     "reset agent cache | reset agent accounting | reset agent slow | "
     "set agent stats on|off | set agent trace on|off | "
     "set agent provenance on|off | set agent faults on|off | "
     "set agent accounting on|off | set agent slowlog <ms>|off | "
-    "export agent telemetry"
+    "set agent workers <N> | export agent telemetry"
 )
 
 _COMMAND = re.compile(
@@ -97,6 +103,8 @@ _COMMAND = re.compile(
     r"(?:\s+(?P<top_scope>rules|sessions))?(?:\s+(?P<top_n>[^\s;]+))?)"
     r"|(?P<show_slow>show\s+agent\s+slow(?:\s+(?P<slow_n>[^\s;]+))?)"
     r"|(?P<show_health>show\s+agent\s+health)"
+    r"|(?P<show_sessions>show\s+agent\s+sessions(?:\s+(?P<sessions_n>[^\s;]+))?)"
+    r"|(?P<show_workers>show\s+agent\s+workers)"
     r"|explain\s+trigger\s+(?P<explain_name>[A-Za-z_#][\w.$#]*)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
@@ -105,6 +113,7 @@ _COMMAND = re.compile(
     r"|(?P<reset_accounting>reset\s+agent\s+accounting)"
     r"|(?P<reset_slow>reset\s+agent\s+slow)"
     r"|set\s+agent\s+slowlog\s+(?P<slowlog_value>[^\s;]+)"
+    r"|set\s+agent\s+workers\s+(?P<workers_value>[^\s;]+)"
     r"|set\s+agent\s+(?P<set_target>stats|trace|provenance|faults"
     r"|accounting)\s+(?P<set_value>on|off)"
     r"|(?P<export>export\s+agent\s+telemetry)"
@@ -122,6 +131,10 @@ DEFAULT_INDEX_ROWS = 20
 DEFAULT_TOP_ROWS = 10
 #: Default row count for ``show agent slow``.
 DEFAULT_SLOW_ROWS = 10
+#: Default row count for ``show agent sessions``.
+DEFAULT_SESSION_ROWS = 20
+#: Hard ceiling for ``set agent workers`` (threads are not free).
+MAX_WORKERS = 128
 
 #: Operator-node class -> the Snoop operator it implements.
 _NODE_KINDS = {
@@ -205,6 +218,14 @@ class AgentAdmin:
             return error if error is not None else self._show_slow(count)
         if match.group("show_health"):
             return self._show_health()
+        if match.group("show_sessions"):
+            count, error = self._parse_count(
+                match.group("sessions_n"), DEFAULT_SESSION_ROWS,
+                max(1, len(self.agent.gateway.session_snapshots())),
+                "show agent sessions")
+            return error if error is not None else self._show_sessions(count)
+        if match.group("show_workers"):
+            return self._show_workers()
         if match.group("explain_name"):
             return self._explain_trigger(match.group("explain_name"), session)
         if match.group("reset_stats"):
@@ -223,6 +244,8 @@ class AgentAdmin:
             return self._export_telemetry()
         if match.group("slowlog_value") is not None:
             return self._set_slowlog(match.group("slowlog_value"))
+        if match.group("workers_value") is not None:
+            return self._set_workers(match.group("workers_value"))
         target = match.group("set_target").lower()
         value = match.group("set_value").lower() == "on"
         return self._set_flag(target, value)
@@ -725,6 +748,64 @@ class AgentAdmin:
         flightrec.threshold_ms = threshold
         return BatchResult(messages=[
             f"Agent slow-op capture armed at {threshold:g} ms."])
+
+    def _show_sessions(self, count: int) -> BatchResult:
+        """The newest ``count`` gateway sessions and their queue state."""
+        rows = ResultSet(columns=[
+            "session_id", "user", "database", "state", "queued",
+            "enqueued", "executed", "backpressure_waits",
+        ])
+        snapshots = self.agent.gateway.session_snapshots()
+        for snap in snapshots[:count]:
+            rows.rows.append([
+                snap["session_id"], snap["user"], snap["database"],
+                snap["state"], snap["queued"], snap["enqueued"],
+                snap["executed"], snap["backpressure_waits"],
+            ])
+        result = BatchResult(result_sets=[rows])
+        result.messages.append(
+            f"{len(snapshots)} gateway session(s); "
+            f"worker pool size {self.agent.gateway.worker_count()}.")
+        return result
+
+    def _show_workers(self) -> BatchResult:
+        """Worker-pool and engine lock-manager counters."""
+        pool = self.agent.gateway.pool
+        pool_rows = ResultSet(columns=[
+            "pool", "size", "alive", "completed", "stopping"])
+        if pool is not None:
+            snap = pool.snapshot()
+            pool_rows.rows.append([
+                snap["name"], snap["size"], snap["alive"],
+                snap["completed"], int(snap["stopping"])])
+        locks = ResultSet(columns=["lock_stat", "value"])
+        for name, value in sorted(
+                self.agent.server.lock_manager.stats().items()):
+            locks.rows.append([name, value])
+        result = BatchResult(result_sets=[pool_rows, locks])
+        if pool is None:
+            result.messages.append(
+                "No worker pool: commands run inline on the client's "
+                "thread (enable with 'set agent workers <N>').")
+        return result
+
+    def _set_workers(self, value: str) -> BatchResult:
+        try:
+            count = int(value)
+        except ValueError:
+            return _error_result(
+                f"'set agent workers' expects a thread count, got "
+                f"{value!r}")
+        if count < 0:
+            return _error_result(
+                f"'set agent workers' expects a count >= 0, got {count}")
+        count = min(count, MAX_WORKERS)
+        self.agent.gateway.set_workers(count)
+        if count == 0:
+            return BatchResult(messages=[
+                "Agent worker pool removed; commands run inline."])
+        return BatchResult(messages=[
+            f"Agent worker pool resized to {count} thread(s)."])
 
     def _export_telemetry(self) -> BatchResult:
         if self.agent.exporter is None:

@@ -10,6 +10,7 @@ and implements the two control flows of Figures 3 (create ECA rules) and
 from __future__ import annotations
 
 import re
+import threading
 
 from repro.faults import (
     FaultInjector,
@@ -117,6 +118,9 @@ class EcaAgent:
         health_rules: override the watchdog's rule set (default:
             :data:`~repro.obs.DEFAULT_HEALTH_RULES`) behind
             ``show agent health``.
+        workers: gateway worker-pool size; 0 (default) runs every
+            command inline on the client's thread.  Resizable at runtime
+            with ``set agent workers <N>``.
     """
 
     def __init__(self, server: SqlServer,
@@ -132,7 +136,8 @@ class EcaAgent:
                  exporter: "TelemetryExporter | None" = None,
                  accounting: "OpAccounting | None" = None,
                  flightrec: "FlightRecorder | None" = None,
-                 health_rules=None):
+                 health_rules=None,
+                 workers: int = 0):
         from repro.obs import (
             FlightRecorder,
             HealthEvaluator,
@@ -187,8 +192,12 @@ class EcaAgent:
         from .admin import AgentAdmin
         from .gateway import GatewayOpenServer
 
-        self.gateway = GatewayOpenServer(self)
+        self.gateway = GatewayOpenServer(self, workers=workers)
         self.admin = AgentAdmin(self)
+        #: serializes ECA DDL (create/drop/alter of events and triggers):
+        #: the registries and codegen are multi-step and concurrent
+        #: sessions must not interleave them.
+        self._eca_lock = threading.RLock()
         self.notify_host = notify_host
         self.notify_port = notify_port
 
@@ -256,6 +265,7 @@ class EcaAgent:
 
     def close(self) -> None:
         """Detach from the server and stop background machinery."""
+        self.gateway.stop_workers()
         self.action_handler.join_detached()
         self.channel.stop()
         self.server.set_datagram_sink(None)
@@ -373,14 +383,15 @@ class EcaAgent:
         result = BatchResult()
         creates = command.kind in (
             CREATE_PRIMITIVE, CREATE_COMPOSITE, CREATE_ON_EVENT)
-        snapshot = self._state_snapshot() if creates else None
-        with self.trace.span(SPAN_ECA_CODEGEN, command.kind):
-            try:
-                self._dispatch_eca(command, session, result)
-            except Exception:
-                if snapshot is not None:
-                    self._rollback_to(snapshot)
-                raise
+        with self._eca_lock:
+            snapshot = self._state_snapshot() if creates else None
+            with self.trace.span(SPAN_ECA_CODEGEN, command.kind):
+                try:
+                    self._dispatch_eca(command, session, result)
+                except Exception:
+                    if snapshot is not None:
+                        self._rollback_to(snapshot)
+                    raise
         return result
 
     def _dispatch_eca(self, command: EcaCommand, session: Session,

@@ -255,27 +255,38 @@ def rewrite_action_sql(action_sql: str, resolve_table, mode: str) -> str:
     return _TRANSITION_REF.sub(replace, action_sql)
 
 
-def sys_context_refresh_sql(entries: list[tuple[str, int]],
-                            all_tables: list[str],
-                            context: Context,
-                            system_db_prefix: str) -> list[str]:
-    """Statements refreshing ``sysContext`` for one rule firing.
+def sys_context_refresh_sql(
+        entries: list[tuple[str, int]],
+        all_tables: list[str],
+        context: Context,
+        system_db_prefix: str) -> tuple[list[str], dict[str, object]]:
+    """Statements + parameters refreshing ``sysContext`` for one firing.
 
     ``entries`` are (snapshot table, vNo) pairs from the triggering
     occurrence's constituents; ``all_tables`` is every snapshot table the
     trigger's procedure will join, so stale rows are cleared even for
     constituents absent from this particular occurrence (e.g. the
     untriggered side of an OR).
+
+    The occurrence numbers — the only values that change from firing to
+    firing — are emitted as ``@eca_vno<i>`` parameter slots with their
+    values in the returned dict (fed to ``SqlServer.execute(params=)``).
+    The statement *text* therefore repeats across firings of the same
+    trigger, so the plan cache serves rule-origin SQL instead of
+    re-parsing a fresh literal-bearing batch every occurrence.
     """
     statements: list[str] = []
+    params: dict[str, object] = {}
     for snapshot in all_tables:
         statements.append(
             f"delete {system_db_prefix}.{SYS_CONTEXT} "
             f'where tableName = "{snapshot}" and context = "{context.value}"'
         )
-    for snapshot, v_no in entries:
+    for position, (snapshot, v_no) in enumerate(entries):
+        slot = f"@eca_vno{position}"
+        params[slot] = int(v_no)
         statements.append(
             f"insert {system_db_prefix}.{SYS_CONTEXT} "
-            f'values ("{snapshot}", "{context.value}", {v_no})'
+            f'values ("{snapshot}", "{context.value}", {slot})'
         )
-    return statements
+    return statements, params

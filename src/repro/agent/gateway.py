@@ -7,24 +7,41 @@ the Language Filter: ECA commands go to the agent's ECA parser, agent
 admin commands (``show agent ...``) to the introspection surface, plain
 SQL passes straight through to the server (Figure 3 steps 1-3).
 
+The gateway is multi-session: :meth:`open_session` returns an
+:class:`~repro.agent.session.AgentSession` (session id, scheduling
+state, bounded command queue) and a configurable
+:class:`~repro.agent.workers.WorkerPool` sits between the sessions and
+the engine — the reproduction of the Open Server thread pool the paper's
+gateway inherits from Sybase.  ``set agent workers <N>`` swaps the pool
+at runtime; size 0 removes it, running every command inline on the
+client's thread (the original single-threaded behaviour).  Commands of
+one session never run concurrently or out of order; commands of
+different sessions run in parallel up to the pool size, with the
+engine's lock manager arbitrating below.
+
 The gateway also routes the output of IMMEDIATE rule actions back into
 the result stream of the client command that raised the event (Figure 4
-step 6 / Figure 16), via a per-thread slot the action handler writes to.
+step 6 / Figure 16), via a per-thread slot the action handler writes to
+(the slot lives on whichever thread — client or worker — executes the
+command, which is also the thread any IMMEDIATE action runs on).
 
 Observability: every command is wrapped in a root trace span (the whole
 Figure 3/4 tree hangs off it) and, when stats are on, counted and timed
 by classification (``agent_commands_total`` / ``agent_command_seconds``).
+Accounting frames open on the executing thread, so per-session
+attribution (``show agent top sessions``) is exact under concurrency.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future
 
 from repro.faults import FaultError, POINT_GATEWAY_PROCESS
 from repro.sqlengine.results import BatchResult
-from repro.sqlengine.server import Session
 
+from .session import AgentSession
 from .trace import (
     FIG3_CLASSIFIED_ECA,
     FIG3_COMMAND_RECEIVED,
@@ -32,14 +49,20 @@ from .trace import (
     FIG4_RESULTS_ROUTED,
     SPAN_CLASSIFY,
 )
+from .workers import WorkerPool
 
 
 class GatewayOpenServer:
     """SqlEndpoint implementation mediating between clients and server."""
 
-    def __init__(self, agent):
+    def __init__(self, agent, workers: int = 0):
         self.agent = agent
         self._local = threading.local()
+        #: all sessions ever opened, keyed by session id (admin plane)
+        self._sessions: dict[int, AgentSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._pool: WorkerPool | None = (
+            WorkerPool(workers) if workers else None)
         #: statistics for the transparency/overhead benches (E-PERF1)
         self.commands_total = 0
         self.commands_passed_through = 0
@@ -57,13 +80,100 @@ class GatewayOpenServer:
     # ------------------------------------------------------------------
     # SqlEndpoint surface
 
-    def open_session(self, user: str, database: str | None) -> Session:
-        """Open a server session on the client's behalf (the gateway's
-        pass-through connection)."""
-        return self.agent.server.create_session(user, database)
+    def open_session(self, user: str, database: str | None) -> AgentSession:
+        """Open a gateway session (wrapping a server session) for one
+        client connection."""
+        session = AgentSession(
+            self.agent.server.create_session(user, database))
+        with self._sessions_lock:
+            self._sessions[session.session_id] = session
+        return session
 
-    def execute_for(self, session: Session, sql: str) -> BatchResult:
-        """Route one client command (Figure 3, steps 1-4).
+    def execute_for(self, session, sql: str) -> BatchResult:
+        """Route one client command (Figure 3, steps 1-4), synchronously.
+
+        With a worker pool, the command is queued on its session and the
+        calling client thread blocks on the result — same contract, but
+        other sessions' commands proceed in parallel.  Without a pool it
+        runs inline.
+        """
+        return self.submit_for(session, sql).result()
+
+    def submit_for(self, session, sql: str):
+        """Queue one command and return a Future of its BatchResult.
+
+        The open-loop load generator uses this directly; ``execute_for``
+        is this plus a blocking wait.  Raw engine sessions (no queue) and
+        pool-less gateways execute inline and return a resolved Future.
+        """
+        pool = self._pool
+        while pool is not None and isinstance(session, AgentSession):
+            try:
+                return pool.submit(
+                    session, lambda: self._run_command(session, sql))
+            except RuntimeError:
+                # The pool was swapped by ``set agent workers`` between
+                # our read and the submit; retry against the new one
+                # (or fall through to inline if the pool went away).
+                new_pool = self._pool
+                pool = None if new_pool is pool else new_pool
+        future: Future = Future()
+        if future.set_running_or_notify_cancel():
+            try:
+                if isinstance(session, AgentSession):
+                    with session.inline_execution():
+                        future.set_result(self._run_command(session, sql))
+                else:
+                    future.set_result(self._run_command(session, sql))
+            except BaseException as exc:
+                future.set_exception(exc)
+        return future
+
+    # ------------------------------------------------------------------
+    # worker-pool administration
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The current worker pool (None = inline execution)."""
+        return self._pool
+
+    def set_workers(self, count: int) -> int:
+        """Resize the worker pool by replacement; returns the new size.
+
+        The old pool drains asynchronously (``join=False``): this method
+        may itself be running on one of the old pool's workers, and a
+        thread must never join itself.
+        """
+        old = self._pool
+        self._pool = WorkerPool(count) if count > 0 else None
+        if old is not None:
+            old.stop(join=False)
+        return count
+
+    def worker_count(self) -> int:
+        """Current pool size (0 = inline)."""
+        pool = self._pool
+        return pool.size if pool is not None else 0
+
+    def stop_workers(self) -> None:
+        """Join and discard the pool (agent shutdown)."""
+        old = self._pool
+        self._pool = None
+        if old is not None:
+            old.stop(join=True)
+
+    def session_snapshots(self) -> list[dict]:
+        """Session rows for ``show agent sessions``, newest first."""
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        return [s.snapshot() for s in
+                sorted(sessions, key=lambda s: s.session_id, reverse=True)]
+
+    # ------------------------------------------------------------------
+    # command execution (runs on a worker thread, or inline)
+
+    def _run_command(self, session, sql: str) -> BatchResult:
+        """Execute one routed command on the current thread.
 
         Failure semantics: real errors (SQL errors, name-check failures,
         :class:`~repro.agent.errors.PersistenceError`) propagate to the
@@ -117,7 +227,7 @@ class GatewayOpenServer:
             accounting.finish(frame, duration)
         return result
 
-    def _route(self, session: Session, sql: str) -> tuple[str, BatchResult]:
+    def _route(self, session, sql: str) -> tuple[str, BatchResult]:
         """Classify and dispatch; returns (classification label, result)."""
         filter_ = self.agent.language_filter
         trace = self.agent.trace
@@ -151,14 +261,15 @@ class GatewayOpenServer:
         trace.emit(FIG3_PASSED_THROUGH)
         return "passthrough", self._pass_through(session, sql)
 
-    def _pass_through(self, session: Session, sql: str) -> BatchResult:
+    def _pass_through(self, session, sql: str) -> BatchResult:
         """Run plain SQL on the server, merging any IMMEDIATE action
         output raised by it into the client's result stream."""
         owns_slot = not hasattr(self._local, "slot") or self._local.slot is None
         if owns_slot:
             self._local.slot = BatchResult()
+        engine_session = getattr(session, "server_session", session)
         try:
-            result = self.agent.server.execute(sql, session)
+            result = self.agent.server.execute(sql, engine_session)
             self.agent.after_client_command(session)
         finally:
             if owns_slot:

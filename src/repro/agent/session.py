@@ -1,0 +1,168 @@
+"""Per-client gateway sessions (the multi-session half of Figure 2).
+
+The paper's Gateway Open Server multiplexes many Sybase clients; each
+one gets an :class:`AgentSession` here — a thin stateful wrapper around
+the engine's :class:`~repro.sqlengine.server.Session` that adds what the
+gateway needs to schedule the client fairly:
+
+- a stable session id (delegated to the engine session, so per-session
+  accounting in ``repro.obs.opcontext`` attributes work to the same id
+  whether a command came through the gateway or straight to the server);
+- a lifecycle ``state`` (``idle``/``queued``/``running``/``closed``);
+- a **bounded pending-command queue** with FIFO ordering: the worker
+  pool runs at most one command per session at a time, so one client's
+  commands never reorder, and a client that floods the gateway blocks in
+  :meth:`enqueue` (backpressure) instead of growing memory without
+  bound.
+
+The wrapper deliberately quacks like the engine session (``session_id``,
+``user``, ``database``, ``tx_log``, ``global_vars``, ``closed``): the
+rest of the agent — admin plane, ECA handler, accounting frames —
+already consumes those attributes and needs no changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+
+#: Default bound on commands waiting per session (beyond the running one).
+DEFAULT_QUEUE_LIMIT = 32
+
+
+class AgentSession:
+    """One client's connection state inside the gateway."""
+
+    def __init__(self, server_session, queue_limit: int = DEFAULT_QUEUE_LIMIT):
+        #: the engine-side session this wrapper fronts
+        self.server_session = server_session
+        self.queue_limit = max(1, int(queue_limit))
+        #: pending (callable, Future) pairs, drained FIFO by the pool
+        self.pending: deque = deque()
+        self._cond = threading.Condition(threading.Lock())
+        #: True while the session sits in the pool's run queue or runs
+        self.scheduled = False
+        #: scheduling state for ``show agent sessions``
+        self.state = "idle"
+        #: commands accepted / finished through this session
+        self.enqueued_total = 0
+        self.executed_total = 0
+        #: enqueue attempts that had to wait for queue space
+        self.backpressure_waits = 0
+
+    # -- engine-session facade ------------------------------------------
+
+    @property
+    def session_id(self) -> int:
+        """Engine session id (shared with the accounting plane)."""
+        return self.server_session.session_id
+
+    @property
+    def user(self) -> str:
+        """The login the session was opened for."""
+        return self.server_session.user
+
+    @property
+    def database(self) -> str:
+        """The session's current database."""
+        return self.server_session.database
+
+    @property
+    def tx_log(self):
+        """The engine session's transaction log."""
+        return self.server_session.tx_log
+
+    @property
+    def global_vars(self) -> dict:
+        """The engine session's ``@@``-variable table."""
+        return self.server_session.global_vars
+
+    @property
+    def closed(self) -> bool:
+        """Whether the connection was closed (mirrors the engine side)."""
+        return self.server_session.closed
+
+    @closed.setter
+    def closed(self, value: bool) -> None:
+        """Propagate closure to the engine session and the lifecycle state."""
+        self.server_session.closed = value
+        if value:
+            self.state = "closed"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AgentSession({self.session_id}, user={self.user!r}, "
+                f"db={self.database!r}, state={self.state!r})")
+
+    # -- queue plumbing (used by the worker pool) -----------------------
+
+    def enqueue(self, task) -> bool:
+        """Append a task FIFO; returns True when the caller must hand the
+        session to the pool's run queue (it was not scheduled).
+
+        Blocks while the queue is at its bound — that block *is* the
+        gateway's backpressure: a flooding client slows to the engine's
+        pace instead of queueing unboundedly.
+        """
+        with self._cond:
+            if len(self.pending) >= self.queue_limit:
+                self.backpressure_waits += 1
+                while len(self.pending) >= self.queue_limit:
+                    self._cond.wait()
+            self.pending.append(task)
+            self.enqueued_total += 1
+            if not self.scheduled:
+                self.scheduled = True
+                self.state = "queued"
+                return True
+            return False
+
+    def take(self):
+        """Pop the oldest pending task (pool worker only), else None."""
+        with self._cond:
+            if not self.pending:
+                self.scheduled = False
+                self.state = "idle" if not self.server_session.closed else "closed"
+                return None
+            self._cond.notify()
+            self.state = "running"
+            return self.pending.popleft()
+
+    def task_done(self) -> None:
+        """Record one finished command (pool worker only)."""
+        with self._cond:
+            self.executed_total += 1
+
+    @contextmanager
+    def inline_execution(self):
+        """Account one command run inline on the client's thread (no
+        pool), so ``show agent sessions`` counts commands identically in
+        both execution modes."""
+        with self._cond:
+            self.enqueued_total += 1
+            self.state = "running"
+        try:
+            yield
+        finally:
+            with self._cond:
+                self.executed_total += 1
+                if self.state == "running":
+                    self.state = ("closed" if self.server_session.closed
+                                  else "idle")
+
+    def queue_depth(self) -> int:
+        """Commands waiting (not counting one currently running)."""
+        return len(self.pending)
+
+    def snapshot(self) -> dict:
+        """One row for ``show agent sessions``."""
+        return {
+            "session_id": self.session_id,
+            "user": self.user,
+            "database": self.database,
+            "state": self.state,
+            "queued": self.queue_depth(),
+            "enqueued": self.enqueued_total,
+            "executed": self.executed_total,
+            "backpressure_waits": self.backpressure_waits,
+        }

@@ -1,0 +1,124 @@
+"""The gateway's worker pool: N threads between clients and the engine.
+
+The paper's Open Server dispatches each client request onto a server
+thread; here a fixed pool of Python threads plays that role.  Scheduling
+is **per session**: a session whose queue is non-empty sits in the pool's
+run queue exactly once, a worker pops ONE of its commands, runs it, and
+re-queues the session if more are pending.  That gives
+
+- FIFO order within a session (commands of one client never reorder, so
+  transaction scripts and difftest schedules stay deterministic),
+- round-robin fairness across sessions (no client monopolizes a worker
+  by queueing a burst),
+- at most one in-flight command per session (the engine sessions are
+  not reentrant: ``@@rowcount``/transaction state is per session).
+
+``size=0`` disables the pool: the gateway runs commands inline on the
+caller's thread, byte-for-byte the pre-pool behaviour.  Pools are
+replaced, never resized in place — ``set agent workers <N>`` builds a
+new pool and lets the old one drain asynchronously, so the admin command
+itself (which may be running *on* an old worker) never joins its own
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from queue import SimpleQueue
+
+#: Run-queue sentinel telling one worker to exit.
+_STOP = object()
+
+
+class WorkerPool:
+    """A fixed-size pool of daemon worker threads draining sessions."""
+
+    _seq = 0
+    _seq_lock = threading.Lock()
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"worker pool size must be >= 1, got {size}")
+        self.size = size
+        self._run_queue: SimpleQueue = SimpleQueue()
+        self._stopping = False
+        with WorkerPool._seq_lock:
+            WorkerPool._seq += 1
+            pool_id = WorkerPool._seq
+        self.name = f"eca-pool-{pool_id}"
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"{self.name}-w{i}")
+            for i in range(size)
+        ]
+        #: commands completed by this pool (monotonic, race-tolerant)
+        self.completed = 0
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, session, fn) -> Future:
+        """Queue ``fn`` (no-arg callable) as ``session``'s next command.
+
+        Returns a :class:`~concurrent.futures.Future` resolving to the
+        callable's result (or raising its exception).  Blocks for queue
+        space when the session's bounded queue is full.
+        """
+        future: Future = Future()
+        if self._stopping:
+            raise RuntimeError(f"worker pool {self.name} is stopped")
+        if session.enqueue((fn, future)):
+            self._run_queue.put(session)
+        return future
+
+    def _worker(self) -> None:
+        while True:
+            item = self._run_queue.get()
+            if item is _STOP:
+                return
+            task = item.take()
+            if task is None:
+                continue
+            fn, future = task
+            if future.set_running_or_notify_cancel():
+                try:
+                    future.set_result(fn())
+                except BaseException as exc:
+                    future.set_exception(exc)
+            item.task_done()
+            self.completed += 1
+            # Done with one command; if the session has more, it goes to
+            # the BACK of the run queue (round-robin fairness).
+            with item._cond:
+                if item.pending:
+                    self._run_queue.put(item)
+                else:
+                    item.scheduled = False
+                    item.state = ("closed" if item.server_session.closed
+                                  else "idle")
+
+    def stop(self, join: bool = True, timeout: float = 5.0) -> None:
+        """Shut the pool down.
+
+        ``join=False`` is the asynchronous variant used when replacing a
+        pool from one of its own workers: sentinels are queued and the
+        threads exit after finishing whatever they hold.
+        """
+        self._stopping = True
+        for _ in self._threads:
+            self._run_queue.put(_STOP)
+        if join:
+            me = threading.current_thread()
+            for thread in self._threads:
+                if thread is not me:
+                    thread.join(timeout=timeout)
+
+    def snapshot(self) -> dict:
+        """One row for ``show agent workers``."""
+        return {
+            "name": self.name,
+            "size": self.size,
+            "alive": sum(1 for t in self._threads if t.is_alive()),
+            "completed": self.completed,
+            "stopping": self._stopping,
+        }

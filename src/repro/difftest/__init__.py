@@ -20,6 +20,7 @@ from .mutations import MUTATIONS, apply_mutation
 from .reference import ReferenceDetector, ReferenceError
 from .runner import (
     run_baselines,
+    run_interleaved,
     run_reference,
     run_scenario,
     run_stack,
@@ -47,6 +48,7 @@ __all__ = [
     "render_report",
     "run_baselines",
     "run_chaos",
+    "run_interleaved",
     "run_reference",
     "run_scenario",
     "run_stack",

@@ -10,6 +10,11 @@ The three executions of a :class:`~repro.difftest.scenario.Scenario`:
 3. :func:`run_baselines` — a passive shadow replay cross-checked by the
    :mod:`repro.baselines` polling monitor and embedded situation client.
 
+A fourth execution, :func:`run_interleaved`, replays the same statement
+stream through N concurrent gateway sessions over a worker pool while
+preserving the serial global schedule; its :class:`StackRun` must match
+the serial one exactly.
+
 Each returns a plain observation dataclass; :mod:`repro.difftest.compare`
 diffs them.  All names in observations are *short* (the last segment of
 the agent's internal dotted names), so the stack and the reference are
@@ -147,6 +152,74 @@ def run_stack(scenario: Scenario, *, plan_cache: bool = True,
         run.audit = Counter(row[0] for row in rows)
         for table in scenario.tables:
             run.tables[table] = _read_rows(conn, table)
+        run.faults_injected = agent.faults.injected_count
+        run.notifications_dropped = agent.notifier.dropped
+    finally:
+        agent.close()
+    return run
+
+
+def run_interleaved(scenario: Scenario, *, clients: int = 4,
+                    workers: int = 4, seed: int = 0,
+                    plan_cache: bool = True) -> StackRun:
+    """Execute the scenario through ``clients`` concurrent gateway
+    sessions backed by a ``workers``-thread pool.
+
+    Statements keep their scenario order but each is issued by a
+    seeded-randomly chosen client session, with at most one command in
+    flight at a time — so the *global* schedule matches the serial
+    :func:`run_stack` schedule while the execution path exercises the
+    session registry, the worker pool, the engine's fine-grained batch
+    locking, and per-session accounting attribution.  The observation
+    must be indistinguishable from the serial run's
+    (:func:`~repro.difftest.compare.compare_stack_runs`).
+    """
+    import random
+
+    server = SqlServer(default_database=DATABASE)
+    server.plan_cache.enabled = bool(plan_cache)
+    agent = EcaAgent(server, channel="sync", workers=workers)
+    run = StackRun()
+    rng = random.Random(seed)
+    try:
+        conns = [agent.connect(user=USER, database=DATABASE)
+                 for _ in range(max(1, clients))]
+        setup = conns[0]
+        for table in scenario.tables:
+            setup.execute(TABLE_DDL.format(name=table))
+        setup.execute(AUDIT_DDL)
+        for spec in scenario.primitives:
+            setup.execute(spec.to_sql())
+        for rule in scenario.rules:
+            setup.execute(rule.to_sql())
+        log = agent.start_detection_log()
+        for index, statement in enumerate(scenario.statements):
+            conn = conns[rng.randrange(len(conns))]
+            result = conn.execute(statement.sql)
+            for message in result.messages:
+                if message.startswith("Agent error:"):
+                    run.degraded.append((index, message))
+        agent.stop_detection_log()
+
+        composites = set(scenario.composite_events())
+        for name, context, occurrence in log:
+            short = _short(name)
+            if context is None:
+                run.primitives.append((short, occurrence.seq))
+            elif short in composites:
+                run.detections.append((
+                    short, context.value,
+                    tuple(occ.seq for occ in occurrence.flatten())))
+        for firing in agent.firing_history():
+            run.firings.append((
+                _short(firing.rule_name), _short(firing.event_name),
+                firing.context.value, firing.coupling.value,
+                tuple(occ.seq for occ in firing.occurrence.flatten())))
+        audit_result = setup.execute("select * from audit")
+        rows = audit_result.last.rows if audit_result.last else []
+        run.audit = Counter(row[0] for row in rows)
+        for table in scenario.tables:
+            run.tables[table] = _read_rows(setup, table)
         run.faults_injected = agent.faults.injected_count
         run.notifications_dropped = agent.notifier.dropped
     finally:

@@ -77,6 +77,7 @@ from .statements import (
     TruncateStatement,
     UpdateStatement,
     UseStatement,
+    WaitforStatement,
     WhileStatement,
 )
 from .table import Table, TableIndex
@@ -85,6 +86,9 @@ from .types import SqlType
 
 #: Safety valve for WHILE loops in procedure bodies.
 MAX_LOOP_ITERATIONS = 1_000_000
+
+#: Safety valve for WAITFOR DELAY: a typo'd delay must not wedge a worker.
+MAX_WAITFOR_SECONDS = 30.0
 
 
 class ExecutionState:
@@ -124,8 +128,11 @@ class Executor:
     # entry points
 
     def execute_batch(self, statements: list[Statement], session,
-                      result: BatchResult) -> None:
-        state = ExecutionState(session, result)
+                      result: BatchResult, variables=None) -> None:
+        """Run one batch; ``variables`` pre-seeds the batch's local
+        variables (the parameter-slot path generated rule SQL uses to
+        keep its batch text constant for the plan cache)."""
+        state = ExecutionState(session, result, variables=variables)
         for statement in statements:
             self.execute(statement, state)
             if state.returned:
@@ -1280,19 +1287,36 @@ class Executor:
                             state: ExecutionState) -> None:
         state.session.tx_log.begin()
         state.session.global_vars["@@trancount"] = state.session.tx_log.depth
+        if state.session.tx_log.depth == 1:
+            # Outermost BEGIN: fine-grained batches must stand down until
+            # this session's snapshot-based transaction resolves.
+            self.server.lock_manager.note_transaction_begin()
 
     def _execute_commit(self, _statement: CommitStatement,
                         state: ExecutionState) -> None:
         depth = state.session.tx_log.commit()
         state.session.global_vars["@@trancount"] = depth
         if depth == 0:
+            self.server.lock_manager.note_transaction_end()
             self.server.on_transaction_end(state.session, committed=True)
 
     def _execute_rollback(self, _statement: RollbackStatement,
                           state: ExecutionState) -> None:
+        was_active = state.session.tx_log.active
         state.session.tx_log.rollback()
         state.session.global_vars["@@trancount"] = 0
+        if was_active:
+            self.server.lock_manager.note_transaction_end()
         self.server.on_transaction_end(state.session, committed=False)
+
+    # ------------------------------------------------------------------
+    # waitfor
+
+    def _execute_waitfor(self, statement: WaitforStatement,
+                         state: ExecutionState) -> None:
+        delay = min(max(statement.seconds, 0.0), MAX_WAITFOR_SECONDS)
+        if delay:
+            _time.sleep(delay)
 
     _HANDLERS: dict[type, object] = {}
 
@@ -1327,6 +1351,7 @@ Executor._HANDLERS = {
     IfStatement: Executor._execute_if,
     WhileStatement: Executor._execute_while,
     ReturnStatement: Executor._execute_return,
+    WaitforStatement: Executor._execute_waitfor,
     BeginTransactionStatement: Executor._execute_begin_tran,
     CommitStatement: Executor._execute_commit,
     RollbackStatement: Executor._execute_rollback,

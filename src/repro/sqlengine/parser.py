@@ -72,6 +72,7 @@ from .statements import (
     TruncateStatement,
     UpdateStatement,
     UseStatement,
+    WaitforStatement,
     WhileStatement,
 )
 from .tokenizer import EOF, IDENT, NUMBER, OP, STRING, VARIABLE, Token, tokenize
@@ -213,6 +214,7 @@ class _Parser:
             "COMMIT": self.parse_commit,
             "ROLLBACK": self.parse_rollback,
             "RETURN": self.parse_return,
+            "WAITFOR": self.parse_waitfor,
         }.get(word)
         if handler is None:
             self.fail(f"unknown statement start {word!r}")
@@ -783,6 +785,26 @@ class _Parser:
         if self.at_keyword("tran", "transaction", "work"):
             self.advance()
         return RollbackStatement()
+
+    def parse_waitfor(self) -> WaitforStatement:
+        """``WAITFOR DELAY "hh:mm[:ss[.mmm]]"`` (the DELAY form only)."""
+        self.expect_keyword("waitfor")
+        self.expect_keyword("delay")
+        token = self.current
+        if token.kind != STRING:
+            self.fail("expected a quoted delay after WAITFOR DELAY")
+        self.advance()
+        parts = str(token.value).split(":")
+        if not 1 <= len(parts) <= 3:
+            self.fail("WAITFOR DELAY expects hh:mm[:ss[.mmm]]")
+        try:
+            fields = [float(part) for part in parts]
+        except ValueError:
+            self.fail("WAITFOR DELAY expects numeric time fields")
+        seconds = 0.0
+        for value in fields:
+            seconds = seconds * 60.0 + value
+        return WaitforStatement(seconds=seconds)
 
     def parse_return(self) -> ReturnStatement:
         self.expect_keyword("return")

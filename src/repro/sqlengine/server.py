@@ -9,9 +9,13 @@ events.  The only outward-facing hooks are:
   the role of the UDP network between the server and the agent);
 - ``clock`` — the source for ``getdate()``, overridable for deterministic
   tests;
-- a reentrant lock serializing batches, mirroring a single engine
-  scheduler while allowing the nested execution that occurs when a
-  notification handler immediately issues SQL from within a batch.
+- an :class:`~repro.sqlengine.locks.EngineLockManager` deciding, per
+  batch, between fine-grained per-table reader/writer locks and an
+  engine-wide exclusive gate (the old single-scheduler behaviour, kept
+  for everything the static analyzer cannot bound: DDL, procedures,
+  triggers, transactions, notifications).  Nested execution — a
+  notification handler immediately issuing SQL from within a batch —
+  always runs under the exclusive gate, which is reentrant.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from .builtins import standard_functions
 from .catalog import Catalog
 from .errors import SqlError
 from .executor import Executor
+from .locks import EngineLockManager
 from .parser import parse_batch, split_batches
 from .plancache import PlanCache
 from .results import BatchResult
@@ -78,7 +83,9 @@ class SqlServer:
         self._datagram_sink: DatagramSink | None = None
         #: datagrams sent while no sink is attached (inspectable by tests)
         self.unsunk_datagrams: list[tuple[str, int, str]] = []
-        self._lock = threading.RLock()
+        #: per-batch lock decisions: fine-grained table locks vs the
+        #: engine-wide exclusive gate (see repro.sqlengine.locks)
+        self.lock_manager = EngineLockManager(self)
         self._tx_end_listeners: list[Callable[[Session, bool], None]] = []
         #: count of batches executed, for the overhead benches
         self.batches_executed = 0
@@ -192,21 +199,36 @@ class SqlServer:
         self.catalog.get_database(name)  # existence check
         return Session(self, user, name)
 
-    def execute(self, sql: str, session: Session) -> BatchResult:
+    def execute(self, sql: str, session: Session,
+                params: dict[str, object] | None = None) -> BatchResult:
         """Execute a script (possibly several ``go``-separated batches).
 
         All results and messages are merged into one :class:`BatchResult`,
         which is what a TDS client would accumulate.  Engine errors raise
         :class:`~repro.sqlengine.errors.SqlError` subclasses.
+
+        ``params`` pre-seeds each batch's local variables (``@name`` ->
+        value).  The agent's generated per-occurrence SQL uses this to
+        keep its batch text constant — parameter slots instead of inlined
+        literals — so the plan cache can serve rule-origin statements.
+
+        Locking is per batch, not per script: the lock manager analyzes
+        each parsed batch and takes either its table locks (shared gate)
+        or the exclusive gate.  A multi-batch script is therefore no
+        longer atomic against concurrent sessions between its batches —
+        the same contract a real TDS client gets from a server that
+        schedules batches independently.
         """
         if session.closed:
             raise SqlError("session is closed")
         result = BatchResult()
-        with self._lock:
-            for batch_text in split_batches(sql):
-                statements = self._parse_cached(batch_text)
+        for batch_text in split_batches(sql):
+            statements = self._parse_cached(batch_text)
+            with self.lock_manager.batch_scope(statements, session):
                 self.batches_executed += 1
-                self.executor.execute_batch(statements, session, result)
+                self.executor.execute_batch(
+                    statements, session, result,
+                    variables=dict(params) if params else None)
         return result
 
     def _parse_cached(self, batch_text: str):

@@ -357,3 +357,16 @@ class ReturnStatement(Statement):
     """``RETURN [expr]`` inside a procedure or trigger body."""
 
     expr: Expression | None = None
+
+
+@dataclass(frozen=True)
+class WaitforStatement(Statement):
+    """``WAITFOR DELAY "hh:mm[:ss[.mmm]]"`` — pause the current batch.
+
+    The delay is parsed to seconds at parse time.  The executor sleeps
+    without holding the Python interpreter, which makes WAITFOR the
+    honest way to model service/IO latency in load benchmarks: sleeping
+    batches overlap across worker threads.
+    """
+
+    seconds: float

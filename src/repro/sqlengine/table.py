@@ -7,6 +7,7 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from .errors import IntegrityError
+from .locks import RWLock
 from .schema import Column, TableSchema
 from .types import SqlType
 
@@ -141,6 +142,11 @@ class Table:
     rows: list[list[object]] = field(default_factory=list)
     indexes: dict[str, TableIndex] = field(default_factory=dict)
     version: int = 0
+    #: per-table reader/writer lock, acquired by the engine's lock
+    #: manager for fine-grained batches (compare=False keeps dataclass
+    #: equality about the data, repr=False keeps debug output readable)
+    lock: RWLock = field(default_factory=lambda: RWLock(),
+                         compare=False, repr=False)
 
     @property
     def qualified_name(self) -> str:

@@ -159,7 +159,7 @@ class TestContextProcessingSql:
 
 class TestSysContextRefreshSql:
     def test_clears_all_then_inserts_participants(self):
-        statements = codegen.sys_context_refresh_sql(
+        statements, params = codegen.sys_context_refresh_sql(
             entries=[("a.b.t1_inserted", 3)],
             all_tables=["a.b.t1_inserted", "a.b.t2_deleted"],
             context=Context.RECENT,
@@ -169,4 +169,20 @@ class TestSysContextRefreshSql:
         inserts = [s for s in statements if s.startswith("insert")]
         assert len(deletes) == 2          # stale rows cleared everywhere
         assert len(inserts) == 1
-        assert '"a.b.t1_inserted", "RECENT", 3' in inserts[0]
+        # occurrence numbers travel as parameter slots, not literals, so
+        # the batch text repeats across firings (plan-cache friendly)
+        assert '"a.b.t1_inserted", "RECENT", @eca_vno0' in inserts[0]
+        assert params == {"@eca_vno0": 3}
+
+    def test_refresh_text_is_constant_across_firings(self):
+        kwargs = dict(
+            all_tables=["a.b.t1_inserted"],
+            context=Context.RECENT,
+            system_db_prefix="a.dbo",
+        )
+        first, params1 = codegen.sys_context_refresh_sql(
+            entries=[("a.b.t1_inserted", 3)], **kwargs)
+        second, params2 = codegen.sys_context_refresh_sql(
+            entries=[("a.b.t1_inserted", 99)], **kwargs)
+        assert first == second
+        assert params1 != params2

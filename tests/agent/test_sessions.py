@@ -1,0 +1,308 @@
+"""The multi-session gateway: session isolation, worker-pool scheduling,
+backpressure, fine-grained locking under concurrency, and deterministic
+LED ordering across client interleavings (docs/CONCURRENCY.md).
+
+Clock hygiene: nothing here reads or sleeps on the wall clock directly —
+blocking is expressed through ``Future.result(timeout)``, ``join``
+timeouts, and ``waitfor delay`` SQL (which the *engine* sleeps on, on a
+pool worker, which is exactly the behaviour under test).
+"""
+
+import threading
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.agent.session import AgentSession
+from repro.agent.workers import WorkerPool
+from repro.difftest import (
+    compare_stack_runs,
+    generate_scenario,
+    run_interleaved,
+    run_stack,
+)
+from repro.led import ManualClock
+from repro.sqlengine import SqlServer
+
+USER = "sharma"
+DATABASE = "sentineldb"
+
+
+def pooled_agent(workers: int) -> EcaAgent:
+    server = SqlServer(default_database=DATABASE)
+    return EcaAgent(server, clock=ManualClock(), channel="sync",
+                    workers=workers)
+
+
+class TestSessionIsolation:
+    def test_sessions_have_distinct_ids_and_state(self, agent):
+        a = agent.gateway.open_session(USER, DATABASE)
+        b = agent.gateway.open_session("jukka", DATABASE)
+        assert a.session_id != b.session_id
+        assert a.state == "idle" and b.state == "idle"
+        assert a.user == USER and b.user == "jukka"
+
+    def test_commands_attributed_to_their_session(self, agent):
+        gateway = agent.gateway
+        a = gateway.open_session(USER, DATABASE)
+        b = gateway.open_session(USER, DATABASE)
+        gateway.execute_for(a, "create table iso_a (x int null)")
+        for _ in range(3):
+            gateway.execute_for(a, "insert iso_a values (1)")
+        gateway.execute_for(b, "select 1")
+        by_id = {s["session_id"]: s for s in gateway.session_snapshots()}
+        assert by_id[a.session_id]["enqueued"] == 4
+        assert by_id[a.session_id]["executed"] == 4
+        assert by_id[b.session_id]["executed"] == 1
+
+    def test_engine_state_stays_per_session(self, agent):
+        gateway = agent.gateway
+        a = gateway.open_session(USER, DATABASE)
+        b = gateway.open_session(USER, DATABASE)
+        gateway.execute_for(a, "create table iso_tx (x int null)")
+        gateway.execute_for(a, "begin transaction\ninsert iso_tx values (1)")
+        assert a.tx_log.active
+        assert not b.tx_log.active
+        gateway.execute_for(a, "rollback")
+        result = gateway.execute_for(b, "select count(*) from iso_tx")
+        assert [list(r) for r in result.last.rows] == [[0]]
+
+
+class TestWorkerPool:
+    def test_pooled_commands_run_off_the_client_thread(self):
+        agent = pooled_agent(2)
+        try:
+            gateway = agent.gateway
+            session = gateway.open_session(USER, DATABASE)
+            future = gateway.submit_for(session, "select 1")
+            assert [list(r) for r in future.result(timeout=10).last.rows] == [[1]]
+            # the pool's completion counter proves a worker ran it
+            assert gateway.pool.completed >= 1
+            assert session.executed_total == 1
+        finally:
+            agent.close()
+
+    def test_per_session_fifo_under_pool(self):
+        agent = pooled_agent(4)
+        try:
+            gateway = agent.gateway
+            session = gateway.open_session(USER, DATABASE)
+            gateway.execute_for(
+                session, "create table fifo_t (x int not null)")
+            futures = [gateway.submit_for(
+                session, f"insert fifo_t values ({n})")
+                for n in range(20)]
+            for future in futures:
+                future.result(timeout=30)
+            result = gateway.execute_for(session, "select x from fifo_t")
+            # one session's commands never reorder, even with 4 workers
+            assert [row[0] for row in result.last.rows] == list(range(20))
+        finally:
+            agent.close()
+
+    def test_sessions_progress_in_parallel(self):
+        agent = pooled_agent(4)
+        try:
+            gateway = agent.gateway
+            sessions = [gateway.open_session(USER, DATABASE)
+                        for _ in range(4)]
+            gateway.execute_for(
+                sessions[0], "create table par_t (x int null)")
+            futures = [gateway.submit_for(
+                s, 'waitfor delay "0:0:0.05"\ninsert par_t values (1)')
+                for s in sessions]
+            for future in futures:
+                future.result(timeout=30)
+            result = gateway.execute_for(
+                sessions[0], "select count(*) from par_t")
+            assert [list(r) for r in result.last.rows] == [[4]]
+        finally:
+            agent.close()
+
+    def test_backpressure_blocks_then_drains(self):
+        agent = pooled_agent(1)
+        try:
+            gateway = agent.gateway
+            server = agent.server
+            session = AgentSession(
+                server.create_session(USER, DATABASE), queue_limit=2)
+            # occupy the single worker, then fill the bounded queue
+            blocker = gateway.submit_for(session, 'waitfor delay "0:0:0.3"')
+            overflow_done = threading.Event()
+            futures = []
+
+            def flood():
+                for n in range(4):
+                    futures.append(
+                        gateway.submit_for(session, f"select {n}"))
+                overflow_done.set()
+
+            flooder = threading.Thread(target=flood, daemon=True)
+            flooder.start()
+            # the flooder must be throttled by the bounded queue, then
+            # released as the worker drains it
+            assert overflow_done.wait(timeout=30)
+            blocker.result(timeout=30)
+            for future in futures:
+                future.result(timeout=30)
+            assert session.backpressure_waits >= 1
+            assert session.executed_total == 5
+            assert session.queue_depth() == 0
+        finally:
+            agent.close()
+
+    def test_resize_swaps_pool_without_losing_commands(self):
+        agent = pooled_agent(2)
+        try:
+            conn = agent.connect(user=USER, database=DATABASE)
+            conn.execute("create table rsz_t (x int null)")
+            old_pool = agent.gateway.pool
+            for size in (4, 1, 8):
+                result = conn.execute(f"set agent workers {size}")
+                assert any("resized" in m for m in result.messages)
+                assert agent.gateway.worker_count() == size
+                conn.execute("insert rsz_t values (1)")
+            assert agent.gateway.pool is not old_pool
+            result = conn.execute("select count(*) from rsz_t")
+            assert [list(r) for r in result.last.rows] == [[3]]
+            conn.execute("set agent workers 0")
+            assert agent.gateway.pool is None
+            result = conn.execute("select count(*) from rsz_t")
+            assert [list(r) for r in result.last.rows] == [[3]]
+        finally:
+            agent.close()
+
+    def test_stopped_pool_rejects_then_gateway_falls_back(self):
+        pool = WorkerPool(1)
+        pool.stop(join=True)
+        session = AgentSession(
+            SqlServer().create_session(USER, "master"))
+        with pytest.raises(RuntimeError):
+            pool.submit(session, lambda: None)
+
+
+class TestConcurrentDdlVsCachedSelect:
+    def test_ddl_storm_against_cached_selects(self):
+        agent = pooled_agent(4)
+        try:
+            gateway = agent.gateway
+            setup = gateway.open_session(USER, DATABASE)
+            gateway.execute_for(
+                setup, "create table ddl_t (k int not null, v int null)")
+            gateway.execute_for(setup, "insert ddl_t values (1, 10)")
+            readers = [gateway.open_session(USER, DATABASE)
+                       for _ in range(3)]
+            ddl = gateway.open_session(USER, DATABASE)
+            futures = []
+            for round_no in range(10):
+                for reader in readers:
+                    futures.append(gateway.submit_for(
+                        reader, "select v from ddl_t where k = 1"))
+                futures.append(gateway.submit_for(
+                    ddl, f"create table ddl_side_{round_no} (x int null)"))
+            for future in futures:
+                result = future.result(timeout=60)
+                if result.last is not None:
+                    assert [list(r) for r in result.last.rows] == [[10]]
+            stats = agent.server.lock_manager.stats()
+            # both paths ran; any epoch race was retried, not corrupted
+            assert stats["exclusive_batches"] > 0
+            assert stats["shared_batches"] > 0
+        finally:
+            agent.close()
+
+    def test_index_ddl_while_selecting(self):
+        agent = pooled_agent(4)
+        try:
+            gateway = agent.gateway
+            setup = gateway.open_session(USER, DATABASE)
+            gateway.execute_for(
+                setup, "create table idx_t (k int not null, v int null)")
+            for n in range(20):
+                gateway.execute_for(
+                    setup, f"insert idx_t values ({n}, {n * 10})")
+            readers = [gateway.open_session(USER, DATABASE)
+                       for _ in range(3)]
+            futures = [gateway.submit_for(
+                r, f"select v from idx_t where k = {n}")
+                for n in range(10) for r in readers]
+            futures.append(gateway.submit_for(
+                setup, "create index ix_k on idx_t (k)"))
+            futures.extend(gateway.submit_for(
+                r, f"select v from idx_t where k = {n}")
+                for n in range(10, 20) for r in readers)
+            for future in futures:
+                future.result(timeout=60)
+            result = gateway.execute_for(
+                setup, "select v from idx_t where k = 7")
+            assert [list(r) for r in result.last.rows] == [[70]]
+        finally:
+            agent.close()
+
+
+class TestDeterministicOrdering:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_interleaved_clients_match_serial_schedule(self, seed,
+                                                       plan_cache_mode):
+        scenario = generate_scenario(seed)
+        cache_on = plan_cache_mode == "plan-cache-on"
+        serial = run_stack(scenario, plan_cache=cache_on)
+        pooled = run_interleaved(scenario, clients=6, workers=4,
+                                 seed=seed, plan_cache=cache_on)
+        divergences = compare_stack_runs(
+            serial, pooled, label_a="serial", label_b="interleaved")
+        assert divergences == []
+
+    def test_same_session_led_order_is_stable(self):
+        agent = pooled_agent(4)
+        try:
+            conn = agent.connect(user=USER, database=DATABASE)
+            conn.execute("create table led_t (x int null)")
+            log = agent.start_detection_log()
+            conn.execute(
+                "create trigger t_led on led_t for insert\n"
+                "event ledIns\n"
+                "as print 'ledIns'")
+            for n in range(10):
+                conn.execute(f"insert led_t values ({n})")
+            agent.stop_detection_log()
+            seqs = [occ.seq for _n, _c, occ in log]
+            assert seqs == sorted(seqs)
+            assert len(seqs) == 10
+        finally:
+            agent.close()
+
+
+class TestAdminSurface:
+    def test_show_agent_sessions_rows(self):
+        agent = pooled_agent(2)
+        try:
+            conn = agent.connect(user=USER, database=DATABASE)
+            conn.execute("select 1")
+            result = conn.execute("show agent sessions")
+            rows = result.result_sets[0]
+            assert rows.columns[:4] == [
+                "session_id", "user", "database", "state"]
+            assert len(rows.rows) == 1
+        finally:
+            agent.close()
+
+    def test_show_agent_workers_reports_pool_and_locks(self):
+        agent = pooled_agent(3)
+        try:
+            conn = agent.connect(user=USER, database=DATABASE)
+            result = conn.execute("show agent workers")
+            pool_rows, lock_rows = result.result_sets
+            assert pool_rows.rows[0][1] == 3  # size
+            stats = {name: value for name, value in lock_rows.rows}
+            assert set(stats) == {
+                "exclusive_batches", "shared_batches", "retries"}
+        finally:
+            agent.close()
+
+    def test_set_agent_workers_validation(self, agent):
+        conn = agent.connect(user=USER, database=DATABASE)
+        bad = conn.execute("set agent workers nope")
+        assert "thread count" in bad.result_sets[0].rows[0][0]
+        negative = conn.execute("set agent workers -2")
+        assert ">= 0" in negative.result_sets[0].rows[0][0]

@@ -25,11 +25,19 @@ Three sub-commands over :mod:`repro.difftest` (all run by the CI
 ``corpus``
     Replay only the committed regression corpus.
 
+``interleave``
+    Concurrency cross-check: replay each scenario serially and through
+    ``--clients`` concurrent gateway sessions over a ``--workers``
+    thread pool (serial global schedule, multi-session execution path),
+    and require the two stack observations to be identical on every
+    semantic surface.  Exits nonzero on any divergence.
+
 Usage::
 
     python tools/check_difftest.py --seeds 25
     python tools/check_difftest.py mutate seq-chronicle-newest
     python tools/check_difftest.py corpus
+    python tools/check_difftest.py interleave --seeds 10 --clients 8
     DIFFTEST_SEEDS=50 python tools/check_difftest.py
 """
 
@@ -53,6 +61,7 @@ from repro.difftest import (  # noqa: E402  (path bootstrap above)
     render_report,
     run_baselines,
     run_chaos,
+    run_interleaved,
     run_reference,
     run_stack,
     shrink_scenario,
@@ -159,6 +168,31 @@ def cmd_corpus(args) -> int:
     return 0
 
 
+def cmd_interleave(args) -> int:
+    problems = 0
+    for seed in range(args.start, args.start + args.seeds):
+        scenario = generate_scenario(seed)
+        serial = run_stack(scenario, plan_cache=True)
+        pooled = run_interleaved(
+            scenario, clients=args.clients, workers=args.workers,
+            seed=seed)
+        divergences = compare_stack_runs(
+            serial, pooled, label_a="serial", label_b="interleaved")
+        if divergences:
+            problems += 1
+            print(f"FAIL interleave seed={seed} clients={args.clients} "
+                  f"workers={args.workers}")
+            print(render_report(scenario, divergences))
+        else:
+            print(f"ok interleave seed={seed} ({scenario.describe()})")
+    if problems:
+        print(f"interleave: {problems} divergent seed(s)")
+        return 1
+    print(f"interleave: clean ({args.seeds} seeds, {args.clients} "
+          f"clients over {args.workers} workers)")
+    return 0
+
+
 def cmd_mutate(args) -> int:
     restore = apply_mutation(args.name)
     try:
@@ -214,6 +248,15 @@ def main(argv: list[str]) -> int:
     subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("sweep", add_help=False)
     subparsers.add_parser("corpus", add_help=False)
+    interleave = subparsers.add_parser("interleave")
+    interleave.add_argument(
+        "--clients", type=int,
+        default=int(os.environ.get("DIFFTEST_CLIENTS", "8")),
+        help="concurrent gateway sessions (env DIFFTEST_CLIENTS)")
+    interleave.add_argument(
+        "--workers", type=int,
+        default=int(os.environ.get("DIFFTEST_WORKERS", "4")),
+        help="worker-pool threads (env DIFFTEST_WORKERS)")
     mutate = subparsers.add_parser("mutate")
     mutate.add_argument("name", choices=sorted(MUTATIONS))
     mutate.add_argument("--max-statements", type=int, default=10,
@@ -225,6 +268,8 @@ def main(argv: list[str]) -> int:
         return cmd_mutate(args)
     if args.command == "corpus":
         return cmd_corpus(args)
+    if args.command == "interleave":
+        return cmd_interleave(args)
     return cmd_sweep(args)
 
 

@@ -28,6 +28,9 @@ DEFAULT_SURFACE = [
     "src/repro/agent/agent.py",
     "src/repro/agent/gateway.py",
     "src/repro/agent/persistence.py",
+    "src/repro/agent/session.py",
+    "src/repro/agent/workers.py",
+    "src/repro/sqlengine/locks.py",
     "src/repro/faults/__init__.py",
     "src/repro/faults/injector.py",
     "src/repro/faults/retry.py",

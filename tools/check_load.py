@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI gate: the worker pool must keep delivering real concurrency.
+
+Reads the ``BENCH_load.json`` artifact produced by
+``benchmarks/bench_load.py`` and enforces three floors:
+
+- **Scaling**: the service-latency profile's throughput with the full
+  worker pool must be at least ``LOAD_SCALING_FLOOR`` times (default
+  2.0x) the single-worker throughput — catching any change that
+  re-serializes independent sessions (a coarse lock on the engine, a
+  worker handing commands back to one thread, a sleeping statement
+  holding the gate exclusively).
+- **Throughput**: the closed-loop stock workload must sustain at least
+  ``LOAD_THROUGHPUT_FLOOR`` ops/s (default 200 — deliberately low; the
+  gate exists to catch collapse, not to benchmark runners).
+- **Scale**: the run must have simulated at least ``LOAD_MIN_CLIENTS``
+  clients (default 1000), so nobody quietly shrinks the harness until
+  it stops testing anything.
+
+The artifact must also show both lock paths exercised (shared and
+exclusive batches nonzero) — a load run that never took the
+fine-grained path proves nothing about it.
+
+Usage::
+
+    python tools/check_load.py                 # ./BENCH_load.json
+    python tools/check_load.py path/to/BENCH_load.json
+    LOAD_SCALING_FLOOR=1.5 python tools/check_load.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_SCALING_FLOOR = 2.0
+DEFAULT_THROUGHPUT_FLOOR = 200.0
+DEFAULT_MIN_CLIENTS = 1000
+
+
+def check(path: Path, scaling_floor: float, throughput_floor: float,
+          min_clients: int) -> list[str]:
+    """Validate one load artifact; returns the list of problems."""
+    if not path.exists():
+        return [f"{path}: artifact not found (run benchmarks/"
+                "bench_load.py first)"]
+    payload = json.loads(path.read_text())
+    load = payload.get("load")
+    if not load:
+        return [f"{path}: no 'load' section; artifact corrupt"]
+    problems: list[str] = []
+
+    clients = load.get("clients", 0)
+    print(f"clients: {clients} (floor {min_clients})")
+    if clients < min_clients:
+        problems.append(
+            f"{path}: only {clients} simulated clients, under the "
+            f"{min_clients}-client floor")
+
+    scaling = load.get("scaling", {})
+    ratio = scaling.get("ratio", 0.0)
+    single = scaling.get("single", {}).get("throughput", 0.0)
+    pooled = scaling.get("pooled", {}).get("throughput", 0.0)
+    workers = scaling.get("pooled", {}).get("workers", "?")
+    print(f"worker scaling: {single} ops/s @1 -> {pooled} ops/s "
+          f"@{workers} = {ratio:.2f}x (floor {scaling_floor:.2f}x)")
+    if ratio < scaling_floor:
+        problems.append(
+            f"{path}: worker-pool scaling is {ratio:.2f}x, under the "
+            f"{scaling_floor:.2f}x floor (LOAD_SCALING_FLOOR)")
+
+    closed = load.get("closed_stock", {})
+    throughput = closed.get("throughput", 0.0)
+    print(f"closed-loop stock throughput: {throughput} ops/s "
+          f"(floor {throughput_floor})")
+    if throughput < throughput_floor:
+        problems.append(
+            f"{path}: closed-loop throughput {throughput} ops/s under "
+            f"the {throughput_floor} floor (LOAD_THROUGHPUT_FLOOR)")
+
+    lock_stats = closed.get("lock_stats", {})
+    shared = lock_stats.get("shared_batches", 0)
+    exclusive = lock_stats.get("exclusive_batches", 0)
+    print(f"lock paths: {shared} shared / {exclusive} exclusive batches")
+    if not shared or not exclusive:
+        problems.append(
+            f"{path}: load run exercised shared={shared} "
+            f"exclusive={exclusive} batches; both paths must be nonzero")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[0]) if argv else REPO_ROOT / "BENCH_load.json"
+    problems = check(
+        path,
+        float(os.environ.get("LOAD_SCALING_FLOOR",
+                             str(DEFAULT_SCALING_FLOOR))),
+        float(os.environ.get("LOAD_THROUGHPUT_FLOOR",
+                             str(DEFAULT_THROUGHPUT_FLOOR))),
+        int(os.environ.get("LOAD_MIN_CLIENTS",
+                           str(DEFAULT_MIN_CLIENTS))),
+    )
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print("load gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
