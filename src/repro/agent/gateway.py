@@ -36,12 +36,16 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 
 from repro.faults import FaultError, POINT_GATEWAY_PROCESS
 from repro.sqlengine.results import BatchResult
 
 from .session import AgentSession
+
+#: Closed sessions kept (as a ring) for ``show agent sessions``.
+RECENT_CLOSED_LIMIT = 32
 from .trace import (
     FIG3_CLASSIFIED_ECA,
     FIG3_COMMAND_RECEIVED,
@@ -49,7 +53,7 @@ from .trace import (
     FIG4_RESULTS_ROUTED,
     SPAN_CLASSIFY,
 )
-from .workers import WorkerPool
+from .workers import WorkerPool, drain_session
 
 
 class GatewayOpenServer:
@@ -58,8 +62,10 @@ class GatewayOpenServer:
     def __init__(self, agent, workers: int = 0):
         self.agent = agent
         self._local = threading.local()
-        #: all sessions ever opened, keyed by session id (admin plane)
+        #: live (open) sessions, keyed by session id (admin plane)
         self._sessions: dict[int, AgentSession] = {}
+        #: bounded ring of recently-closed sessions, newest last
+        self._recent_closed: deque = deque(maxlen=RECENT_CLOSED_LIMIT)
         self._sessions_lock = threading.Lock()
         self._pool: WorkerPool | None = (
             WorkerPool(workers) if workers else None)
@@ -82,12 +88,21 @@ class GatewayOpenServer:
 
     def open_session(self, user: str, database: str | None) -> AgentSession:
         """Open a gateway session (wrapping a server session) for one
-        client connection."""
+        client connection.  Closing it (``session.closed = True``) evicts
+        it from the live-session table into a bounded recently-closed
+        ring, so short-lived connections never grow the gateway."""
         session = AgentSession(
             self.agent.server.create_session(user, database))
+        session.on_close = self._evict_session
         with self._sessions_lock:
             self._sessions[session.session_id] = session
         return session
+
+    def _evict_session(self, session: AgentSession) -> None:
+        """Move one closed session out of the live table (on_close hook)."""
+        with self._sessions_lock:
+            if self._sessions.pop(session.session_id, None) is not None:
+                self._recent_closed.append(session)
 
     def execute_for(self, session, sql: str) -> BatchResult:
         """Route one client command (Figure 3, steps 1-4), synchronously.
@@ -109,7 +124,7 @@ class GatewayOpenServer:
         pool = self._pool
         while pool is not None and isinstance(session, AgentSession):
             try:
-                return pool.submit(
+                future = pool.submit(
                     session, lambda: self._run_command(session, sql))
             except RuntimeError:
                 # The pool was swapped by ``set agent workers`` between
@@ -117,6 +132,15 @@ class GatewayOpenServer:
                 # (or fall through to inline if the pool went away).
                 new_pool = self._pool
                 pool = None if new_pool is pool else new_pool
+                continue
+            if pool.stopping:
+                # The submit raced with a resize AFTER the task was
+                # enqueued: the old pool's drain may already be past
+                # this session.  Hand it to the current pool as well —
+                # at-least-once scheduling is safe, the session's
+                # execution guard keeps it single-threaded.
+                self._reschedule(session)
+            return future
         future: Future = Future()
         if future.set_running_or_notify_cancel():
             try:
@@ -128,6 +152,24 @@ class GatewayOpenServer:
             except BaseException as exc:
                 future.set_exception(exc)
         return future
+
+    def _reschedule(self, session: AgentSession) -> None:
+        """Re-offer a session whose run-queue entry may have died with a
+        stopped pool.  Schedules it on the current pool (looping past
+        further resizes); with no pool left, drains it inline."""
+        while True:
+            pool = self._pool
+            if pool is None:
+                drain_session(session)
+                return
+            pool.schedule(session)
+            if not pool.stopping:
+                return
+            if self._pool is pool:
+                # A stopped pool that is still current (direct stop);
+                # don't spin — service the session on this thread.
+                drain_session(session)
+                return
 
     # ------------------------------------------------------------------
     # worker-pool administration
@@ -163,9 +205,11 @@ class GatewayOpenServer:
             old.stop(join=True)
 
     def session_snapshots(self) -> list[dict]:
-        """Session rows for ``show agent sessions``, newest first."""
+        """Session rows for ``show agent sessions``, newest first: every
+        live session plus a bounded ring of recently-closed ones."""
         with self._sessions_lock:
-            sessions = list(self._sessions.values())
+            sessions = list(self._sessions.values()) + list(
+                self._recent_closed)
         return [s.snapshot() for s in
                 sorted(sessions, key=lambda s: s.session_id, reverse=True)]
 

@@ -43,6 +43,13 @@ class AgentSession:
         self._cond = threading.Condition(threading.Lock())
         #: True while the session sits in the pool's run queue or runs
         self.scheduled = False
+        #: True while one worker is executing a command of this session.
+        #: Scheduling is at-least-once (a pool resize may leave the
+        #: session in two run queues); this flag is the at-most-one
+        #: execution guard: :meth:`take` yields work to a single worker.
+        self.active = False
+        #: called once with the session when it closes (gateway eviction)
+        self.on_close = None
         #: scheduling state for ``show agent sessions``
         self.state = "idle"
         #: commands accepted / finished through this session
@@ -89,6 +96,9 @@ class AgentSession:
         self.server_session.closed = value
         if value:
             self.state = "closed"
+            callback, self.on_close = self.on_close, None
+            if callback is not None:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"AgentSession({self.session_id}, user={self.user!r}, "
@@ -118,13 +128,23 @@ class AgentSession:
             return False
 
     def take(self):
-        """Pop the oldest pending task (pool worker only), else None."""
+        """Pop the oldest pending task (pool worker only), else None.
+
+        Returns None both when nothing is pending and when another
+        worker is already executing a command of this session (the
+        session may sit in two run queues across a pool resize); in the
+        latter case ``scheduled`` is left alone — the active worker owns
+        the requeue-or-idle decision when it finishes.
+        """
         with self._cond:
+            if self.active:
+                return None
             if not self.pending:
                 self.scheduled = False
                 self.state = "idle" if not self.server_session.closed else "closed"
                 return None
             self._cond.notify()
+            self.active = True
             self.state = "running"
             return self.pending.popleft()
 

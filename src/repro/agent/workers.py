@@ -3,8 +3,8 @@
 The paper's Open Server dispatches each client request onto a server
 thread; here a fixed pool of Python threads plays that role.  Scheduling
 is **per session**: a session whose queue is non-empty sits in the pool's
-run queue exactly once, a worker pops ONE of its commands, runs it, and
-re-queues the session if more are pending.  That gives
+run queue, a worker pops ONE of its commands, runs it, and re-queues the
+session if more are pending.  That gives
 
 - FIFO order within a session (commands of one client never reorder, so
   transaction scripts and difftest schedules stay deterministic),
@@ -13,22 +13,76 @@ re-queues the session if more are pending.  That gives
 - at most one in-flight command per session (the engine sessions are
   not reentrant: ``@@rowcount``/transaction state is per session).
 
+Scheduling is *at-least-once*: a pool resize may leave a session in both
+the old and the new pool's run queue.  That is safe because the
+per-command execution guard lives on the session itself
+(:meth:`~repro.agent.session.AgentSession.take` hands work to exactly
+one worker at a time); a redundant run-queue entry drains to a no-op.
+
 ``size=0`` disables the pool: the gateway runs commands inline on the
 caller's thread, byte-for-byte the pre-pool behaviour.  Pools are
 replaced, never resized in place — ``set agent workers <N>`` builds a
 new pool and lets the old one drain asynchronously, so the admin command
 itself (which may be running *on* an old worker) never joins its own
-thread.
+thread.  A stopping pool's workers **drain** the run queue before
+exiting: sessions re-queued behind the stop sentinels (a worker finishes
+a command after :meth:`WorkerPool.stop` ran) are still serviced, so no
+queued command is ever stranded by a resize.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from queue import SimpleQueue
+from queue import Empty, SimpleQueue
 
 #: Run-queue sentinel telling one worker to exit.
 _STOP = object()
+
+
+def service_session(session, requeue=None) -> bool:
+    """Run at most one pending command of ``session`` on this thread.
+
+    Returns True when a command ran (False: nothing pending, or another
+    worker holds the session's execution guard).  ``requeue`` is called
+    with the session when more commands remain afterwards — pool workers
+    pass their run queue's ``put``; the gateway's inline rescue path
+    passes None and loops instead.
+    """
+    task = session.take()
+    if task is None:
+        return False
+    fn, future = task
+    if future.set_running_or_notify_cancel():
+        try:
+            future.set_result(fn())
+        except BaseException as exc:
+            future.set_exception(exc)
+    session.task_done()
+    # Done with one command; if the session has more, it goes to the
+    # BACK of the run queue (round-robin fairness).
+    with session._cond:
+        session.active = False
+        if session.pending:
+            if requeue is not None:
+                requeue(session)
+        else:
+            session.scheduled = False
+            session.state = ("closed" if session.server_session.closed
+                             else "idle")
+    return True
+
+
+def drain_session(session) -> int:
+    """Run ``session``'s pending commands to exhaustion on this thread.
+
+    The gateway's rescue path for a session whose run-queue entry may
+    have died with a stopped pool; returns the number of commands run.
+    """
+    ran = 0
+    while service_session(session):
+        ran += 1
+    return ran
 
 
 class WorkerPool:
@@ -43,6 +97,7 @@ class WorkerPool:
         self.size = size
         self._run_queue: SimpleQueue = SimpleQueue()
         self._stopping = False
+        self._stop_lock = threading.Lock()
         with WorkerPool._seq_lock:
             WorkerPool._seq += 1
             pool_id = WorkerPool._seq
@@ -57,12 +112,25 @@ class WorkerPool:
         for thread in self._threads:
             thread.start()
 
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` ran; the gateway re-checks this after a
+        submit to catch the submit-vs-resize race."""
+        return self._stopping
+
     def submit(self, session, fn) -> Future:
         """Queue ``fn`` (no-arg callable) as ``session``'s next command.
 
         Returns a :class:`~concurrent.futures.Future` resolving to the
         callable's result (or raising its exception).  Blocks for queue
         space when the session's bounded queue is full.
+
+        A submit can race with :meth:`stop`: the task lands in a pool
+        already draining.  The draining workers still service everything
+        in their run queue, but the caller must re-check :attr:`stopping`
+        afterwards and, if set, schedule the session on the replacement
+        pool as well (at-least-once scheduling is safe — see the module
+        docstring); the gateway does exactly that.
         """
         future: Future = Future()
         if self._stopping:
@@ -71,42 +139,53 @@ class WorkerPool:
             self._run_queue.put(session)
         return future
 
+    def schedule(self, session) -> None:
+        """Put an already-enqueued session into this pool's run queue."""
+        self._run_queue.put(session)
+
     def _worker(self) -> None:
+        requeue = self._run_queue.put
         while True:
             item = self._run_queue.get()
             if item is _STOP:
+                break
+            if service_session(item, requeue):
+                self.completed += 1
+        # Drain: stop() queued the sentinels, but a worker finishing a
+        # command re-queues its session BEHIND them — keep servicing the
+        # run queue so those sessions (and their Futures) are never
+        # stranded.  Peer sentinels are re-put for the peers; cycling
+        # through more sentinel pops than the pool could ever hold
+        # without meeting a session means only sentinels remain.
+        sentinel_streak = 0
+        while sentinel_streak <= self.size:
+            try:
+                item = self._run_queue.get_nowait()
+            except Empty:
                 return
-            task = item.take()
-            if task is None:
+            if item is _STOP:
+                self._run_queue.put(item)
+                sentinel_streak += 1
                 continue
-            fn, future = task
-            if future.set_running_or_notify_cancel():
-                try:
-                    future.set_result(fn())
-                except BaseException as exc:
-                    future.set_exception(exc)
-            item.task_done()
-            self.completed += 1
-            # Done with one command; if the session has more, it goes to
-            # the BACK of the run queue (round-robin fairness).
-            with item._cond:
-                if item.pending:
-                    self._run_queue.put(item)
-                else:
-                    item.scheduled = False
-                    item.state = ("closed" if item.server_session.closed
-                                  else "idle")
+            sentinel_streak = 0
+            if service_session(item, requeue):
+                self.completed += 1
 
     def stop(self, join: bool = True, timeout: float = 5.0) -> None:
-        """Shut the pool down.
+        """Shut the pool down (idempotent).
 
-        ``join=False`` is the asynchronous variant used when replacing a
-        pool from one of its own workers: sentinels are queued and the
-        threads exit after finishing whatever they hold.
+        One exit sentinel is queued per worker; each worker finishes its
+        current command, drains whatever sessions are still queued, and
+        exits.  ``join=False`` is the asynchronous variant used when
+        replacing a pool from one of its own workers: the threads drain
+        and exit after the caller returns.
         """
-        self._stopping = True
-        for _ in self._threads:
-            self._run_queue.put(_STOP)
+        with self._stop_lock:
+            already = self._stopping
+            self._stopping = True
+        if not already:
+            for _ in self._threads:
+                self._run_queue.put(_STOP)
         if join:
             me = threading.current_thread()
             for thread in self._threads:

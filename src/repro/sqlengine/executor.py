@@ -1290,14 +1290,16 @@ class Executor:
         if state.session.tx_log.depth == 1:
             # Outermost BEGIN: fine-grained batches must stand down until
             # this session's snapshot-based transaction resolves.
-            self.server.lock_manager.note_transaction_begin()
+            self.server.lock_manager.note_transaction_begin(
+                state.session.session_id)
 
     def _execute_commit(self, _statement: CommitStatement,
                         state: ExecutionState) -> None:
         depth = state.session.tx_log.commit()
         state.session.global_vars["@@trancount"] = depth
         if depth == 0:
-            self.server.lock_manager.note_transaction_end()
+            self.server.lock_manager.note_transaction_end(
+                state.session.session_id)
             self.server.on_transaction_end(state.session, committed=True)
 
     def _execute_rollback(self, _statement: RollbackStatement,
@@ -1306,7 +1308,8 @@ class Executor:
         state.session.tx_log.rollback()
         state.session.global_vars["@@trancount"] = 0
         if was_active:
-            self.server.lock_manager.note_transaction_end()
+            self.server.lock_manager.note_transaction_end(
+                state.session.session_id)
         self.server.on_transaction_end(state.session, committed=False)
 
     # ------------------------------------------------------------------

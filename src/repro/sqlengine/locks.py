@@ -371,7 +371,11 @@ class EngineLockManager:
         self._gate = RWLock()
         self._local = threading.local()
         self._tx_lock = threading.Lock()
-        self._tx_sessions = 0
+        #: ids of sessions with an open top-level transaction.  A set —
+        #: not a counter — so a session that vanishes mid-transaction
+        #: (client disconnect) can be cleared idempotently without ever
+        #: leaving the engine pinned to the exclusive gate.
+        self._tx_sessions: set[int] = set()
         #: batches run under the exclusive gate
         self.exclusive_batches = 0
         #: batches run under the shared gate + table locks
@@ -381,16 +385,21 @@ class EngineLockManager:
 
     # -- transaction bookkeeping (called by the executor) ---------------
 
-    def note_transaction_begin(self) -> None:
-        """A session opened a top-level transaction."""
+    def note_transaction_begin(self, session_id: int) -> None:
+        """Session ``session_id`` opened a top-level transaction."""
         with self._tx_lock:
-            self._tx_sessions += 1
+            self._tx_sessions.add(session_id)
 
-    def note_transaction_end(self) -> None:
-        """A session closed its top-level transaction."""
+    def note_transaction_end(self, session_id: int) -> None:
+        """Session ``session_id`` resolved its top-level transaction
+        (COMMIT, ROLLBACK, or close-time abandonment); idempotent."""
         with self._tx_lock:
-            if self._tx_sessions > 0:
-                self._tx_sessions -= 1
+            self._tx_sessions.discard(session_id)
+
+    def transaction_sessions(self) -> set[int]:
+        """Snapshot of session ids with an open transaction (tests)."""
+        with self._tx_lock:
+            return set(self._tx_sessions)
 
     # -- the per-batch scope --------------------------------------------
 
@@ -471,6 +480,30 @@ class EngineLockManager:
                      else table.lock.release_read)()
                 self._gate.release_read()
             return
+
+    @contextmanager
+    def exclusive_scope(self):
+        """The exclusive gate without batch analysis.
+
+        For engine work that happens outside any client batch — today the
+        close-time rollback of an abandoned transaction, which restores
+        table snapshots and must not race in-flight batches.  Reentrant
+        like :meth:`batch_scope` (a close issued from inside a batch just
+        bumps the depth)."""
+        if self._depth():
+            self._local.depth += 1
+            try:
+                yield
+            finally:
+                self._local.depth -= 1
+            return
+        self._gate.acquire_write()
+        self._local.depth = 1
+        try:
+            yield
+        finally:
+            self._local.depth = 0
+            self._gate.release_write()
 
     def stats(self) -> dict[str, int]:
         """Counters for the admin plane and tests."""

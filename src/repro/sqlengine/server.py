@@ -53,7 +53,33 @@ class Session:
         self.database = database
         self.tx_log = TransactionLog()
         self.global_vars: dict[str, object] = {"@@rowcount": 0, "@@trancount": 0}
-        self.closed = False
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether this session was closed (execute() refuses it)."""
+        return self._closed
+
+    @closed.setter
+    def closed(self, value: bool) -> None:
+        """Close (or reopen) the session.
+
+        A client that disconnects mid-transaction never sends ROLLBACK,
+        so closing a session with an open transaction rolls it back here
+        — under the exclusive gate, since the rollback restores table
+        snapshots — and releases the lock manager's transaction pin.
+        Without this, an abandoned BEGIN TRAN would force every later
+        batch engine-wide onto the exclusive gate forever.
+        """
+        value = bool(value)
+        if value and not self._closed and self.tx_log.active:
+            lock_manager = self.server.lock_manager
+            with lock_manager.exclusive_scope():
+                self.tx_log.rollback()
+                self.global_vars["@@trancount"] = 0
+                lock_manager.note_transaction_end(self.session_id)
+                self.server.on_transaction_end(self, committed=False)
+        self._closed = value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Session({self.session_id}, user={self.user!r}, db={self.database!r})"

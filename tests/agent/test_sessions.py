@@ -9,12 +9,14 @@ pool worker, which is exactly the behaviour under test).
 """
 
 import threading
+from concurrent.futures import Future
 
 import pytest
 
 from repro.agent import EcaAgent
+from repro.agent.gateway import RECENT_CLOSED_LIMIT
 from repro.agent.session import AgentSession
-from repro.agent.workers import WorkerPool
+from repro.agent.workers import WorkerPool, drain_session
 from repro.difftest import (
     compare_stack_runs,
     generate_scenario,
@@ -181,6 +183,117 @@ class TestWorkerPool:
             pool.submit(session, lambda: None)
 
 
+class TestResizeNeverStrands:
+    """Regression: a pool replacement used to wedge sessions whose
+    backlog was re-queued behind the old pool's stop sentinels."""
+
+    def test_resize_with_queued_backlog_resolves_every_future(self):
+        agent = pooled_agent(1)
+        try:
+            gateway = agent.gateway
+            session = gateway.open_session(USER, DATABASE)
+            gateway.execute_for(
+                session, "create table strand_t (x int null)")
+            # one slow command in flight + a backlog queued behind it
+            futures = [gateway.submit_for(
+                session,
+                f'waitfor delay "0:0:0.05"\ninsert strand_t values ({n})')
+                for n in range(5)]
+            gateway.set_workers(2)  # swap pools while the backlog waits
+            for future in futures:
+                future.result(timeout=30)
+            # the session must stay usable on the replacement pool
+            result = gateway.execute_for(
+                session, "select count(*) from strand_t")
+            assert [list(r) for r in result.last.rows] == [[5]]
+            assert session.queue_depth() == 0
+            assert not session.scheduled and not session.active
+        finally:
+            agent.close()
+
+    def test_resize_to_zero_drains_backlog_then_runs_inline(self):
+        agent = pooled_agent(2)
+        try:
+            gateway = agent.gateway
+            session = gateway.open_session(USER, DATABASE)
+            gateway.execute_for(
+                session, "create table strand_z (x int null)")
+            futures = [gateway.submit_for(
+                session,
+                f'waitfor delay "0:0:0.05"\ninsert strand_z values ({n})')
+                for n in range(4)]
+            gateway.set_workers(0)
+            for future in futures:
+                future.result(timeout=30)
+            result = gateway.execute_for(
+                session, "select count(*) from strand_z")
+            assert [list(r) for r in result.last.rows] == [[4]]
+        finally:
+            agent.close()
+
+    def test_stop_drains_commands_queued_behind_sentinels(self):
+        pool = WorkerPool(1)
+        session = AgentSession(SqlServer().create_session(USER, "master"))
+        gate = threading.Event()
+        blocker = pool.submit(session, gate.wait)
+        followers = [pool.submit(session, lambda n=n: n) for n in range(3)]
+        # sentinel enters the run queue while the blocker is in flight,
+        # so the session's re-queue lands BEHIND it — the drain must
+        # still service it
+        pool.stop(join=False)
+        gate.set()
+        assert blocker.result(timeout=10) is True
+        assert [f.result(timeout=10) for f in followers] == [0, 1, 2]
+        pool.stop(join=True)  # idempotent; joins the drained workers
+        assert session.queue_depth() == 0
+
+    def test_reschedule_hands_stranded_session_to_current_pool(self):
+        agent = pooled_agent(2)
+        try:
+            gateway = agent.gateway
+            session = gateway.open_session(USER, DATABASE)
+            future = Future()
+            # simulate a task whose run-queue entry died with an old
+            # pool: enqueued (scheduled=True) but in no live run queue
+            session.enqueue((lambda: "rescued", future))
+            gateway._reschedule(session)
+            assert future.result(timeout=10) == "rescued"
+        finally:
+            agent.close()
+
+    def test_reschedule_drains_inline_without_a_pool(self, agent):
+        gateway = agent.gateway
+        assert gateway.pool is None
+        session = gateway.open_session(USER, DATABASE)
+        future = Future()
+        session.enqueue((lambda: "inline", future))
+        gateway._reschedule(session)
+        assert future.result(timeout=1) == "inline"
+        assert not session.scheduled
+
+    def test_drain_session_runs_backlog_to_exhaustion(self):
+        session = AgentSession(SqlServer().create_session(USER, "master"))
+        futures = [Future() for _ in range(3)]
+        for n, future in enumerate(futures):
+            session.enqueue((lambda n=n: n * 10, future))
+        assert drain_session(session) == 3
+        assert [f.result(timeout=1) for f in futures] == [0, 10, 20]
+        assert not session.scheduled and session.queue_depth() == 0
+
+    def test_take_yields_to_the_active_worker(self):
+        session = AgentSession(SqlServer().create_session(USER, "master"))
+        session.enqueue((lambda: 1, Future()))
+        session.enqueue((lambda: 2, Future()))
+        first = session.take()
+        assert first is not None and session.active
+        # a second worker holding a redundant run-queue entry backs off
+        # without clearing the scheduling state
+        assert session.take() is None
+        assert session.scheduled and session.active
+        session.active = False
+        assert session.take() is not None
+
+
 class TestConcurrentDdlVsCachedSelect:
     def test_ddl_storm_against_cached_selects(self):
         agent = pooled_agent(4)
@@ -271,6 +384,78 @@ class TestDeterministicOrdering:
             assert len(seqs) == 10
         finally:
             agent.close()
+
+
+class TestSessionEviction:
+    """Closed sessions leave the live table for a bounded ring, so a
+    gateway serving many short-lived connections stays O(live + ring)."""
+
+    def test_closed_sessions_move_to_bounded_ring(self, agent):
+        gateway = agent.gateway
+        keep = gateway.open_session(USER, DATABASE)
+        for _ in range(RECENT_CLOSED_LIMIT + 8):
+            conn = agent.connect(user=USER, database=DATABASE)
+            conn.execute("select 1")
+            conn.close()
+        with gateway._sessions_lock:
+            live = list(gateway._sessions)
+        assert live == [keep.session_id]
+        snapshots = gateway.session_snapshots()
+        assert len(snapshots) == 1 + RECENT_CLOSED_LIMIT
+        closed = [s for s in snapshots if s["session_id"] != keep.session_id]
+        assert all(s["state"] == "closed" for s in closed)
+        # newest first, and the oldest closed sessions were dropped
+        ids = [s["session_id"] for s in snapshots]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_close_is_evicted_once_and_counts_survive(self, agent):
+        gateway = agent.gateway
+        conn = agent.connect(user=USER, database=DATABASE)
+        conn.execute("select 1")
+        session = conn.session
+        conn.close()
+        session.closed = True  # double close must not double-evict
+        snapshots = [s for s in gateway.session_snapshots()
+                     if s["session_id"] == session.session_id]
+        assert len(snapshots) == 1
+        assert snapshots[0]["state"] == "closed"
+        assert snapshots[0]["executed"] == 1
+
+
+class TestAbandonedTransactions:
+    """A client that disconnects mid-transaction must not pin the engine
+    onto the exclusive gate (the lock manager tracks tx sessions by id
+    and the close path rolls the transaction back)."""
+
+    def test_disconnect_mid_transaction_rolls_back_and_unpins(self, agent):
+        conn = agent.connect(user=USER, database=DATABASE)
+        conn.execute("create table aband_t (x int null)")
+        conn.execute("begin transaction\ninsert aband_t values (1)")
+        lock_manager = agent.server.lock_manager
+        assert lock_manager.transaction_sessions() == {
+            conn.session.session_id}
+        conn.close()
+        assert lock_manager.transaction_sessions() == set()
+        probe = agent.connect(user=USER, database=DATABASE)
+        before = lock_manager.shared_batches
+        result = probe.execute("select count(*) from aband_t")
+        # the abandoned insert was rolled back...
+        assert result.last.scalar() == 0
+        # ...and the batch ran fine-grained, not forced exclusive
+        assert lock_manager.shared_batches == before + 1
+        probe.close()
+
+    def test_commit_then_disconnect_leaves_no_residue(self, agent):
+        conn = agent.connect(user=USER, database=DATABASE)
+        conn.execute("create table aband_c (x int null)")
+        conn.execute(
+            "begin transaction\ninsert aband_c values (7)\ncommit")
+        conn.close()
+        assert agent.server.lock_manager.transaction_sessions() == set()
+        probe = agent.connect(user=USER, database=DATABASE)
+        assert probe.execute(
+            "select count(*) from aband_c").last.scalar() == 1
+        probe.close()
 
 
 class TestAdminSurface:

@@ -104,3 +104,51 @@ class TestSessionIsolationOfTransactionState:
         one.execute("begin tran")
         assert two.execute("select @@trancount").last.scalar() == 0
         one.execute("rollback")
+
+
+class TestAbandonedTransactionOnClose:
+    """Closing a session with an open transaction (a dropped client)
+    rolls it back and releases the lock manager's transaction pin."""
+
+    def test_close_rolls_back_open_transaction(self, stock, server):
+        from repro.sqlengine import connect
+
+        stock.execute("insert stock values ('A', 10.0, 1)")
+        stock.execute("begin tran")
+        stock.execute("update stock set price = 99.0")
+        stock.session.closed = True
+        assert not stock.session.tx_log.active
+        probe = connect(server, user="sharma", database="sentineldb")
+        assert probe.execute(
+            "select price from stock").last.scalar() == 10.0
+        probe.close()
+
+    def test_close_releases_exclusive_gate_pin(self, stock, server):
+        from repro.sqlengine import connect
+
+        stock.execute("begin tran")
+        stock.execute("insert stock values ('A', 1, 1)")
+        lock_manager = server.lock_manager
+        assert lock_manager.transaction_sessions() == {
+            stock.session.session_id}
+        stock.close()
+        assert lock_manager.transaction_sessions() == set()
+        probe = connect(server, user="sharma", database="sentineldb")
+        before = lock_manager.shared_batches
+        assert probe.execute(
+            "select count(*) from stock").last.scalar() == 0
+        assert lock_manager.shared_batches == before + 1
+        probe.close()
+
+    def test_close_without_transaction_is_plain(self, stock, server):
+        stock.execute("insert stock values ('A', 1, 1)")
+        stock.close()
+        assert server.lock_manager.transaction_sessions() == set()
+        assert stock.session.closed
+
+    def test_double_close_is_idempotent(self, stock, server):
+        stock.execute("begin tran")
+        stock.close()
+        stock.session.closed = True
+        assert server.lock_manager.transaction_sessions() == set()
+        assert not stock.session.tx_log.active
