@@ -77,6 +77,9 @@ def _stock_stack(workers: int):
     server = SqlServer(default_database=DATABASE)
     agent = EcaAgent(server, clock=ManualClock(), channel="sync",
                      workers=workers)
+    # Metrics on: the load series report queue-wait (time a command sat
+    # on its session queue before a worker dequeued it) per profile.
+    agent.metrics.enabled = True
     conn = agent.connect(user=USER, database=DATABASE)
     for group in range(GROUPS):
         conn.execute(
@@ -116,6 +119,7 @@ def _netmgmt_stack(workers: int):
     server = SqlServer(default_database=DATABASE)
     agent = EcaAgent(server, clock=ManualClock(), channel="sync",
                      workers=workers)
+    agent.metrics.enabled = True
     conn = agent.connect(user=USER, database=DATABASE)
     for group in range(GROUPS):
         conn.execute(
@@ -152,6 +156,7 @@ def _service_stack(workers: int):
     server = SqlServer(default_database=DATABASE)
     agent = EcaAgent(server, clock=ManualClock(), channel="sync",
                      workers=workers)
+    agent.metrics.enabled = True
     conn = agent.connect(user=USER, database=DATABASE)
     for group in range(GROUPS):
         conn.execute(
@@ -270,6 +275,20 @@ def run_open_loop(agent, clients: int, total_ops: int, rate: float,
 # the bench
 
 
+def _queue_wait_summary(agent) -> dict:
+    """The agent's queue-wait histogram as {count, p50_ms, p95_ms} —
+    read before ``agent.close()``, which detaches the registry."""
+    family = agent.metrics.get("agent_queue_wait_seconds")
+    if family is None:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0}
+    summary = family.summary()
+    return {
+        "count": summary.count,
+        "p50_ms": round(summary.p50 * 1e3, 4),
+        "p95_ms": round(summary.p95 * 1e3, 4),
+    }
+
+
 def _closed_series(label, stack_builder, command_for, results, series):
     server, agent = stack_builder(WORKERS)
     try:
@@ -284,6 +303,7 @@ def _closed_series(label, stack_builder, command_for, results, series):
             "throughput": round(ops / elapsed, 2),
             "lock_stats": server.lock_manager.stats(),
             "plan_cache_hit_rate": round(server.plan_cache.hit_rate, 4),
+            "queue_wait": _queue_wait_summary(agent),
         }
         series[label] = latencies
         idle = all(s["queued"] == 0
@@ -307,6 +327,7 @@ def _scaling_series(workers: int, series):
             "ops": len(latencies),
             "seconds": round(elapsed, 4),
             "throughput": round(len(latencies) / elapsed, 2),
+            "queue_wait": _queue_wait_summary(agent),
         }
     finally:
         agent.close()
@@ -336,6 +357,7 @@ def test_load_series(benchmark):
             "ops": len(latencies),
             "seconds": round(elapsed, 4),
             "throughput": round(len(latencies) / elapsed, 2),
+            "queue_wait": _queue_wait_summary(agent),
         }
         assert len(latencies) == open_ops, "open-loop commands lost"
     finally:
@@ -349,8 +371,11 @@ def test_load_series(benchmark):
             for label, samples in series.items()]
     print_series("E-CONC multi-session load", rows, LATENCY_HEADERS)
     for label, result in results.items():
+        wait = result["queue_wait"]
         print(f"[{label}]  {result['ops']} ops in {result['seconds']}s "
-              f"= {result['throughput']} ops/s")
+              f"= {result['throughput']} ops/s; queue-wait "
+              f"p50={wait['p50_ms']}ms p95={wait['p95_ms']}ms "
+              f"({wait['count']} samples)")
     print(f"[scaling]  {single['throughput']} ops/s @1 worker vs "
           f"{pooled['throughput']} ops/s @{WORKERS} workers "
           f"= {ratio:.2f}x")

@@ -18,6 +18,12 @@ worst case, capturing every command) with trace and provenance off;
 histogram estimator: the gateway's ``agent_command_seconds`` p50 for
 pass-through commands must agree with the bench's wall-clock p50 within
 one histogram bucket width.
+
+A seventh series measures *tracing alone* (spans + per-command trace
+contexts + the pinned trace store; stats, provenance, and the health
+extras off) — the marginal cost of a ``trace next <N>`` sampling window
+on a production stack; ``tools/check_trace.py`` gates it against
+series 4 under the same ``OBS_OVERHEAD_RATIO`` ceiling.
 """
 
 import math
@@ -71,6 +77,15 @@ def _health_stack():
     return server, agent, conn
 
 
+def _traced_stack():
+    """The Example 2 stack with *only* tracing on: every command mints a
+    trace context, records its span tree, and pins it into the trace
+    store — exactly what a sampled command pays under ``trace next``."""
+    server, agent, conn = example_2_stack()
+    agent.trace.enabled = True
+    return server, agent, conn
+
+
 def _command_p50_ms(agent, kind: str) -> float:
     """The gateway latency histogram's p50 for one command kind, in ms."""
     for family in agent.metrics.families():
@@ -86,9 +101,11 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
     s3, _a3, with_composite = example_2_stack()
     s4, a4, with_obs = _observed_stack()
     s5, a5, with_health = _health_stack()
+    s6, _a6, with_tracing = _traced_stack()
     with_composite.execute("delete stock")  # keep an AND window open
     with_obs.execute("delete stock")
     with_health.execute("delete stock")
+    with_tracing.execute("delete stock")
 
     if stage_breakdown:
         a2.metrics.enabled = True
@@ -100,6 +117,7 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
         "4 + composite detection (Example 2)": _samples(with_composite),
         "5 + observability on (stats+trace+provenance)": _samples(with_obs),
         "6 + health plane (accounting+slowlog+stats)": _samples(with_health),
+        "7 + trace context (sampled commands)": _samples(with_tracing),
     }
     servers = {
         "1 engine insert (direct)": s0,
@@ -108,6 +126,7 @@ def test_layer_decomposition_series(benchmark, stage_breakdown):
         "4 + composite detection (Example 2)": s3,
         "5 + observability on (stats+trace+provenance)": s4,
         "6 + health plane (accounting+slowlog+stats)": s5,
+        "7 + trace context (sampled commands)": s6,
     }
     hit_rates = {
         label: server.plan_cache.stats()["hit_rate"]

@@ -130,13 +130,33 @@ class ActionHandler:
     def dispatch_detached(self, rule: Rule, occurrence: Occurrence) -> None:
         """LED detached dispatcher: one worker thread per action
         (the paper: 'new thread is generated for each call to
-        SybaseAction')."""
+        SybaseAction').
+
+        Causal context crosses the thread boundary explicitly: the
+        dispatching thread captures its trace context, ambient journal
+        parents, and command accounting frame *before* spawning, and the
+        worker re-activates all three — so a detached action's span
+        parents into the originating command's trace, its journal
+        records link to the triggering detection, and its cost still
+        charges the triggering session.
+        """
         runtime = self.agent.runtime_for_rule(rule.name)
         if runtime is None:
             return
+        agent = self.agent
+        ctx = agent.trace.current_context()
+        journal = agent.journal
+        parents = (journal.ambient_parents()
+                   if journal is not None and journal.enabled else ())
+        origin = agent.accounting.command_frame()
 
         def worker() -> None:
-            record = self.run_action(runtime, occurrence)
+            with ExitStack() as stack:
+                stack.enter_context(agent.trace.activate(ctx))
+                if parents:
+                    stack.enter_context(journal.inherit(parents))
+                stack.enter_context(agent.accounting.inherit_scope(origin))
+                record = self.run_action(runtime, occurrence)
             firing = RuleFiring(
                 rule_name=rule.name,
                 event_name=rule.event_name,

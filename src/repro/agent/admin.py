@@ -21,6 +21,11 @@ Commands:
 - ``show agent health`` — the watchdog's ok/degraded/critical report:
   per-rule findings plus the sampled values they were judged on;
 - ``show agent trace [N]`` — the most recent N span records (default 50);
+- ``show agent trace <trace_id>`` — the full cross-thread span tree of
+  one stored trace (queue-wait and per-action spans included), looked up
+  by the trace id stamped on telemetry lines and slow-op records;
+- ``trace next <N>`` — arm tracing for the next N client commands, then
+  restore the previous on/off state (bounded causal sampling);
 - ``show agent events [N]`` — the most recent N provenance records as
   lineage trees (default 20);
 - ``show agent graph`` — the full LED event graph: every node, its
@@ -74,8 +79,8 @@ from .naming import expand_name
 
 _USAGE = (
     "unknown agent command; expected one of: "
-    "show agent stats [top [N]] | show agent trace [N] | "
-    "show agent events [N] | "
+    "show agent stats [top [N]] | show agent trace [N|<trace_id>] | "
+    "trace next <N> | show agent events [N] | "
     "show agent graph | show agent status | show agent faults | "
     "show agent cache [N] | "
     "show agent top [rules|sessions] [N] | show agent slow [N] | "
@@ -94,6 +99,7 @@ _COMMAND = re.compile(
     r"(?P<show_stats>show\s+agent\s+stats"
     r"(?:\s+(?P<stats_top>top)(?:\s+(?P<stats_n>[^\s;]+))?)?)"
     r"|(?P<show_trace>show\s+agent\s+trace(?:\s+(?P<trace_n>[^\s;]+))?)"
+    r"|(?P<trace_next>trace\s+next(?:\s+(?P<trace_next_n>[^\s;]+))?)"
     r"|(?P<show_events>show\s+agent\s+events(?:\s+(?P<events_n>[^\s;]+))?)"
     r"|(?P<show_graph>show\s+agent\s+graph)"
     r"|(?P<show_status>show\s+agent\s+status)"
@@ -151,6 +157,16 @@ _NODE_KINDS = {
 }
 
 
+def _is_int(text: str) -> bool:
+    """Whether a ``show agent trace`` argument is a row count (numeric)
+    rather than a trace id."""
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
 def _error_result(message: str) -> BatchResult:
     """A one-row error result set (argument problems are answered, not
     raised: the client's batch keeps working)."""
@@ -180,10 +196,15 @@ class AgentAdmin:
                 max(1, self._count_metric_rows()), "show agent stats top")
             return error if error is not None else self._show_stats(count)
         if match.group("show_trace"):
+            arg = match.group("trace_n")
+            if arg is not None and not _is_int(arg):
+                return self._show_trace_tree(arg)
             count, error = self._parse_count(
-                match.group("trace_n"), DEFAULT_TRACE_ROWS,
+                arg, DEFAULT_TRACE_ROWS,
                 self.agent.trace.max_records, "show agent trace")
             return error if error is not None else self._show_trace(count)
+        if match.group("trace_next"):
+            return self._trace_next(match.group("trace_next_n"))
         if match.group("show_events"):
             count, error = self._parse_count(
                 match.group("events_n"), DEFAULT_EVENT_ROWS,
@@ -332,6 +353,52 @@ class AgentAdmin:
                 "Agent tracing is off; enable with 'set agent trace on'.")
         return result
 
+    def _show_trace_tree(self, trace_id: str) -> BatchResult:
+        """The full cross-thread span tree of one stored trace: every
+        pinned span (client-thread, worker-thread queue-wait, detached
+        action threads, notification listener) indented by its depth in
+        the shared tree."""
+        trace = self.agent.trace
+        spans = trace.spans_for(trace_id)
+        if not spans:
+            return _error_result(
+                f"no stored trace with id {trace_id!r}; ids appear in "
+                "telemetry lines, 'show agent slow', and histogram "
+                "exemplars")
+        rows = ResultSet(columns=[
+            "seq", "parent", "trace_id", "step", "detail", "duration_ms",
+        ])
+        for record in spans:
+            duration = record.duration
+            rows.rows.append([
+                record.seq,
+                record.parent,
+                record.trace_id,
+                "  " * record.depth + record.step,
+                record.detail,
+                None if duration is None else round(duration * 1e3, 4),
+            ])
+        return BatchResult(
+            result_sets=[rows],
+            messages=[f"Trace {trace_id}: {len(spans)} span(s)."])
+
+    def _trace_next(self, text: str | None) -> BatchResult:
+        """Arm the ``trace next <N>`` sampling window."""
+        if text is None:
+            return _error_result(
+                "'trace next' expects a command count, e.g. 'trace next 5'")
+        try:
+            count = int(text)
+        except ValueError:
+            return _error_result(
+                f"'trace next' expects a command count, got {text!r}")
+        if count < 1:
+            return _error_result(
+                f"'trace next' expects a count >= 1, got {count}")
+        self.agent.trace.sample_next(count)
+        return BatchResult(messages=[
+            f"Tracing armed for the next {count} client command(s)."])
+
     def _show_events(self, count: int) -> BatchResult:
         """The most recent provenance records, indented into lineage
         trees (a record nests under its first parent when that parent is
@@ -405,6 +472,8 @@ class AgentAdmin:
                 ["metric_families", len(metrics.families())],
                 ["trace_records", len(trace.records)],
                 ["trace_capacity", trace.max_records],
+                ["trace_sampling", trace.sampling_remaining()],
+                ["traces_stored", trace.trace_count()],
                 ["journal_records", len(journal)],
                 ["journal_capacity", journal.capacity],
                 ["accounting",
@@ -564,15 +633,16 @@ class AgentAdmin:
         flightrec = self.agent.flightrec
         rows = ResultSet(columns=[
             "seq", "kind", "duration_ms", "threshold_ms", "session",
-            "user", "statement", "rows_scanned", "actions", "spans",
-            "provenance",
+            "user", "statement", "trace_id", "rows_scanned", "actions",
+            "spans", "provenance",
         ])
         for record in flightrec.tail(count):
             counters = record.counters
             rows.rows.append([
                 record.seq, record.kind, record.duration_ms,
                 record.threshold_ms, record.session_id, record.user,
-                record.statement, counters.get("rows_scanned", 0),
+                record.statement, record.trace_id,
+                counters.get("rows_scanned", 0),
                 counters.get("actions", 0), len(record.spans),
                 len(record.provenance),
             ])
@@ -632,6 +702,7 @@ class AgentAdmin:
                 ["fire_count", rule.fire_count if rule is not None else 0],
                 ["last_fired_at",
                  rule.last_fired_at if rule is not None else None],
+                ["last_trace", self._last_action_trace(trigger)],
             ],
         )
 
@@ -654,6 +725,18 @@ class AgentAdmin:
                 "Agent provenance is off; per-node statistics need "
                 "'set agent provenance on'.")
         return result
+
+    def _last_action_trace(self, trigger) -> str | None:
+        """The trace id of the trigger's most recent journaled action —
+        the handle an operator feeds to ``show agent trace <id>`` to see
+        the full causal tree behind the last firing."""
+        from repro.obs.provenance import KIND_ACTION
+
+        key = trigger.internal.lower()
+        for record in reversed(self.agent.journal.snapshot()):
+            if record.kind == KIND_ACTION and record.name.lower() == key:
+                return record.trace_id
+        return None
 
     def _find_trigger(self, name: str, session):
         """Resolve a trigger by client-visible name: expanded through the

@@ -57,6 +57,7 @@ from .notifier import (
     UdpChannel,
 )
 from .persistence import PersistentManager
+from .messages import attach_trace_context, split_trace_context
 from .trace import (
     FIG3_GRAPH_CREATED,
     FIG3_PERSISTED,
@@ -65,6 +66,7 @@ from .trace import (
     SPAN_ECA_CODEGEN,
     SPAN_ECA_PARSE,
     PipelineTrace,
+    TraceContext,
 )
 
 _DROP_TRIGGER_NAME = re.compile(
@@ -155,6 +157,9 @@ class EcaAgent:
         self.trace = PipelineTrace()
         self.journal = journal if journal is not None else ProvenanceJournal(
             enabled=False)
+        # Journal records carry the trace id of the command they belong
+        # to (read from the trace's active context at append time).
+        self.journal.bind_trace(self.trace)
         self.exporter = exporter
         #: the health plane: resource accounting (always-on), the slow-op
         #: flight recorder (armed via ``set agent slowlog``), and the
@@ -226,11 +231,30 @@ class EcaAgent:
         self.channel = self._make_channel(channel)
 
         def deliver(payload: str) -> None:
-            if self.trace.enabled:
-                with self.trace.span(FIG4_NOTIFIED, payload):
+            # A datagram may carry the sending command's trace context as
+            # a ``tc=`` trailer (see send below); strip it and re-activate
+            # that context on the delivering thread so the notification
+            # span — and everything the LED does under it — parents into
+            # the originating command's trace even across an async
+            # channel's listener thread.
+            payload, token = split_trace_context(payload)
+            ctx = TraceContext.decode(token) if token is not None else None
+            with self.trace.activate(ctx):
+                if self.trace.enabled:
+                    with self.trace.span(FIG4_NOTIFIED, payload):
+                        self.notifier.on_payload(payload)
+                else:
                     self.notifier.on_payload(payload)
-            else:
-                self.notifier.on_payload(payload)
+
+        def send(host: str, port: int, payload: str) -> None:
+            # ``syb_sendmsg`` sink: while tracing, serialize the sending
+            # thread's trace context into the datagram so causality
+            # survives the transport (one branch + no-op otherwise).
+            if self.trace.enabled:
+                ctx = self.trace.current_context()
+                if ctx is not None and ctx.trace_id is not None:
+                    payload = attach_trace_context(payload, ctx.encode())
+            self.channel.send(host, port, payload)
 
         def receive(payload: str) -> None:
             # Delivery is retried only for faults injected at the decode
@@ -244,7 +268,7 @@ class EcaAgent:
 
         self.channel.attach(receive)
         self.channel.start()
-        server.set_datagram_sink(self.channel.send)
+        server.set_datagram_sink(send)
         server.add_transaction_end_listener(self._on_transaction_end)
 
         self.recover()

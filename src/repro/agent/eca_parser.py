@@ -29,7 +29,8 @@ _ALTER_TRIGGER = re.compile(
     r"^\s*alter\s+trigger\s+([A-Za-z_#][\w.$#]*)\s+"
     r"(enable|disable)\s*;?\s*$", re.IGNORECASE)
 _AGENT_ADMIN = re.compile(
-    r"^\s*(?:(?:show|reset|set|export)\s+agent\b|explain\s+trigger\b)",
+    r"^\s*(?:(?:show|reset|set|export)\s+agent\b|explain\s+trigger\b"
+    r"|trace\s+next\b)",
     re.IGNORECASE)
 
 _COUPLING_WORDS = {"IMMEDIATE", "DEFERRED", "DEFERED", "DETACHED"}

@@ -52,6 +52,7 @@ from .trace import (
     FIG3_PASSED_THROUGH,
     FIG4_RESULTS_ROUTED,
     SPAN_CLASSIFY,
+    SPAN_QUEUE_WAIT,
 )
 from .workers import WorkerPool, drain_session
 
@@ -68,7 +69,8 @@ class GatewayOpenServer:
         self._recent_closed: deque = deque(maxlen=RECENT_CLOSED_LIMIT)
         self._sessions_lock = threading.Lock()
         self._pool: WorkerPool | None = (
-            WorkerPool(workers) if workers else None)
+            WorkerPool(workers, cleanup=self._clear_thread_state)
+            if workers else None)
         #: statistics for the transparency/overhead benches (E-PERF1)
         self.commands_total = 0
         self.commands_passed_through = 0
@@ -82,6 +84,10 @@ class GatewayOpenServer:
             "agent_command_seconds",
             "End-to-end client command latency through the gateway "
             "(seconds)", ("kind",))
+        self._m_queue_wait = agent.metrics.histogram(
+            "agent_queue_wait_seconds",
+            "Time a command spent queued on its session before a pool "
+            "worker dequeued it (seconds)")
 
     # ------------------------------------------------------------------
     # SqlEndpoint surface
@@ -120,12 +126,21 @@ class GatewayOpenServer:
         The open-loop load generator uses this directly; ``execute_for``
         is this plus a blocking wait.  Raw engine sessions (no queue) and
         pool-less gateways execute inline and return a resolved Future.
+
+        The command's :class:`~repro.obs.tracing.TraceContext` is minted
+        *here*, on the submitting client's thread, and rides the queued
+        closure — the worker re-activates it, so the hand-off across the
+        queue keeps the causal chain (and the enqueue timestamp yields
+        the queue-wait span).
         """
         pool = self._pool
+        ctx = self.agent.trace.command_context(session)
         while pool is not None and isinstance(session, AgentSession):
+            enqueued_at = time.perf_counter()
             try:
                 future = pool.submit(
-                    session, lambda: self._run_command(session, sql))
+                    session, lambda: self._run_command(
+                        session, sql, ctx, enqueued_at))
             except RuntimeError:
                 # The pool was swapped by ``set agent workers`` between
                 # our read and the submit; retry against the new one
@@ -146,9 +161,10 @@ class GatewayOpenServer:
             try:
                 if isinstance(session, AgentSession):
                     with session.inline_execution():
-                        future.set_result(self._run_command(session, sql))
+                        future.set_result(
+                            self._run_command(session, sql, ctx))
                 else:
-                    future.set_result(self._run_command(session, sql))
+                    future.set_result(self._run_command(session, sql, ctx))
             except BaseException as exc:
                 future.set_exception(exc)
         return future
@@ -187,7 +203,8 @@ class GatewayOpenServer:
         thread must never join itself.
         """
         old = self._pool
-        self._pool = WorkerPool(count) if count > 0 else None
+        self._pool = (WorkerPool(count, cleanup=self._clear_thread_state)
+                      if count > 0 else None)
         if old is not None:
             old.stop(join=False)
         return count
@@ -216,8 +233,16 @@ class GatewayOpenServer:
     # ------------------------------------------------------------------
     # command execution (runs on a worker thread, or inline)
 
-    def _run_command(self, session, sql: str) -> BatchResult:
+    def _run_command(self, session, sql: str, ctx=None,
+                     enqueued_at: float | None = None) -> BatchResult:
         """Execute one routed command on the current thread.
+
+        ``ctx`` is the trace context minted at submit time (None with
+        tracing off); it is re-activated here so the whole Figure 3/4
+        span tree — including work on this worker thread and any threads
+        it hands off to — hangs off one trace id.  ``enqueued_at`` (pool
+        path only) dates the submit, yielding the queue-wait span and
+        the ``agent_queue_wait_seconds`` observation.
 
         Failure semantics: real errors (SQL errors, name-check failures,
         :class:`~repro.agent.errors.PersistenceError`) propagate to the
@@ -243,12 +268,19 @@ class GatewayOpenServer:
         # The health and accounting planes need wall time even with
         # stats off; one perf_counter pair per command is in the noise.
         start = time.perf_counter()
+        if timed and enqueued_at is not None:
+            self._m_queue_wait.observe(start - enqueued_at)
+        trace_id = ctx.trace_id if ctx is not None else None
         kind = "error"
         try:
             trace = agent.trace
             if trace.enabled:
-                with trace.span(FIG3_COMMAND_RECEIVED,
-                                sql.split(chr(10))[0][:60]):
+                with trace.activate(ctx), \
+                        trace.span(FIG3_COMMAND_RECEIVED,
+                                   sql.split(chr(10))[0][:60]):
+                    if enqueued_at is not None:
+                        trace.record_span(SPAN_QUEUE_WAIT,
+                                          start=enqueued_at, end=start)
                     kind, result = self._route(session, sql)
             else:
                 kind, result = self._route(session, sql)
@@ -261,15 +293,30 @@ class GatewayOpenServer:
             duration = time.perf_counter() - start
             if timed:
                 self._m_commands.labels(kind).inc()
-                self._m_command_seconds.labels(kind).observe(duration)
+                if trace_id is not None:
+                    self._m_command_seconds.labels(kind).observe_with_trace(
+                        duration, trace_id)
+                else:
+                    self._m_command_seconds.labels(kind).observe(duration)
             if (marks is not None
                     and duration * 1e3 >= slow_threshold):
                 flightrec.capture(
                     kind=kind, statement=sql, session=session,
                     duration=duration, frame=frame, trace=agent.trace,
-                    journal=agent.journal, marks=marks)
+                    journal=agent.journal, marks=marks,
+                    trace_id=trace_id)
             accounting.finish(frame, duration)
         return result
+
+    def _clear_thread_state(self) -> None:
+        """Drop ambient per-thread observability state (span stack,
+        provenance stack, accounting frames) — the worker pool's
+        between-task hygiene hook, so a recycled worker thread never
+        attributes later work to a previous command."""
+        agent = self.agent
+        agent.trace.reset_thread()
+        agent.journal.reset_thread()
+        agent.accounting.reset_thread()
 
     def _route(self, session, sql: str) -> tuple[str, BatchResult]:
         """Classify and dispatch; returns (classification label, result)."""

@@ -10,6 +10,14 @@ number ``vNo`` so the notification is self-contained — the paper's agent
 instead reads the current ``vNo`` back from ``SysPrimitiveEvent``, which
 races when notifications are delivered asynchronously (documented
 deviation, DESIGN.md §2).  The decoder accepts both forms.
+
+Trace propagation rides the same datagram: while tracing is enabled the
+sink appends one ``;``-separated ``tc=<encoded context>`` segment to the
+payload (:func:`attach_trace_context`), and the delivery side strips it
+back off (:func:`split_trace_context`) before the notification decoder
+ever sees the payload.  The token is a trailer, not a notification —
+``decode_batch`` also skips any ``tc=`` segment defensively, so a traced
+payload that reaches an unaware decoder still parses.
 """
 
 from __future__ import annotations
@@ -17,6 +25,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .errors import NotificationError
+
+#: Marker prefix of the trace-context trailer segment in a datagram.
+TRACE_TOKEN_PREFIX = "tc="
+
+
+def attach_trace_context(payload: str, encoded: str) -> str:
+    """Append an encoded trace context to a datagram payload as a
+    ``;``-separated ``tc=`` trailer segment."""
+    return f"{payload};{TRACE_TOKEN_PREFIX}{encoded}"
+
+
+def split_trace_context(payload: str) -> tuple[str, str | None]:
+    """Split a payload into (clean payload, encoded trace context).
+
+    The second element is None when the payload carries no ``tc=``
+    trailer; the clean payload is always safe to hand to
+    :meth:`Notification.decode_batch`.
+    """
+    head, sep, tail = payload.rpartition(";")
+    if sep and tail.startswith(TRACE_TOKEN_PREFIX):
+        return head, tail[len(TRACE_TOKEN_PREFIX):]
+    return payload, None
 
 
 @dataclass(frozen=True)
@@ -72,11 +102,13 @@ class Notification:
         A native trigger serving several events on one (table, operation)
         sends a single datagram with ``;``-separated segments; a plain
         single-event payload is the degenerate one-segment case and
-        decodes exactly as :meth:`decode` would.
+        decodes exactly as :meth:`decode` would.  A ``tc=`` trace-context
+        trailer (normally stripped upstream by
+        :func:`split_trace_context`) is skipped, not rejected.
         """
         segments = [part for part in
                     (segment.strip() for segment in payload.split(";"))
-                    if part]
+                    if part and not part.startswith(TRACE_TOKEN_PREFIX)]
         if not segments:
             raise NotificationError(
                 f"malformed notification payload {payload!r}")

@@ -29,10 +29,12 @@ from repro.obs.tracing import (
     SPAN_ECA_PARSE,
     SPAN_LED_OP_PREFIX,
     SPAN_LED_RAISE,
+    SPAN_QUEUE_WAIT,
     SPAN_RULE_ACTION,
     SPAN_RULE_CONDITION,
     PipelineTrace,
     SpanRecord,
+    TraceContext,
     TraceRecord,
 )
 
@@ -52,9 +54,11 @@ __all__ = [
     "SPAN_ECA_CODEGEN",
     "SPAN_LED_RAISE",
     "SPAN_LED_OP_PREFIX",
+    "SPAN_QUEUE_WAIT",
     "SPAN_RULE_CONDITION",
     "SPAN_RULE_ACTION",
     "PipelineTrace",
     "SpanRecord",
+    "TraceContext",
     "TraceRecord",
 ]

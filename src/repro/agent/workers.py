@@ -91,10 +91,14 @@ class WorkerPool:
     _seq = 0
     _seq_lock = threading.Lock()
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, cleanup=None):
         if size < 1:
             raise ValueError(f"worker pool size must be >= 1, got {size}")
         self.size = size
+        #: no-arg hook run on the worker thread after every serviced
+        #: task — the gateway clears ambient observability state here so
+        #: a recycled thread never leaks a previous command's context
+        self.cleanup = cleanup
         self._run_queue: SimpleQueue = SimpleQueue()
         self._stopping = False
         self._stop_lock = threading.Lock()
@@ -145,12 +149,15 @@ class WorkerPool:
 
     def _worker(self) -> None:
         requeue = self._run_queue.put
+        cleanup = self.cleanup
         while True:
             item = self._run_queue.get()
             if item is _STOP:
                 break
             if service_session(item, requeue):
                 self.completed += 1
+                if cleanup is not None:
+                    cleanup()
         # Drain: stop() queued the sentinels, but a worker finishing a
         # command re-queues its session BEHIND them — keep servicing the
         # run queue so those sessions (and their Futures) are never
@@ -170,6 +177,8 @@ class WorkerPool:
             sentinel_streak = 0
             if service_session(item, requeue):
                 self.completed += 1
+                if cleanup is not None:
+                    cleanup()
 
     def stop(self, join: bool = True, timeout: float = 5.0) -> None:
         """Shut the pool down (idempotent).

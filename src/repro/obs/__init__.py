@@ -74,10 +74,12 @@ from .tracing import (
     SPAN_ECA_PARSE,
     SPAN_LED_OP_PREFIX,
     SPAN_LED_RAISE,
+    SPAN_QUEUE_WAIT,
     SPAN_RULE_ACTION,
     SPAN_RULE_CONDITION,
     PipelineTrace,
     SpanRecord,
+    TraceContext,
     TraceRecord,
 )
 
@@ -106,6 +108,7 @@ __all__ = [
     "SlowOp",
     "SpanRecord",
     "TelemetryExporter",
+    "TraceContext",
     "TraceRecord",
     "bucket_bounds",
     "collect_sample",
@@ -129,6 +132,7 @@ __all__ = [
     "SPAN_ECA_CODEGEN",
     "SPAN_LED_RAISE",
     "SPAN_LED_OP_PREFIX",
+    "SPAN_QUEUE_WAIT",
     "SPAN_RULE_CONDITION",
     "SPAN_RULE_ACTION",
 ]

@@ -15,9 +15,9 @@ Line schema — every line is one JSON object with a ``type`` field:
 - ``{"type": "metric", "name", "kind", "labels", "value"}`` — one per
   metric child; histogram values are summary dicts.
 - ``{"type": "span", "seq", "step", "detail", "start", "duration",
-  "depth", "parent"}`` — one per trace record.
+  "depth", "parent", "trace_id"}`` — one per trace record.
 - ``{"type": "provenance", "seq", "kind", "name", "context", "detail",
-  "parents", "at", "duration"}`` — one per journal record.
+  "parents", "at", "duration", "trace_id"}`` — one per journal record.
 - ``{"type": "node_stat", "name", "context", "fires", "consumed",
   "latency": {...summary...}}`` — one per (event node, context).
 - ``{"type": "slow_op", ...}`` — one per flight-recorder capture (the
@@ -169,6 +169,7 @@ class TelemetryExporter:
                 "duration": record.duration,
                 "depth": record.depth,
                 "parent": record.parent,
+                "trace_id": record.trace_id,
             }, sort_keys=True))
         return out, mark
 
@@ -191,6 +192,7 @@ class TelemetryExporter:
                 "parents": list(record.parents),
                 "at": record.at,
                 "duration": record.duration,
+                "trace_id": record.trace_id,
             }, sort_keys=True))
         nodes: list[str] = []
         for name, context, stat in journal.node_stats():

@@ -51,6 +51,8 @@ class SlowOp:
     counters: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
     provenance: list = field(default_factory=list)
+    #: trace id of the captured command (None with tracing off)
+    trace_id: str | None = None
 
     def as_dict(self) -> dict:
         """JSONL payload for the telemetry exporter."""
@@ -63,6 +65,7 @@ class SlowOp:
             "user": self.user,
             "duration_ms": self.duration_ms,
             "threshold_ms": self.threshold_ms,
+            "trace_id": self.trace_id,
             "counters": dict(self.counters),
             "spans": list(self.spans),
             "provenance": list(self.provenance),
@@ -104,7 +107,8 @@ class FlightRecorder:
 
     def capture(self, *, kind: str, statement: str, session,
                 duration: float, frame, trace, journal,
-                marks: tuple[int, int]) -> SlowOp:
+                marks: tuple[int, int],
+                trace_id: str | None = None) -> SlowOp:
         """Record one over-threshold operation into the ring."""
         span_mark, prov_mark = marks
         spans = [
@@ -114,6 +118,7 @@ class FlightRecorder:
                 "detail": record.detail,
                 "depth": record.depth,
                 "parent": record.parent,
+                "trace_id": record.trace_id,
                 "duration_ms": (
                     None if record.duration is None
                     else round(record.duration * 1e3, 4)),
@@ -143,6 +148,7 @@ class FlightRecorder:
             counters=frame.as_dict() if frame is not None else {},
             spans=spans,
             provenance=provenance,
+            trace_id=trace_id,
         )
         with self._lock:
             self._records.append(record)

@@ -176,6 +176,13 @@ DEFAULT_HEALTH_RULES: tuple[HealthRule, ...] = (
         severity=STATUS_DEGRADED,
         description="p95 LED dispatch lock hold above 100ms",
     ),
+    HealthRule(
+        name="queue-wait",
+        key="queue_wait_p95_ms", direction="ceiling", threshold=200.0,
+        severity=STATUS_DEGRADED,
+        description="p95 time commands wait in session queues above "
+                    "200ms (worker pool saturated or undersized)",
+    ),
 )
 
 
@@ -264,6 +271,8 @@ def collect_sample(agent) -> dict:
             metrics, "led_lock_wait_seconds"),
         "led_lock_hold_p95_ms": _histogram_p95_ms(
             metrics, "led_lock_hold_seconds"),
+        "queue_wait_p95_ms": _histogram_p95_ms(
+            metrics, "agent_queue_wait_seconds"),
         "slow_ops_recorded": len(agent.flightrec),
         "sessions_tracked": accounting.session_count(),
         "rules_tracked": accounting.rule_count(),

@@ -30,6 +30,7 @@ from __future__ import annotations
 import bisect
 import math
 import threading
+from collections import deque
 from dataclasses import dataclass
 
 __all__ = [
@@ -259,6 +260,10 @@ class Histogram(_Metric):
 
     kind = "histogram"
 
+    #: Exemplars retained per bucket (newest last); tiny, so tracing a
+    #: command never turns the histogram into a trace store.
+    EXEMPLARS_PER_BUCKET = 3
+
     def __init__(self, registry: "MetricsRegistry",
                  buckets: tuple[float, ...] | None = None):
         super().__init__(registry)
@@ -275,6 +280,9 @@ class Histogram(_Metric):
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
+        #: bucket index -> deque of (trace_id, value); lazily created so
+        #: histograms that never see a traced observation pay nothing
+        self._exemplars: dict[int, deque] | None = None
 
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
@@ -285,6 +293,38 @@ class Histogram(_Metric):
             self._sum += value
             if value > self._max:
                 self._max = value
+
+    def observe_with_trace(self, value: float, trace_id: str | None) -> None:
+        """Observe ``value`` and pin ``trace_id`` as an exemplar on the
+        bucket it lands in — the correlation hook letting an operator
+        jump from a latency bucket to ``show agent trace <id>``."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            index = bisect.bisect_left(self.buckets, value)
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+            if trace_id is not None:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                bucket = self._exemplars.get(index)
+                if bucket is None:
+                    bucket = deque(maxlen=self.EXEMPLARS_PER_BUCKET)
+                    self._exemplars[index] = bucket
+                bucket.append((trace_id, value))
+
+    def exemplars(self) -> dict[int, list[tuple[str, float]]]:
+        """Retained (trace id, value) exemplars keyed by bucket index
+        (the +Inf overflow bucket is ``len(self.buckets)``), oldest
+        first within each bucket."""
+        with self._lock:
+            if not self._exemplars:
+                return {}
+            return {index: list(items)
+                    for index, items in self._exemplars.items()}
 
     @property
     def count(self) -> int:
@@ -338,6 +378,7 @@ class Histogram(_Metric):
             self._count = 0
             self._sum = 0.0
             self._max = 0.0
+            self._exemplars = None
 
 
 class MetricFamily:
@@ -393,6 +434,9 @@ class MetricFamily:
 
     def observe(self, value) -> None:
         self.labels().observe(value)
+
+    def observe_with_trace(self, value, trace_id) -> None:
+        self.labels().observe_with_trace(value, trace_id)
 
     def value(self):
         return self.labels().value()
@@ -515,13 +559,23 @@ class MetricsRegistry:
                 value = metric.value()
                 if isinstance(value, HistogramSummary):
                     if isinstance(metric, Histogram):
-                        for bound, cumulative in metric.cumulative_buckets():
+                        exemplars = metric.exemplars()
+                        for index, (bound, cumulative) in enumerate(
+                                metric.cumulative_buckets()):
                             bucket_labels = dict(labels)
                             bucket_labels["le"] = _le_text(bound)
-                            lines.append(
-                                f"{family.name}_bucket"
-                                f"{_render_labels(bucket_labels)} "
-                                f"{cumulative}")
+                            line = (f"{family.name}_bucket"
+                                    f"{_render_labels(bucket_labels)} "
+                                    f"{cumulative}")
+                            pinned = exemplars.get(index)
+                            if pinned:
+                                # OpenMetrics exemplar syntax: newest
+                                # retained trace id for this bucket.
+                                trace_id, observed = pinned[-1]
+                                line += (' # {trace_id="'
+                                         f'{_escape_label_value(trace_id)}'
+                                         f'"}} {_fmt(observed)}')
+                            lines.append(line)
                         lines.append(
                             f"{family.name}_sum{suffix} {_fmt(metric.sum)}")
                     for stat, stat_value in value.as_dict().items():

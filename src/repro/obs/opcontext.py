@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 
 __all__ = ["OpAccounting", "OpContext", "RuleTotals", "SessionTotals"]
 
@@ -259,6 +260,47 @@ class OpAccounting:
         """The innermost open frame on this thread, if any."""
         frames = getattr(self._local, "frames", None)
         return frames[-1] if frames else None
+
+    def command_frame(self) -> OpContext | None:
+        """The outermost client-command frame open on this thread (the
+        frame with a session identity), if any — what a dispatcher
+        captures before handing work to another thread."""
+        frames = getattr(self._local, "frames", None)
+        if not frames:
+            return None
+        for frame in frames:
+            if frame.session_id is not None:
+                return frame
+        return None
+
+    def reset_thread(self) -> None:
+        """Drop this thread's frame stack (worker-pool hygiene between
+        tasks) — a leaked frame must never charge later commands' work
+        to a finished command's session."""
+        self._local.frames = []
+
+    @contextmanager
+    def inherit_scope(self, origin: OpContext | None):
+        """Charge the ``with`` body to the session identified by a frame
+        captured on another thread.  A *new* frame with the origin's
+        identity (but ``commands = 0``) opens here and folds into the
+        session's totals on exit — the origin frame itself may already
+        have folded by the time this thread runs, so it is never shared
+        across threads."""
+        if not self.enabled or origin is None or origin.session_id is None:
+            yield None
+            return
+        frame = OpContext(
+            session_id=origin.session_id,
+            user=origin.user,
+            database=origin.database,
+        )
+        start = time.perf_counter()
+        self._push(frame)
+        try:
+            yield frame
+        finally:
+            self.finish(frame, time.perf_counter() - start)
 
     def in_rule(self) -> bool:
         """Whether the innermost frames include a rule scope — i.e. the

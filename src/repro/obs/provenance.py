@@ -36,6 +36,7 @@ import itertools
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from .metrics import HistogramSummary, summarize
@@ -89,6 +90,10 @@ class ProvenanceRecord:
     parents: tuple[int, ...] = ()
     at: float = 0.0
     duration: float | None = None
+    #: trace id of the client command this hop belongs to (stamped from
+    #: the bound :class:`~repro.obs.tracing.PipelineTrace`, None when
+    #: no trace context is active)
+    trace_id: str | None = None
 
 
 class NodeStat:
@@ -151,6 +156,14 @@ class ProvenanceJournal:
         #: flattened primitive constituents).
         self._pending_parts: dict[int, tuple[object, tuple[int, ...]]] = {}
         self._stats: dict[tuple[str, str], NodeStat] = {}
+        #: PipelineTrace supplying the active trace id per record (the
+        #: agent binds its own trace; None = records carry no trace id)
+        self._trace = None
+
+    def bind_trace(self, trace) -> None:
+        """Bind the :class:`~repro.obs.tracing.PipelineTrace` whose
+        active context stamps every appended record's ``trace_id``."""
+        self._trace = trace
 
     def now(self) -> float:
         """The journal's clock (used by hooks timing propagation hops)."""
@@ -186,6 +199,28 @@ class ProvenanceJournal:
         parent = self.ambient()
         return (parent,) if parent is not None else ()
 
+    @contextmanager
+    def inherit(self, parents: tuple[int, ...]):
+        """Adopt an explicit parent chain on this thread for the ``with``
+        body — the cross-thread hand-off hook: a dispatcher captures
+        :meth:`ambient_parents` before spawning, and the spawned thread
+        inherits them here instead of relying on its own (empty) ambient
+        stack."""
+        pushed = 0
+        for parent in parents:
+            self.push(parent)
+            pushed += 1
+        try:
+            yield
+        finally:
+            for _ in range(pushed):
+                self.pop()
+
+    def reset_thread(self) -> None:
+        """Drop this thread's ambient parent stack (worker-pool hygiene
+        between tasks)."""
+        self._local.stack = []
+
     # ------------------------------------------------------------------
     # recording
 
@@ -193,11 +228,14 @@ class ProvenanceJournal:
                detail: str = "", parents: tuple[int, ...] = (),
                duration: float | None = None) -> ProvenanceRecord:
         """Append one record (callers have already checked ``enabled``)."""
+        trace = self._trace
         record = ProvenanceRecord(
             seq=next(self._seq), kind=kind, name=name,
             context=context or NO_CONTEXT,
             detail=detail[:_DETAIL_LIMIT], parents=parents,
             at=self._clock(), duration=duration,
+            trace_id=(trace.active_trace_id()
+                      if trace is not None else None),
         )
         with self._lock:
             if len(self.records) >= self.capacity:

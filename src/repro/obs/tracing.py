@@ -11,19 +11,31 @@ The Figure 3 / Figure 4 step constants are kept as span names, so the
 original control-flow semantics (and their tests) survive: ``emit()``
 records an instantaneous span, ``span()`` brackets a timed region.
 
+Causality across threads is explicit: a :class:`TraceContext` (trace id
++ parent span id + baggage) can be captured on one thread
+(:meth:`PipelineTrace.current_context`) and re-activated on another
+(:meth:`PipelineTrace.activate`), so spans recorded on worker-pool or
+rule-action threads still hang off the originating client command's
+tree.  Spans carrying a trace id are additionally pinned into a bounded
+per-trace store (``show agent trace <trace_id>``) that survives the main
+ring buffer's eviction.
+
 Tracing is off by default and costs one branch per hook when off.
 """
 
 from __future__ import annotations
 
 import itertools
+import re
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 __all__ = [
     "PipelineTrace",
     "SpanRecord",
+    "TraceContext",
     "TraceRecord",
     "FIG3_COMMAND_RECEIVED",
     "FIG3_CLASSIFIED_ECA",
@@ -40,6 +52,7 @@ __all__ = [
     "SPAN_ECA_CODEGEN",
     "SPAN_LED_RAISE",
     "SPAN_LED_OP_PREFIX",
+    "SPAN_QUEUE_WAIT",
     "SPAN_RULE_CONDITION",
     "SPAN_RULE_ACTION",
 ]
@@ -65,6 +78,72 @@ SPAN_LED_RAISE = "led:raise"
 SPAN_LED_OP_PREFIX = "led:op:"
 SPAN_RULE_CONDITION = "rule:condition"
 SPAN_RULE_ACTION = "rule:action"
+SPAN_QUEUE_WAIT = "gateway:queue-wait"
+
+#: Characters allowed in one encoded baggage item — anything else is
+#: silently dropped from the wire token (the datagram payload is
+#: space-split and ``;``-coalesced, so tokens must avoid both).
+_BAGGAGE_SAFE = re.compile(r"^[A-Za-z0-9_.=\-]+$")
+
+
+@dataclass
+class TraceContext:
+    """The portable causal identity of one client command.
+
+    A context names the trace (``trace_id``), the span new work should
+    be parented under (``parent_span`` — ``None`` for a trace root), the
+    depth children should render at, and free-form ``baggage`` (session
+    id, rule name, origin).  Contexts cross queues inside submitted
+    closures and cross the ``syb_sendmsg`` datagram hop via
+    :meth:`encode`/:meth:`decode`.
+    """
+
+    trace_id: str | None
+    parent_span: int | None = None
+    depth: int = 0
+    baggage: dict = field(default_factory=dict)
+
+    def child_of(self, span: "SpanRecord") -> "TraceContext":
+        """A derived context parenting new work under ``span``."""
+        return TraceContext(
+            trace_id=span.trace_id if span.trace_id else self.trace_id,
+            parent_span=span.seq, depth=span.depth + 1,
+            baggage=dict(self.baggage))
+
+    def encode(self) -> str:
+        """Serialize to a compact token safe inside a datagram payload
+        (no spaces, no ``;``): ``<trace_id>:<parent>:<depth>[:<k=v,..>]``."""
+        parent = "" if self.parent_span is None else str(self.parent_span)
+        token = f"{self.trace_id or ''}:{parent}:{self.depth}"
+        if self.baggage:
+            items = ",".join(
+                f"{key}={value}"
+                for key, value in sorted(self.baggage.items())
+                if _BAGGAGE_SAFE.match(f"{key}={value}"))
+            if items:
+                token = f"{token}:{items}"
+        return token
+
+    @classmethod
+    def decode(cls, token: str) -> "TraceContext | None":
+        """Parse :meth:`encode`'s token; ``None`` when malformed (a
+        malformed trace token must never fail the notification)."""
+        parts = token.split(":", 3)
+        if len(parts) < 3 or not parts[0]:
+            return None
+        try:
+            parent = int(parts[1]) if parts[1] else None
+            depth = int(parts[2])
+        except ValueError:
+            return None
+        baggage: dict = {}
+        if len(parts) == 4 and parts[3]:
+            for item in parts[3].split(","):
+                key, sep, value = item.partition("=")
+                if sep:
+                    baggage[key] = value
+        return cls(trace_id=parts[0], parent_span=parent, depth=depth,
+                   baggage=baggage)
 
 
 @dataclass
@@ -78,6 +157,9 @@ class SpanRecord:
     depth: int = 0
     start: float = 0.0
     end: float | None = None
+    #: trace id stamped from the active :class:`TraceContext` (None for
+    #: spans recorded outside any client command's context)
+    trace_id: str | None = None
 
     @property
     def duration(self) -> float | None:
@@ -104,6 +186,27 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+class _Activation:
+    """Context manager installing an inherited :class:`TraceContext` as
+    this thread's ambient context (restored on exit)."""
+
+    __slots__ = ("_trace", "_ctx", "_prev")
+
+    def __init__(self, trace: "PipelineTrace", ctx: TraceContext):
+        self._trace = trace
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        local = self._trace._local
+        self._prev = getattr(local, "ctx", None)
+        local.ctx = self._ctx
+        return self._ctx
+
+    def __exit__(self, *_exc) -> bool:
+        self._trace._local.ctx = self._prev
+        return False
 
 
 class _OpenSpan:
@@ -136,12 +239,23 @@ class PipelineTrace:
     is dropped (always at least one, so small buffers stay bounded).
     """
 
+    #: Bounds on the per-trace pinned-span store (oldest trace evicted).
+    MAX_TRACES = 256
+    MAX_TRACE_SPANS = 512
+
     def __init__(self, enabled: bool = False, max_records: int = 10_000,
                  clock=time.perf_counter):
         self.enabled = enabled
         self.max_records = max_records
         self.records: list[SpanRecord] = []
         self._seq = itertools.count(1)
+        self._trace_seq = itertools.count(1)
+        #: trace_id -> pinned spans, insertion-ordered for FIFO eviction
+        self._traces: OrderedDict[str, list[SpanRecord]] = OrderedDict()
+        #: ``trace next <N>`` sampling window state
+        self._sampling = False
+        self._sample_remaining = 0
+        self._sample_restore = False
         self._lock = threading.Lock()
         self._clock = clock
         self._local = threading.local()
@@ -160,6 +274,18 @@ class PipelineTrace:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def _parentage(self) -> tuple[int | None, int, str | None]:
+        """(parent seq, depth, trace id) for a new record on this thread:
+        the innermost open span wins; with no open span, the inherited
+        :class:`TraceContext` (if activated) supplies all three."""
+        parent = self.current()
+        if parent is not None:
+            return parent.seq, parent.depth + 1, parent.trace_id
+        ctx = getattr(self._local, "ctx", None)
+        if ctx is not None:
+            return ctx.parent_span, ctx.depth, ctx.trace_id
+        return None, 0, None
+
     # -- recording ------------------------------------------------------
 
     def _append(self, record: SpanRecord) -> None:
@@ -170,18 +296,26 @@ class PipelineTrace:
                 # let the buffer grow without bound.
                 del self.records[: max(1, self.max_records // 10)]
             self.records.append(record)
+            if record.trace_id is not None:
+                spans = self._traces.get(record.trace_id)
+                if spans is None:
+                    while len(self._traces) >= self.MAX_TRACES:
+                        self._traces.popitem(last=False)
+                    spans = []
+                    self._traces[record.trace_id] = spans
+                if len(spans) < self.MAX_TRACE_SPANS:
+                    spans.append(record)
 
     def emit(self, step: str, detail: str = "") -> None:
         """Record one instantaneous step (no-op while disabled)."""
         if not self.enabled:
             return
         now = self._clock()
-        parent = self.current()
+        parent_seq, depth, trace_id = self._parentage()
         record = SpanRecord(
             seq=next(self._seq), step=step, detail=detail,
-            parent=parent.seq if parent else None,
-            depth=parent.depth + 1 if parent else 0,
-            start=now, end=now,
+            parent=parent_seq, depth=depth,
+            start=now, end=now, trace_id=trace_id,
         )
         self._append(record)
 
@@ -198,12 +332,11 @@ class PipelineTrace:
         return _OpenSpan(self, step, detail)
 
     def _open(self, step: str, detail: str) -> SpanRecord:
-        parent = self.current()
+        parent_seq, depth, trace_id = self._parentage()
         record = SpanRecord(
             seq=next(self._seq), step=step, detail=detail,
-            parent=parent.seq if parent else None,
-            depth=parent.depth + 1 if parent else 0,
-            start=self._clock(), end=None,
+            parent=parent_seq, depth=depth,
+            start=self._clock(), end=None, trace_id=trace_id,
         )
         self._append(record)
         self._stack().append(record)
@@ -217,11 +350,131 @@ class PipelineTrace:
         elif record in stack:  # pragma: no cover - unbalanced exit guard
             stack.remove(record)
 
+    def record_span(self, step: str, detail: str = "", *,
+                    start: float, end: float) -> SpanRecord | None:
+        """Record an already-measured span with explicit timestamps,
+        parented like any other record on this thread (no-op while
+        disabled).  Used for regions measured before the trace context
+        existed — e.g. the gateway's queue-wait interval, whose start
+        was stamped on the submitting client thread."""
+        if not self.enabled:
+            return None
+        parent_seq, depth, trace_id = self._parentage()
+        record = SpanRecord(
+            seq=next(self._seq), step=step, detail=detail,
+            parent=parent_seq, depth=depth,
+            start=start, end=end, trace_id=trace_id,
+        )
+        self._append(record)
+        return record
+
+    # -- explicit trace-context propagation ------------------------------
+
+    def activate(self, ctx: TraceContext | None):
+        """Context manager installing ``ctx`` as this thread's inherited
+        context for the ``with`` body: records opened with no enclosing
+        span parent under ``ctx.parent_span`` and carry its trace id.
+        ``None`` returns a shared no-op (one branch on the off path)."""
+        if ctx is None:
+            return _NULL_SPAN
+        return _Activation(self, ctx)
+
+    def active_trace_id(self) -> str | None:
+        """The trace id governing this thread right now: the innermost
+        open span's, else the inherited context's, else ``None``.  Other
+        observability planes (provenance, flight recorder) stamp their
+        records with this."""
+        span = self.current()
+        if span is not None:
+            return span.trace_id
+        ctx = getattr(self._local, "ctx", None)
+        return ctx.trace_id if ctx is not None else None
+
+    def current_context(self) -> TraceContext | None:
+        """Capture this thread's causal position for a cross-thread
+        hand-off: a context parenting new work under the innermost open
+        span, else the inherited context, else ``None``."""
+        span = self.current()
+        if span is not None:
+            ctx = getattr(self._local, "ctx", None)
+            baggage = dict(ctx.baggage) if ctx is not None else {}
+            return TraceContext(
+                trace_id=span.trace_id, parent_span=span.seq,
+                depth=span.depth + 1, baggage=baggage)
+        return getattr(self._local, "ctx", None)
+
+    def command_context(self, session=None) -> TraceContext | None:
+        """A fresh root context for one client command (None while
+        tracing is off).  Consumes one slot of an armed ``trace next
+        <N>`` sampling window; when the window is spent, the *next* call
+        restores the pre-sampling enabled flag, so the last sampled
+        command finishes fully traced."""
+        if self._sampling:
+            with self._lock:
+                if self._sampling:
+                    if self._sample_remaining <= 0:
+                        self._sampling = False
+                        self.enabled = self._sample_restore
+                    else:
+                        self._sample_remaining -= 1
+        if not self.enabled:
+            return None
+        baggage: dict = {"origin": "client"}
+        session_id = getattr(session, "session_id", None)
+        if session_id is not None:
+            baggage["session_id"] = session_id
+        user = getattr(session, "user", None)
+        if user:
+            baggage["user"] = user
+        return TraceContext(
+            trace_id=f"t{next(self._trace_seq):06d}",
+            parent_span=None, depth=0, baggage=baggage)
+
+    def sample_next(self, count: int) -> None:
+        """Arm tracing for the next ``count`` client commands (``trace
+        next <N>``): forces ``enabled`` on and restores its previous
+        value once the window is spent."""
+        with self._lock:
+            count = max(0, int(count))
+            if count and not self._sampling:
+                self._sampling = True
+                self._sample_restore = self.enabled
+                self.enabled = True
+            self._sample_remaining = count
+
+    def sampling_remaining(self) -> int:
+        """Commands left in the armed sampling window (0 = disarmed)."""
+        return self._sample_remaining if self._sampling else 0
+
+    def reset_thread(self) -> None:
+        """Drop this thread's ambient state (open-span stack + inherited
+        context) — worker-pool hygiene between tasks, so a recycled
+        thread never parents new work under a previous command."""
+        self._local.stack = []
+        self._local.ctx = None
+
     # -- inspection ------------------------------------------------------
 
     def clear(self) -> None:
         with self._lock:
             self.records.clear()
+            self._traces.clear()
+
+    def spans_for(self, trace_id: str) -> list[SpanRecord]:
+        """The pinned spans of one trace, oldest first (empty when the
+        trace id is unknown or evicted)."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        """Trace ids retained in the store, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def trace_count(self) -> int:
+        """Number of traces currently retained in the store."""
+        with self._lock:
+            return len(self._traces)
 
     def steps(self) -> list[str]:
         """The span names, in start order."""

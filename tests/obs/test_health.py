@@ -118,6 +118,14 @@ def test_default_rules_catch_the_known_failure_axes():
     assert breached == {"plan-cache-hit-rate", "retry-exhaustion"}
 
 
+def test_queue_wait_ceiling_flags_a_saturated_pool():
+    evaluator = HealthEvaluator()
+    assert evaluator.evaluate({"queue_wait_p95_ms": 200.0}).status == "ok"
+    report = evaluator.evaluate({"queue_wait_p95_ms": 350.0})
+    assert report.status == "degraded"
+    assert {f.rule for f in report.breaches()} == {"queue-wait"}
+
+
 def test_default_rule_names_are_unique():
     names = [rule.name for rule in DEFAULT_HEALTH_RULES]
     assert len(names) == len(set(names))

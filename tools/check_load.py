@@ -19,7 +19,10 @@ Reads the ``BENCH_load.json`` artifact produced by
 
 The artifact must also show both lock paths exercised (shared and
 exclusive batches nonzero) — a load run that never took the
-fine-grained path proves nothing about it.
+fine-grained path proves nothing about it — and a nonzero
+``agent_queue_wait_seconds`` sample count on the pooled closed-loop run,
+so the queue-wait histogram (and the watchdog p95 ceiling over it) is
+known to be measuring real enqueue/dequeue intervals.
 
 Usage::
 
@@ -90,6 +93,20 @@ def check(path: Path, scaling_floor: float, throughput_floor: float,
         problems.append(
             f"{path}: load run exercised shared={shared} "
             f"exclusive={exclusive} batches; both paths must be nonzero")
+
+    # Queue-wait must actually have been measured on the pooled run —
+    # a zero sample count means the instrumentation fell off the
+    # enqueue/dequeue path and the p95 health ceiling watches nothing.
+    wait = closed.get("queue_wait", {})
+    wait_count = wait.get("count", 0)
+    workers = closed.get("workers", 0)
+    print(f"queue-wait: {wait_count} samples at {workers} workers, "
+          f"p50={wait.get('p50_ms', 0.0)}ms p95={wait.get('p95_ms', 0.0)}ms")
+    if workers >= 2 and not wait_count:
+        problems.append(
+            f"{path}: closed-loop run at {workers} workers recorded no "
+            "queue-wait samples; agent_queue_wait_seconds is not being "
+            "observed on the pooled path")
     return problems
 
 
