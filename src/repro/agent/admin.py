@@ -17,7 +17,8 @@ Commands:
   cache hits, events, actions, wall time);
 - ``show agent slow [N]`` — the flight recorder's most recent N slow
   operations (arm with ``set agent slowlog <ms>``), each with its span
-  and provenance slice sizes;
+  and provenance slice sizes and the EXPLAIN rendering of the offending
+  statement's optimized plan (NULL when nothing in it is plannable);
 - ``show agent health`` — the watchdog's ok/degraded/critical report:
   per-rule findings plus the sampled values they were judged on;
 - ``show agent trace [N]`` — the most recent N span records (default 50);
@@ -34,8 +35,12 @@ Commands:
 - ``show agent faults`` — armed fault-injection specs, fire counts, and
   the active retry policy (the robustness layer's knobs);
 - ``show agent cache [N]`` — the server's statement-plan cache counters
-  (hits, misses, evictions, epoch invalidations, hit rate), index-scan
-  and notification-coalescing totals, then the N busiest table indexes;
+  (hits, misses, evictions, epoch invalidations, hit rate, plan-memo
+  hits/misses), index-scan and notification-coalescing totals, the N
+  hottest cached batches (each flagged ``plan`` when a DAG plan memo is
+  live at the current schema epoch, ``parse`` when only the parsed
+  statements are cached, with its per-entry hit count), then the N
+  busiest table indexes;
 - ``reset agent cache`` — clear the plan cache and zero its counters
   (the hot-path equivalent of ``reset agent stats``);
 - ``explain trigger <name>`` — the trigger's rule attributes plus its
@@ -167,6 +172,18 @@ def _is_int(text: str) -> bool:
     return True
 
 
+#: Max characters of cached-statement text shown by ``show agent cache``.
+STATEMENT_CLIP = 80
+
+
+def _clip(text: str, limit: int = STATEMENT_CLIP) -> str:
+    """One-line, length-capped rendering of a cached batch's SQL text."""
+    flat = " ".join(text.split())
+    if len(flat) <= limit:
+        return flat
+    return flat[:limit - 3] + "..."
+
+
 def _error_result(message: str) -> BatchResult:
     """A one-row error result set (argument problems are answered, not
     raised: the client's batch keeps working)."""
@@ -219,7 +236,9 @@ class AgentAdmin:
         if match.group("show_cache"):
             count, error = self._parse_count(
                 match.group("cache_n"), DEFAULT_INDEX_ROWS,
-                max(1, self._count_indexes()), "show agent cache")
+                max(1, self._count_indexes(),
+                    self.agent.server.plan_cache.stats()["size"]),
+                "show agent cache")
             return error if error is not None else self._show_cache(count)
         if match.group("show_top"):
             scope = (match.group("top_scope") or "").lower()
@@ -530,7 +549,8 @@ class AgentAdmin:
 
     def _show_cache(self, count: int) -> BatchResult:
         """Hot-path introspection: plan-cache counters, index-scan and
-        coalescing totals, then the ``count`` busiest table indexes."""
+        coalescing totals, the ``count`` hottest cached batch entries
+        (plan vs parse), then the ``count`` busiest table indexes."""
         server = self.agent.server
         stats = server.plan_cache.stats()
         summary = ResultSet(
@@ -549,11 +569,21 @@ class AgentAdmin:
                     for origin, data in stats["origins"].items()
                     for field in ("hits", "misses", "hit_rate")
                 ],
+                ["plan_memo_size", stats["plans"]],
+                ["plan_memo_hits", stats["plan_hits"]],
+                ["plan_memo_misses", stats["plan_misses"]],
                 ["schema_epoch", server.catalog.schema_epoch],
                 ["index_scans", server.index_scans],
                 ["coalesced_payloads", self.agent.notifier.coalesced_payloads],
                 ["coalesced_events", self.agent.notifier.coalesced_events],
             ],
+        )
+        epoch = server.catalog.schema_epoch
+        entry_rows = server.plan_cache.entry_rows(count, epoch)
+        cached = ResultSet(
+            columns=["statement", "kind", "hits"],
+            rows=[[_clip(text), kind, hits]
+                  for text, kind, hits in entry_rows],
         )
         entries = []
         for db_name in sorted(server.catalog.databases):
@@ -573,7 +603,11 @@ class AgentAdmin:
             columns=["table", "index", "column", "unique", "rebuilds"],
             rows=entries[:count],
         )
-        result = BatchResult(result_sets=[summary, indexes])
+        result = BatchResult(result_sets=[summary, cached, indexes])
+        if stats["size"] > count:
+            result.messages.append(
+                f"Showing {count} of {stats['size']} cached batches; "
+                f"'show agent cache {stats['size']}' lists all.")
         if len(entries) > count:
             result.messages.append(
                 f"Showing {count} of {len(entries)} indexes; "
@@ -634,7 +668,7 @@ class AgentAdmin:
         rows = ResultSet(columns=[
             "seq", "kind", "duration_ms", "threshold_ms", "session",
             "user", "statement", "trace_id", "rows_scanned", "actions",
-            "spans", "provenance",
+            "spans", "provenance", "plan",
         ])
         for record in flightrec.tail(count):
             counters = record.counters
@@ -644,7 +678,7 @@ class AgentAdmin:
                 record.statement, record.trace_id,
                 counters.get("rows_scanned", 0),
                 counters.get("actions", 0), len(record.spans),
-                len(record.provenance),
+                len(record.provenance), record.plan,
             ])
         result = BatchResult(result_sets=[rows])
         if not flightrec.armed:

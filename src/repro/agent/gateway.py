@@ -304,7 +304,9 @@ class GatewayOpenServer:
                     kind=kind, statement=sql, session=session,
                     duration=duration, frame=frame, trace=agent.trace,
                     journal=agent.journal, marks=marks,
-                    trace_id=trace_id)
+                    trace_id=trace_id,
+                    plan=agent.server.explain_text(
+                        sql, getattr(session, "server_session", session)))
             accounting.finish(frame, duration)
         return result
 

@@ -98,19 +98,22 @@ def _read_rows(conn, table: str) -> list[tuple]:
 
 
 def run_stack(scenario: Scenario, *, plan_cache: bool = True,
-              faults=None) -> StackRun:
+              planner: bool = True, faults=None) -> StackRun:
     """Execute the scenario on the full gateway/agent/LED stack.
 
-    ``faults`` is an optional :class:`~repro.faults.FaultPlan` (or
-    injector) applied to the *statement stream only* — the injector is
-    disarmed while tables and rules are created, so every chaos run
-    starts from an identical installed rule set and the seeded schedule
-    is counted from the first streamed statement.  The stream keeps
-    going after degraded commands so chaos runs observe the agent's
-    graceful-degradation contract.
+    ``planner`` selects the execution engine axis: the cost-based DAG
+    executor (default) or the legacy AST walker it must be
+    indistinguishable from.  ``faults`` is an optional
+    :class:`~repro.faults.FaultPlan` (or injector) applied to the
+    *statement stream only* — the injector is disarmed while tables and
+    rules are created, so every chaos run starts from an identical
+    installed rule set and the seeded schedule is counted from the first
+    streamed statement.  The stream keeps going after degraded commands
+    so chaos runs observe the agent's graceful-degradation contract.
     """
     server = SqlServer(default_database=DATABASE)
     server.plan_cache.enabled = bool(plan_cache)
+    server.planner_enabled = bool(planner)
     agent = EcaAgent(server, channel="sync", faults=faults)
     run = StackRun()
     try:
@@ -161,7 +164,8 @@ def run_stack(scenario: Scenario, *, plan_cache: bool = True,
 
 def run_interleaved(scenario: Scenario, *, clients: int = 4,
                     workers: int = 4, seed: int = 0,
-                    plan_cache: bool = True) -> StackRun:
+                    plan_cache: bool = True,
+                    planner: bool = True) -> StackRun:
     """Execute the scenario through ``clients`` concurrent gateway
     sessions backed by a ``workers``-thread pool.
 
@@ -178,6 +182,7 @@ def run_interleaved(scenario: Scenario, *, clients: int = 4,
 
     server = SqlServer(default_database=DATABASE)
     server.plan_cache.enabled = bool(plan_cache)
+    server.planner_enabled = bool(planner)
     agent = EcaAgent(server, channel="sync", workers=workers)
     run = StackRun()
     rng = random.Random(seed)

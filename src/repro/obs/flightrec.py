@@ -53,6 +53,9 @@ class SlowOp:
     provenance: list = field(default_factory=list)
     #: trace id of the captured command (None with tracing off)
     trace_id: str | None = None
+    #: EXPLAIN rendering of the statement's optimized plan (None when
+    #: the statement has no plannable SQL — admin commands, DDL, ...)
+    plan: str | None = None
 
     def as_dict(self) -> dict:
         """JSONL payload for the telemetry exporter."""
@@ -66,6 +69,7 @@ class SlowOp:
             "duration_ms": self.duration_ms,
             "threshold_ms": self.threshold_ms,
             "trace_id": self.trace_id,
+            "plan": self.plan,
             "counters": dict(self.counters),
             "spans": list(self.spans),
             "provenance": list(self.provenance),
@@ -108,7 +112,8 @@ class FlightRecorder:
     def capture(self, *, kind: str, statement: str, session,
                 duration: float, frame, trace, journal,
                 marks: tuple[int, int],
-                trace_id: str | None = None) -> SlowOp:
+                trace_id: str | None = None,
+                plan: str | None = None) -> SlowOp:
         """Record one over-threshold operation into the ring."""
         span_mark, prov_mark = marks
         spans = [
@@ -149,6 +154,7 @@ class FlightRecorder:
             spans=spans,
             provenance=provenance,
             trace_id=trace_id,
+            plan=plan,
         )
         with self._lock:
             self._records.append(record)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import datetime as _dt
 import time as _time
 
+from . import dagexec, planner
 from .catalog import Database
 from .errors import (
     CatalogError,
@@ -62,6 +63,7 @@ from .statements import (
     DropTableStatement,
     DropTriggerStatement,
     ExecuteStatement,
+    ExplainStatement,
     IfStatement,
     InsertSelect,
     InsertValues,
@@ -275,16 +277,26 @@ class Executor:
                     outer_env: RowEnvironment | None = None) -> ResultSet:
         sources: list[RowSource] = []
         tables: list[Table] = []
+        table_keys: list[tuple] = []
         for ref in statement.tables:
             table = self._from_table(ref, state)
             database_name = ref.name.database or state.session.database
             sources.append(self._source_for(ref, table, database_name))
             tables.append(table)
+            table_keys.append(self._table_key(ref.name, table, state))
 
         env = RowEnvironment(sources, parent=outer_env)
         ctx = self._eval_context(state)
-        row_overrides = self._scan_plan(
-            statement.where, sources, tables, env, ctx, state)
+        bindings = None
+        row_overrides = None
+        if self.server.planner_enabled:
+            plan = self._plan_for(
+                statement, sources, tables, tuple(table_keys), env, state)
+            bindings = dagexec.select_bindings(
+                self, plan, sources, tables, env, ctx)
+        else:
+            row_overrides = self._scan_plan(
+                statement.where, sources, tables, env, ctx, state)
 
         grouped = bool(statement.group_by) or any(
             contains_aggregate(item.expr) for item in statement.items
@@ -292,19 +304,65 @@ class Executor:
 
         if grouped:
             result = self._run_grouped_select(
-                statement, state, env, ctx, tables, row_overrides)
+                statement, state, env, ctx, tables, row_overrides,
+                bindings=bindings)
         else:
             result = self._run_plain_select(
-                statement, state, env, ctx, tables, row_overrides)
+                statement, state, env, ctx, tables, row_overrides,
+                bindings=bindings)
 
         if statement.distinct:
             result.rows = _distinct(result.rows)
         if statement.top is not None:
             result.rows = result.rows[: statement.top]
 
+        if bindings is not None:
+            ops = {"project": len(result.rows)}
+            if grouped:
+                ops["aggregate"] = len(result.rows)
+            if statement.order_by:
+                ops["sort"] = len(result.rows)
+            if statement.top is not None:
+                ops["limit"] = len(result.rows)
+            self.server.note_plan_ops(ops)
+
         if statement.into is not None:
             self._select_into(statement, result, state, tables, sources)
         return result
+
+    def _table_key(self, name: QualifiedName, table: Table,
+                   state: ExecutionState) -> tuple:
+        """A session-independent fingerprint of one resolved FROM source.
+
+        Memoized plans carry the keys they were planned against; an
+        execution whose keys differ (other session's owner fallback, a
+        trigger's pseudo table, a same-named table in another database)
+        plans fresh instead of reusing a plan for the wrong table.
+        """
+        columns = tuple(column.name for column in table.schema.columns)
+        if (len(name.parts) == 1 and state.pseudo_tables.get(
+                name.object_name.lower()) is table):
+            return ("pseudo", name.object_name.lower(), columns)
+        database = (name.database or state.session.database).lower()
+        return ("table", database, table.owner.lower(),
+                table.name.lower(), columns)
+
+    def _plan_for(self, statement: SelectStatement, sources, tables,
+                  table_keys: tuple, env: RowEnvironment,
+                  state: ExecutionState):
+        """The memoized optimized plan for one SELECT (planned fresh on
+        a memo miss — first execution, DDL epoch bump, or key change)."""
+        epoch = self.server.catalog.schema_epoch
+        cache = self.server.plan_cache
+        plan = cache.get_plan(statement, epoch, table_keys)
+        if plan is not None:
+            return plan
+        start = _time.perf_counter()
+        plan = planner.plan_select(
+            self, statement, sources, tables, table_keys, env, epoch)
+        self.server.note_planner_time(_time.perf_counter() - start)
+        cache.put_plan(statement, epoch, table_keys, plan)
+        return plan
 
     def _iterate_rows(self, sources: list[RowSource], tables: list[Table],
                       where: Expression | None, env: RowEnvironment,
@@ -601,14 +659,18 @@ class Executor:
     def _run_plain_select(self, statement: SelectStatement, state: ExecutionState,
                           env: RowEnvironment, ctx: EvalContext,
                           tables: list[Table],
-                          row_overrides: dict[int, list] | None = None) -> ResultSet:
+                          row_overrides: dict[int, list] | None = None,
+                          bindings=None) -> ResultSet:
         expanded = self._expand_items(statement.items, env.sources)
         columns = [name for _expr, name in expanded]
         order_exprs = [item.expr for item in statement.order_by]
         rows: list[list[object]] = []
         order_keys: list[tuple] = []
-        for _ in self._iterate_rows(env.sources, tables, statement.where, env,
-                                    ctx, row_overrides):
+        iterator = (bindings if bindings is not None
+                    else self._iterate_rows(env.sources, tables,
+                                            statement.where, env, ctx,
+                                            row_overrides))
+        for _ in iterator:
             row = [evaluate(expr, env, ctx) for expr, _name in expanded]
             rows.append(row)
             if order_exprs:
@@ -620,15 +682,19 @@ class Executor:
     def _run_grouped_select(self, statement: SelectStatement, state: ExecutionState,
                             env: RowEnvironment, ctx: EvalContext,
                             tables: list[Table],
-                            row_overrides: dict[int, list] | None = None) -> ResultSet:
+                            row_overrides: dict[int, list] | None = None,
+                            bindings=None) -> ResultSet:
         expanded = self._expand_items(statement.items, env.sources)
         columns = [name for _expr, name in expanded]
 
         # Materialize qualifying rows as frozen environments.
         group_rows: dict[tuple, list[RowEnvironment]] = {}
         group_order: list[tuple] = []
-        for _ in self._iterate_rows(env.sources, tables, statement.where, env,
-                                    ctx, row_overrides):
+        iterator = (bindings if bindings is not None
+                    else self._iterate_rows(env.sources, tables,
+                                            statement.where, env, ctx,
+                                            row_overrides))
+        for _ in iterator:
             frozen = RowEnvironment(
                 [
                     RowSource(source.keys, source.schema,
@@ -871,7 +937,9 @@ class Executor:
             for column, expr in statement.assignments
         ]
         candidates = self._dml_candidates(
-            statement.where, source, table, env, ctx, state)
+            statement.where, source, table, env, ctx, state,
+            statement=statement, kind="update",
+            columns=tuple(column for column, _ in statement.assignments))
         deleted: list[list[object]] = []
         inserted: list[list[object]] = []
         for row in candidates:
@@ -914,7 +982,8 @@ class Executor:
         ctx = self._eval_context(state)
         state.session.tx_log.before_table_mutation(table)
         candidates = self._dml_candidates(
-            statement.where, source, table, env, ctx, state)
+            statement.where, source, table, env, ctx, state,
+            statement=statement, kind="delete")
         if candidates is table.rows:
             def predicate(row: list[object]) -> bool:
                 if statement.where is None:
@@ -938,11 +1007,38 @@ class Executor:
 
     def _dml_candidates(self, where: Expression | None, source: RowSource,
                         table: Table, env: RowEnvironment, ctx: EvalContext,
-                        state: ExecutionState):
+                        state: ExecutionState, statement=None,
+                        kind: str = "", columns: tuple = ()):
         """Candidate rows for single-table DML: an index-narrowed list
-        when the WHERE permits, else the table's live row list."""
+        when the WHERE permits, else the table's live row list.
+
+        With the planner enabled the narrowing comes from a memoized
+        :class:`~repro.sqlengine.planner.DmlPlan`; either way the caller
+        re-checks the full WHERE per candidate, so narrowing only ever
+        skips rows that cannot match.
+        """
         accounting = self.server.accounting
         track = accounting is not None and accounting.active()
+        if self.server.planner_enabled and statement is not None:
+            table_keys = (self._table_key(statement.table, table, state),)
+            epoch = self.server.catalog.schema_epoch
+            cache = self.server.plan_cache
+            dml_plan = cache.get_plan(statement, epoch, table_keys)
+            if dml_plan is None:
+                start = _time.perf_counter()
+                dml_plan = planner.plan_dml(
+                    self, statement, where, [source], [table], table_keys,
+                    env, epoch, kind, columns)
+                self.server.note_planner_time(_time.perf_counter() - start)
+                cache.put_plan(statement, epoch, table_keys, dml_plan)
+            candidates = dagexec.dml_candidates(
+                self, dml_plan, source, table, env, ctx)
+            if track:
+                if candidates is table.rows:
+                    accounting.note_scan(len(table.rows), 0, 1)
+                else:
+                    accounting.note_scan(len(candidates), 1, 0)
+            return candidates
         plan = self._scan_plan(where, [source], [table], env, ctx, state)
         if plan and 0 in plan:
             candidates = plan[0]
@@ -1321,6 +1417,105 @@ class Executor:
         if delay:
             _time.sleep(delay)
 
+    # ------------------------------------------------------------------
+    # EXPLAIN
+
+    def _execute_explain(self, statement: ExplainStatement,
+                         state: ExecutionState) -> None:
+        lines = self._explain_lines(statement.target, state)
+        result = ResultSet(columns=["plan"], rows=[[line] for line in lines])
+        state.result.result_sets.append(result)
+        state.result.rowcount = len(result.rows)
+        state.session.global_vars["@@rowcount"] = len(result.rows)
+
+    def _explain_lines(self, target: Statement, state: ExecutionState,
+                       required: bool = True) -> list[str]:
+        """The EXPLAIN text for one statement, always planned fresh so
+        the estimates reflect live cardinalities and indexes.
+
+        With ``required=False`` (the flight recorder's best-effort path)
+        a statement that cannot be explained yields ``[]`` instead of an
+        error.
+        """
+        if isinstance(target, SelectStatement):
+            return self._explain_select(target, state)
+        if isinstance(target, UnionSelect):
+            lines = [f"Union [{len(target.parts)} branches]"]
+            for part in target.parts:
+                lines.extend(
+                    "  " + line
+                    for line in self._explain_select(part, state))
+            return lines
+        if isinstance(target, (UpdateStatement, DeleteStatement)):
+            table = self._resolve_table(target.table, state)
+            assert table is not None
+            database_name = target.table.database or state.session.database
+            source = self._source_for(
+                TableRef(target.table, None), table, database_name)
+            env = RowEnvironment([source])
+            table_keys = (self._table_key(target.table, table, state),)
+            if isinstance(target, UpdateStatement):
+                kind = "update"
+                columns = tuple(
+                    column for column, _ in target.assignments)
+            else:
+                kind = "delete"
+                columns = ()
+            plan = planner.plan_dml(
+                self, target, target.where, [source], [table], table_keys,
+                env, self.server.catalog.schema_epoch, kind, columns)
+            return planner.render_plan(plan.root)
+        if isinstance(target, InsertValues):
+            root = planner.InsertOp(
+                child=planner.ValuesOp(row_count=len(target.rows)),
+                table=target.table.describe(),
+                columns=tuple(target.columns))
+            return planner.render_plan(root)
+        if isinstance(target, InsertSelect):
+            select_plan = self._fresh_select_plan(target.select, state)
+            root = planner.InsertOp(
+                child=select_plan.root, table=target.table.describe(),
+                columns=tuple(target.columns))
+            return planner.render_plan(root)
+        if required:
+            raise ExecutionError(
+                "EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE "
+                "statements")
+        return []
+
+    def _fresh_select_plan(self, statement: SelectStatement,
+                           state: ExecutionState):
+        """Plan one SELECT outside the memo (EXPLAIN wants live numbers)."""
+        sources: list[RowSource] = []
+        tables: list[Table] = []
+        table_keys: list[tuple] = []
+        for ref in statement.tables:
+            table = self._from_table(ref, state)
+            database_name = ref.name.database or state.session.database
+            sources.append(self._source_for(ref, table, database_name))
+            tables.append(table)
+            table_keys.append(self._table_key(ref.name, table, state))
+        env = RowEnvironment(sources)
+        return planner.plan_select(
+            self, statement, sources, tables, tuple(table_keys), env,
+            self.server.catalog.schema_epoch)
+
+    def _explain_select(self, statement: SelectStatement,
+                        state: ExecutionState) -> list[str]:
+        """EXPLAIN lines for one SELECT: a join-order preamble (when the
+        FROM has more than one table) above the operator tree."""
+        plan = self._fresh_select_plan(statement, state)
+        lines: list[str] = []
+        if len(plan.order) > 1:
+            labels = [
+                statement.tables[position].alias
+                or statement.tables[position].name.describe()
+                for position in plan.order
+            ]
+            lines.append("join order: " + " -> ".join(labels))
+        lines.extend(planner.render_plan(plan.root))
+        return lines
+
     _HANDLERS: dict[type, object] = {}
 
 
@@ -1355,6 +1550,7 @@ Executor._HANDLERS = {
     WhileStatement: Executor._execute_while,
     ReturnStatement: Executor._execute_return,
     WaitforStatement: Executor._execute_waitfor,
+    ExplainStatement: Executor._execute_explain,
     BeginTransactionStatement: Executor._execute_begin_tran,
     CommitStatement: Executor._execute_commit,
     RollbackStatement: Executor._execute_rollback,

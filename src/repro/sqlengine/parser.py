@@ -55,6 +55,7 @@ from .statements import (
     DropTableStatement,
     DropTriggerStatement,
     ExecuteStatement,
+    ExplainStatement,
     IfStatement,
     InsertSelect,
     InsertValues,
@@ -215,6 +216,7 @@ class _Parser:
             "ROLLBACK": self.parse_rollback,
             "RETURN": self.parse_return,
             "WAITFOR": self.parse_waitfor,
+            "EXPLAIN": self.parse_explain,
         }.get(word)
         if handler is None:
             self.fail(f"unknown statement start {word!r}")
@@ -805,6 +807,23 @@ class _Parser:
         for value in fields:
             seconds = seconds * 60.0 + value
         return WaitforStatement(seconds=seconds)
+
+    def parse_explain(self) -> ExplainStatement:
+        """``EXPLAIN <select | insert | update | delete>``.
+
+        ``EXPLAIN`` is deliberately not a reserved word: it only acts as
+        a statement starter, so existing schemas may still use it as an
+        identifier.
+        """
+        self.advance()  # EXPLAIN
+        target = self.parse_statement()
+        if not isinstance(target, (SelectStatement, UnionSelect,
+                                   InsertValues, InsertSelect,
+                                   UpdateStatement, DeleteStatement)):
+            self.fail(
+                "EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE "
+                "statements")
+        return ExplainStatement(target=target)
 
     def parse_return(self) -> ReturnStatement:
         self.expect_keyword("return")

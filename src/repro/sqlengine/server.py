@@ -27,7 +27,8 @@ from typing import Callable
 from .builtins import standard_functions
 from .catalog import Catalog
 from .errors import SqlError
-from .executor import Executor
+from .executor import ExecutionState, Executor
+from . import planner
 from .locks import EngineLockManager
 from .parser import parse_batch, split_batches
 from .plancache import PlanCache
@@ -117,6 +118,9 @@ class SqlServer:
         self.batches_executed = 0
         #: parsed-batch cache; epoch-checked against catalog.schema_epoch
         self.plan_cache = PlanCache()
+        #: cost-based DAG executor toggle; False falls back to the legacy
+        #: AST walker (kept for one release as the difftest reference)
+        self.planner_enabled = planner.DEFAULT_ENABLED
         #: count of index-backed scan narrowings (eq/IN/join probes)
         self.index_scans = 0
         #: optional metrics sink (attach_metrics); like the datagram sink,
@@ -127,6 +131,8 @@ class SqlServer:
         self._m_plan_cache = None
         self._m_plan_cache_origin = None
         self._m_index_scans = None
+        self._m_plan_ops = None
+        self._m_planner_seconds = None
         #: optional resource-accounting sink (attach_accounting); the
         #: executor charges row scans and cache lookups to whatever
         #: per-session/per-rule frames the agent has open
@@ -154,6 +160,8 @@ class SqlServer:
             self._m_plan_cache = None
             self._m_plan_cache_origin = None
             self._m_index_scans = None
+            self._m_plan_ops = None
+            self._m_planner_seconds = None
             return
         self._m_statements = registry.counter(
             "sql_statements_total",
@@ -171,6 +179,12 @@ class SqlServer:
         self._m_index_scans = registry.counter(
             "sql_index_scans_total",
             "Index-backed scan narrowings by predicate kind", ("kind",))
+        self._m_plan_ops = registry.counter(
+            "sql_plan_operator_total",
+            "Rows produced by DAG plan operators", ("op",))
+        self._m_planner_seconds = registry.histogram(
+            "sql_planner_seconds",
+            "Time spent lowering and optimizing statement plans", ())
 
     def attach_accounting(self, accounting) -> None:
         """Attach (or detach, with ``None``) a resource-accounting plane.
@@ -181,6 +195,42 @@ class SqlServer:
         detached, every hook is one ``None`` check.
         """
         self.accounting = accounting
+
+    def note_plan_ops(self, counts: dict) -> None:
+        """Fold one execution's per-operator row counts into the
+        ``sql_plan_operator_total{op=...}`` counter (no-op unmetered)."""
+        if self._m_plan_ops is None or not counts:
+            return
+        for op, amount in counts.items():
+            if amount:
+                self._m_plan_ops.labels(op).inc(amount)
+
+    def note_planner_time(self, seconds: float) -> None:
+        """Record one fresh plan's lowering+optimization latency."""
+        if self._m_planner_seconds is not None:
+            self._m_planner_seconds.observe(seconds)
+
+    def explain_text(self, sql: str, session) -> str | None:
+        """Best-effort EXPLAIN of the first explainable statement in
+        ``sql``, for the flight recorder's slow-op entries.  Returns the
+        joined plan lines (truncated), or None when the text does not
+        parse, touches unknown tables, or contains nothing plannable —
+        diagnostics must never fail the capture path."""
+        try:
+            batches = split_batches(sql)
+            if not batches:
+                return None
+            statements = parse_batch(batches[0])
+            result = BatchResult()
+            state = ExecutionState(session, result)
+            for statement in statements:
+                lines = self.executor._explain_lines(statement, state,
+                                                     required=False)
+                if lines:
+                    return "\n".join(lines)[:2000]
+        except Exception:
+            return None
+        return None
 
     def _statement_origin(self) -> str:
         """Classify the statement being parsed for cache accounting:

@@ -370,3 +370,17 @@ class WaitforStatement(Statement):
     """
 
     seconds: float
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN <statement>`` — show the optimized operator DAG.
+
+    The target is parsed but not executed; the executor plans it fresh
+    (live cardinality estimates, current indexes) and returns the
+    indented operator tree as an ordinary one-column result set.  Pairs
+    with the agent's ``explain trigger`` admin command, which covers the
+    ECA side of the pipeline.
+    """
+
+    target: Statement

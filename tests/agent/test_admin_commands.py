@@ -169,16 +169,53 @@ class TestShowAgentCache:
         assert summary["plan_cache_size"] >= 1
         assert summary["schema_epoch"] == server.catalog.schema_epoch
         # system-table auto-indexes appear in the listing
-        indexes = result.result_sets[1]
+        indexes = result.result_sets[2]
         assert indexes.columns == [
             "table", "index", "column", "unique", "rebuilds"]
         names = [row[1] for row in indexes.rows]
         assert any(name.startswith("ECA_") for name in names)
 
+    def test_cached_entries_show_kind_and_hits(self, active):
+        server = active.endpoint.agent.server
+        server.plan_cache.enabled = True
+        for _ in range(3):
+            active.execute("select * from stock")
+        result = active.execute("show agent cache")
+        entries = result.result_sets[1]
+        assert entries.columns == ["statement", "kind", "hits"]
+        by_text = {row[0]: (row[1], row[2]) for row in entries.rows}
+        kind, hits = by_text["select * from stock"]
+        # executed 3x: first populates, later runs hit the text entry;
+        # the planner memoizes the optimized DAG, so the entry is a plan
+        kind_expected = ("plan" if server.planner_enabled else "parse")
+        assert kind == kind_expected
+        assert hits >= 2
+        assert all(row[1] in ("plan", "parse") for row in entries.rows)
+
+    def test_cached_entry_text_is_clipped(self, active):
+        server = active.endpoint.agent.server
+        server.plan_cache.enabled = True
+        padding = " or symbol = 'X'" * 20
+        active.execute(f"select * from stock where symbol = 'A'{padding}")
+        result = active.execute("show agent cache")
+        entries = result.result_sets[1]
+        assert all(len(row[0]) <= 80 for row in entries.rows)
+        assert any(row[0].endswith("...") for row in entries.rows)
+
     def test_row_limit_and_truncation_notice(self, active):
+        server = active.endpoint.agent.server
+        server.plan_cache.enabled = True
+        active.execute("select * from stock")
+        active.execute("select 1")
         result = active.execute("show agent cache 1")
         assert len(result.result_sets[1]) == 1
-        assert any("show agent cache" in m for m in result.messages)
+        assert len(result.result_sets[2]) == 1
+        assert any("cached batches" in m for m in result.messages)
+        assert any("indexes" in m for m in result.messages)
+
+    def test_count_clamped_to_one(self, active):
+        result = active.execute("show agent cache -5")
+        assert len(result.result_sets[2]) == 1
 
     def test_bad_count_answered_not_raised(self, active):
         result = active.execute("show agent cache nope")

@@ -119,6 +119,25 @@ def test_slowlog_captures_and_disarms(active):
     assert any("disarmed" in m for m in result.messages)
 
 
+def test_slowlog_captures_the_statements_plan(active):
+    active.execute("set agent slowlog 0")
+    active.execute("select * from stock where symbol = 'T'")
+    active.execute("show agent status")
+    result = active.execute("show agent slow 10")
+    active.execute("set agent slowlog off")
+    [result_set] = result.result_sets
+    columns = result_set.columns
+    assert "plan" in columns
+    by_statement = {row[columns.index("statement")]: row
+                    for row in result_set.rows}
+    plan = by_statement["select * from stock where symbol = 'T'"][
+        columns.index("plan")]
+    assert plan is not None and "Scan stock" in plan
+    # admin commands have no plannable SQL: the column stays NULL
+    admin_plan = by_statement["show agent status"][columns.index("plan")]
+    assert admin_plan is None
+
+
 def test_slowlog_validation(active):
     message = _error_of(active.execute("set agent slowlog -5"))
     assert ">= 0" in message

@@ -1,14 +1,16 @@
-"""Run every sqlengine test twice: plan cache force-on and force-off.
+"""Run every sqlengine test four ways: plan cache on/off x planner on/off.
 
 The statement/plan cache must be semantically transparent — a cached
-batch has to behave exactly like a freshly parsed one.  Parametrizing
-the whole directory over both modes proves it: any test that passes only
-in one mode is a transparency bug.
+batch has to behave exactly like a freshly parsed one — and so must the
+cost-based DAG executor: a planned statement has to behave exactly like
+the legacy AST walker.  Parametrizing the whole directory over the
+cartesian product proves both: any test that passes only in one mode is
+a transparency bug.
 """
 
 import pytest
 
-from repro.sqlengine import plancache
+from repro.sqlengine import plancache, planner
 
 
 @pytest.fixture(autouse=True, params=["plan-cache-on", "plan-cache-off"])
@@ -16,4 +18,13 @@ def plan_cache_mode(request, monkeypatch):
     """Force the default plan-cache mode for servers built in this test."""
     monkeypatch.setattr(
         plancache, "DEFAULT_ENABLED", request.param == "plan-cache-on")
+    return request.param
+
+
+@pytest.fixture(autouse=True, params=["planner-on", "planner-off"])
+def planner_mode(request, monkeypatch):
+    """Force the default execution engine (DAG planner vs legacy walker)
+    for servers built in this test."""
+    monkeypatch.setattr(
+        planner, "DEFAULT_ENABLED", request.param == "planner-on")
     return request.param

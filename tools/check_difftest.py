@@ -7,8 +7,9 @@ Three sub-commands over :mod:`repro.difftest` (all run by the CI
 
 ``sweep`` (default)
     Generate ``--seeds`` scenarios, execute each on the full stack with
-    the plan cache on and off, the reference Snoop interpreter, and the
-    baseline oracles, and cross-check every surface.  Also replays the
+    the plan cache on and off and the DAG-executor planner on and off
+    (against the legacy AST walker), the reference Snoop interpreter,
+    and the baseline oracles, and cross-check every surface.  Also replays the
     committed regression corpus and runs a seeded chaos sweep.  On any
     divergence the failing seed is echoed, the scenario is shrunk, and
     the minimised reproduction is written to ``--artifacts`` for upload.
@@ -75,13 +76,21 @@ ARTIFACTS_DIR = REPO_ROOT / "difftest-artifacts"
 
 
 def _check_scenario(scenario) -> list:
-    """Full cross-check of one scenario; returns divergences."""
+    """Full cross-check of one scenario; returns divergences.
+
+    The stack leg sweeps both runner axes: plan cache on/off and the
+    DAG-executor planner on/off (the legacy AST walker is the
+    semantics reference the planner must be indistinguishable from).
+    """
     on = run_stack(scenario, plan_cache=True)
     off = run_stack(scenario, plan_cache=False)
+    legacy = run_stack(scenario, plan_cache=True, planner=False)
     reference = run_reference(scenario)
     baseline = run_baselines(scenario)
     divergences = compare_runs(scenario, on, reference, baseline)
     divergences += compare_stack_runs(on, off)
+    divergences += compare_stack_runs(
+        on, legacy, label_a="planner-on", label_b="planner-off")
     return divergences
 
 
@@ -140,7 +149,8 @@ def cmd_sweep(args) -> int:
         print(f"difftest: {problems} failing sweep item(s)")
         return 1
     print(f"difftest: clean ({args.seeds} seeds, cache on+off, "
-          f"{args.chaos} chaos schedules, corpus replayed)")
+          f"planner on+off, {args.chaos} chaos schedules, "
+          f"corpus replayed)")
     return 0
 
 

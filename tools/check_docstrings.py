@@ -31,6 +31,8 @@ DEFAULT_SURFACE = [
     "src/repro/agent/session.py",
     "src/repro/agent/workers.py",
     "src/repro/sqlengine/locks.py",
+    "src/repro/sqlengine/planner.py",
+    "src/repro/sqlengine/dagexec.py",
     "src/repro/faults/__init__.py",
     "src/repro/faults/injector.py",
     "src/repro/faults/retry.py",
