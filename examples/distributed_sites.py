@@ -1,16 +1,20 @@
-"""Distributed active capability with the Global Event Detector (GED).
+"""Distributed active capability on the sharded Global Event Detector.
 
 Section 6 of the paper names this as future work: "use a global event
 detector (GED) for events and rules across application/systems."  This
-example runs two independent site databases (each with its own ECA
-Agent) and detects a composite event whose constituents occur at
-*different* sites.
+example runs two autonomous site databases (each with its own ECA
+Agent) joined into a :class:`~repro.ged.ShardedGed`: global event
+classes are partitioned across the sites by consistent hashing, a
+composite whose constituents occur at *different* sites fires a global
+rule, the ``show agent sites`` operator command renders the partition
+from inside an ordinary connection, and a site crash mid-way through a
+half-detected composite is repaired by journal replay.
 
 Run:  python examples/distributed_sites.py
 """
 
+from repro.ged import ShardedGed
 from repro.agent import EcaAgent
-from repro.ged import GlobalEventDetector
 from repro.sqlengine import SqlServer
 
 
@@ -30,11 +34,11 @@ def main() -> None:
         """)
         sites[site] = (server, agent, conn)
 
-    # The GED imports each site's event under a site-qualified name
-    # (Snoop's Eventname::AppId form) and detects across sites.
-    ged = GlobalEventDetector()
+    # Join the agents into a sharded GED and import each site's event
+    # under its site-qualified name (Snoop's Eventname::AppId form).
+    ged = ShardedGed()
     for site, (_server, agent, _conn) in sites.items():
-        ged.register_site(site, agent)
+        ged.add_site(site, agent)
     nyc_event = ged.import_event("nyc", "nycdb.trader.bigTrade")
     tokyo_event = ged.import_event("tokyo", "tokyodb.trader.bigTrade")
 
@@ -43,23 +47,25 @@ def main() -> None:
     print("  ", tokyo_event)
 
     # Global composite: a big trade in NYC followed by one in Tokyo.
-    ged.define_global_event("followOn", f"{nyc_event} SEQ {tokyo_event}")
+    # The consistent-hash ring decides which site's shard hosts it.
+    owner = ged.define_global_event(
+        "followOn", f"({nyc_event} SEQ {tokyo_event})")
+    print("composite 'followOn' detected at site:", owner)
 
     alerts = []
+    sites["nyc"][2].execute("create table dbo.alerts (body varchar(60))")
 
     def on_follow_on(occurrence):
-        legs = " then ".join(occurrence.constituent_names())
+        legs = " then ".join(o.event_name for o in occurrence.flatten())
         alerts.append(legs)
         print("  GLOBAL ALERT: follow-on trading pattern:", legs)
+        # A global rule's action can run SQL at a chosen site.
+        sites["nyc"][2].execute(
+            "insert nycdb.dbo.alerts values "
+            "('follow-on pattern observed')")
 
-    ged.add_global_rule("r_follow", "followOn", action=on_follow_on,
+    ged.add_global_rule("r_follow", "followOn", on_follow_on,
                         context="CHRONICLE")
-
-    # A global rule can also run SQL at a chosen site.
-    sites["nyc"][2].execute("create table dbo.alerts (body varchar(60))")
-    ged.add_global_rule(
-        "r_record", "followOn", sql_site="nyc",
-        sql="insert nycdb.dbo.alerts values ('follow-on pattern observed')")
 
     print("\n-- Tokyo trades first: no pattern (wrong order)")
     sites["tokyo"][2].execute("insert trades values ('7203', 900, 'buy')")
@@ -74,6 +80,36 @@ def main() -> None:
     rows = sites["nyc"][2].execute("select * from dbo.alerts").last.rows
     print("   nycdb.dbo.alerts:", rows)
 
+    # Any mediated connection can inspect the deployment.
+    print("\n-- show agent sites (from the Tokyo connection):")
+    result = sites["tokyo"][2].execute("show agent sites")
+    for result_set in result.result_sets:
+        print("   ", result_set.columns)
+        for row in result_set.rows:
+            print("   ", row)
+
+    # Crash the owning site mid-way through a half-detected composite.
+    # The NYC leg is journaled at the router and replayed on recovery —
+    # but 'followOn' only has an IMMEDIATE rule, and the transaction
+    # that raised the first leg died with the site, so the half-
+    # detected state is cleanly DISCARDED rather than fired late
+    # (a DEFERRED rule would instead complete at the next flush).
+    print(f"\n-- crash site '{owner}' after the NYC leg, then recover")
+    sites["nyc"][2].execute("insert trades values ('MSFT', 5000, 'buy')")
+    ged.fail_site(owner)
+    report = ged.recover_site(owner)
+    print(f"   recovered: replayed {report.replayed} journal entries, "
+          f"discarded {list(report.discarded)}")
+    sites["tokyo"][2].execute("insert trades values ('6758', 4000, 'buy')")
+    print("   alerts unchanged (no late firing):", len(alerts))
+
+    # A fresh, well-ordered pair detects normally again.
+    print("\n-- after recovery, a new NYC-then-Tokyo pair still fires")
+    sites["nyc"][2].execute("insert trades values ('AAPL', 700, 'buy')")
+    sites["tokyo"][2].execute("insert trades values ('9984', 650, 'buy')")
+    print("   alerts:", len(alerts))
+
+    ged.close()
     for _server, agent, _conn in sites.values():
         agent.close()
 

@@ -64,6 +64,9 @@ Commands:
   completed commands) and the engine lock manager's batch counters;
 - ``set agent workers <N>`` — resize the worker pool by replacement
   (0 removes it: commands run inline on the client's thread);
+- ``show agent sites`` — sharded-GED membership: per-site status, owned
+  partition sizes, routed/replayed counters, and router totals (only
+  when this agent participates in a :class:`~repro.ged.ShardedGed`);
 - ``export agent telemetry`` — snapshot metrics + spans + provenance
   into the attached :class:`~repro.obs.TelemetryExporter`'s JSONL file.
 
@@ -90,6 +93,7 @@ _USAGE = (
     "show agent cache [N] | "
     "show agent top [rules|sessions] [N] | show agent slow [N] | "
     "show agent health | show agent sessions [N] | show agent workers | "
+    "show agent sites | "
     "explain trigger <name> | "
     "reset agent stats | reset agent trace | reset agent provenance | "
     "reset agent cache | reset agent accounting | reset agent slow | "
@@ -116,6 +120,7 @@ _COMMAND = re.compile(
     r"|(?P<show_health>show\s+agent\s+health)"
     r"|(?P<show_sessions>show\s+agent\s+sessions(?:\s+(?P<sessions_n>[^\s;]+))?)"
     r"|(?P<show_workers>show\s+agent\s+workers)"
+    r"|(?P<show_sites>show\s+agent\s+sites)"
     r"|explain\s+trigger\s+(?P<explain_name>[A-Za-z_#][\w.$#]*)"
     r"|(?P<reset_stats>reset\s+agent\s+stats)"
     r"|(?P<reset_trace>reset\s+agent\s+trace)"
@@ -266,6 +271,8 @@ class AgentAdmin:
             return error if error is not None else self._show_sessions(count)
         if match.group("show_workers"):
             return self._show_workers()
+        if match.group("show_sites"):
+            return self._show_sites()
         if match.group("explain_name"):
             return self._explain_trigger(match.group("explain_name"), session)
         if match.group("reset_stats"):
@@ -905,6 +912,41 @@ class AgentAdmin:
                 "No worker pool: commands run inline on the client's "
                 "thread (enable with 'set agent workers <N>').")
         return result
+
+    def _show_sites(self) -> BatchResult:
+        """Sharded-GED membership: one row per site with its partition.
+
+        Available when this agent participates in a
+        :class:`~repro.ged.sharded.ShardedGed` (which sets the agent's
+        ``ged_sites`` attribute on ``add_site``).
+        """
+        membership = getattr(self.agent, "ged_sites", None)
+        if not membership:
+            return _error_result(
+                "this agent is not part of a sharded GED deployment")
+        ged, here = membership
+        rows = ResultSet(columns=[
+            "site", "status", "composites", "imports_homed",
+            "classes_owned", "routed", "replayed"])
+        for row in ged.site_rows():
+            rows.rows.append(list(row))
+        totals = ResultSet(columns=["ged_stat", "value"])
+        for name, value in (
+                ("this_site", here),
+                ("sharded", int(ged.sharded)),
+                ("journal_entries", len(ged.journal)),
+                ("global_rules", len(ged.rules)),
+                ("firings", len(ged.firings)),
+                ("suppressed_replays", ged.suppressed),
+                ("deduplicated_firings", ged.deduped),
+                ("skipped_down_deliveries", ged.skipped_down),
+                ("site_failures", ged.failures),
+                ("transport_sent", ged.transport.sent),
+                ("transport_segments", ged.transport.segments),
+                ("transport_rejected", ged.transport.rejected),
+        ):
+            totals.rows.append([name, value])
+        return BatchResult(result_sets=[rows, totals])
 
     def _set_workers(self, value: str) -> BatchResult:
         try:

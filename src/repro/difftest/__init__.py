@@ -7,27 +7,53 @@ polling/embedded oracles — then shrinks any divergence to a minimal
 reproduction and replays it forever from ``tests/difftest/corpus/``.
 A chaos mode layers seeded fault schedules and plan-cache on/off over
 the same scenarios, asserting match-or-fail-loudly.
+
+The multi-site twin extends the same discipline to the sharded GED:
+seeded 2–4 site scenarios (:func:`generate_multisite_scenario`) run on
+real per-site agents under a :class:`~repro.ged.ShardedGed` in both
+deployment shapes (sharded and single-coordinator) and are diffed
+against :class:`MultiSiteReference` — per-site reference Snoops plus a
+global composer sharing no code with the GED.
 """
 
 from .chaos import ChaosReport, ChaosSchedule, run_chaos
 from .compare import (
     Divergence,
+    compare_multisite_runs,
+    compare_multisite_stack_runs,
     compare_runs,
     compare_stack_runs,
     render_report,
 )
 from .mutations import MUTATIONS, apply_mutation
-from .reference import ReferenceDetector, ReferenceError
+from .reference import (
+    MultiSiteReference,
+    ReferenceDetector,
+    ReferenceError,
+)
 from .runner import (
+    MultiSiteRun,
     run_baselines,
     run_interleaved,
+    run_multisite_reference,
+    run_multisite_stack,
     run_reference,
     run_scenario,
     run_stack,
 )
-from .scenario import Scenario, generate_scenario
+from .scenario import (
+    GlobalRuleSpec,
+    MultiSiteScenario,
+    Scenario,
+    SitePrimitiveSpec,
+    SiteStatement,
+    generate_multisite_scenario,
+    generate_scenario,
+)
 from .shrink import (
     load_corpus,
+    load_multisite_corpus,
+    shrink_multisite_scenario,
     shrink_scenario,
     write_corpus,
 )
@@ -36,22 +62,35 @@ __all__ = [
     "ChaosReport",
     "ChaosSchedule",
     "Divergence",
+    "GlobalRuleSpec",
     "MUTATIONS",
+    "MultiSiteReference",
+    "MultiSiteRun",
+    "MultiSiteScenario",
     "ReferenceDetector",
     "ReferenceError",
     "Scenario",
+    "SitePrimitiveSpec",
+    "SiteStatement",
     "apply_mutation",
+    "compare_multisite_runs",
+    "compare_multisite_stack_runs",
     "compare_runs",
     "compare_stack_runs",
+    "generate_multisite_scenario",
     "generate_scenario",
     "load_corpus",
+    "load_multisite_corpus",
     "render_report",
     "run_baselines",
     "run_chaos",
     "run_interleaved",
+    "run_multisite_reference",
+    "run_multisite_stack",
     "run_reference",
     "run_scenario",
     "run_stack",
+    "shrink_multisite_scenario",
     "shrink_scenario",
     "write_corpus",
 ]

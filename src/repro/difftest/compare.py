@@ -22,7 +22,13 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from .runner import BaselineRun, ReferenceRun, ScenarioRun, StackRun
+from .runner import (
+    BaselineRun,
+    MultiSiteRun,
+    ReferenceRun,
+    ScenarioRun,
+    StackRun,
+)
 from .scenario import Scenario
 
 
@@ -138,6 +144,57 @@ def compare_stack_runs(a: StackRun, b: StackRun,
         divergences.append(Divergence(f"tables:{label_a}/{label_b}", (
             f"{label_a} {a.tables} vs {label_b} {b.tables}")))
     return divergences
+
+
+def _compare_multisite(a: MultiSiteRun, b: MultiSiteRun, label_a: str,
+                       label_b: str) -> list[Divergence]:
+    """Shared multi-site surface diff: one global primitive stream,
+    per-event detections, per-rule firings, and the firing multiset."""
+    divergences: list[Divergence] = []
+    diff = _diff_sequences(f"ms-primitive-stream:{label_a}/{label_b}",
+                           label_a, a.primitives, label_b, b.primitives)
+    if diff is not None:
+        divergences.append(diff)
+    for event in sorted(set(a.detections) | set(b.detections)):
+        diff = _diff_sequences(
+            f"ms-detections[{event}]:{label_a}/{label_b}", label_a,
+            a.detections.get(event, []), label_b,
+            b.detections.get(event, []))
+        if diff is not None:
+            divergences.append(diff)
+    for rule in sorted(set(a.firings) | set(b.firings)):
+        diff = _diff_sequences(
+            f"ms-firings[{rule}]:{label_a}/{label_b}", label_a,
+            a.firings.get(rule, []), label_b, b.firings.get(rule, []))
+        if diff is not None:
+            divergences.append(diff)
+    if a.audit != b.audit:
+        divergences.append(Divergence(
+            f"ms-audit:{label_a}/{label_b}",
+            f"{label_a} {dict(a.audit)} vs {label_b} {dict(b.audit)}"))
+    return divergences
+
+
+def compare_multisite_runs(stack: MultiSiteRun, reference: MultiSiteRun,
+                           label: str = "stack") -> list[Divergence]:
+    """All divergences between one multi-site stack run and the twin.
+
+    The surfaces are deployment-shape independent (see
+    :class:`~repro.difftest.runner.MultiSiteRun`), so the same check
+    applies to the sharded and the single-coordinator shape.
+    """
+    return _compare_multisite(stack, reference, label, "reference")
+
+
+def compare_multisite_stack_runs(a: MultiSiteRun, b: MultiSiteRun,
+                                 label_a: str = "sharded",
+                                 label_b: str = "single-site",
+                                 ) -> list[Divergence]:
+    """Two deployment shapes of the same multi-site scenario must be
+    semantically indistinguishable (the sharding-invisibility contract).
+    The partition map is deliberately not compared — it is the one
+    surface that legitimately differs."""
+    return _compare_multisite(a, b, label_a, label_b)
 
 
 def render_report(scenario: Scenario,

@@ -609,3 +609,82 @@ class ReferenceDetector:
                     occurrence))
             else:  # DEFERRED
                 self._deferred.append((rule, occurrence, effective))
+
+
+# ---------------------------------------------------------------------------
+# the multi-site twin
+
+
+class MultiSiteReference:
+    """Paper-literal multi-site oracle: per-site Snoops plus a composer.
+
+    The model of the sharded GED's semantics, sharing *no* code with
+    :mod:`repro.ged`: one :class:`ReferenceDetector` per site interprets
+    that site's local primitive stream, and a single *global composer*
+    :class:`ReferenceDetector` re-raises every imported occurrence under
+    its qualified name (``db.user.event::site``).  The composer's own
+    raise counter plays the router's global sequence: raises arrive in
+    exactly the global statement order, so its sequence numbers equal
+    the GED's ``gseq`` one-for-one — which is what makes the comparison
+    surfaces directly diffable.
+
+    Occurrence numbers (``vNo``) are counted per ``(site, event)`` —
+    the same per-primitive ordinal the agent's ``SysPrimitiveEvent``
+    catalog row carries into each notification datagram.
+    """
+
+    def __init__(self, sites) -> None:
+        #: per-site reference interpreters, keyed by site name
+        self.sites: dict[str, ReferenceDetector] = {
+            site: ReferenceDetector() for site in sites}
+        #: the global composer over qualified primitive names
+        self.composer = ReferenceDetector()
+        self._qualified: dict[tuple[str, str], str] = {}
+        self._vno: dict[tuple[str, str], int] = {}
+        #: the global primitive stream: (qualified name, global seq, vNo)
+        self.primitives: list[tuple[str, int, int]] = []
+
+    def define_site_primitive(self, site: str, event: str) -> None:
+        """Register a primitive event at one site's local interpreter."""
+        self.sites[site].define_primitive(event)
+
+    def import_event(self, site: str, event: str, qualified: str) -> None:
+        """Import a site primitive into the composer under its
+        qualified global name."""
+        self.composer.define_primitive(qualified)
+        self._qualified[(site, event)] = qualified
+
+    def define_global_event(self, name: str, expression: str) -> None:
+        """Define a global composite over qualified leaf names."""
+        self.composer.define_composite(name, expression)
+
+    def add_global_rule(self, name: str, event_name: str, *,
+                        context: str = "RECENT",
+                        coupling: str = "IMMEDIATE",
+                        priority: int = 1) -> None:
+        """Attach a global rule at the composer."""
+        self.composer.add_rule(name, event_name, context=context,
+                               coupling=coupling, priority=priority)
+
+    def raise_site_event(self, site: str, event: str) -> RefOccurrence | None:
+        """Raise one primitive at its site; propagate to the composer.
+
+        Returns the composer's occurrence (``None`` when the event was
+        never imported into the global scope).
+        """
+        self.sites[site].raise_event(event)
+        qualified = self._qualified.get((site, event))
+        if qualified is None:
+            return None
+        key = (site, event)
+        self._vno[key] = self._vno.get(key, 0) + 1
+        occurrence = self.composer.raise_event(qualified)
+        self.primitives.append(
+            (qualified, occurrence.seqs()[0], self._vno[key]))
+        return occurrence
+
+    def flush_deferred(self) -> None:
+        """Statement end: flush the composer, then every site."""
+        self.composer.flush_deferred()
+        for detector in self.sites.values():
+            detector.flush_deferred()

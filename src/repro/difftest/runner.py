@@ -29,10 +29,18 @@ from dataclasses import dataclass, field
 from repro.agent import EcaAgent
 from repro.baselines.embedded import EmbeddedSituationClient
 from repro.baselines.polling import PollingMonitor
+from repro.ged import ShardedGed
 from repro.sqlengine import SqlServer, connect
 
-from .reference import ReferenceDetector
-from .scenario import AUDIT_DDL, DATABASE, Scenario, TABLE_DDL, USER
+from .reference import MultiSiteReference, ReferenceDetector
+from .scenario import (
+    AUDIT_DDL,
+    DATABASE,
+    MultiSiteScenario,
+    Scenario,
+    TABLE_DDL,
+    USER,
+)
 
 #: Detections are compared as (event, context, constituent-seq-tuple);
 #: firings add the rule name and coupling mode.
@@ -304,6 +312,140 @@ def run_baselines(scenario: Scenario) -> BaselineRun:
     for table in scenario.tables:
         run.tables[table] = _read_rows(conn, table)
         run.embedded_counts[table] = counts[table][-1] if counts[table] else 0
+    return run
+
+
+# ---------------------------------------------------------------------------
+# multi-site runs (the sharded-GED differential surface)
+
+
+@dataclass
+class MultiSiteRun:
+    """Observation of one multi-site execution (stack or reference).
+
+    The comparison surfaces are deployment-shape independent: the global
+    primitive stream is one totally ordered list, while detections and
+    firings are grouped per event / per rule — cross-event interleaving
+    legitimately differs between a sharded and a single-coordinator
+    layout (and between stack and composer), but the per-class history
+    may not.
+    """
+
+    #: (shortened qualified name, global seq, vNo), in global order
+    primitives: list[tuple[str, int, int]] = field(default_factory=list)
+    #: event -> [(context, constituent seqs)] in detection order
+    detections: dict[str, list[tuple]] = field(default_factory=dict)
+    #: rule -> [(event, context, coupling, constituent seqs)]
+    firings: dict[str, list[tuple]] = field(default_factory=dict)
+    audit: Counter = field(default_factory=Counter)
+    #: informational only — never compared across deployment shapes
+    partition: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def run_multisite_stack(scenario: MultiSiteScenario, *,
+                        sharded: bool = True) -> MultiSiteRun:
+    """Execute a multi-site scenario on real agents under a GED.
+
+    One :class:`~repro.agent.EcaAgent` (own server, sync channel) per
+    site, joined into a :class:`~repro.ged.ShardedGed`; every site
+    primitive is imported and every global rule installed at the GED.
+    ``sharded`` selects the deployment shape: the consistent-hash ring
+    or the degenerate single-coordinator layout — the sharding layer
+    must be semantically invisible between the two.
+    """
+    ged = ShardedGed(sharded=sharded)
+    agents: dict[str, EcaAgent] = {}
+    run = MultiSiteRun()
+    try:
+        conns = {}
+        for site in scenario.sites:
+            server = SqlServer(default_database=DATABASE)
+            agent = EcaAgent(server, channel="sync")
+            agents[site] = agent
+            ged.add_site(site, agent)
+            conn = agent.connect(user=USER, database=DATABASE)
+            conns[site] = conn
+            for table in scenario.tables:
+                conn.execute(TABLE_DDL.format(name=table))
+        for spec in scenario.primitives:
+            conns[spec.site].execute(spec.to_sql())
+            ged.import_event(spec.site, f"{DATABASE}.{USER}.{spec.event}")
+        for rule in scenario.rules:
+            if rule.expression is not None:
+                ged.define_global_event(rule.event, rule.expression)
+            ged.add_global_rule(rule.trigger, rule.event,
+                                context=rule.context,
+                                coupling=rule.coupling,
+                                priority=rule.priority)
+        ged.start_detection_logs()
+        for statement in scenario.statements:
+            conns[statement.site].execute(statement.sql)
+            ged.flush_deferred()
+        logs = ged.stop_detection_logs()
+
+        composites = set(scenario.composite_events())
+        for entry in ged.journal:
+            run.primitives.append((
+                _short(entry.name), entry.gseq,
+                entry.occurrence.params.get("vNo")))
+        for _site, log in logs:
+            for name, context, occurrence in log:
+                if context is None or name not in composites:
+                    continue
+                run.detections.setdefault(name, []).append((
+                    context.value,
+                    tuple(occ.seq for occ in occurrence.flatten())))
+        for firing in ged.firings:
+            run.firings.setdefault(firing.rule_name, []).append((
+                firing.event_name, firing.context.value,
+                firing.coupling.value,
+                tuple(occ.seq for occ in firing.occurrence.flatten())))
+        run.audit = Counter(f.rule_name for f in ged.firings)
+        run.partition = ged.partition_map()
+    finally:
+        ged.close()
+        for agent in agents.values():
+            agent.close()
+    return run
+
+
+def run_multisite_reference(scenario: MultiSiteScenario) -> MultiSiteRun:
+    """Execute a multi-site scenario on the paper-literal twin.
+
+    Per-site reference Snoops interpret the local streams; the global
+    composer re-detects the qualified stream.  The composer's sequence
+    numbers align one-for-one with the GED router's ``gseq``, so the
+    observation diffs directly against :func:`run_multisite_stack`.
+    """
+    twin = MultiSiteReference(scenario.sites)
+    for spec in scenario.primitives:
+        twin.define_site_primitive(spec.site, spec.event)
+        twin.import_event(spec.site, spec.event, spec.qualified)
+    for rule in scenario.rules:
+        if rule.expression is not None:
+            twin.define_global_event(rule.event, rule.expression)
+        twin.add_global_rule(rule.trigger, rule.event,
+                             context=rule.context, coupling=rule.coupling,
+                             priority=rule.priority)
+    for statement in scenario.statements:
+        for event in scenario.raises_for(statement):
+            twin.raise_site_event(statement.site, event)
+        twin.flush_deferred()
+
+    run = MultiSiteRun()
+    composites = set(scenario.composite_events())
+    for qualified, seq, v_no in twin.primitives:
+        run.primitives.append((_short(qualified), seq, v_no))
+    for detection in twin.composer.detections:
+        if detection.context is None or detection.event_name not in composites:
+            continue
+        run.detections.setdefault(detection.event_name, []).append((
+            detection.context, detection.occurrence.seqs()))
+    for firing in twin.composer.firings:
+        run.firings.setdefault(firing.rule_name, []).append((
+            firing.event_name, firing.context, firing.coupling,
+            firing.occurrence.seqs()))
+    run.audit = Counter(f.rule_name for f in twin.composer.firings)
     return run
 
 

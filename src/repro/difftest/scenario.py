@@ -152,6 +152,254 @@ class Scenario:
         return replace(self, primitives=tuple(primitives))
 
 
+# ---------------------------------------------------------------------------
+# multi-site scenarios (the sharded-GED differential surface)
+
+
+def qualified_leaf(event: str, site: str) -> str:
+    """Internal qualified name of a site primitive in the global scope.
+
+    Matches what :meth:`repro.ged.ShardedGed.import_event` produces for
+    a trigger-registered event: ``difftest.dbo.<event>::<site>`` —
+    Snoop's ``Eventname::AppId`` form over the agent's internal dotted
+    name.
+    """
+    return f"{DATABASE}.{USER}.{event}::{site}"
+
+
+@dataclass(frozen=True)
+class SitePrimitiveSpec:
+    """One primitive event at one site: a trigger on ``(table, operation)``.
+
+    Event names are globally unique across sites (``p0``, ``p1``, ...)
+    so shortened qualified names never collide.  Site primitives are
+    always IMMEDIATE — the GED forwarding rule must run inline so the
+    cross-site occurrence order equals the statement order.
+    """
+
+    site: str
+    event: str
+    table: str
+    operation: str
+
+    @property
+    def trigger(self) -> str:
+        return f"t_{self.event}"
+
+    @property
+    def qualified(self) -> str:
+        """The event's qualified name in the global scope."""
+        return qualified_leaf(self.event, self.site)
+
+    def to_sql(self) -> str:
+        return (f"create trigger {self.trigger} on {self.table} "
+                f"for {self.operation} event {self.event} "
+                f"IMMEDIATE as print '{self.event}'")
+
+
+@dataclass(frozen=True)
+class GlobalRuleSpec:
+    """One global (cross-site) composite-event rule.
+
+    Installed through the :class:`~repro.ged.ShardedGed` API rather than
+    SQL (global rules live at the GED, not at any one site).  The first
+    rule naming a global event carries its Snoop ``expression`` over
+    qualified leaf names; extra rules leave it ``None``.
+    """
+
+    trigger: str
+    event: str
+    expression: str | None
+    context: str
+    coupling: str
+    priority: int
+
+
+@dataclass(frozen=True)
+class SiteStatement:
+    """One DML statement executed at a specific site."""
+
+    site: str
+    table: str
+    operation: str
+    sql: str
+
+
+@dataclass(frozen=True)
+class MultiSiteScenario:
+    """One complete multi-site differential-test scenario.
+
+    Every site runs its own agent over its own server with the same
+    table schema; the statement stream is a seeded global interleaving
+    of per-site DML.  Global rules compose qualified site events at the
+    (sharded or single-coordinator) GED.
+    """
+
+    seed: int
+    sites: tuple[str, ...]
+    tables: tuple[str, ...]
+    primitives: tuple[SitePrimitiveSpec, ...]
+    rules: tuple[GlobalRuleSpec, ...]
+    statements: tuple[SiteStatement, ...]
+
+    def composite_events(self) -> list[str]:
+        """Names of the global composite events this scenario defines."""
+        return [rule.event for rule in self.rules
+                if rule.expression is not None]
+
+    def raises_for(self, statement: SiteStatement) -> list[str]:
+        """The primitive events one statement notifies at its site, in
+        trigger-creation order."""
+        return [p.event for p in self.primitives
+                if p.site == statement.site
+                and (p.table, p.operation) ==
+                (statement.table, statement.operation)]
+
+    def describe(self) -> str:
+        return (f"multisite scenario seed={self.seed}: "
+                f"{len(self.sites)} sites, "
+                f"{len(self.primitives)} site primitives, "
+                f"{len(self.rules)} global rules, "
+                f"{len(self.statements)} statements")
+
+    # -- serialization (the corpus format) ------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "sites": list(self.sites),
+            "tables": list(self.tables),
+            "primitives": [asdict(p) for p in self.primitives],
+            "rules": [asdict(r) for r in self.rules],
+            "statements": [asdict(s) for s in self.statements],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MultiSiteScenario":
+        payload = json.loads(text)
+        return cls(
+            seed=payload["seed"],
+            sites=tuple(payload["sites"]),
+            tables=tuple(payload["tables"]),
+            primitives=tuple(
+                SitePrimitiveSpec(**p) for p in payload["primitives"]),
+            rules=tuple(GlobalRuleSpec(**r) for r in payload["rules"]),
+            statements=tuple(
+                SiteStatement(**s) for s in payload["statements"]),
+        )
+
+    def with_statements(self, statements) -> "MultiSiteScenario":
+        return replace(self, statements=tuple(statements))
+
+    def with_rules(self, rules) -> "MultiSiteScenario":
+        return replace(self, rules=tuple(rules))
+
+    def with_primitives(self, primitives) -> "MultiSiteScenario":
+        return replace(self, primitives=tuple(primitives))
+
+
+def generate_multisite_scenario(seed: int, *, n_sites: int | None = None,
+                                per_site_primitives: int = 2,
+                                n_composites: int = 5,
+                                n_extra_rules: int = 1,
+                                n_statements: int = 36) -> MultiSiteScenario:
+    """Generate the seeded multi-site scenario for one differential run.
+
+    2–4 sites (seed-chosen unless pinned), globally unique primitive
+    names, and global composites whose leaves are guaranteed to span at
+    least two sites.  The first composite is always a CHRONICLE
+    cross-site SEQ — the exact shape the ``seq-chronicle-newest``
+    planted mutation corrupts, so the mutation-liveness check stays
+    sensitive at every seed.  The remaining composites cycle through all
+    four parameter contexts.
+    """
+    rng = random.Random(seed)
+    if n_sites is None:
+        n_sites = rng.choice([2, 3, 3, 4])
+    sites = tuple(f"s{i}" for i in range(n_sites))
+    tables = ("t0", "t1")
+    operations = ("insert", "update", "delete")
+    primitives: list[SitePrimitiveSpec] = []
+    counter = 0
+    for site in sites:
+        for _ in range(per_site_primitives):
+            primitives.append(SitePrimitiveSpec(
+                site=site,
+                event=f"p{counter}",
+                table=rng.choice(tables),
+                operation=rng.choice(operations),
+            ))
+            counter += 1
+    by_site = {site: [p for p in primitives if p.site == site]
+               for site in sites}
+
+    def cross_site_pair() -> tuple[SitePrimitiveSpec, SitePrimitiveSpec]:
+        first, second = rng.sample(sites, 2)
+        return rng.choice(by_site[first]), rng.choice(by_site[second])
+
+    rules: list[GlobalRuleSpec] = []
+    for index in range(n_composites):
+        a, b = cross_site_pair()
+        if index == 0:
+            expression = f"({a.qualified} SEQ {b.qualified})"
+            context = "CHRONICLE"
+        else:
+            roll = rng.random()
+            if roll < 0.4:
+                expression = f"({a.qualified} SEQ {b.qualified})"
+            elif roll < 0.7:
+                expression = f"({a.qualified} AND {b.qualified})"
+            elif roll < 0.85:
+                closer = rng.choice(primitives)
+                expression = (f"A*({a.qualified}, {b.qualified}, "
+                              f"{closer.qualified})")
+            else:
+                other = rng.choice(primitives)
+                expression = (f"(({a.qualified} OR {other.qualified}) "
+                              f"SEQ {b.qualified})")
+            context = PARAMETER_CONTEXTS[(index - 1) % len(PARAMETER_CONTEXTS)]
+        rules.append(GlobalRuleSpec(
+            trigger=f"gr{index}",
+            event=f"g{index}",
+            expression=expression,
+            context=context,
+            coupling=rng.choice(("IMMEDIATE", "DEFERRED")),
+            priority=rng.choice([1, 1, 2]),
+        ))
+    defining = list(rules)
+    for index in range(n_extra_rules):
+        target = rng.choice(defining)
+        rules.append(GlobalRuleSpec(
+            trigger=f"gx{index}_{target.event}",
+            event=target.event,
+            expression=None,
+            context=rng.choice(PARAMETER_CONTEXTS),
+            coupling=rng.choice(("IMMEDIATE", "DEFERRED")),
+            priority=1,
+        ))
+    streams = {
+        site: list(random_dml_stream(
+            rng, list(tables), max(1, n_statements // n_sites)))
+        for site in sites
+    }
+    bag = [site for site in sites for _ in streams[site]]
+    rng.shuffle(bag)
+    statements = []
+    for site in bag:
+        statement = streams[site].pop(0)
+        statements.append(SiteStatement(
+            site=site, table=statement.table,
+            operation=statement.operation, sql=statement.sql))
+    return MultiSiteScenario(
+        seed=seed,
+        sites=sites,
+        tables=tables,
+        primitives=tuple(primitives),
+        rules=tuple(rules),
+        statements=tuple(statements),
+    )
+
+
 def generate_scenario(seed: int, *, n_tables: int = 2,
                       n_primitives: int = 5, n_composites: int = 5,
                       n_extra_rules: int = 2,

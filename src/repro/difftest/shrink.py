@@ -154,6 +154,71 @@ def shrink_scenario(scenario: Scenario,
             return current
 
 
+def _prune_multisite_primitives(scenario, still_fails, budget: _Budget):
+    """Drop site primitives no remaining global expression needs.
+
+    The multi-site analogue of :func:`_prune_primitives`: global
+    expressions reference *qualified* leaf names, so the needed-set is
+    matched against each spec's ``qualified`` property."""
+    primitives = list(scenario.primitives)
+    needed: set[str] = set()
+    for rule in scenario.rules:
+        if rule.expression is not None:
+            needed |= _leaf_names(rule.expression)
+    for index in range(len(primitives) - 1, -1, -1):
+        if primitives[index].qualified in needed:
+            continue
+        if not budget.take():
+            break
+        candidate = scenario.with_primitives(
+            primitives[:index] + primitives[index + 1:])
+        if still_fails(candidate):
+            primitives = list(candidate.primitives)
+    return scenario.with_primitives(primitives)
+
+
+def shrink_multisite_scenario(scenario, still_fails,
+                              budget: int = DEFAULT_BUDGET):
+    """Minimise a diverging multi-site scenario.
+
+    Same fixpoint loop as :func:`shrink_scenario` — ddmin on the global
+    statement interleaving, then rule and site-primitive pruning — over
+    a :class:`~repro.difftest.scenario.MultiSiteScenario`.  (Sites
+    themselves are not pruned: an unused site is just an idle agent, and
+    keeping the site list stable keeps the reproduction's partition
+    deterministic.)
+    """
+    tracker = _Budget(budget)
+    if not still_fails(scenario):
+        return scenario
+    current = scenario
+    while True:
+        before = (len(current.statements), len(current.rules),
+                  len(current.primitives))
+        current = _ddmin_statements(current, still_fails, tracker)
+        current = _prune_rules(current, still_fails, tracker)
+        current = _prune_multisite_primitives(current, still_fails, tracker)
+        after = (len(current.statements), len(current.rules),
+                 len(current.primitives))
+        if after == before or tracker.spent >= tracker.limit:
+            return current
+
+
+def load_multisite_corpus(directory: str | Path):
+    """All multi-site corpus scenarios in a directory, sorted by name.
+
+    The multi-site corpus lives in its own subdirectory
+    (``tests/difftest/corpus/multisite/``) so the single-site replay
+    never tries to parse a multi-site file."""
+    from .scenario import MultiSiteScenario
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [(path, MultiSiteScenario.from_json(path.read_text()))
+            for path in sorted(directory.glob("*.json"))]
+
+
 def corpus_filename(scenario: Scenario) -> str:
     """Deterministic corpus file name: seed + content digest."""
     digest = hashlib.sha256(

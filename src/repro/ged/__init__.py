@@ -4,14 +4,47 @@
 and use a global event detector (GED) for events and rules across
 application/systems."
 
-This extension implements that plan at laptop scale: a
-:class:`GlobalEventDetector` owns its own LED whose primitive events are
-*imported* events from any number of site agents.  When an imported event
-occurs at its home site, the site's LED forwards the occurrence to the
-GED, where global composite events (spanning sites) are detected and
-global rules fire.
+This extension implements that plan at laptop scale, in two deployment
+shapes:
+
+- :class:`GlobalEventDetector` — the original single-node GED: one LED
+  whose primitive events are *imported* events from any number of site
+  agents; global composites and rules live centrally.
+- :class:`ShardedGed` — the sharded deployment layer: sites form a
+  consistent-hash ring (:class:`HashRing`), each site's shard hosts the
+  global composite graphs assigned to it, and the router stamps a global
+  sequence so cross-site detection is equivalent to the single-node
+  shape.  Ships with journaled per-site recovery, skew-aware
+  rebalancing, and an in-process ``syb_sendmsg`` datagram transport
+  (:class:`InProcessTransport`).
 """
 
 from .global_detector import GlobalEventDetector, GlobalRuleFiring
+from .partitioning import DEFAULT_REPLICAS, HashRing, stable_hash
+from .sharded import (
+    GedFiring,
+    GedRule,
+    GedShard,
+    JournalEntry,
+    ShardedGed,
+    SiteRecovery,
+    qualified_name,
+)
+from .transport import InProcessTransport, TransportError
 
-__all__ = ["GlobalEventDetector", "GlobalRuleFiring"]
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "GedFiring",
+    "GedRule",
+    "GedShard",
+    "GlobalEventDetector",
+    "GlobalRuleFiring",
+    "HashRing",
+    "InProcessTransport",
+    "JournalEntry",
+    "ShardedGed",
+    "SiteRecovery",
+    "TransportError",
+    "qualified_name",
+    "stable_hash",
+]

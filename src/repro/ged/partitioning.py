@@ -1,0 +1,137 @@
+"""Consistent-hash partitioning of global event classes across sites.
+
+The sharded Global Event Detector assigns every global event class — a
+site-qualified name in Snoop's ``Eventname::AppId`` form — to exactly
+one owner site via a consistent-hash ring.  The ring uses a
+content-derived digest (:func:`stable_hash`), **not** Python's builtin
+``hash``, so ownership is identical across interpreter runs and
+processes (``PYTHONHASHSEED`` randomizes ``hash(str)``; a partition map
+that changed per run would make recovery replay nondeterministic).
+
+Virtual nodes smooth the distribution: each site is hashed onto the ring
+``replicas`` times, which bounds skew and — the classic consistent-
+hashing property — means a site join or leave moves only the keys that
+fall between the new/removed virtual nodes and their successors, on the
+order of K/N of the keyspace rather than nearly all of it
+(tests/ged/test_partitioning.py asserts the bound).
+
+Explicit *pins* override the ring: :class:`HashRing.pin` maps one key to
+a chosen owner.  The sharded GED uses pins for skew-aware rebalancing
+(move the heaviest classes off an overloaded site) and tests use them to
+place a composite on a specific site.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigurationError
+
+#: Virtual nodes per site.  64 keeps the max/mean partition-size skew
+#: small (empirically < 1.5x for a few dozen keys over 2-8 sites) while
+#: the ring stays tiny (hundreds of points).
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (blake2b digest prefix).
+
+    Deterministic across runs, machines, and ``PYTHONHASHSEED`` — the
+    property the partition map, recovery replay, and the difftest
+    corpus all rely on.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys to site names.
+
+    Sites are hashed onto the ring ``replicas`` times; a key is owned by
+    the first virtual node clockwise from the key's hash.  The mapping
+    is total (every key has an owner while at least one site exists),
+    deterministic (content hashing only), and stable under membership
+    change (a join or leave moves ~K/N keys).
+    """
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ConfigurationError("replicas must be at least 1")
+        self.replicas = replicas
+        self._sites: set[str] = set()
+        #: sorted virtual-node hash points and their parallel owner list
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        #: explicit key -> owner overrides (skew rebalancing, test pinning)
+        self._pins: dict[str, str] = {}
+
+    # -- membership -----------------------------------------------------
+
+    def add_site(self, site: str) -> None:
+        """Hash a site onto the ring (``replicas`` virtual nodes)."""
+        if site in self._sites:
+            raise ConfigurationError(f"site '{site}' is already on the ring")
+        self._sites.add(site)
+        for replica in range(self.replicas):
+            point = stable_hash(f"{site}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, site)
+
+    def remove_site(self, site: str) -> None:
+        """Remove a site's virtual nodes (its keys move to successors)."""
+        if site not in self._sites:
+            raise ConfigurationError(f"site '{site}' is not on the ring")
+        self._sites.discard(site)
+        keep = [(point, owner) for point, owner in
+                zip(self._points, self._owners) if owner != site]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+        self._pins = {key: owner for key, owner in self._pins.items()
+                      if owner != site}
+
+    def sites(self) -> list[str]:
+        """Current member sites, sorted."""
+        return sorted(self._sites)
+
+    # -- pinning --------------------------------------------------------
+
+    def pin(self, key: str, site: str) -> None:
+        """Override the ring: ``key`` is owned by ``site`` until unpinned."""
+        if site not in self._sites:
+            raise ConfigurationError(f"cannot pin to unknown site '{site}'")
+        self._pins[key] = site
+
+    def unpin(self, key: str) -> None:
+        """Drop a pin (the key returns to its ring position)."""
+        self._pins.pop(key, None)
+
+    def pins(self) -> dict[str, str]:
+        """A copy of the active pin map."""
+        return dict(self._pins)
+
+    # -- lookup ---------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The owner site of ``key`` (pin first, ring otherwise)."""
+        pinned = self._pins.get(key)
+        if pinned is not None:
+            return pinned
+        if not self._points:
+            raise ConfigurationError("the ring has no sites")
+        index = bisect.bisect(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, keys) -> dict[str, str]:
+        """Owner of every key in ``keys`` (a snapshot partition map)."""
+        return {key: self.owner(key) for key in keys}
+
+    def partition_counts(self, keys) -> dict[str, int]:
+        """Keys owned per site, including zero-count members."""
+        counts = {site: 0 for site in self._sites}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

@@ -1,0 +1,91 @@
+"""Cross-site notification transport for the sharded GED.
+
+A site's forwarding rule ships each imported occurrence to the GED
+router as a ``syb_sendmsg``-format datagram — exactly the payload the
+native triggers already send (:mod:`repro.agent.messages`)::
+
+    <site> <table> <operation> begin <Eventname::AppId> <vNo>
+
+Payloads may be ``;``-coalesced multi-segment batches, and while tracing
+is enabled at the home site the sending command's trace context rides as
+the ``;tc=`` trailer segment — the router re-activates it, so a
+cross-site composite detection renders as one connected trace tree
+rooted at the originating client command.
+
+:class:`InProcessTransport` is the deterministic default: delivery is
+synchronous on the sending thread, which makes multi-site differential
+runs exactly reproducible (the same property the agent's synchronous
+notification channel provides locally).  The transport refuses payloads
+addressed from a site marked down and counts every datagram and batch
+segment, so site-failure tests can assert exactly what crossed the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.agent.messages import Notification, split_trace_context
+from repro.errors import ConfigurationError
+
+#: A router callback: ``(from_site, payload)`` for one datagram.
+Router = Callable[[str, str], None]
+
+
+class TransportError(ConfigurationError):
+    """A datagram could not be accepted by the transport."""
+
+
+class InProcessTransport:
+    """Synchronous in-process site-to-router datagram transport.
+
+    Models the paper's ``syb_sendmsg`` hop between autonomous sites
+    without sockets: the router callback runs on the sending thread, so
+    cross-site propagation is deterministic and immediate — the
+    multi-site analogue of the agent's ``SynchronousChannel``.
+    """
+
+    def __init__(self):
+        self._router: Router | None = None
+        #: sites currently refused (simulated crash isolation)
+        self._down: set[str] = set()
+        self.sent = 0
+        self.segments = 0
+        self.rejected = 0
+
+    def attach(self, router: Router) -> None:
+        """Register the GED router's delivery callback."""
+        self._router = router
+
+    # -- liveness -------------------------------------------------------
+
+    def mark_down(self, site: str) -> None:
+        """Refuse further datagrams from ``site`` (simulated crash)."""
+        self._down.add(site)
+
+    def mark_up(self, site: str) -> None:
+        """Accept datagrams from ``site`` again."""
+        self._down.discard(site)
+
+    def is_down(self, site: str) -> bool:
+        """Whether the transport currently refuses ``site``."""
+        return site in self._down
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, from_site: str, payload: str) -> None:
+        """Deliver one (possibly coalesced, possibly traced) datagram.
+
+        Malformed payloads are rejected loudly — a router fed garbage
+        must never half-apply a batch — and datagrams from a down site
+        are dropped and counted (a crashed site's in-flight packets).
+        """
+        if self._router is None:
+            raise TransportError("no router attached to the transport")
+        if from_site in self._down:
+            self.rejected += 1
+            return
+        clean, _token = split_trace_context(payload)
+        segments = Notification.decode_batch(clean)  # validate before routing
+        self.sent += 1
+        self.segments += len(segments)
+        self._router(from_site, payload)

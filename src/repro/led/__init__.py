@@ -23,6 +23,7 @@ from .clock import ManualClock, SystemClock, VirtualClock
 from .detector import LocalEventDetector, RuleFiring
 from .errors import DetectorError, EventDefinitionError, RuleError
 from .occurrences import Occurrence
+from .remote import RemoteEventNode
 from .rules import Context, Coupling, Rule
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "LocalEventDetector",
     "ManualClock",
     "Occurrence",
+    "RemoteEventNode",
     "Rule",
     "RuleError",
     "RuleFiring",

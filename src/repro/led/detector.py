@@ -241,6 +241,60 @@ class LocalEventDetector:
             self.events[name] = node
             return node
 
+    def define_remote(self, name: str, home_site: str):
+        """Register a remote constituent leaf (sharded-GED deployment).
+
+        The returned :class:`~repro.led.remote.RemoteEventNode` behaves
+        like a primitive in every Snoop expression but can only be fed
+        through :meth:`raise_remote` with an occurrence carrying the GED
+        router's global ``(time, seq)`` stamp.
+        """
+        from .remote import RemoteEventNode
+
+        with self._lock:
+            if name in self.events:
+                raise EventDefinitionError(f"event '{name}' already exists")
+            node = RemoteEventNode(self, name, home_site)
+            self.events[name] = node
+            return node
+
+    def raise_remote(self, name: str, occurrence: Occurrence) -> list[RuleFiring]:
+        """Feed a router-constructed occurrence into a remote leaf.
+
+        Unlike :meth:`raise_event`, the occurrence is built by the
+        caller (the GED router) so its interval carries the *global*
+        sequence stamp shared by every shard — this detector's local
+        counter is not consulted.  Dispatch, detection logging, and the
+        firing scope otherwise match a local raise exactly.
+        """
+        from .remote import RemoteEventNode
+
+        with self._lock:
+            node = self.get_event(name)
+            if not isinstance(node, RemoteEventNode):
+                raise EventDefinitionError(
+                    f"'{name}' is not a remote event leaf")
+            if occurrence.event_name != name:
+                raise EventDefinitionError(
+                    f"occurrence of '{occurrence.event_name}' cannot be "
+                    f"raised as remote event '{name}'")
+            outer = self._current_firings is None
+            if outer:
+                self._current_firings = []
+            try:
+                node.received += 1
+                log = self.detection_log
+                if log is not None:
+                    log.append((name, None, occurrence))
+                metrics = self.metrics
+                if metrics is not None and metrics.enabled:
+                    self._m_detected.labels("remote", "-").inc()
+                node.on_raise(occurrence)
+                return list(self._current_firings or [])
+            finally:
+                if outer:
+                    self._current_firings = None
+
     def define_composite(self, name: str,
                          expression: EventExpr | str) -> CompositeNode:
         """Register a composite event from a Snoop expression.

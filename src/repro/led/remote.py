@@ -1,0 +1,44 @@
+"""Remote constituent nodes: leaves fed by another site's detector.
+
+A shard of the sharded Global Event Detector holds composite graphs
+whose constituents occur at *other* sites.  Those constituents appear in
+the shard's LED as :class:`RemoteEventNode` leaves: structurally a
+primitive event (so every Snoop operator composes over them unchanged),
+but raised with an :class:`~repro.led.occurrences.Occurrence` the GED
+router constructed — carrying the router's *global* ``(time, seq)``
+stamp instead of this detector's local counter.
+
+That global stamp is the point: SEQ's "strictly before" test compares
+``(time, seq)`` pairs, and occurrences originating at different sites
+have unrelated local counters.  The router's single global sequence
+gives every forwarded occurrence a total order that is identical at
+every shard, so a cross-site composite detects the same way wherever
+its graph happens to live (the sharded-vs-single-site equivalence the
+multi-site difftest sweep asserts).
+
+A remote node therefore refuses the local :meth:`raise_event` path —
+only :meth:`~repro.led.detector.LocalEventDetector.raise_remote` may
+feed it.
+"""
+
+from __future__ import annotations
+
+from .nodes import PrimitiveEventNode
+
+
+class RemoteEventNode(PrimitiveEventNode):
+    """A primitive leaf whose occurrences originate at a remote site.
+
+    Attributes:
+        home_site: the site where the underlying event class occurs.
+        received: occurrences fed to this node by the GED router.
+    """
+
+    def __init__(self, detector, name: str, home_site: str):
+        super().__init__(detector, name)
+        self.home_site = home_site
+        self.received = 0
+
+    def describe(self) -> str:
+        """``name @ site`` rendering for graph introspection."""
+        return f"{self.name} @ {self.home_site}"

@@ -55,6 +55,9 @@ __all__ = [
     "SPAN_QUEUE_WAIT",
     "SPAN_RULE_CONDITION",
     "SPAN_RULE_ACTION",
+    "SPAN_GED_ROUTE",
+    "SPAN_GED_SHARD",
+    "SPAN_GED_REPLAY",
 ]
 
 #: Step identifiers, named after the paper's figures (kept verbatim from
@@ -79,6 +82,15 @@ SPAN_LED_OP_PREFIX = "led:op:"
 SPAN_RULE_CONDITION = "rule:condition"
 SPAN_RULE_ACTION = "rule:action"
 SPAN_QUEUE_WAIT = "gateway:queue-wait"
+
+#: Sharded-GED span names: routing one forwarded occurrence, feeding one
+#: shard's detector, and replaying a recovering site's partition.  A
+#: datagram's ``;tc=`` trailer re-activates the originating command's
+#: trace context before these spans open, so a cross-site composite
+#: renders as one connected tree.
+SPAN_GED_ROUTE = "ged:route"
+SPAN_GED_SHARD = "ged:shard"
+SPAN_GED_REPLAY = "ged:replay"
 
 #: Characters allowed in one encoded baggage item — anything else is
 #: silently dropped from the wire token (the datagram payload is

@@ -1,0 +1,164 @@
+"""Property tests for the GED's consistent-hash ring.
+
+The three contracted properties (docs/DISTRIBUTED.md):
+
+- **total**: every key has exactly one owner for any non-empty ring;
+- **deterministic**: ownership is a pure function of the membership set
+  (independent of join order, process, and ``PYTHONHASHSEED``);
+- **stable**: a join or leave moves at most ~K/N of K keys — the whole
+  point of consistent hashing over modulo placement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ged import DEFAULT_REPLICAS, HashRing, stable_hash
+
+
+def _keys(rng: random.Random, count: int) -> list[str]:
+    return [f"difftest.dbo.p{i}::s{rng.randrange(8)}" for i in range(count)]
+
+
+def _ring(sites) -> HashRing:
+    ring = HashRing()
+    for site in sites:
+        ring.add_site(site)
+    return ring
+
+
+def test_stable_hash_is_process_independent():
+    # Pinned digests: blake2b of the key bytes, not Python's salted
+    # hash().  If these move, every persisted partition map breaks.
+    assert stable_hash("a") == stable_hash("a")
+    assert stable_hash("a") != stable_hash("b")
+    assert stable_hash("") == int.from_bytes(
+        __import__("hashlib").blake2b(b"", digest_size=8).digest(), "big")
+
+
+def test_empty_ring_refuses_ownership():
+    ring = HashRing()
+    with pytest.raises(ConfigurationError):
+        ring.owner("anything")
+
+
+def test_total_every_key_owned(rng):
+    ring = _ring(["s0", "s1", "s2"])
+    for key in _keys(rng, 200):
+        assert ring.owner(key) in {"s0", "s1", "s2"}
+
+
+def test_deterministic_under_join_order(rng):
+    keys = _keys(rng, 150)
+    sites = [f"s{i}" for i in range(5)]
+    shuffled = list(sites)
+    rng.shuffle(shuffled)
+    a, b = _ring(sites), _ring(shuffled)
+    assert a.assignment(keys) == b.assignment(keys)
+
+
+def test_join_moves_at_most_k_over_n(rng):
+    keys = _keys(rng, 400)
+    sites = ["s0", "s1", "s2"]
+    before = _ring(sites).assignment(keys)
+    ring = _ring(sites)
+    ring.add_site("s3")
+    after = ring.assignment(keys)
+    moved = sum(1 for key in keys if before[key] != after[key])
+    # Expected K/N = 100 for N = 4; allow vnode variance headroom but
+    # stay far below the ~300 a modulo reshard would move.
+    assert moved <= len(keys) // len(ring.sites()) * 2
+    # Every moved key must have moved TO the joining site.
+    for key in keys:
+        if before[key] != after[key]:
+            assert after[key] == "s3"
+
+
+def test_leave_moves_only_the_leavers_keys(rng):
+    keys = _keys(rng, 400)
+    sites = ["s0", "s1", "s2", "s3"]
+    ring = _ring(sites)
+    before = ring.assignment(keys)
+    ring.remove_site("s1")
+    after = ring.assignment(keys)
+    for key in keys:
+        if before[key] == "s1":
+            assert after[key] != "s1"
+        else:
+            assert after[key] == before[key]
+
+
+def test_pins_override_and_survive_membership_changes():
+    ring = _ring(["s0", "s1"])
+    ring.pin("hot-class", "s1")
+    assert ring.owner("hot-class") == "s1"
+    ring.add_site("s2")
+    assert ring.owner("hot-class") == "s1"
+    ring.remove_site("s1")  # pins to a removed site fall away
+    assert ring.owner("hot-class") in {"s0", "s2"}
+
+
+def test_duplicate_and_unknown_sites_refused():
+    ring = _ring(["s0"])
+    with pytest.raises(ConfigurationError):
+        ring.add_site("s0")
+    with pytest.raises(ConfigurationError):
+        ring.remove_site("nope")
+    with pytest.raises(ConfigurationError):
+        ring.pin("k", "nope")
+
+
+def test_partition_counts_cover_all_sites(rng):
+    ring = _ring(["s0", "s1", "s2"])
+    keys = _keys(rng, 300)
+    counts = ring.partition_counts(keys)
+    assert set(counts) == {"s0", "s1", "s2"}
+    assert sum(counts.values()) == len(set(keys))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                  max_size=60, unique=True),
+    sites=st.lists(st.sampled_from([f"s{i}" for i in range(6)]),
+                   min_size=1, max_size=6, unique=True),
+)
+def test_property_total_and_deterministic(keys, sites):
+    a, b = _ring(sites), _ring(reversed(sites))
+    for key in keys:
+        owner = a.owner(key)
+        assert owner in sites
+        assert owner == b.owner(key)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.text(min_size=1, max_size=16), min_size=10,
+                  max_size=80, unique=True),
+    sites=st.lists(st.sampled_from([f"s{i}" for i in range(5)]),
+                   min_size=2, max_size=5, unique=True),
+    joiner=st.sampled_from(["x0", "x1"]),
+)
+def test_property_join_only_moves_to_joiner(keys, sites, joiner):
+    ring = _ring(sites)
+    before = ring.assignment(keys)
+    ring.add_site(joiner)
+    after = ring.assignment(keys)
+    for key in keys:
+        if before[key] != after[key]:
+            assert after[key] == joiner
+
+
+def test_default_replicas_spread_is_reasonable(rng):
+    # 64 vnodes/site keeps the max/min partition ratio bounded for a
+    # uniform keyspace — the skew the rebalancer then refines.
+    ring = _ring(["s0", "s1", "s2"])
+    keys = [f"k{i}" for i in range(3000)]
+    counts = ring.partition_counts(keys)
+    assert DEFAULT_REPLICAS == 64
+    assert max(counts.values()) / max(1, min(counts.values())) < 3.0

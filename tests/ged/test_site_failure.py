@@ -1,0 +1,195 @@
+"""Chaos: a site dies mid-way through a half-detected cross-site composite.
+
+The recovery contract (docs/DISTRIBUTED.md): constituents are journaled
+at the router, a recovering site replays only its own partition on top
+of ``agent.recover()``, and a half-detected composite either completes
+after recovery (non-IMMEDIATE coupling) or is cleanly discarded
+(IMMEDIATE-only — the constituents' transactional context died with the
+site) — and in no interleaving does a rule fire twice.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.agent import EcaAgent
+from repro.errors import ConfigurationError
+from repro.ged import ShardedGed, SiteRecovery
+from repro.led import Context, Coupling, LocalEventDetector
+from repro.sqlengine import SqlServer
+
+
+def make_site(*events):
+    led = LocalEventDetector()
+    for event in events:
+        led.define_primitive(event)
+    return SimpleNamespace(led=led, trace=None,
+                           recover=lambda: {"stand_in": True})
+
+
+def build(coupling, *, owner="omega"):
+    """Three sites and a cross-site SEQ owned by a dedicated third site
+    (so the producers survive when the owner dies)."""
+    ged = ShardedGed()
+    a, b, c = make_site("e1"), make_site("e2"), make_site()
+    ged.add_site("alpha", a)
+    ged.add_site("beta", b)
+    ged.add_site("omega", c)
+    qa = ged.import_event("alpha", "e1")
+    qb = ged.import_event("beta", "e2")
+    ged.define_global_event("G", f"({qa} SEQ {qb})", owner=owner)
+    ged.add_global_rule("r", "G", context=Context.CHRONICLE,
+                        coupling=coupling)
+    return ged, a, b
+
+
+class TestHalfDetected:
+    def test_deferred_completes_exactly_once_after_recovery(self):
+        ged, a, b = build(Coupling.DEFERRED)
+        a.led.raise_event("e1", {"vNo": 1})
+        ged.fail_site("omega")  # half-detected state lost with the shard
+        report = ged.recover_site("omega")
+        assert report.replayed == 1
+        assert report.rearmed == ("G",)
+        assert report.discarded == ()
+        b.led.raise_event("e2", {"vNo": 1})
+        fired = ged.flush_deferred()
+        assert [f.rule_name for f in fired] == ["r"]
+        # Never twice: both constituents consumed, nothing re-queued.
+        assert ged.flush_deferred() == []
+        assert len(ged.firings) == 1
+
+    def test_immediate_only_is_cleanly_discarded(self):
+        ged, a, b = build(Coupling.IMMEDIATE)
+        a.led.raise_event("e1", {"vNo": 1})
+        ged.fail_site("omega")
+        report = ged.recover_site("omega")
+        assert isinstance(report, SiteRecovery)
+        assert report.discarded == ("G",)
+        assert report.rearmed == ()
+        # The late second constituent must NOT complete the composite:
+        # the first constituent's transaction died with the site.
+        b.led.raise_event("e2", {"vNo": 1})
+        assert ged.firings == []
+        # ... and a fresh well-ordered pair detects normally again.
+        a.led.raise_event("e1", {"vNo": 2})
+        b.led.raise_event("e2", {"vNo": 2})
+        assert len(ged.firings) == 1
+
+    def test_completed_composite_never_double_fires(self):
+        ged, a, b = build(Coupling.IMMEDIATE)
+        a.led.raise_event("e1", {"vNo": 1})
+        b.led.raise_event("e2", {"vNo": 1})
+        assert len(ged.firings) == 1
+        ged.fail_site("omega")
+        ged.recover_site("omega")  # replay re-detects the pair
+        assert len(ged.firings) == 1
+        assert ged.suppressed + ged.deduped >= 1
+
+    def test_constituents_arriving_while_down_are_journaled(self):
+        ged, a, b = build(Coupling.DEFERRED)
+        ged.fail_site("omega")
+        a.led.raise_event("e1", {"vNo": 1})
+        b.led.raise_event("e2", {"vNo": 1})
+        assert ged.skipped_down == 2
+        assert [e.gseq for e in ged.journal] == [1, 2]
+        report = ged.recover_site("omega")
+        assert report.replayed == 2
+        fired = ged.flush_deferred()
+        assert [f.rule_name for f in fired] == ["r"]
+        assert len(ged.firings) == 1
+
+    def test_deferred_detection_completed_while_down(self):
+        """Both halves consumed, site dies before the flush: the replay
+        re-queues the detection and the next flush fires it once."""
+        ged, a, b = build(Coupling.DEFERRED)
+        a.led.raise_event("e1", {"vNo": 1})
+        b.led.raise_event("e2", {"vNo": 1})
+        ged.fail_site("omega")  # queued DEFERRED firing lost
+        ged.recover_site("omega")
+        fired = ged.flush_deferred()
+        assert [f.rule_name for f in fired] == ["r"]
+        assert ged.flush_deferred() == []
+        assert len(ged.firings) == 1
+
+
+class TestPartitionScopedRecovery:
+    def test_replay_touches_only_the_failed_sites_partition(self):
+        ged = ShardedGed()
+        a, b = make_site("e1"), make_site("e2")
+        ged.add_site("alpha", a)
+        ged.add_site("beta", b)
+        qa = ged.import_event("alpha", "e1")
+        qb = ged.import_event("beta", "e2")
+        ged.define_global_event("GA", f"({qa} AND {qb})", owner="alpha")
+        ged.define_global_event("GB", f"({qa} SEQ {qb})", owner="beta")
+        ged.add_global_rule("ra", "GA", context=Context.RECENT,
+                            coupling=Coupling.DEFERRED)
+        ged.add_global_rule("rb", "GB", context=Context.RECENT,
+                            coupling=Coupling.DEFERRED)
+        a.led.raise_event("e1", {"vNo": 1})
+        b.led.raise_event("e2", {"vNo": 1})
+        ged.flush_deferred()
+        baseline = len(ged.firings)
+        ged.fail_site("alpha")
+        report = ged.recover_site("alpha")
+        # Only alpha's composites replayed; beta's shard was untouched.
+        assert report.site == "alpha"
+        assert report.replayed == 2
+        assert ged.replayed_by_site["beta"] == 0
+        # Replay re-detected GA but the flush deduplicates it.
+        assert ged.flush_deferred() == []
+        assert len(ged.firings) == baseline
+
+    def test_agent_recover_composes(self):
+        """A real agent's own crash repair runs before the replay."""
+        server = SqlServer(default_database="ops")
+        agent = EcaAgent(server, channel="sync")
+        conn = agent.connect(user="sre", database="ops")
+        conn.execute("create table t (x int)")
+        conn.execute("create trigger tr on t for insert event rowIn "
+                     "as print 'in'")
+        other = make_site("e2")
+        ged = ShardedGed()
+        try:
+            ged.add_site("real", agent)
+            ged.add_site("other", other)
+            qa = ged.import_event("real", "ops.sre.rowIn")
+            qb = ged.import_event("other", "e2")
+            ged.define_global_event("G", f"({qa} SEQ {qb})", owner="real")
+            ged.add_global_rule("r", "G", context=Context.RECENT,
+                                coupling=Coupling.DEFERRED)
+            conn.execute("insert t values (1)")
+            ged.fail_site("real")
+            report = ged.recover_site("real")
+            assert isinstance(report.agent_repair, dict)
+            other.led.raise_event("e2", {"vNo": 1})
+            assert [f.rule_name for f in ged.flush_deferred()] == ["r"]
+        finally:
+            ged.close()
+            agent.close()
+
+
+class TestFailureEdges:
+    def test_transport_drops_a_down_sites_datagrams(self):
+        """A crashed site's in-flight packets vanish: counted as
+        rejected, never journaled (they are not part of history)."""
+        ged, a, _b = build(Coupling.IMMEDIATE)
+        ged.fail_site("alpha")
+        a.led.raise_event("e1", {"vNo": 1})
+        assert ged.transport.rejected == 1
+        assert ged.journal == []
+
+    def test_fail_is_idempotent_recover_requires_down(self):
+        ged, _a, _b = build(Coupling.IMMEDIATE)
+        ged.fail_site("omega")
+        ged.fail_site("omega")
+        assert ged.failures == 1
+        ged.recover_site("omega")
+        with pytest.raises(ConfigurationError):
+            ged.recover_site("omega")
+
+    def test_unknown_site_rejected(self):
+        ged, _a, _b = build(Coupling.IMMEDIATE)
+        with pytest.raises(ConfigurationError):
+            ged.fail_site("nowhere")

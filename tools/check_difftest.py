@@ -26,6 +26,16 @@ Three sub-commands over :mod:`repro.difftest` (all run by the CI
 ``corpus``
     Replay only the committed regression corpus.
 
+``sites``
+    Multi-site sweep over the sharded GED: each seeded 2–4 site
+    scenario runs on the consistent-hash sharded deployment AND the
+    degenerate single-coordinator one, both against the multi-site
+    reference twin, plus shape-vs-shape (sharding must be semantically
+    invisible).  Replays the multi-site corpus
+    (``tests/difftest/corpus/multisite/``) and proves
+    planted-mutation liveness through the sharded path; divergences
+    ddmin-shrink into the corpus format.
+
 ``interleave``
     Concurrency cross-check: replay each scenario serially and through
     ``--clients`` concurrent gateway sessions over a ``--workers``
@@ -55,16 +65,23 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.difftest import (  # noqa: E402  (path bootstrap above)
     MUTATIONS,
     apply_mutation,
+    compare_multisite_runs,
+    compare_multisite_stack_runs,
     compare_runs,
     compare_stack_runs,
+    generate_multisite_scenario,
     generate_scenario,
     load_corpus,
+    load_multisite_corpus,
     render_report,
     run_baselines,
     run_chaos,
     run_interleaved,
+    run_multisite_reference,
+    run_multisite_stack,
     run_reference,
     run_stack,
+    shrink_multisite_scenario,
     shrink_scenario,
     write_corpus,
 )
@@ -203,6 +220,108 @@ def cmd_interleave(args) -> int:
     return 0
 
 
+def _check_multisite(scenario) -> list:
+    """Full cross-check of one multi-site scenario.
+
+    Both deployment shapes run — the consistent-hash sharded GED and
+    the degenerate single-coordinator layout — each against the
+    multi-site reference twin, plus shape-vs-shape (the
+    sharding-invisibility contract)."""
+    sharded = run_multisite_stack(scenario, sharded=True)
+    single = run_multisite_stack(scenario, sharded=False)
+    reference = run_multisite_reference(scenario)
+    divergences = compare_multisite_runs(sharded, reference, label="sharded")
+    divergences += compare_multisite_runs(single, reference,
+                                          label="single-site")
+    divergences += compare_multisite_stack_runs(sharded, single)
+    return divergences
+
+
+def _multisite_diverges(scenario) -> bool:
+    """Shrink predicate for multi-site scenarios (crash = divergence)."""
+    try:
+        stack = run_multisite_stack(scenario, sharded=True)
+        reference = run_multisite_reference(scenario)
+    except Exception:
+        return True
+    return bool(compare_multisite_runs(stack, reference))
+
+
+def cmd_sites(args) -> int:
+    problems = 0
+    for seed in range(args.start, args.start + args.seeds):
+        scenario = generate_multisite_scenario(seed)
+        divergences = _check_multisite(scenario)
+        if divergences:
+            problems += 1
+            print(f"FAIL sites seed={seed}")
+            print(render_report(scenario, divergences))
+            print(f"shrinking seed {seed} (re-run with: "
+                  f"generate_multisite_scenario({seed}))...")
+            small = shrink_multisite_scenario(scenario, _multisite_diverges)
+            path = write_corpus(small, args.artifacts / "multisite")
+            print(f"minimised: {small.describe()}")
+            print(f"reproduction written to {path}")
+        else:
+            print(f"ok sites seed={seed} ({scenario.describe()})")
+    entries = load_multisite_corpus(args.corpus / "multisite")
+    for path, scenario in entries:
+        divergences = _check_multisite(scenario)
+        if divergences:
+            problems += 1
+            print(f"FAIL sites corpus {path.name}")
+            print(render_report(scenario, divergences))
+        else:
+            print(f"ok sites corpus {path.name}")
+    if not entries:
+        print(f"sites corpus: no entries under {args.corpus / 'multisite'}")
+    if not args.skip_mutation:
+        problems += _sites_mutation_liveness(args)
+    if problems:
+        print(f"sites: {problems} failing item(s)")
+        return 1
+    print(f"sites: clean ({args.seeds} seeds, sharded + single-site, "
+          f"corpus replayed, mutation liveness "
+          f"{'skipped' if args.skip_mutation else 'proven'})")
+    return 0
+
+
+def _sites_mutation_liveness(args) -> int:
+    """Prove the multi-site sweep still catches a planted LED bug.
+
+    Shard LEDs run the same operator code the mutations corrupt, so a
+    sweep that cannot see ``seq-chronicle-newest`` through the sharded
+    deployment is gating nothing."""
+    restore = apply_mutation(args.mutation)
+    try:
+        caught = None
+        for seed in range(args.start, args.start + args.seeds):
+            scenario = generate_multisite_scenario(seed)
+            if _multisite_diverges(scenario):
+                caught = scenario
+                break
+        if caught is None:
+            print(f"sites mutation {args.mutation!r} NOT caught in "
+                  f"{args.seeds} seeds — the multi-site harness is blind")
+            return 1
+        print(f"sites mutation {args.mutation!r} caught at seed "
+              f"{caught.seed}")
+        small = shrink_multisite_scenario(caught, _multisite_diverges)
+        print(f"shrunk to: {small.describe()}")
+    finally:
+        restore()
+    clean = _check_multisite(small)
+    if clean:
+        print("shrunk multi-site reproduction does NOT replay clean "
+              "unmutated:")
+        print(render_report(small, clean))
+        return 1
+    if args.write_corpus:
+        path = write_corpus(small, args.corpus / "multisite")
+        print(f"multisite corpus entry written: {path}")
+    return 0
+
+
 def cmd_mutate(args) -> int:
     restore = apply_mutation(args.name)
     try:
@@ -267,6 +386,17 @@ def main(argv: list[str]) -> int:
         "--workers", type=int,
         default=int(os.environ.get("DIFFTEST_WORKERS", "4")),
         help="worker-pool threads (env DIFFTEST_WORKERS)")
+    sites = subparsers.add_parser("sites")
+    sites.add_argument(
+        "--mutation", default="seq-chronicle-newest",
+        choices=sorted(MUTATIONS),
+        help="planted bug for the multi-site liveness check")
+    sites.add_argument(
+        "--skip-mutation", action="store_true",
+        help="skip the mutation-liveness leg (seeds + corpus only)")
+    sites.add_argument(
+        "--write-corpus", action="store_true",
+        help="persist the shrunk mutation catch to --corpus/multisite")
     mutate = subparsers.add_parser("mutate")
     mutate.add_argument("name", choices=sorted(MUTATIONS))
     mutate.add_argument("--max-statements", type=int, default=10,
@@ -280,6 +410,8 @@ def main(argv: list[str]) -> int:
         return cmd_corpus(args)
     if args.command == "interleave":
         return cmd_interleave(args)
+    if args.command == "sites":
+        return cmd_sites(args)
     return cmd_sweep(args)
 
 

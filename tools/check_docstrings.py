@@ -38,6 +38,12 @@ DEFAULT_SURFACE = [
     "src/repro/faults/retry.py",
     "src/repro/obs/provenance.py",
     "src/repro/obs/export.py",
+    "src/repro/ged/__init__.py",
+    "src/repro/ged/global_detector.py",
+    "src/repro/ged/partitioning.py",
+    "src/repro/ged/transport.py",
+    "src/repro/ged/sharded.py",
+    "src/repro/led/remote.py",
 ]
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI gate: sharding the GED must actually buy aggregate throughput.
+
+Reads the ``BENCH_sites.json`` artifact produced by
+``benchmarks/bench_sites.py`` and enforces:
+
+- **Scaling**: the 3-site aggregate primitive throughput (shared-
+  nothing makespan model — see the bench docstring) must be at least
+  ``SITES_SCALING_FLOOR`` times (default 2.0x) the 1-site throughput.
+  This catches any change that couples the shards back together — a
+  shared lock in the router hot path, cross-shard subscriptions leaking
+  into shard-local graphs, per-raise work that scales with total site
+  count instead of the owning shard.
+- **Monotonicity**: adding a site must never *reduce* aggregate
+  throughput (each N-site point >= 0.9x the (N-1)-site point, the slack
+  absorbing runner noise).
+- **Cross-site latency**: p95 of completing a cross-site SEQ
+  (forwarding rule -> transport -> sequencing + journal -> shard
+  detection -> global rule) must stay under
+  ``SITES_LATENCY_CEILING_MS`` (default 5.0 ms) — the whole hop is
+  in-process function calls; milliseconds here means something
+  quadratic crept into the router.
+- **Scale**: the scaling runs must cover at least 3 sites and the
+  latency series at least 100 completions, so the gate cannot be
+  satisfied by shrinking the measurement.
+
+Usage::
+
+    python tools/check_sites.py                # ./BENCH_sites.json
+    python tools/check_sites.py path/to/BENCH_sites.json
+    SITES_SCALING_FLOOR=1.5 python tools/check_sites.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_SCALING_FLOOR = 2.0
+DEFAULT_LATENCY_CEILING_MS = 5.0
+MIN_SITES = 3
+MIN_PAIRS = 100
+
+
+def check(path: Path, scaling_floor: float,
+          latency_ceiling_ms: float) -> list[str]:
+    """Validate one sites artifact; returns the list of problems."""
+    if not path.exists():
+        return [f"{path}: artifact not found (run benchmarks/"
+                "bench_sites.py first)"]
+    payload = json.loads(path.read_text())
+    sites = payload.get("sites")
+    if not sites:
+        return [f"{path}: no 'sites' section; artifact corrupt"]
+    problems: list[str] = []
+
+    scaling = sites.get("scaling", {})
+    points = sorted((int(n), point) for n, point in scaling.items())
+    top_n = points[-1][0] if points else 0
+    print(f"scaling points: {[n for n, _ in points]} "
+          f"(need up to >= {MIN_SITES} sites)")
+    if top_n < MIN_SITES:
+        problems.append(
+            f"{path}: largest deployment measured is {top_n} site(s), "
+            f"need at least {MIN_SITES}")
+
+    for n, point in points:
+        print(f"  {n} site(s): {point.get('throughput', 0.0)} ops/s "
+              f"= {point.get('ratio_vs_1', 0.0)}x vs 1 site")
+    if points:
+        ratio = points[-1][1].get("ratio_vs_1", 0.0)
+        if ratio < scaling_floor:
+            problems.append(
+                f"{path}: {top_n}-site aggregate throughput is only "
+                f"{ratio:.2f}x the 1-site deployment, under the "
+                f"{scaling_floor:.2f}x floor (SITES_SCALING_FLOOR)")
+        for (n_lo, lo), (n_hi, hi) in zip(points, points[1:]):
+            lo_t = lo.get("throughput", 0.0)
+            hi_t = hi.get("throughput", 0.0)
+            if lo_t and hi_t < 0.9 * lo_t:
+                problems.append(
+                    f"{path}: throughput fell from {lo_t} ops/s at "
+                    f"{n_lo} site(s) to {hi_t} ops/s at {n_hi} — "
+                    "adding a site must not cost aggregate throughput")
+
+    latency = payload.get("series", {}).get("cross_site_seq_ms", {})
+    count = latency.get("count", 0)
+    p95 = latency.get("p95", float("inf"))
+    print(f"cross-site SEQ completion: {count} samples, "
+          f"p50={latency.get('p50', 0.0):.3f}ms p95={p95:.3f}ms "
+          f"(ceiling {latency_ceiling_ms}ms)")
+    if count < MIN_PAIRS:
+        problems.append(
+            f"{path}: only {count} cross-site completions sampled, "
+            f"under the {MIN_PAIRS} floor")
+    if p95 > latency_ceiling_ms:
+        problems.append(
+            f"{path}: cross-site SEQ p95 is {p95:.3f}ms, over the "
+            f"{latency_ceiling_ms}ms ceiling (SITES_LATENCY_CEILING_MS)")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[0]) if argv else REPO_ROOT / "BENCH_sites.json"
+    problems = check(
+        path,
+        float(os.environ.get("SITES_SCALING_FLOOR",
+                             str(DEFAULT_SCALING_FLOOR))),
+        float(os.environ.get("SITES_LATENCY_CEILING_MS",
+                             str(DEFAULT_LATENCY_CEILING_MS))),
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("sites gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
